@@ -1,0 +1,153 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * estimation accuracy vs calibration-set size (how many probes are
+//!   needed before Table 1 errors stabilize),
+//! * RTOS cost on/off (its share of the vocoder's simulated time),
+//! * the `k` weight sweep on the HW FIR segment,
+//! * ISS cache model on/off (the "unavoidable" cache error of §1),
+//! * functional vs pipelined ISS timing model cost.
+//!
+//! These are wall-clock benches plus printed accuracy summaries; run with
+//! `cargo bench -p scperf-bench --bench ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scperf_bench::{calibration, harness};
+use scperf_core::{Mode, PerfModel, Platform};
+use scperf_kernel::{Simulator, Time};
+use scperf_workloads::{probes::probes, table1_cases, vocoder};
+
+/// Accuracy vs calibration-set size (printed once; benches the full fit).
+fn ablation_calibration_size(c: &mut Criterion) {
+    let all = probes();
+    println!("\n[ablation] Table-1 max error vs number of calibration probes:");
+    for n in [4, 6, 8, 10, all.len()] {
+        let cal = calibration::calibrate_with(&all[..n]);
+        let max_err = table1_cases()
+            .into_iter()
+            .map(|case| {
+                let est = harness::estimate(&cal.table, case.annotated);
+                let (_, stats) = case.run_iss();
+                harness::pct_error(est.cycles, stats.cycles as f64)
+            })
+            .fold(0.0_f64, f64::max);
+        println!("  {n:>2} probes -> max error {max_err:6.2}%  (R^2 {:.4})", cal.r_squared);
+    }
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("full_calibration", |b| b.iter(calibration::calibrate));
+    group.finish();
+}
+
+/// RTOS overhead share: vocoder simulated end time with and without the
+/// per-node RTOS cost.
+fn ablation_rtos(c: &mut Criterion) {
+    let table = calibration::calibrate().table;
+    let run = |rtos: f64| -> Time {
+        let mut platform = Platform::new();
+        let cpu = platform.sequential("cpu0", harness::CLOCK, table.clone(), rtos);
+        let mut sim = Simulator::new();
+        let model = PerfModel::new(platform, Mode::StrictTimed);
+        let _ = vocoder::pipeline::build(
+            &mut sim,
+            &model,
+            vocoder::pipeline::VocoderMapping::all_on(cpu),
+            4,
+        );
+        sim.run().expect("runs").end_time
+    };
+    let with_rtos = run(harness::RTOS_CYCLES);
+    let without = run(0.0);
+    println!(
+        "\n[ablation] vocoder (4 frames): simulated end {} with RTOS cost, {} without \
+         ({:.2}% RTOS share)",
+        with_rtos,
+        without,
+        (with_rtos.as_ns_f64() - without.as_ns_f64()) / with_rtos.as_ns_f64() * 100.0
+    );
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("vocoder_strict_timed_4f", |b| {
+        b.iter(|| run(harness::RTOS_CYCLES))
+    });
+    group.finish();
+}
+
+/// ISS model ablation: functional cost model vs cycle-stepped pipeline,
+/// caches on/off, on the FIR benchmark.
+fn ablation_iss_models(c: &mut Criterion) {
+    let case = &table1_cases()[0]; // FIR
+    let compiled = scperf_iss::minic::compile(&case.minic).expect("compiles");
+    {
+        let mut plainm = scperf_iss::Machine::new(1 << 22);
+        plainm.load(&compiled.program);
+        let functional = plainm.run(1_000_000_000).expect("runs");
+        let mut pipem = scperf_workloads::case::reference_machine();
+        pipem.load(&compiled.program);
+        let pipelined = pipem.run_pipelined(8_000_000_000).expect("runs");
+        println!(
+            "\n[ablation] FIR on the ISS: functional model {} cycles, pipelined+caches {} cycles \
+             ({} icache / {} dcache misses)",
+            functional.cycles, pipelined.cycles, pipelined.icache_misses, pipelined.dcache_misses
+        );
+    }
+    let mut group = c.benchmark_group("iss_model");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("functional", |b| {
+        b.iter(|| {
+            let mut m = scperf_iss::Machine::new(1 << 22);
+            m.load(&compiled.program);
+            m.run(1_000_000_000).expect("runs").cycles
+        })
+    });
+    group.bench_function("pipelined_cached", |b| {
+        b.iter(|| {
+            let mut m = scperf_workloads::case::reference_machine();
+            m.load(&compiled.program);
+            m.run_pipelined(8_000_000_000).expect("runs").cycles
+        })
+    });
+    group.finish();
+}
+
+/// HLS scheduling cost on the recorded Post-Proc DFG (Table 4's segment).
+fn ablation_hls(c: &mut Criterion) {
+    let trace = vocoder::run_reference(2);
+    let aq = trace.aq[0].clone();
+    let exc = trace.exc[0].clone();
+    let (dfg, _, _) = harness::record_hw_dfg(scperf_core::CostTable::asic_hw(), move || {
+        use scperf_core::{GArr, G};
+        let mut synth_hist = GArr::<i32>::zeroed(vocoder::ORDER);
+        let mut deemph = G::raw(0_i32);
+        let mut chk = G::raw(0_i32);
+        let aq = GArr::from_vec(aq);
+        let exc = GArr::from_vec(exc);
+        let _ = vocoder::stages::post_annotated(&mut synth_hist, &mut deemph, &aq, &exc, &mut chk);
+    });
+    println!("\n[ablation] Post-Proc DFG: {} operation nodes", dfg.len());
+    let mut group = c.benchmark_group("hls");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("list_schedule_postproc", |b| {
+        b.iter(|| scperf_hls::schedule_list(&dfg, &scperf_hls::Allocation::uniform(2)).makespan)
+    });
+    group.bench_function("asap_postproc", |b| {
+        b.iter(|| scperf_hls::schedule_asap(&dfg).makespan)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_calibration_size,
+    ablation_rtos,
+    ablation_iss_models,
+    ablation_hls
+);
+criterion_main!(benches);

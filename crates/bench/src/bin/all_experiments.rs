@@ -1,0 +1,40 @@
+//! Runs every table and figure in sequence (the full §5 evaluation).
+
+fn main() {
+    let cal = scperf_bench::calibration::calibrate();
+    println!("{cal}");
+
+    let t1 = scperf_bench::tables::table1(&cal, 3);
+    println!("{}", scperf_bench::tables::format_table1(&t1));
+
+    let t2 = scperf_bench::tables::table2();
+    println!(
+        "{}",
+        scperf_bench::tables::format_hw_table("Table 2. HW estimation results", &t2)
+    );
+
+    let t3 = scperf_bench::tables::table3(&cal, 32);
+    println!("{}", scperf_bench::tables::format_table3(&t3));
+
+    let t4 = scperf_bench::tables::table4(2);
+    println!(
+        "{}",
+        scperf_bench::tables::format_hw_table(
+            "Table 4. HW estimation results for the vocoder",
+            &t4
+        )
+    );
+
+    let (f12_table, f12_dot) = scperf_bench::figures::figure1_2();
+    println!("{f12_table}");
+    println!("Figure 2 (DOT):\n{f12_dot}");
+
+    println!("{}", scperf_bench::figures::figure3());
+
+    let f4 = scperf_bench::figures::figure4();
+    println!("{}", scperf_bench::figures::format_figure4(&f4));
+
+    let (untimed, timed) = scperf_bench::figures::figure5();
+    println!("Figure 5a. Untimed:\n{untimed}");
+    println!("Figure 5b. Strict-timed:\n{timed}");
+}

@@ -1,0 +1,13 @@
+//! Diagnostic: per-benchmark reference-ISS statistics (instructions,
+//! CPI, cache misses) for the Table 1 workloads.
+
+fn main() {
+    for case in scperf_workloads::table1_cases() {
+        let (_, stats) = case.run_iss();
+        println!(
+            "{:<12} instr {:>9} cyc {:>9} cpi {:.2} ic_miss {:>7} dc_miss {:>7} br {:>8}",
+            case.name, stats.instructions, stats.cycles, stats.cpi(),
+            stats.icache_misses, stats.dcache_misses, stats.branches_taken
+        );
+    }
+}

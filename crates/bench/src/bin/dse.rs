@@ -1,0 +1,15 @@
+//! Exhaustive architectural-mapping exploration of the vocoder — the
+//! design-space-exploration use case the paper's introduction motivates.
+//!
+//! Usage: `cargo run -p scperf-bench --release --bin dse [nframes]`
+
+fn main() {
+    let nframes = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+    let cal = scperf_bench::calibration::calibrate();
+    println!("cost table calibrated (R^2 = {:.4}); exploring...", cal.r_squared);
+    let points = scperf_bench::dse::explore_all(&cal.table, nframes);
+    println!("{}", scperf_bench::dse::format_summary(&points, nframes));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figures 1 and 2: process segmentation and the process
+//! graph (DOT).
+
+fn main() {
+    let (table, dot) = scperf_bench::figures::figure1_2();
+    println!("{table}");
+    println!("Figure 2. Process graph (Graphviz DOT):\n{dot}");
+}

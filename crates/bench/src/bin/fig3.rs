@@ -1,0 +1,5 @@
+//! Regenerates Figure 3: the worked delay-calculation example (75.8 cycles).
+
+fn main() {
+    println!("{}", scperf_bench::figures::figure3());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4: the area/time implementation-solution space.
+
+fn main() {
+    let figs = scperf_bench::figures::figure4();
+    println!("{}", scperf_bench::figures::format_figure4(&figs));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: untimed delta-cycle simulation vs strict-timed
+//! simulation of the three-process example.
+
+fn main() {
+    let (untimed, timed) = scperf_bench::figures::figure5();
+    println!("Figure 5a. Untimed (delta-cycle) simulation:\n{untimed}");
+    println!("Figure 5b. Strict-timed simulation (P1 on HW; P2, P3 share cpu0):\n{timed}");
+}

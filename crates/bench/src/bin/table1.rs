@@ -1,0 +1,14 @@
+//! Regenerates Table 1: SW estimation results for sequential benchmarks.
+
+fn main() {
+    let cal = scperf_bench::calibration::calibrate();
+    println!("{cal}");
+    let rows = scperf_bench::tables::table1(&cal, 3);
+    println!("{}", scperf_bench::tables::format_table1(&rows));
+    let max_err = rows.iter().map(|r| r.err_pct).fold(0.0_f64, f64::max);
+    let min_gain = rows.iter().map(|r| r.gain).fold(f64::INFINITY, f64::min);
+    let max_overhead = rows.iter().map(|r| r.overhead).fold(0.0_f64, f64::max);
+    println!(
+        "summary: max error {max_err:.2}% (paper: <4.5%), min gain {min_gain:.0}x (paper: >142x), max overhead {max_overhead:.0}x (paper: <73x)"
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 2: HW estimation results (FIR and Euler).
+
+fn main() {
+    let rows = scperf_bench::tables::table2();
+    println!(
+        "{}",
+        scperf_bench::tables::format_hw_table("Table 2. HW estimation results", &rows)
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 3: SW estimation results for the vocoder.
+
+fn main() {
+    let nframes = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
+    let cal = scperf_bench::calibration::calibrate();
+    let t = scperf_bench::tables::table3(&cal, nframes);
+    println!("{}", scperf_bench::tables::format_table3(&t));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 4: HW estimation results for the vocoder
+//! post-processing function.
+
+fn main() {
+    let rows = scperf_bench::tables::table4(2);
+    println!(
+        "{}",
+        scperf_bench::tables::format_hw_table(
+            "Table 4. HW estimation results for the vocoder",
+            &rows
+        )
+    );
+}

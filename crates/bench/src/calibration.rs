@@ -1,0 +1,5 @@
+//! Re-export of the probe-driven calibration that lives with the
+//! workloads (see [`scperf_workloads::calibration`]); kept here so the
+//! experiment binaries and benches keep their historical import path.
+
+pub use scperf_workloads::calibration::{calibrate, calibrate_with, Calibration, ProbeRow};

@@ -1,0 +1,263 @@
+//! Design-space exploration of the vocoder's architectural mapping — the
+//! use case the paper's introduction motivates: "design flows based on
+//! these SLDLs need new estimation techniques in order to allow a fast and
+//! accurate design space exploration (DSE)".
+//!
+//! Every mapping of the five vocoder processes onto a platform of
+//! {cpu0, cpu1, accelerator} is simulated strict-timed; each point reports
+//! its end-to-end latency and a resource-cost proxy, and the Pareto
+//! frontier is extracted.
+
+use scperf_core::{CostTable, Mode, PerfModel, Platform, ResourceId};
+use scperf_kernel::{Simulator, Time};
+use scperf_workloads::vocoder::{
+    self,
+    pipeline::{VocoderMapping, STAGE_NAMES},
+};
+
+use crate::harness::{CLOCK, RTOS_CYCLES};
+
+/// The three mapping targets explored per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// First processor.
+    Cpu0,
+    /// Second processor.
+    Cpu1,
+    /// Hardware accelerator (parallel resource, k = 0.5).
+    Hw,
+}
+
+impl Target {
+    /// All targets, in exploration order.
+    pub const ALL: [Target; 3] = [Target::Cpu0, Target::Cpu1, Target::Hw];
+
+    fn label(self) -> &'static str {
+        match self {
+            Target::Cpu0 => "cpu0",
+            Target::Cpu1 => "cpu1",
+            Target::Hw => "hw",
+        }
+    }
+
+    /// Relative silicon/BOM cost of using this target at all.
+    fn cost(self) -> f64 {
+        match self {
+            Target::Cpu0 => 1.0,
+            Target::Cpu1 => 1.0,
+            Target::Hw => 2.5,
+        }
+    }
+}
+
+/// One explored design point.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Per-process targets, in [`STAGE_NAMES`] order.
+    pub mapping: [Target; 5],
+    /// Simulated end-to-end time for the workload.
+    pub latency: Time,
+    /// Cost proxy: the summed cost of every *used* target.
+    pub cost: f64,
+}
+
+impl DesignPoint {
+    /// Renders the mapping compactly, e.g. `cpu0/cpu0/hw/cpu1/cpu0`.
+    pub fn mapping_label(&self) -> String {
+        self.mapping
+            .iter()
+            .map(|t| t.label())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+}
+
+fn build_platform(table: &CostTable) -> (Platform, [ResourceId; 3]) {
+    let mut platform = Platform::new();
+    let cpu0 = platform.sequential("cpu0", CLOCK, table.clone(), RTOS_CYCLES);
+    let cpu1 = platform.sequential("cpu1", CLOCK, table.clone(), RTOS_CYCLES);
+    let hw = platform.parallel("hw", CLOCK, CostTable::asic_hw(), 0.5);
+    (platform, [cpu0, cpu1, hw])
+}
+
+/// Simulates one mapping and returns its design point.
+pub fn evaluate(table: &CostTable, mapping: [Target; 5], nframes: usize) -> DesignPoint {
+    let (platform, ids) = build_platform(table);
+    let pick = |t: Target| match t {
+        Target::Cpu0 => ids[0],
+        Target::Cpu1 => ids[1],
+        Target::Hw => ids[2],
+    };
+    let vm = VocoderMapping {
+        lsp: pick(mapping[0]),
+        lpc_int: pick(mapping[1]),
+        acb: pick(mapping[2]),
+        icb: pick(mapping[3]),
+        post: pick(mapping[4]),
+    };
+    let mut sim = Simulator::new();
+    let model = PerfModel::new(platform, Mode::StrictTimed);
+    let _ = vocoder::pipeline::build(&mut sim, &model, vm, nframes);
+    let summary = sim.run().expect("mapping simulates");
+    let mut cost = 0.0;
+    for t in Target::ALL {
+        if mapping.contains(&t) {
+            cost += t.cost();
+        }
+    }
+    DesignPoint {
+        mapping,
+        latency: summary.end_time,
+        cost,
+    }
+}
+
+/// Exhaustively explores all 3^5 mappings.
+pub fn explore_all(table: &CostTable, nframes: usize) -> Vec<DesignPoint> {
+    let mut points = Vec::with_capacity(243);
+    for a in Target::ALL {
+        for b in Target::ALL {
+            for c in Target::ALL {
+                for d in Target::ALL {
+                    for e in Target::ALL {
+                        points.push(evaluate(table, [a, b, c, d, e], nframes));
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+/// The Pareto frontier over (latency, cost), sorted by latency.
+pub fn pareto(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    for p in points {
+        if points.iter().any(|q| {
+            (q.latency < p.latency && q.cost <= p.cost)
+                || (q.latency <= p.latency && q.cost < p.cost)
+        }) {
+            continue;
+        }
+        if !frontier
+            .iter()
+            .any(|f| f.latency == p.latency && f.cost == p.cost)
+        {
+            frontier.push(p.clone());
+        }
+    }
+    frontier.sort_by(|a, b| a.latency.cmp(&b.latency).then(a.cost.total_cmp(&b.cost)));
+    frontier
+}
+
+/// Renders the exploration summary.
+pub fn format_summary(points: &[DesignPoint], nframes: usize) -> String {
+    use std::fmt::Write;
+    let mut sorted: Vec<&DesignPoint> = points.iter().collect();
+    sorted.sort_by_key(|p| p.latency);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Design-space exploration: {} mappings of {{{}}} onto {{cpu0, cpu1, hw}}, {nframes} frames",
+        points.len(),
+        STAGE_NAMES.join(", ")
+    );
+    let _ = writeln!(out, "\nfastest 5 mappings:");
+    for p in sorted.iter().take(5) {
+        let _ = writeln!(
+            out,
+            "  {:<28} latency {:>14}  cost {:>4.1}",
+            p.mapping_label(),
+            p.latency.to_string(),
+            p.cost
+        );
+    }
+    let _ = writeln!(out, "\nall-SW baseline and extremes:");
+    let all_cpu0 = points
+        .iter()
+        .find(|p| p.mapping.iter().all(|&t| t == Target::Cpu0))
+        .expect("exhaustive sweep");
+    let _ = writeln!(
+        out,
+        "  {:<28} latency {:>14}  cost {:>4.1}",
+        all_cpu0.mapping_label(),
+        all_cpu0.latency.to_string(),
+        all_cpu0.cost
+    );
+    let _ = writeln!(out, "\nPareto frontier (latency vs cost):");
+    for p in pareto(points) {
+        let _ = writeln!(
+            out,
+            "  {:<28} latency {:>14}  cost {:>4.1}",
+            p.mapping_label(),
+            p.latency.to_string(),
+            p.cost
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_evaluates_and_prices_resources() {
+        let table = CostTable::risc_sw();
+        let p = evaluate(&table, [Target::Cpu0; 5], 2);
+        assert!(p.latency > Time::ZERO);
+        assert_eq!(p.cost, 1.0);
+        let q = evaluate(
+            &table,
+            [
+                Target::Cpu0,
+                Target::Cpu1,
+                Target::Hw,
+                Target::Cpu0,
+                Target::Cpu1,
+            ],
+            2,
+        );
+        assert_eq!(q.cost, 4.5);
+        assert_eq!(q.mapping_label(), "cpu0/cpu1/hw/cpu0/cpu1");
+    }
+
+    #[test]
+    fn offloading_the_acb_beats_all_sw() {
+        let table = CostTable::risc_sw();
+        let all_sw = evaluate(&table, [Target::Cpu0; 5], 2);
+        let mut offloaded = [Target::Cpu0; 5];
+        offloaded[2] = Target::Hw; // ACB search
+        let point = evaluate(&table, offloaded, 2);
+        assert!(point.latency < all_sw.latency);
+    }
+
+    #[test]
+    fn pareto_is_nondominated_subset() {
+        let table = CostTable::risc_sw();
+        let points: Vec<DesignPoint> = [
+            [Target::Cpu0; 5],
+            {
+                let mut m = [Target::Cpu0; 5];
+                m[2] = Target::Hw;
+                m
+            },
+            {
+                let mut m = [Target::Cpu0; 5];
+                m[2] = Target::Cpu1;
+                m
+            },
+        ]
+        .into_iter()
+        .map(|m| evaluate(&table, m, 2))
+        .collect();
+        let frontier = pareto(&points);
+        assert!(!frontier.is_empty());
+        for f in &frontier {
+            for p in &points {
+                let dominated = p.latency < f.latency && p.cost <= f.cost;
+                assert!(!dominated, "{} dominated by {}", f.mapping_label(), p.mapping_label());
+            }
+        }
+    }
+}

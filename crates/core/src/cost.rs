@@ -1,0 +1,362 @@
+//! Operation classes and per-resource cost tables.
+//!
+//! Following §3 of the paper, every elementary C++-level operation is
+//! characterized, for each platform resource, by its execution time in
+//! (possibly fractional) processor/FU cycles. The estimation library charges
+//! these costs as annotated code executes.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The elementary operation classes the library charges for.
+///
+/// These correspond to the "C++ objects" of the paper's Figure 3 (`=`, `+`,
+/// `<`, `[]`, `if`, function call) extended with the classes the benchmark
+/// set needs (multiplication, division, logic, shifts and their
+/// floating-point counterparts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Op {
+    /// Assignment (`=`), including initialization.
+    Assign = 0,
+    /// Integer addition / subtraction / negation (`+`, `-`).
+    Add,
+    /// Integer multiplication (`*`).
+    Mul,
+    /// Integer division / remainder (`/`, `%`).
+    Div,
+    /// Floating-point addition / subtraction.
+    FAdd,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+    /// Comparison (`<`, `<=`, `==`, …).
+    Cmp,
+    /// Bitwise / boolean logic (`&`, `|`, `^`, `!`).
+    Logic,
+    /// Shifts (`<<`, `>>`).
+    Shift,
+    /// Array indexing (`[]`).
+    Index,
+    /// Conditional branch (`if`, loop condition).
+    Branch,
+    /// Function call overhead.
+    Call,
+}
+
+/// Number of operation classes.
+pub const OP_COUNT: usize = 13;
+
+/// All operation classes, in discriminant order.
+pub const ALL_OPS: [Op; OP_COUNT] = [
+    Op::Assign,
+    Op::Add,
+    Op::Mul,
+    Op::Div,
+    Op::FAdd,
+    Op::FMul,
+    Op::FDiv,
+    Op::Cmp,
+    Op::Logic,
+    Op::Shift,
+    Op::Index,
+    Op::Branch,
+    Op::Call,
+];
+
+impl Op {
+    /// Stable index of this operation class (0-based, dense).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short mnemonic used in reports and CSV headers.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Assign => "=",
+            Op::Add => "+",
+            Op::Mul => "*",
+            Op::Div => "/",
+            Op::FAdd => "f+",
+            Op::FMul => "f*",
+            Op::FDiv => "f/",
+            Op::Cmp => "<",
+            Op::Logic => "&",
+            Op::Shift => "<<",
+            Op::Index => "[]",
+            Op::Branch => "if",
+            Op::Call => "call",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Per-resource execution cost of each [`Op`], in fractional cycles.
+///
+/// Cost tables are typically provided by the platform vendor (per §3) or
+/// fitted from ISS measurements with
+/// [`calibration`](https://docs.rs/scperf-iss) — see `scperf-iss`'s
+/// `calibrate` module.
+///
+/// # Examples
+///
+/// ```
+/// use scperf_core::{CostTable, Op};
+///
+/// let mut table = CostTable::zero();
+/// table[Op::Add] = 1.0;
+/// table[Op::Mul] = 3.0;
+/// assert_eq!(table[Op::Mul], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTable {
+    cycles: [f64; OP_COUNT],
+}
+
+impl CostTable {
+    /// A table with every cost set to zero.
+    pub const fn zero() -> CostTable {
+        CostTable {
+            cycles: [0.0; OP_COUNT],
+        }
+    }
+
+    /// Builds a table from `(op, cycles)` pairs; unspecified ops cost zero.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Op, f64)>) -> CostTable {
+        let mut t = CostTable::zero();
+        for (op, c) in pairs {
+            t.cycles[op.index()] = c;
+        }
+        t
+    }
+
+    /// Builds a table from a dense cost vector in [`ALL_OPS`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len() != OP_COUNT`.
+    pub fn from_dense(costs: &[f64]) -> CostTable {
+        assert_eq!(costs.len(), OP_COUNT, "expected {OP_COUNT} costs");
+        let mut t = CostTable::zero();
+        t.cycles.copy_from_slice(costs);
+        t
+    }
+
+    /// The dense cost vector in [`ALL_OPS`] order.
+    pub fn as_dense(&self) -> &[f64; OP_COUNT] {
+        &self.cycles
+    }
+
+    /// Default table for a simple in-order RISC software resource.
+    ///
+    /// The values mirror the instruction sequences a non-optimizing compiler
+    /// emits for each source-level operation on a scalar in-order core of
+    /// the OpenRISC class (loads/stores around ALU ops, multi-cycle
+    /// multiply/divide, software floating point). They serve as a starting
+    /// point; Table 1 experiments replace them with ISS-calibrated values.
+    pub fn risc_sw() -> CostTable {
+        CostTable::from_pairs([
+            (Op::Assign, 2.0),
+            (Op::Add, 1.0),
+            (Op::Mul, 3.0),
+            (Op::Div, 33.0),
+            (Op::FAdd, 40.0),
+            (Op::FMul, 50.0),
+            (Op::FDiv, 90.0),
+            (Op::Cmp, 1.0),
+            (Op::Logic, 1.0),
+            (Op::Shift, 1.0),
+            (Op::Index, 3.0),
+            (Op::Branch, 2.0),
+            (Op::Call, 6.0),
+        ])
+    }
+
+    /// Default table for a hardware (parallel) resource: functional-unit
+    /// *combinational delays* in (fractional) clock cycles at the target
+    /// frequency. Wiring-only "operations" (assignment) are free; control
+    /// is a mux. The estimation library rounds each operation up to a whole
+    /// number of cycles (§3: "a multiple of the clock period"); a synthesis
+    /// tool with operation chaining works with the raw delays — the gap
+    /// between the two is exactly the HW estimation error of Tables 2/4.
+    pub fn asic_hw() -> CostTable {
+        CostTable::from_pairs([
+            (Op::Assign, 0.0),
+            (Op::Add, 0.9),
+            (Op::Mul, 1.9),
+            (Op::Div, 7.8),
+            (Op::FAdd, 2.8),
+            (Op::FMul, 3.7),
+            (Op::FDiv, 14.6),
+            (Op::Cmp, 0.85),
+            (Op::Logic, 0.8),
+            (Op::Shift, 0.8),
+            (Op::Index, 0.95),
+            (Op::Branch, 0.9),
+            (Op::Call, 0.0),
+        ])
+    }
+
+    /// The worked example of the paper's Figure 3: `=`:2, `+`:1, `<`:3,
+    /// `[]`:5, `if`:2.4, call:18.
+    pub fn figure3() -> CostTable {
+        CostTable::from_pairs([
+            (Op::Assign, 2.0),
+            (Op::Add, 1.0),
+            (Op::Cmp, 3.0),
+            (Op::Index, 5.0),
+            (Op::Branch, 2.4),
+            (Op::Call, 18.0),
+        ])
+    }
+}
+
+impl Default for CostTable {
+    /// Same as [`CostTable::risc_sw`].
+    fn default() -> CostTable {
+        CostTable::risc_sw()
+    }
+}
+
+impl Index<Op> for CostTable {
+    type Output = f64;
+    #[inline]
+    fn index(&self, op: Op) -> &f64 {
+        &self.cycles[op.index()]
+    }
+}
+
+impl IndexMut<Op> for CostTable {
+    #[inline]
+    fn index_mut(&mut self, op: Op) -> &mut f64 {
+        &mut self.cycles[op.index()]
+    }
+}
+
+/// A per-[`Op`] execution counter, used for segment statistics and for
+/// building calibration systems (`counts · costs = cycles`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    counts: [u64; OP_COUNT],
+}
+
+impl OpCounts {
+    /// All-zero counts.
+    pub const fn new() -> OpCounts {
+        OpCounts {
+            counts: [0; OP_COUNT],
+        }
+    }
+
+    /// Increments the counter for `op`.
+    #[inline]
+    pub fn bump(&mut self, op: Op) {
+        self.counts[op.index()] += 1;
+    }
+
+    /// The count for `op`.
+    #[inline]
+    pub fn get(&self, op: Op) -> u64 {
+        self.counts[op.index()]
+    }
+
+    /// Total operations counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The dense count vector in [`ALL_OPS`] order.
+    pub fn as_dense(&self) -> &[u64; OP_COUNT] {
+        &self.counts
+    }
+
+    /// Dot product with a cost table: the sequential-execution cycle count
+    /// these operations take.
+    pub fn dot(&self, table: &CostTable) -> f64 {
+        self.counts
+            .iter()
+            .zip(table.as_dense())
+            .map(|(&n, &c)| n as f64 * c)
+            .sum()
+    }
+
+    /// Adds another counter element-wise.
+    pub fn merge(&mut self, other: &OpCounts) {
+        for i in 0..OP_COUNT {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_indices_are_dense_and_unique() {
+        for (i, op) in ALL_OPS.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn table_round_trips_dense() {
+        let t = CostTable::risc_sw();
+        let t2 = CostTable::from_dense(t.as_dense());
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn from_pairs_defaults_to_zero() {
+        let t = CostTable::from_pairs([(Op::Mul, 4.0)]);
+        assert_eq!(t[Op::Mul], 4.0);
+        assert_eq!(t[Op::Add], 0.0);
+    }
+
+    #[test]
+    fn counts_dot_costs() {
+        let mut counts = OpCounts::new();
+        counts.bump(Op::Add);
+        counts.bump(Op::Add);
+        counts.bump(Op::Mul);
+        let t = CostTable::from_pairs([(Op::Add, 1.5), (Op::Mul, 3.0)]);
+        assert_eq!(counts.dot(&t), 6.0);
+        assert_eq!(counts.total(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OpCounts::new();
+        a.bump(Op::Div);
+        let mut b = OpCounts::new();
+        b.bump(Op::Div);
+        b.bump(Op::Call);
+        a.merge(&b);
+        assert_eq!(a.get(Op::Div), 2);
+        assert_eq!(a.get(Op::Call), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 13 costs")]
+    fn from_dense_rejects_wrong_len() {
+        let _ = CostTable::from_dense(&[1.0; 3]);
+    }
+
+    #[test]
+    fn figure3_table_matches_paper() {
+        let t = CostTable::figure3();
+        assert_eq!(t[Op::Assign], 2.0);
+        assert_eq!(t[Op::Add], 1.0);
+        assert_eq!(t[Op::Cmp], 3.0);
+        assert_eq!(t[Op::Index], 5.0);
+        assert_eq!(t[Op::Branch], 2.4);
+        assert_eq!(t[Op::Call], 18.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! The estimator: segment bookkeeping, the resource-arbitration protocol
+//! and strict-timed back-annotation (§4 of the paper).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use scperf_kernel::{ProcCtx, Time};
+
+use crate::cost::OpCounts;
+use crate::hw::{weighted_hw_cycles, Dfg};
+use crate::resource::{Platform, ResourceId, ResourceKind};
+
+/// How the library integrates with the simulation (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Collect estimates while leaving the simulation untimed: processes
+    /// still execute in delta-cycle order. Useful for measuring the pure
+    /// library overhead and as the reference run of the determinism check.
+    EstimateOnly,
+    /// Strict-timed simulation: every segment's estimated time is
+    /// back-annotated (the process sleeps for it), sequential resources
+    /// serialize their processes, and RTOS overhead is charged. This is the
+    /// paper's headline mode.
+    StrictTimed,
+}
+
+/// Node id of the implicit process-entry node.
+pub const NODE_ENTRY: u32 = 0;
+/// Node id of the implicit process-exit node.
+pub const NODE_EXIT: u32 = 1;
+/// Node id shared by unlabeled `timed_wait` statements.
+pub const NODE_WAIT: u32 = 2;
+
+/// Statistics of one segment (one `(from, to)` node pair of one process).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegStats {
+    /// Executions of this segment.
+    pub count: u64,
+    /// Total estimated cycles over all executions.
+    pub total_cycles: f64,
+    /// Minimum cycles of a single execution.
+    pub min_cycles: f64,
+    /// Maximum cycles of a single execution.
+    pub max_cycles: f64,
+    /// Total estimated time over all executions.
+    pub total_time: Time,
+    /// Merged operation counts.
+    pub counts: OpCounts,
+    /// HW segments: last recorded T_min (critical path) in cycles.
+    pub last_t_min: f64,
+    /// HW segments: last recorded T_max (single-ALU) in cycles.
+    pub last_t_max: f64,
+}
+
+impl SegStats {
+    fn new() -> SegStats {
+        SegStats {
+            count: 0,
+            total_cycles: 0.0,
+            min_cycles: f64::INFINITY,
+            max_cycles: 0.0,
+            total_time: Time::ZERO,
+            counts: OpCounts::new(),
+            last_t_min: 0.0,
+            last_t_max: 0.0,
+        }
+    }
+}
+
+/// An instantaneous per-segment sample (when recording is enabled):
+/// the paper's "instantaneous estimated parameters for each process".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstSample {
+    /// Simulation time at which the segment ended.
+    pub at: Time,
+    /// Segment (from, to) node pair.
+    pub segment: (u32, u32),
+    /// Estimated cycles of this single execution.
+    pub cycles: f64,
+}
+
+#[derive(Debug)]
+pub(crate) struct ProcRecord {
+    pub(crate) name: String,
+    pub(crate) resource: ResourceId,
+    pub(crate) segments: BTreeMap<(u32, u32), SegStats>,
+    pub(crate) total_cycles: f64,
+    pub(crate) total_time: Time,
+    pub(crate) rtos_time: Time,
+    pub(crate) counts: OpCounts,
+    pub(crate) segment_executions: u64,
+    pub(crate) instantaneous: Vec<InstSample>,
+    /// First recorded DFG per segment (parallel resources with DFG
+    /// recording enabled).
+    pub(crate) dfgs: BTreeMap<(u32, u32), Dfg>,
+}
+
+pub(crate) struct EstInner {
+    pub(crate) platform: Platform,
+    pub(crate) mode: Mode,
+    /// Node label registry; ids 0..=2 are the implicit entry/exit/wait.
+    pub(crate) nodes: Vec<String>,
+    /// Per-process records, indexed by kernel pid.
+    pub(crate) procs: BTreeMap<usize, ProcRecord>,
+    /// Per-resource time the resource is occupied until (sequential only).
+    pub(crate) busy_until: Vec<Time>,
+    /// Accumulated busy time per resource.
+    pub(crate) busy_total: Vec<Time>,
+    /// Accumulated RTOS time per resource.
+    pub(crate) rtos_total: Vec<Time>,
+    pub(crate) record_instantaneous: bool,
+    pub(crate) record_dfgs: bool,
+    pub(crate) captures: Vec<crate::capture::CaptureList>,
+}
+
+/// Shared estimator state (one per [`crate::PerfModel`]).
+pub(crate) struct EstimatorShared {
+    pub(crate) inner: Mutex<EstInner>,
+}
+
+impl EstimatorShared {
+    pub(crate) fn new(platform: Platform, mode: Mode) -> Arc<EstimatorShared> {
+        let n = platform.len();
+        Arc::new(EstimatorShared {
+            inner: Mutex::new(EstInner {
+                platform,
+                mode,
+                nodes: vec!["entry".into(), "exit".into(), "wait".into()],
+                procs: BTreeMap::new(),
+                busy_until: vec![Time::ZERO; n],
+                busy_total: vec![Time::ZERO; n],
+                rtos_total: vec![Time::ZERO; n],
+                record_instantaneous: false,
+                record_dfgs: false,
+                captures: Vec::new(),
+            }),
+        })
+    }
+
+    pub(crate) fn register_node(&self, label: impl Into<String>) -> u32 {
+        let mut inner = self.inner.lock();
+        let label = label.into();
+        if let Some(i) = inner.nodes.iter().position(|n| *n == label) {
+            return i as u32;
+        }
+        inner.nodes.push(label);
+        (inner.nodes.len() - 1) as u32
+    }
+
+    pub(crate) fn register_process(&self, pid: usize, name: String, resource: ResourceId) {
+        let mut inner = self.inner.lock();
+        assert!(
+            resource.index() < inner.platform.len(),
+            "resource id out of range for this platform"
+        );
+        inner.procs.insert(
+            pid,
+            ProcRecord {
+                name,
+                resource,
+                segments: BTreeMap::new(),
+                total_cycles: 0.0,
+                total_time: Time::ZERO,
+                rtos_time: Time::ZERO,
+                counts: OpCounts::new(),
+                segment_executions: 0,
+                instantaneous: Vec::new(),
+                dfgs: BTreeMap::new(),
+            },
+        );
+    }
+}
+
+/// Ends the current segment at `node` and performs the §4 back-annotation
+/// protocol. Called by the channel wrappers, `timed_wait` and process exit.
+///
+/// Returns the estimated segment time (zero for environment resources and
+/// unmapped processes).
+pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
+    // Phase 1: drain the thread-local accumulator.
+    let Some((est, pid, resource, kind, k, rtos_cycles, from, acc, max_ready, counts, dfg)) =
+        crate::tls::with(|t| {
+            let (acc, max_ready, counts, dfg) = t.take_segment();
+            let from = t.current_node;
+            t.current_node = node;
+            (
+                Arc::clone(&t.est),
+                t.pid,
+                t.resource,
+                t.kind,
+                t.k,
+                t.rtos_cycles,
+                from,
+                acc,
+                max_ready,
+                counts,
+                dfg,
+            )
+        })
+    else {
+        return Time::ZERO; // un-instrumented process
+    };
+
+    if kind == ResourceKind::Environment {
+        return Time::ZERO;
+    }
+
+    // Phase 2: compute the segment's annotated cycle count.
+    let (cycles, t_min, t_max) = match kind {
+        ResourceKind::Sequential => (acc, 0.0, 0.0),
+        ResourceKind::Parallel => (weighted_hw_cycles(max_ready, acc, k), max_ready, acc),
+        ResourceKind::Environment => unreachable!(),
+    };
+
+    // Phase 3: record statistics and convert to time.
+    let now = ctx.now();
+    let (seg_time, rtos_time, mode) = {
+        let mut inner = est.inner.lock();
+        let res = inner.platform.resource(resource).clone();
+        let seg_time = res.cycles_to_time(cycles);
+        let rtos_time = if kind == ResourceKind::Sequential {
+            res.cycles_to_time(rtos_cycles)
+        } else {
+            Time::ZERO
+        };
+        let mode = inner.mode;
+        let record_inst = inner.record_instantaneous;
+        let record_dfgs = inner.record_dfgs;
+        let rec = inner
+            .procs
+            .get_mut(&pid)
+            .expect("process registered with the estimator");
+        let seg = rec.segments.entry((from, node)).or_insert_with(SegStats::new);
+        seg.count += 1;
+        seg.total_cycles += cycles;
+        seg.min_cycles = seg.min_cycles.min(cycles);
+        seg.max_cycles = seg.max_cycles.max(cycles);
+        seg.total_time += seg_time;
+        seg.counts.merge(&counts);
+        seg.last_t_min = t_min;
+        seg.last_t_max = t_max;
+        rec.total_cycles += cycles;
+        rec.total_time += seg_time;
+        rec.rtos_time += rtos_time;
+        rec.counts.merge(&counts);
+        rec.segment_executions += 1;
+        if record_inst {
+            rec.instantaneous.push(InstSample {
+                at: now,
+                segment: (from, node),
+                cycles,
+            });
+        }
+        if record_dfgs {
+            if let Some(dfg) = dfg {
+                rec.dfgs.entry((from, node)).or_insert(dfg);
+            }
+        }
+        inner.rtos_total[resource.index()] += rtos_time;
+        (seg_time, rtos_time, mode)
+    };
+
+    // Phase 4: back-annotation (§4).
+    let total = seg_time + rtos_time;
+    match (mode, kind) {
+        (Mode::EstimateOnly, _) => {
+            // Untimed run: account busy time but do not sleep.
+            let mut inner = est.inner.lock();
+            inner.busy_total[resource.index()] += total;
+        }
+        (Mode::StrictTimed, ResourceKind::Parallel) => {
+            // Parallel resources: the process resumes at
+            // max(previous segment end, waking event) — which is exactly
+            // `now` here, since host execution is instantaneous — and then
+            // sleeps the estimated time.
+            {
+                let mut inner = est.inner.lock();
+                inner.busy_total[resource.index()] += total;
+            }
+            if !total.is_zero() {
+                ctx.wait(total);
+            }
+        }
+        (Mode::StrictTimed, ResourceKind::Sequential) => {
+            // Sequential resources: wait until the processor is observed
+            // free *at the current time* (re-checking after every wait,
+            // because another process can take the resource meanwhile —
+            // the arbitration loop of §4), then occupy it.
+            loop {
+                let now = ctx.now();
+                let free_at = est.inner.lock().busy_until[resource.index()];
+                if free_at <= now {
+                    break;
+                }
+                ctx.wait(free_at - now);
+            }
+            {
+                let mut inner = est.inner.lock();
+                let until = ctx.now() + total;
+                inner.busy_until[resource.index()] = until;
+                inner.busy_total[resource.index()] += total;
+            }
+            if !total.is_zero() {
+                ctx.wait(total);
+            }
+        }
+        (Mode::StrictTimed, ResourceKind::Environment) => unreachable!(),
+    }
+    total
+}

@@ -1,0 +1,206 @@
+//! Hardware-segment timing: critical path vs single-ALU extremes, and the
+//! dataflow graph (DFG) recording consumed by the `scperf-hls` baseline.
+//!
+//! §3 of the paper: for parallel (HW) resources the implementation space is
+//! bounded by two extremes —
+//!
+//! * **best case** `T_min`: the critical path of the segment's operation
+//!   dataflow, with every operation taking a whole number of clock cycles
+//!   (the fastest implementation regardless of area), and
+//! * **worst case** `T_max`: all operations executed sequentially on a
+//!   single ALU (the smallest implementation).
+//!
+//! The annotated time is the weighted mean `T = T_min + (T_max − T_min)·k`.
+//! The estimation context computes both on the fly; when DFG recording is
+//! enabled, the full graph is kept so that a behavioral-synthesis scheduler
+//! can produce reference times for the same segment (Tables 2 and 4).
+
+use crate::cost::Op;
+
+/// Sentinel "no producer" DFG node id carried by values that were not
+/// produced by a recorded operation (inputs, constants, SW-mode values).
+pub const NO_NODE: u32 = 0;
+
+/// One operation node of a recorded dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfgNode {
+    /// Operation class.
+    pub op: Op,
+    /// Latency in whole clock cycles.
+    pub latency: u64,
+    /// Producer nodes of the operands (ids; [`NO_NODE`] entries omitted).
+    pub preds: Vec<u32>,
+}
+
+/// A dataflow graph recorded from one executed segment on a parallel
+/// resource.
+///
+/// Node ids are 1-based ([`NO_NODE`] = 0 is reserved); `nodes[i]` has id
+/// `i + 1`. Edges always point from earlier to later nodes, so the graph is
+/// acyclic by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dfg {
+    nodes: Vec<DfgNode>,
+}
+
+impl Dfg {
+    /// An empty graph.
+    pub fn new() -> Dfg {
+        Dfg::default()
+    }
+
+    /// Appends an operation node and returns its id.
+    pub fn push(&mut self, op: Op, latency: u64, a: u32, b: u32) -> u32 {
+        let mut preds = Vec::new();
+        if a != NO_NODE {
+            preds.push(a);
+        }
+        if b != NO_NODE && b != a {
+            preds.push(b);
+        }
+        self.nodes.push(DfgNode { op, latency, preds });
+        self.nodes.len() as u32
+    }
+
+    /// The nodes in creation (= topological) order.
+    pub fn nodes(&self) -> &[DfgNode] {
+        &self.nodes
+    }
+
+    /// Number of operation nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The predecessors of node `id` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is [`NO_NODE`] or out of range.
+    pub fn preds(&self, id: u32) -> &[u32] {
+        &self.nodes[(id - 1) as usize].preds
+    }
+
+    /// Critical-path length in cycles (ASAP finish time of the last node):
+    /// the `T_min` of §3.
+    pub fn critical_path(&self) -> u64 {
+        let mut finish = vec![0_u64; self.nodes.len() + 1];
+        let mut best = 0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let start = n.preds.iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            finish[i + 1] = start + n.latency;
+            best = best.max(finish[i + 1]);
+        }
+        best
+    }
+
+    /// Sum of all node latencies (single-ALU sequential execution): the
+    /// `T_max` of §3.
+    pub fn sequential_cycles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.latency).sum()
+    }
+
+    /// Renders the graph in Graphviz DOT format.
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{} ({}cy)\"];",
+                i + 1,
+                n.op,
+                n.latency
+            );
+            for &p in &n.preds {
+                let _ = writeln!(out, "  n{} -> n{};", p, i + 1);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The weighted HW time annotation of §3:
+/// `T = T_min + (T_max − T_min) · k`, with `k ∈ [0, 1]`.
+///
+/// `k = 0` assumes the performance-optimal implementation (critical path),
+/// `k = 1` the cost-optimal one (single ALU).
+pub fn weighted_hw_cycles(t_min: f64, t_max: f64, k: f64) -> f64 {
+    let t_max = t_max.max(t_min);
+    t_min + (t_max - t_min) * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the diamond  a→b, a→c, {b,c}→d  with latencies 1,2,3,1.
+    fn diamond() -> Dfg {
+        let mut g = Dfg::new();
+        let a = g.push(Op::Add, 1, NO_NODE, NO_NODE);
+        let b = g.push(Op::Mul, 2, a, NO_NODE);
+        let c = g.push(Op::Div, 3, a, NO_NODE);
+        let _d = g.push(Op::Add, 1, b, c);
+        g
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        let g = diamond();
+        // a(1) → c(3) → d(1) = 5
+        assert_eq!(g.critical_path(), 5);
+        assert_eq!(g.sequential_cycles(), 7);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_times() {
+        let g = Dfg::new();
+        assert_eq!(g.critical_path(), 0);
+        assert_eq!(g.sequential_cycles(), 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn independent_ops_run_in_parallel() {
+        let mut g = Dfg::new();
+        for _ in 0..8 {
+            g.push(Op::Add, 1, NO_NODE, NO_NODE);
+        }
+        assert_eq!(g.critical_path(), 1);
+        assert_eq!(g.sequential_cycles(), 8);
+    }
+
+    #[test]
+    fn duplicate_operand_produces_single_edge() {
+        let mut g = Dfg::new();
+        let a = g.push(Op::Add, 1, NO_NODE, NO_NODE);
+        let b = g.push(Op::Mul, 1, a, a); // x * x
+        assert_eq!(g.preds(b), &[a]);
+    }
+
+    #[test]
+    fn weighted_interpolation_endpoints() {
+        assert_eq!(weighted_hw_cycles(5.0, 9.0, 0.0), 5.0);
+        assert_eq!(weighted_hw_cycles(5.0, 9.0, 1.0), 9.0);
+        assert_eq!(weighted_hw_cycles(5.0, 9.0, 0.5), 7.0);
+        // Degenerate: t_max below t_min is clamped.
+        assert_eq!(weighted_hw_cycles(5.0, 3.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let g = diamond();
+        let dot = g.to_dot("seg");
+        assert!(dot.contains("digraph \"seg\""));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.contains("n3 -> n4;"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Control-flow annotation macros.
+//!
+//! The paper annotates `if` statements and function calls through operator
+//! overloading and parser-inserted marks. Rust cannot overload control
+//! flow, so annotated code spells the marks with these macros; each charges
+//! the corresponding [`crate::Op`] cost before executing the ordinary Rust
+//! construct, leaving semantics untouched.
+
+/// An annotated `if`: charges one [`crate::Op::Branch`], then evaluates the
+/// condition (whose own comparisons charge their [`crate::Op::Cmp`] costs)
+/// and runs the chosen arm.
+///
+/// ```
+/// use scperf_core::{g_if, g_i32};
+///
+/// let a = g_i32(1);
+/// let mut hit = false;
+/// g_if!((a < 2) {
+///     hit = true;
+/// } else {
+///     unreachable!();
+/// });
+/// assert!(hit);
+/// ```
+#[macro_export]
+macro_rules! g_if {
+    (($cond:expr) $then:block else $else_:block) => {{
+        $crate::charge_branch();
+        if $cond $then else $else_
+    }};
+    (($cond:expr) $then:block) => {{
+        $crate::charge_branch();
+        if $cond $then
+    }};
+}
+
+/// An annotated `while` loop: charges one [`crate::Op::Branch`] per
+/// condition evaluation, including the final failing one.
+///
+/// ```
+/// use scperf_core::{g_while, g_i32};
+///
+/// let mut i = g_i32(0);
+/// let mut n = 0;
+/// g_while!((i < 3) {
+///     i = i + 1;
+///     n += 1;
+/// });
+/// assert_eq!(n, 3);
+/// ```
+#[macro_export]
+macro_rules! g_while {
+    (($cond:expr) $body:block) => {
+        loop {
+            $crate::charge_branch();
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            let cond = $cond;
+            if !cond {
+                break;
+            }
+            $body
+        }
+    };
+}
+
+/// An annotated counted loop: charges the canonical `for`-statement
+/// bookkeeping per iteration — the increment (`i = i + 1`:
+/// [`crate::Op::Assign`] + [`crate::Op::Add`]), the bound test
+/// ([`crate::Op::Cmp`]) and the branch ([`crate::Op::Branch`]) — exactly
+/// what a compiled `for (i = 0; i < n; i = i + 1)` executes each time
+/// around.
+///
+/// ```
+/// use scperf_core::g_for;
+///
+/// let mut sum = 0;
+/// g_for!(i in 0..4 => {
+///     sum += i;
+/// });
+/// assert_eq!(sum, 6);
+/// ```
+#[macro_export]
+macro_rules! g_for {
+    ($i:ident in $range:expr => $body:block) => {
+        for $i in $range {
+            $crate::charge_op($crate::Op::Assign);
+            $crate::charge_op($crate::Op::Add);
+            $crate::charge_op($crate::Op::Cmp);
+            $crate::charge_branch();
+            $body
+        }
+    };
+}
+
+/// An annotated function call: charges one [`crate::Op::Call`] for the
+/// call/return overhead plus one [`crate::Op::Assign`] per argument (the
+/// argument copy into the callee's frame), before invoking the function
+/// (whose body charges its own operations — the paper's Figure 3, where
+/// `func` contributes its internal 40.4 cycles on top of `t_fc`).
+///
+/// ```
+/// use scperf_core::{g_call, g_i32, G};
+///
+/// fn double(x: G<i32>) -> G<i32> {
+///     x + x
+/// }
+/// let y = g_call!(double(g_i32(21)));
+/// assert_eq!(y.get(), 42);
+/// ```
+#[macro_export]
+macro_rules! g_call {
+    ($f:ident ( $($arg:expr),* $(,)? )) => {{
+        $crate::charge_call();
+        $( $crate::charge_op($crate::Op::Assign); let _ = stringify!($arg); )*
+        $f($($arg),*)
+    }};
+    ($($f:ident)::+ ( $($arg:expr),* $(,)? )) => {{
+        $crate::charge_call();
+        $( $crate::charge_op($crate::Op::Assign); let _ = stringify!($arg); )*
+        $($f)::+($($arg),*)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::{CostTable, Op};
+    use crate::gval::G;
+    use crate::resource::ResourceKind;
+    use crate::tls::testutil::with_test_ctx;
+
+    #[test]
+    fn g_if_charges_branch_then_condition() {
+        let table = CostTable::from_pairs([(Op::Branch, 2.4), (Op::Cmp, 3.0)]);
+        let ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {
+            let a: G<i32> = G::raw(1);
+            g_if!((a < 0) {} else {});
+        });
+        assert_eq!(ctx.acc, 5.4); // the paper's t_if + t_< step
+    }
+
+    #[test]
+    fn g_while_charges_per_check() {
+        let table = CostTable::from_pairs([(Op::Branch, 1.0), (Op::Cmp, 1.0)]);
+        let ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {
+            let mut i: G<i32> = G::raw(0);
+            g_while!((i < 3) {
+                i = G::raw(i.get() + 1);
+            });
+        });
+        // 4 checks (3 passing + 1 failing), each Branch + Cmp.
+        assert_eq!(ctx.acc, 8.0);
+    }
+
+    #[test]
+    fn g_for_charges_loop_bookkeeping_per_iteration() {
+        let table = CostTable::from_pairs([
+            (Op::Branch, 2.0),
+            (Op::Assign, 1.0),
+            (Op::Add, 1.0),
+            (Op::Cmp, 1.0),
+        ]);
+        let ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {
+            g_for!(_i in 0..5 => {});
+        });
+        // 5 iterations x (assign + add + cmp + branch) = 5 x 5.
+        assert_eq!(ctx.acc, 25.0);
+    }
+
+    #[test]
+    fn g_call_charges_overhead_args_and_body() {
+        fn body(x: G<i32>, y: G<i32>) -> G<i32> {
+            x + y // one Add
+        }
+        let table = CostTable::from_pairs([
+            (Op::Call, 18.0),
+            (Op::Add, 1.0),
+            (Op::Assign, 2.0),
+        ]);
+        let ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {
+            let _ = g_call!(body(G::raw(1), G::raw(2)));
+        });
+        // call 18 + 2 args x 2 + body add 1.
+        assert_eq!(ctx.acc, 23.0);
+    }
+
+    #[test]
+    fn macros_work_without_context() {
+        let mut n = 0;
+        g_if!((true) { n += 1; });
+        g_while!((n < 2) { n += 1; });
+        g_for!(_i in 0..2 => { n += 1; });
+        assert_eq!(n, 4);
+    }
+}

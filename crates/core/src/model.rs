@@ -1,0 +1,390 @@
+//! [`PerfModel`]: the user-facing entry point tying the estimation library
+//! to a kernel [`Simulator`].
+//!
+//! The paper's library is "included within a usual simulation" without
+//! changing the source. The Rust equivalent: build your processes and
+//! channels through a `PerfModel` instead of directly through the
+//! `Simulator`, write the process bodies against the annotated [`crate::G`]
+//! types, and the same model runs untimed ([`Mode::EstimateOnly`]) or
+//! strict-timed ([`Mode::StrictTimed`]) — no other change.
+
+use std::sync::Arc;
+
+use scperf_kernel::{Fifo, ProcCtx, ProcId, Rendezvous, Signal, Simulator, Time};
+
+use crate::capture::{CaptureList, CapturePoint};
+use crate::cost::OpCounts;
+use crate::estimator::{end_segment, EstimatorShared, Mode, NODE_WAIT};
+use crate::hw::Dfg;
+use crate::report::Report;
+use crate::resource::{Platform, ResourceId};
+use crate::tls;
+
+/// The performance-analysis model: a [`Platform`], an architectural mapping
+/// and the estimation state, layered over a kernel [`Simulator`].
+///
+/// # Examples
+///
+/// ```
+/// use scperf_core::{g_i64, CostTable, Mode, PerfModel, Platform};
+/// use scperf_kernel::{Simulator, Time};
+///
+/// let mut platform = Platform::new();
+/// let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 50.0);
+///
+/// let mut sim = Simulator::new();
+/// let model = PerfModel::new(platform, Mode::StrictTimed);
+/// let ch = model.fifo::<i64>(&mut sim, "out", 4);
+/// let tx = ch.clone();
+/// model.spawn(&mut sim, "worker", cpu, move |ctx| {
+///     let mut acc = g_i64(0);
+///     for i in 0..10 {
+///         acc = acc + g_i64(i);
+///     }
+///     tx.write(ctx, acc.get());
+/// });
+/// let rx = ch;
+/// sim.spawn("sink", move |ctx| {
+///     assert_eq!(rx.read(ctx), 45);
+/// });
+/// sim.run()?;
+/// let report = model.report();
+/// assert!(report.processes[0].total_cycles > 0.0);
+/// # Ok::<(), scperf_kernel::SimError>(())
+/// ```
+pub struct PerfModel {
+    est: Arc<EstimatorShared>,
+}
+
+impl PerfModel {
+    /// Creates a model for `platform` operating in `mode`.
+    pub fn new(platform: Platform, mode: Mode) -> PerfModel {
+        PerfModel {
+            est: EstimatorShared::new(platform, mode),
+        }
+    }
+
+    /// The model's mode.
+    pub fn mode(&self) -> Mode {
+        self.est.inner.lock().mode
+    }
+
+    /// Record one `(time, cycles)` sample per segment execution (the
+    /// paper's "instantaneous estimated parameters"). Off by default.
+    pub fn record_instantaneous(&self) {
+        self.est.inner.lock().record_instantaneous = true;
+    }
+
+    /// Record the dataflow graph of each hardware segment's first
+    /// execution, for export to the HLS scheduler. Off by default.
+    pub fn record_dfgs(&self) {
+        self.est.inner.lock().record_dfgs = true;
+    }
+
+    /// Spawns a process mapped to `resource` (the architectural-mapping
+    /// annotation of §2). The body runs with the estimation context
+    /// installed, so `G`-typed operations are charged automatically and
+    /// channel accesses become segment boundaries.
+    pub fn spawn<F>(
+        &self,
+        sim: &mut Simulator,
+        name: impl Into<String>,
+        resource: ResourceId,
+        body: F,
+    ) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        let est = Arc::clone(&self.est);
+        let name = name.into();
+        let reg_name = name.clone();
+        let pid = sim.spawn(name, move |ctx| {
+            let (kind, costs, k, rtos_cycles) = {
+                let inner = est.inner.lock();
+                let r = inner.platform.resource(resource);
+                (r.kind, tls::dense_costs(&r.costs), r.k, r.rtos_cycles)
+            };
+            let record_dfgs = est.inner.lock().record_dfgs
+                && kind == crate::resource::ResourceKind::Parallel;
+            tls::install(tls::ThreadCtx {
+                est: Arc::clone(&est),
+                pid: ctx.pid().index(),
+                resource,
+                kind,
+                costs,
+                k,
+                rtos_cycles,
+                acc: 0.0,
+                counts: OpCounts::new(),
+                max_ready: 0.0,
+                dfg: record_dfgs.then(Dfg::default),
+                current_node: crate::estimator::NODE_ENTRY,
+            });
+            body(ctx);
+            // The process-exit statement is a node (§2): flush the final
+            // segment and back-annotate it.
+            end_segment(ctx, crate::estimator::NODE_EXIT);
+            tls::uninstall();
+        });
+        self.est.register_process(pid.index(), reg_name, resource);
+        pid
+    }
+
+    /// Creates an instrumented FIFO channel: both endpoints are segment
+    /// boundaries for analyzed processes.
+    pub fn fifo<T: Send + std::fmt::Debug + 'static>(
+        &self,
+        sim: &mut Simulator,
+        name: impl Into<String>,
+        capacity: usize,
+    ) -> PFifo<T> {
+        let name = name.into();
+        let read_node = self.est.register_node(format!("{name}.read"));
+        let write_node = self.est.register_node(format!("{name}.write"));
+        PFifo {
+            inner: sim.fifo(name, capacity),
+            read_node,
+            write_node,
+        }
+    }
+
+    /// Creates an instrumented signal.
+    pub fn signal<T>(&self, sim: &mut Simulator, name: impl Into<String>, initial: T) -> PSignal<T>
+    where
+        T: Send + Clone + PartialEq + std::fmt::Debug + 'static,
+    {
+        let name = name.into();
+        let write_node = self.est.register_node(format!("{name}.write"));
+        PSignal {
+            inner: sim.signal(name, initial),
+            write_node,
+        }
+    }
+
+    /// Creates an instrumented rendezvous channel.
+    pub fn rendezvous<T: Send + std::fmt::Debug + 'static>(
+        &self,
+        sim: &mut Simulator,
+        name: impl Into<String>,
+    ) -> PRendezvous<T> {
+        let name = name.into();
+        let read_node = self.est.register_node(format!("{name}.read"));
+        let write_node = self.est.register_node(format!("{name}.write"));
+        PRendezvous {
+            inner: sim.rendezvous(name),
+            read_node,
+            write_node,
+        }
+    }
+
+    /// Registers a capture point (§4). The returned handle is cheap to
+    /// clone into process bodies.
+    pub fn capture_point(&self, name: impl Into<String>) -> CapturePoint {
+        let mut inner = self.est.inner.lock();
+        inner.captures.push(CaptureList {
+            name: name.into(),
+            events: Vec::new(),
+        });
+        CapturePoint {
+            est: Arc::clone(&self.est),
+            index: inner.captures.len() - 1,
+        }
+    }
+
+    /// The recorded capture lists (clone; call after `sim.run()`).
+    pub fn captures(&self) -> Vec<CaptureList> {
+        self.est.inner.lock().captures.clone()
+    }
+
+    /// Builds the full performance report (call after `sim.run()`).
+    pub fn report(&self) -> Report {
+        Report::build(&self.est.inner.lock())
+    }
+
+    /// The label of a node id (used with
+    /// [`crate::ProcessReport::instantaneous_csv`]).
+    pub fn node_label(&self, node: u32) -> String {
+        let inner = self.est.inner.lock();
+        inner
+            .nodes
+            .get(node as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("node{node}"))
+    }
+
+    /// The recorded DFG of a hardware segment, identified by process name
+    /// and `(from, to)` node labels. Requires [`PerfModel::record_dfgs`].
+    pub fn dfg(&self, process: &str, from: &str, to: &str) -> Option<Dfg> {
+        let inner = self.est.inner.lock();
+        let from = inner.nodes.iter().position(|n| n == from)? as u32;
+        let to = inner.nodes.iter().position(|n| n == to)? as u32;
+        inner
+            .procs
+            .values()
+            .find(|p| p.name == process)?
+            .dfgs
+            .get(&(from, to))
+            .cloned()
+    }
+
+    /// All recorded DFGs of a process, keyed by `(from, to)` node labels.
+    pub fn dfgs(&self, process: &str) -> Vec<((String, String), Dfg)> {
+        let inner = self.est.inner.lock();
+        let Some(rec) = inner.procs.values().find(|p| p.name == process) else {
+            return Vec::new();
+        };
+        rec.dfgs
+            .iter()
+            .map(|(&(f, t), dfg)| {
+                (
+                    (
+                        inner.nodes[f as usize].clone(),
+                        inner.nodes[t as usize].clone(),
+                    ),
+                    dfg.clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for PerfModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.est.inner.lock();
+        f.debug_struct("PerfModel")
+            .field("mode", &inner.mode)
+            .field("resources", &inner.platform.len())
+            .field("processes", &inner.procs.len())
+            .finish()
+    }
+}
+
+/// A timed wait that is also a segment boundary (§2: timing `wait`
+/// statements are nodes). For analyzed processes the preceding segment is
+/// back-annotated first, then the explicit `delay` elapses; for
+/// un-instrumented processes this is a plain `ctx.wait(delay)`.
+pub fn timed_wait(ctx: &mut ProcCtx, delay: Time) {
+    end_segment(ctx, NODE_WAIT);
+    ctx.wait(delay);
+}
+
+/// Like [`timed_wait`] but with a distinct node label, so different wait
+/// sites appear as different nodes in the process graph.
+pub fn timed_wait_labeled(ctx: &mut ProcCtx, delay: Time, label: &str) {
+    let node = match tls::with(|t| Arc::clone(&t.est)) {
+        Some(est) => est.register_node(format!("wait:{label}")),
+        None => NODE_WAIT,
+    };
+    end_segment(ctx, node);
+    ctx.wait(delay);
+}
+
+/// An instrumented FIFO: a [`Fifo`] whose endpoints are segment boundaries.
+#[derive(Debug)]
+pub struct PFifo<T> {
+    inner: Fifo<T>,
+    read_node: u32,
+    write_node: u32,
+}
+
+impl<T> Clone for PFifo<T> {
+    fn clone(&self) -> PFifo<T> {
+        PFifo {
+            inner: self.inner.clone(),
+            read_node: self.read_node,
+            write_node: self.write_node,
+        }
+    }
+}
+
+impl<T: Send + std::fmt::Debug> PFifo<T> {
+    /// Blocking read; ends the current segment first.
+    pub fn read(&self, ctx: &mut ProcCtx) -> T {
+        end_segment(ctx, self.read_node);
+        self.inner.read(ctx)
+    }
+
+    /// Blocking write; ends the current segment first.
+    pub fn write(&self, ctx: &mut ProcCtx, value: T) {
+        end_segment(ctx, self.write_node);
+        self.inner.write(ctx, value);
+    }
+
+    /// The underlying kernel channel.
+    pub fn raw(&self) -> &Fifo<T> {
+        &self.inner
+    }
+}
+
+/// An instrumented signal. Writes are segment boundaries; reads are not
+/// (reading a signal is a plain expression, not a synchronization point
+/// under SR semantics, and never blocks).
+#[derive(Debug)]
+pub struct PSignal<T> {
+    inner: Signal<T>,
+    write_node: u32,
+}
+
+impl<T> Clone for PSignal<T> {
+    fn clone(&self) -> PSignal<T> {
+        PSignal {
+            inner: self.inner.clone(),
+            write_node: self.write_node,
+        }
+    }
+}
+
+impl<T: Send + Clone + PartialEq + std::fmt::Debug> PSignal<T> {
+    /// Reads the committed value (never blocks, not a segment boundary).
+    pub fn read(&self) -> T {
+        self.inner.read()
+    }
+
+    /// Writes the signal; ends the current segment first.
+    pub fn write(&self, ctx: &mut ProcCtx, value: T) {
+        end_segment(ctx, self.write_node);
+        self.inner.write(ctx, value);
+    }
+
+    /// The underlying kernel signal.
+    pub fn raw(&self) -> &Signal<T> {
+        &self.inner
+    }
+}
+
+/// An instrumented rendezvous channel.
+#[derive(Debug)]
+pub struct PRendezvous<T> {
+    inner: Rendezvous<T>,
+    read_node: u32,
+    write_node: u32,
+}
+
+impl<T> Clone for PRendezvous<T> {
+    fn clone(&self) -> PRendezvous<T> {
+        PRendezvous {
+            inner: self.inner.clone(),
+            read_node: self.read_node,
+            write_node: self.write_node,
+        }
+    }
+}
+
+impl<T: Send + std::fmt::Debug> PRendezvous<T> {
+    /// Blocking read; ends the current segment first.
+    pub fn read(&self, ctx: &mut ProcCtx) -> T {
+        end_segment(ctx, self.read_node);
+        self.inner.read(ctx)
+    }
+
+    /// Blocking write; ends the current segment first.
+    pub fn write(&self, ctx: &mut ProcCtx, value: T) {
+        end_segment(ctx, self.write_node);
+        self.inner.write(ctx, value);
+    }
+
+    /// The underlying kernel channel.
+    pub fn raw(&self) -> &Rendezvous<T> {
+        &self.inner
+    }
+}

@@ -1,0 +1,271 @@
+//! Rate analysis and fixed-priority schedulability (§6).
+//!
+//! "Based on the mean execution times and periods of the different
+//! processes, rate analysis and scheduling for soft, real-time embedded
+//! systems can be performed. The instantaneous execution times for the
+//! segments in the different processes can be used for performance
+//! verification and scheduling of hard, real-time systems."
+//!
+//! This module turns the library's outputs into exactly that: task sets
+//! built from per-process estimates ([`Task::from_report`]) or from
+//! capture-point event lists ([`Task::with_period_from_captures`]), the
+//! Liu–Layland utilization test and exact response-time analysis for
+//! rate-monotonic scheduling.
+
+use scperf_kernel::Time;
+
+use crate::capture::CaptureList;
+use crate::report::ProcessReport;
+
+/// A periodic task: an estimated worst-case execution time and a period
+/// (deadline = period).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Task name.
+    pub name: String,
+    /// Worst-case execution time per activation.
+    pub wcet: Time,
+    /// Activation period (= implicit deadline).
+    pub period: Time,
+}
+
+impl Task {
+    /// Builds a task from a process report: the WCET is the process's
+    /// maximum observed segment time (plus its per-segment RTOS share),
+    /// scaled by the number of segments per activation.
+    ///
+    /// `segments_per_activation` is how many of the process's segments make
+    /// up one activation (e.g. a stage that reads, computes and writes per
+    /// frame has 2 channel-bounded segments per frame).
+    pub fn from_report(
+        p: &ProcessReport,
+        period: Time,
+        segments_per_activation: u64,
+    ) -> Task {
+        let max_seg_cycles = p
+            .segments
+            .iter()
+            .map(|s| s.stats.max_cycles)
+            .fold(0.0_f64, f64::max);
+        let per_seg_rtos = if p.segment_executions == 0 {
+            Time::ZERO
+        } else {
+            p.rtos_time / p.segment_executions
+        };
+        let per_seg = if p.total_cycles > 0.0 {
+            Time::from_ps_f64(
+                max_seg_cycles / p.total_cycles * p.total_time.as_ps() as f64,
+            )
+        } else {
+            Time::ZERO
+        };
+        let wcet = (per_seg + per_seg_rtos) * segments_per_activation;
+        Task {
+            name: p.name.clone(),
+            wcet,
+            period,
+        }
+    }
+
+    /// Builds a task whose period is the mean inter-event interval of a
+    /// capture point (the §4 rate-analysis workflow).
+    ///
+    /// Returns `None` when the capture list holds fewer than two events.
+    pub fn with_period_from_captures(
+        name: impl Into<String>,
+        wcet: Time,
+        captures: &CaptureList,
+    ) -> Option<Task> {
+        Some(Task {
+            name: name.into(),
+            wcet,
+            period: captures.mean_interval()?,
+        })
+    }
+
+    /// This task's utilization `C/T`.
+    pub fn utilization(&self) -> f64 {
+        if self.period.is_zero() {
+            f64::INFINITY
+        } else {
+            self.wcet.as_ps() as f64 / self.period.as_ps() as f64
+        }
+    }
+}
+
+/// Total utilization of a task set.
+pub fn utilization(tasks: &[Task]) -> f64 {
+    tasks.iter().map(Task::utilization).sum()
+}
+
+/// The Liu–Layland rate-monotonic utilization bound `n(2^{1/n} − 1)`.
+pub fn rm_utilization_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * (2.0_f64.powf(1.0 / n) - 1.0)
+}
+
+/// The sufficient (not necessary) Liu–Layland test: `Some(true)` when the
+/// set is guaranteed schedulable under RM, `Some(false)` when utilization
+/// exceeds 1 (definitely unschedulable), `None` when inconclusive (between
+/// the bound and 1 — use [`response_times`]).
+pub fn rm_utilization_test(tasks: &[Task]) -> Option<bool> {
+    let u = utilization(tasks);
+    if u <= rm_utilization_bound(tasks.len()) {
+        Some(true)
+    } else if u > 1.0 {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Exact response-time analysis for fixed-priority preemptive scheduling
+/// with rate-monotonic priorities (shorter period = higher priority).
+///
+/// Returns, per task (in the input order), `Some(worst-case response
+/// time)` when the task meets its deadline and `None` when it provably
+/// does not.
+pub fn response_times(tasks: &[Task]) -> Vec<Option<Time>> {
+    // Priority order: by period ascending (ties: input order).
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by_key(|&i| (tasks[i].period, i));
+    let mut result = vec![None; tasks.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        let task = &tasks[i];
+        let higher = &order[..rank];
+        let mut r = task.wcet;
+        // Fixed-point iteration: R = C + Σ ceil(R/Tj)·Cj.
+        let mut converged = false;
+        for _ in 0..1000 {
+            let mut next = task.wcet;
+            for &j in higher {
+                let tj = tasks[j].period.as_ps();
+                let interference = r.as_ps().div_ceil(tj.max(1));
+                next += tasks[j].wcet * interference;
+            }
+            if next == r {
+                converged = true;
+                break;
+            }
+            if next > task.period {
+                break; // deadline miss
+            }
+            r = next;
+        }
+        if converged && r <= task.period {
+            result[i] = Some(r);
+        }
+    }
+    result
+}
+
+/// `true` when every task's exact worst-case response time meets its
+/// deadline under RM scheduling.
+pub fn rm_schedulable(tasks: &[Task]) -> bool {
+    response_times(tasks).iter().all(Option::is_some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str, wcet_us: u64, period_us: u64) -> Task {
+        Task {
+            name: name.into(),
+            wcet: Time::us(wcet_us),
+            period: Time::us(period_us),
+        }
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let ts = vec![task("a", 1, 4), task("b", 1, 2)];
+        assert!((utilization(&ts) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn liu_layland_bound_values() {
+        assert!((rm_utilization_bound(1) - 1.0).abs() < 1e-12);
+        assert!((rm_utilization_bound(2) - 0.8284).abs() < 1e-3);
+        assert!((rm_utilization_bound(3) - 0.7798).abs() < 1e-3);
+        // n → ∞: ln 2 ≈ 0.693.
+        assert!((rm_utilization_bound(10_000) - std::f64::consts::LN_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn utilization_test_classifies() {
+        assert_eq!(
+            rm_utilization_test(&[task("a", 1, 4), task("b", 1, 8)]),
+            Some(true)
+        );
+        assert_eq!(
+            rm_utilization_test(&[task("a", 3, 4), task("b", 3, 8)]),
+            Some(false)
+        );
+        // The classic inconclusive zone.
+        assert_eq!(
+            rm_utilization_test(&[task("a", 1, 2), task("b", 2, 5)]),
+            None
+        );
+    }
+
+    #[test]
+    fn response_times_textbook_example() {
+        // Buttazzo-style: T1(C=1,T=4), T2(C=2,T=6), T3(C=3,T=12).
+        let ts = vec![task("t1", 1, 4), task("t2", 2, 6), task("t3", 3, 12)];
+        let r = response_times(&ts);
+        assert_eq!(r[0], Some(Time::us(1)));
+        assert_eq!(r[1], Some(Time::us(3)));
+        // t3: R = 3 + ceil(R/4)·1 + ceil(R/6)·2 → 6, 7, 9, 10, 10 (fixed
+        // point): three T1 jobs and two T2 jobs fit before it completes.
+        assert_eq!(r[2], Some(Time::us(10)));
+        assert!(rm_schedulable(&ts));
+    }
+
+    #[test]
+    fn overloaded_low_priority_misses() {
+        let ts = vec![task("hi", 2, 4), task("lo", 3, 6)];
+        let r = response_times(&ts);
+        assert_eq!(r[0], Some(Time::us(2)));
+        assert_eq!(r[1], None, "lo: 3 + 2·ceil(R/4) never fits in 6");
+        assert!(!rm_schedulable(&ts));
+    }
+
+    #[test]
+    fn full_utilization_harmonic_set_is_schedulable() {
+        // Harmonic periods reach U = 1 and still schedule.
+        let ts = vec![task("a", 2, 4), task("b", 4, 8)];
+        assert!((utilization(&ts) - 1.0).abs() < 1e-12);
+        assert!(rm_schedulable(&ts));
+    }
+
+    #[test]
+    fn task_from_captures_uses_mean_interval() {
+        let captures = CaptureList {
+            name: "beat".into(),
+            events: (0..5)
+                .map(|i| crate::capture::CaptureEvent {
+                    at: Time::us(10 * i),
+                    value: None,
+                })
+                .collect(),
+        };
+        let t = Task::with_period_from_captures("p", Time::us(2), &captures).unwrap();
+        assert_eq!(t.period, Time::us(10));
+        assert!((t.utilization() - 0.2).abs() < 1e-12);
+        let empty = CaptureList {
+            name: "e".into(),
+            events: vec![],
+        };
+        assert!(Task::with_period_from_captures("p", Time::us(1), &empty).is_none());
+    }
+
+    #[test]
+    fn zero_period_is_infinite_utilization() {
+        let t = task("z", 1, 0);
+        assert!(t.utilization().is_infinite());
+    }
+}

@@ -1,0 +1,238 @@
+//! The platform model: resources and the architectural mapping.
+//!
+//! §2 of the paper distinguishes three kinds of resources a process can be
+//! mapped to during architectural mapping: **parallel** resources (HW),
+//! **sequential** resources (SW processors, where at most one process
+//! executes at a time and an RTOS arbitrates), and **environment**
+//! components (virtual components and testbenches, which are not analyzed).
+
+use scperf_kernel::Time;
+
+use crate::cost::CostTable;
+
+/// The three resource classes of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// A software processor: segments of all mapped processes execute
+    /// sequentially, arbitrated at segment boundaries, with RTOS overhead
+    /// charged at every channel access and timed wait.
+    Sequential,
+    /// A hardware resource: mapped processes run truly in parallel; segment
+    /// times interpolate between the critical-path (best) and single-ALU
+    /// (worst) implementation extremes via the `k` factor.
+    Parallel,
+    /// Environment / virtual component: executes in zero simulated time and
+    /// is excluded from performance analysis.
+    Environment,
+}
+
+/// Identifies a resource within one [`Platform`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub(crate) usize);
+
+impl ResourceId {
+    /// The resource's index in declaration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One platform resource.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Human-readable name ("cpu0", "asic", …).
+    pub name: String,
+    /// Sequential (SW), parallel (HW) or environment.
+    pub kind: ResourceKind,
+    /// Clock period.
+    pub clock: Time,
+    /// Per-operation cost table, in cycles of this resource's clock.
+    pub costs: CostTable,
+    /// HW time-area weight of §3: the annotated segment time is
+    /// `T_min + (T_max − T_min)·k`. `k = 0` favours performance (critical
+    /// path, maximal area), `k = 1` favours cost (single ALU). Ignored for
+    /// sequential resources.
+    pub k: f64,
+    /// RTOS overhead in cycles, charged at every channel access or timed
+    /// wait executed by a process mapped to this resource (sequential
+    /// resources only).
+    pub rtos_cycles: f64,
+}
+
+impl Resource {
+    /// Converts a fractional cycle count on this resource into simulated
+    /// time using the resource clock.
+    pub fn cycles_to_time(&self, cycles: f64) -> Time {
+        Time::from_ps_f64(cycles * self.clock.as_ps() as f64)
+    }
+}
+
+/// A complete platform: the set of resources processes can be mapped to.
+///
+/// # Examples
+///
+/// ```
+/// use scperf_core::{CostTable, Platform, ResourceKind};
+/// use scperf_kernel::Time;
+///
+/// let mut platform = Platform::new();
+/// let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 80.0);
+/// let hw = platform.parallel("fir_asic", Time::ns(10), CostTable::asic_hw(), 0.0);
+/// assert_eq!(platform.resource(cpu).name, "cpu0");
+/// assert_eq!(platform.resource(hw).kind, ResourceKind::Parallel);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Platform {
+    resources: Vec<Resource>,
+}
+
+impl Platform {
+    /// An empty platform.
+    pub fn new() -> Platform {
+        Platform::default()
+    }
+
+    /// Adds a sequential (SW) resource with the given clock period, cost
+    /// table and RTOS overhead (cycles per channel access / wait).
+    pub fn sequential(
+        &mut self,
+        name: impl Into<String>,
+        clock: Time,
+        costs: CostTable,
+        rtos_cycles: f64,
+    ) -> ResourceId {
+        self.push(Resource {
+            name: name.into(),
+            kind: ResourceKind::Sequential,
+            clock,
+            costs,
+            k: 0.0,
+            rtos_cycles,
+        })
+    }
+
+    /// Adds a parallel (HW) resource with the given clock period, cost
+    /// table and time-area weight `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `[0, 1]`.
+    pub fn parallel(
+        &mut self,
+        name: impl Into<String>,
+        clock: Time,
+        costs: CostTable,
+        k: f64,
+    ) -> ResourceId {
+        assert!((0.0..=1.0).contains(&k), "k must lie in [0, 1], got {k}");
+        self.push(Resource {
+            name: name.into(),
+            kind: ResourceKind::Parallel,
+            clock,
+            costs,
+            k,
+            rtos_cycles: 0.0,
+        })
+    }
+
+    /// Adds an environment resource (virtual components, testbenches):
+    /// processes mapped to it are simulated but not analyzed or timed.
+    pub fn environment(&mut self, name: impl Into<String>) -> ResourceId {
+        self.push(Resource {
+            name: name.into(),
+            kind: ResourceKind::Environment,
+            clock: Time::ns(1),
+            costs: CostTable::zero(),
+            k: 0.0,
+            rtos_cycles: 0.0,
+        })
+    }
+
+    fn push(&mut self, r: Resource) -> ResourceId {
+        assert!(
+            r.kind == ResourceKind::Environment || !r.clock.is_zero(),
+            "resource clock period must be non-zero"
+        );
+        self.resources.push(r);
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// The resource behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` belongs to another platform (index out of range).
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.0]
+    }
+
+    /// Mutable access (e.g. to sweep `k` between runs).
+    pub fn resource_mut(&mut self, id: ResourceId) -> &mut Resource {
+        &mut self.resources[id.0]
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// `true` when no resources have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Iterates over `(id, resource)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, &Resource)> {
+        self.resources
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ResourceId(i), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut p = Platform::new();
+        let a = p.sequential("cpu", Time::ns(10), CostTable::zero(), 0.0);
+        let b = p.parallel("hw", Time::ns(5), CostTable::zero(), 0.5);
+        let c = p.environment("tb");
+        assert_eq!((a.index(), b.index(), c.index()), (0, 1, 2));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.resource(c).kind, ResourceKind::Environment);
+    }
+
+    #[test]
+    fn cycles_to_time_uses_clock() {
+        let mut p = Platform::new();
+        let cpu = p.sequential("cpu", Time::ns(10), CostTable::zero(), 0.0);
+        let t = p.resource(cpu).cycles_to_time(75.8);
+        assert_eq!(t, Time::ps(758_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must lie in [0, 1]")]
+    fn k_out_of_range_rejected() {
+        let mut p = Platform::new();
+        let _ = p.parallel("hw", Time::ns(1), CostTable::zero(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period must be non-zero")]
+    fn zero_clock_rejected() {
+        let mut p = Platform::new();
+        let _ = p.sequential("cpu", Time::ZERO, CostTable::zero(), 0.0);
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut p = Platform::new();
+        p.sequential("a", Time::ns(1), CostTable::zero(), 0.0);
+        p.environment("b");
+        let names: Vec<&str> = p.iter().map(|(_, r)| r.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-process estimation context.
+//!
+//! The paper's library works by *implicitly* intercepting every overloaded
+//! operator executed by the running process. Because this kernel runs each
+//! simulated process on its own OS thread, a `thread_local!` slot is the
+//! exact analogue: [`crate::PerfModel::spawn`] installs the context before
+//! the process body runs, the annotated [`crate::G`] types charge into it,
+//! and the channel wrappers drain it at every segment boundary.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::cost::{CostTable, Op, OpCounts, OP_COUNT};
+use crate::estimator::EstimatorShared;
+use crate::hw::{Dfg, NO_NODE};
+use crate::resource::{ResourceId, ResourceKind};
+
+/// The running segment's accumulated state for one process thread.
+pub(crate) struct ThreadCtx {
+    pub(crate) est: Arc<EstimatorShared>,
+    pub(crate) pid: usize,
+    pub(crate) resource: ResourceId,
+    pub(crate) kind: ResourceKind,
+    /// Snapshot of the resource's cost table (dense, for fast access).
+    pub(crate) costs: [f64; OP_COUNT],
+    pub(crate) k: f64,
+    pub(crate) rtos_cycles: f64,
+    /// Sequential resources: accumulated fractional cycles.
+    /// Parallel resources: accumulated single-ALU cycles (T_max).
+    pub(crate) acc: f64,
+    pub(crate) counts: OpCounts,
+    /// Critical-path tracking for parallel resources.
+    pub(crate) max_ready: f64,
+    /// Optional full dataflow-graph recording (for HLS export).
+    pub(crate) dfg: Option<Dfg>,
+    /// Node at which the current segment started.
+    pub(crate) current_node: u32,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// Installs the context for this process thread.
+pub(crate) fn install(ctx: ThreadCtx) {
+    CTX.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        debug_assert!(slot.is_none(), "estimation context installed twice");
+        *slot = Some(ctx);
+    });
+}
+
+/// Removes the context (at process-body exit).
+pub(crate) fn uninstall() -> Option<ThreadCtx> {
+    CTX.with(|slot| slot.borrow_mut().take())
+}
+
+/// Runs `f` with the installed context, if any. Returns `None` when the
+/// calling thread is not an analyzed process (plain kernel processes,
+/// unit tests, environment code outside `PerfModel::spawn`).
+#[inline]
+pub(crate) fn with<R>(f: impl FnOnce(&mut ThreadCtx) -> R) -> Option<R> {
+    CTX.with(|slot| slot.borrow_mut().as_mut().map(f))
+}
+
+impl ThreadCtx {
+    /// Charges one operation with up to two data dependences and returns
+    /// the `(ready_time, dfg_node)` of the produced value.
+    ///
+    /// * Sequential resources accumulate the raw fractional cost (§3:
+    ///   "total time is obtained by adding the partial times").
+    /// * Parallel resources round each operation up to a whole number of
+    ///   clock cycles (§3: "a multiple of the clock period") and track both
+    ///   the dataflow critical path (`T_min`) and the single-ALU sum
+    ///   (`T_max`).
+    /// * Environment resources charge nothing.
+    #[inline]
+    pub(crate) fn charge(
+        &mut self,
+        op: Op,
+        a_ready: f64,
+        a_node: u32,
+        b_ready: f64,
+        b_node: u32,
+    ) -> (f64, u32) {
+        match self.kind {
+            ResourceKind::Environment => (0.0, NO_NODE),
+            ResourceKind::Sequential => {
+                self.acc += self.costs[op.index()];
+                self.counts.bump(op);
+                (0.0, NO_NODE)
+            }
+            ResourceKind::Parallel => {
+                let lat = self.costs[op.index()].ceil().max(0.0);
+                let start = a_ready.max(b_ready);
+                let ready = start + lat;
+                self.acc += lat;
+                if ready > self.max_ready {
+                    self.max_ready = ready;
+                }
+                self.counts.bump(op);
+                let node = match self.dfg.as_mut() {
+                    Some(dfg) => dfg.push(op, lat as u64, a_node, b_node),
+                    None => NO_NODE,
+                };
+                (ready, node)
+            }
+        }
+    }
+
+    /// Resets the per-segment accumulators, returning the finished
+    /// segment's `(acc, max_ready, counts, dfg)`.
+    pub(crate) fn take_segment(&mut self) -> (f64, f64, OpCounts, Option<Dfg>) {
+        let acc = std::mem::take(&mut self.acc);
+        let max_ready = std::mem::take(&mut self.max_ready);
+        let counts = std::mem::replace(&mut self.counts, OpCounts::new());
+        let dfg = match self.dfg.as_mut() {
+            Some(d) => {
+                let taken = std::mem::take(d);
+                Some(taken)
+            }
+            None => None,
+        };
+        (acc, max_ready, counts, dfg)
+    }
+}
+
+/// Charges a standalone operation with no tracked operands (used by the
+/// control-flow macros). Public because the `g_if!`/`g_while!`/`g_call!`
+/// macros expand to calls to it; not intended for direct use.
+#[doc(hidden)]
+#[inline]
+pub fn charge_op(op: Op) {
+    let _ = with(|c| c.charge(op, 0.0, NO_NODE, 0.0, NO_NODE));
+}
+
+/// Charges a conditional-branch evaluation (`if` / loop condition).
+#[inline]
+pub fn charge_branch() {
+    charge_op(Op::Branch);
+}
+
+/// Charges a function-call overhead.
+#[inline]
+pub fn charge_call() {
+    charge_op(Op::Call);
+}
+
+/// Builds a snapshot of the table as a dense array.
+pub(crate) fn dense_costs(table: &CostTable) -> [f64; OP_COUNT] {
+    *table.as_dense()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Helpers letting unit tests exercise charging without a simulator.
+    use super::*;
+    use crate::resource::Platform;
+    use scperf_kernel::Time;
+
+    /// Installs a context bound to a throwaway estimator and runs `f`,
+    /// returning the context state afterwards.
+    pub(crate) fn with_test_ctx(
+        kind: ResourceKind,
+        table: CostTable,
+        record_dfg: bool,
+        f: impl FnOnce(),
+    ) -> ThreadCtx {
+        let mut platform = Platform::new();
+        let resource = match kind {
+            ResourceKind::Sequential => {
+                platform.sequential("cpu", Time::ns(10), table.clone(), 0.0)
+            }
+            ResourceKind::Parallel => platform.parallel("hw", Time::ns(10), table.clone(), 0.0),
+            ResourceKind::Environment => platform.environment("env"),
+        };
+        let est = EstimatorShared::new(platform, crate::Mode::EstimateOnly);
+        install(ThreadCtx {
+            est,
+            pid: 0,
+            resource,
+            kind,
+            costs: dense_costs(&table),
+            k: 0.0,
+            rtos_cycles: 0.0,
+            acc: 0.0,
+            counts: OpCounts::new(),
+            max_ready: 0.0,
+            dfg: record_dfg.then(Dfg::default),
+            current_node: 0,
+        });
+        f();
+        uninstall().expect("context present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::with_test_ctx;
+    use super::*;
+
+    #[test]
+    fn sequential_charging_accumulates_raw_costs() {
+        let table = CostTable::from_pairs([(Op::Add, 1.5), (Op::Mul, 3.0)]);
+        let ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {
+            charge_op(Op::Add);
+            charge_op(Op::Add);
+            charge_op(Op::Mul);
+        });
+        assert_eq!(ctx.acc, 6.0);
+        assert_eq!(ctx.counts.get(Op::Add), 2);
+        assert_eq!(ctx.max_ready, 0.0);
+    }
+
+    #[test]
+    fn parallel_charging_rounds_to_cycles() {
+        let table = CostTable::from_pairs([(Op::Branch, 2.4)]);
+        let ctx = with_test_ctx(ResourceKind::Parallel, table, false, || {
+            charge_branch();
+        });
+        assert_eq!(ctx.acc, 3.0); // ceil(2.4)
+        assert_eq!(ctx.max_ready, 3.0);
+    }
+
+    #[test]
+    fn environment_charges_nothing() {
+        let table = CostTable::risc_sw();
+        let ctx = with_test_ctx(ResourceKind::Environment, table, false, || {
+            charge_op(Op::Div);
+        });
+        assert_eq!(ctx.acc, 0.0);
+        assert_eq!(ctx.counts.total(), 0);
+    }
+
+    #[test]
+    fn charging_without_context_is_a_noop() {
+        // Must not panic on an un-instrumented thread.
+        charge_op(Op::Add);
+        charge_branch();
+        charge_call();
+    }
+
+    #[test]
+    fn take_segment_resets_state() {
+        let table = CostTable::from_pairs([(Op::Add, 2.0)]);
+        let mut ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {
+            charge_op(Op::Add);
+        });
+        let (acc, _, counts, _) = ctx.take_segment();
+        assert_eq!(acc, 2.0);
+        assert_eq!(counts.get(Op::Add), 1);
+        assert_eq!(ctx.acc, 0.0);
+        assert_eq!(ctx.counts.total(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Design-space exploration over the time/area trade-off (Figure 4).
+//!
+//! The paper's Figure 4 sketches the implementation-solution space of a HW
+//! segment: area versus execution time, bounded by the critical-path point
+//! (fastest, largest) and the single-ALU point (slowest, smallest). This
+//! module regenerates that curve by list-scheduling the segment's DFG under
+//! a sweep of ALU budgets.
+
+use scperf_core::Dfg;
+
+use crate::fu::{Allocation, FuKind};
+use crate::sched::{schedule_asap, schedule_list, schedule_sequential};
+
+/// One point of the time/area trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// ALU budget that produced this point (`0` marks the fully sequential
+    /// single-ALU reference).
+    pub alus: u32,
+    /// Schedule length in cycles.
+    pub cycles: u64,
+    /// Functional-unit area of the schedule.
+    pub area: f64,
+}
+
+/// Sweeps the ALU budget from 1 towards the DFG's peak parallelism
+/// (doubling each step so wide graphs stay manageable) and returns the
+/// resulting (time, area) points, bracketed by the paper's two extremes:
+/// the single-ALU sequential schedule first and the critical-path (ASAP)
+/// schedule last.
+pub fn tradeoff_curve(dfg: &Dfg) -> Vec<TradeoffPoint> {
+    let mut points = Vec::new();
+    // Worst case: everything on one ALU-equivalent, fully sequential.
+    let seq = schedule_sequential(dfg);
+    points.push(TradeoffPoint {
+        alus: 0,
+        cycles: seq.makespan,
+        area: seq.area(&Allocation::single()),
+    });
+    let asap = schedule_asap(dfg);
+    let max_alus = asap.fu_used[FuKind::Alu.index()].max(1);
+    let mut alus = 1;
+    loop {
+        let alloc = Allocation::unlimited().with(FuKind::Alu, alus);
+        let s = schedule_list(dfg, &alloc);
+        points.push(TradeoffPoint {
+            alus,
+            cycles: s.makespan,
+            area: s.area(&alloc),
+        });
+        if alus >= max_alus {
+            break;
+        }
+        alus = (alus * 2).min(max_alus);
+    }
+    // Best case: critical path.
+    points.push(TradeoffPoint {
+        alus: max_alus,
+        cycles: asap.makespan,
+        area: asap.area(&Allocation::unlimited()),
+    });
+    points
+}
+
+/// Keeps only Pareto-optimal points (no other point is both faster and
+/// smaller).
+pub fn pareto(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let mut result: Vec<TradeoffPoint> = Vec::new();
+    for &p in points {
+        if points
+            .iter()
+            .any(|q| (q.cycles < p.cycles && q.area <= p.area) || (q.cycles <= p.cycles && q.area < p.area))
+        {
+            continue;
+        }
+        if !result
+            .iter()
+            .any(|r| r.cycles == p.cycles && r.area == p.area)
+        {
+            result.push(p);
+        }
+    }
+    result.sort_by(|a, b| a.cycles.cmp(&b.cycles).then(a.area.total_cmp(&b.area)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scperf_core::{Op, NO_NODE};
+
+    /// Eight independent adds: maximal parallelism 8.
+    fn wide() -> Dfg {
+        let mut g = Dfg::new();
+        for _ in 0..8 {
+            g.push(Op::Add, 1, NO_NODE, NO_NODE);
+        }
+        g
+    }
+
+    #[test]
+    fn curve_brackets_the_extremes() {
+        let g = wide();
+        let pts = tradeoff_curve(&g);
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        assert_eq!(first.cycles, g.sequential_cycles()); // WC time
+        assert_eq!(last.cycles, g.critical_path()); // BC time
+        assert!(first.area <= last.area);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_alus() {
+        let pts = tradeoff_curve(&wide());
+        for w in pts.windows(2) {
+            assert!(w[1].cycles <= w[0].cycles, "more ALUs never slow down");
+        }
+    }
+
+    #[test]
+    fn pareto_filters_dominated_points() {
+        let pts = vec![
+            TradeoffPoint {
+                alus: 1,
+                cycles: 8,
+                area: 1.0,
+            },
+            TradeoffPoint {
+                alus: 2,
+                cycles: 4,
+                area: 2.0,
+            },
+            TradeoffPoint {
+                alus: 3,
+                cycles: 4,
+                area: 3.0,
+            }, // dominated by the 2-ALU point
+        ];
+        let p = pareto(&pts);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|pt| pt.alus != 3));
+    }
+
+    #[test]
+    fn single_op_graph_has_flat_curve() {
+        let mut g = Dfg::new();
+        g.push(Op::Mul, 2, NO_NODE, NO_NODE);
+        let pts = tradeoff_curve(&g);
+        assert!(pts.iter().all(|p| p.cycles == 2));
+    }
+}

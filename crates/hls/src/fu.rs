@@ -1,0 +1,159 @@
+//! Functional-unit classes and the area model.
+
+use scperf_core::Op;
+
+/// The functional-unit classes operations are bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuKind {
+    /// Integer ALU: add/sub, compares, logic, shifts, moves, muxes.
+    Alu,
+    /// Integer multiplier.
+    Mul,
+    /// Integer divider.
+    Div,
+    /// Memory port (array accesses).
+    Mem,
+    /// Floating-point unit.
+    Fpu,
+}
+
+/// Number of functional-unit classes.
+pub const FU_KINDS: usize = 5;
+
+/// All functional-unit classes.
+pub const ALL_FU_KINDS: [FuKind; FU_KINDS] =
+    [FuKind::Alu, FuKind::Mul, FuKind::Div, FuKind::Mem, FuKind::Fpu];
+
+impl FuKind {
+    /// Dense index of this kind.
+    pub const fn index(self) -> usize {
+        match self {
+            FuKind::Alu => 0,
+            FuKind::Mul => 1,
+            FuKind::Div => 2,
+            FuKind::Mem => 3,
+            FuKind::Fpu => 4,
+        }
+    }
+
+    /// The unit an operation class executes on.
+    pub const fn for_op(op: Op) -> FuKind {
+        match op {
+            Op::Mul => FuKind::Mul,
+            Op::Div => FuKind::Div,
+            Op::Index => FuKind::Mem,
+            Op::FAdd | Op::FMul | Op::FDiv => FuKind::Fpu,
+            Op::Assign
+            | Op::Add
+            | Op::Cmp
+            | Op::Logic
+            | Op::Shift
+            | Op::Branch
+            | Op::Call => FuKind::Alu,
+        }
+    }
+
+    /// Relative silicon area of one unit of this kind (ALU = 1).
+    pub const fn area(self) -> f64 {
+        match self {
+            FuKind::Alu => 1.0,
+            FuKind::Mul => 4.0,
+            FuKind::Div => 12.0,
+            FuKind::Mem => 2.0,
+            FuKind::Fpu => 9.0,
+        }
+    }
+}
+
+/// A per-kind functional-unit allocation (the resource constraint of
+/// resource-constrained scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    counts: [u32; FU_KINDS],
+}
+
+impl Allocation {
+    /// `n` units of every kind.
+    pub const fn uniform(n: u32) -> Allocation {
+        Allocation {
+            counts: [n; FU_KINDS],
+        }
+    }
+
+    /// The paper's worst-case reference: one unit of each kind, fully
+    /// serializing same-kind operations (and, combined with a total-order
+    /// schedule, all operations — see
+    /// [`crate::schedule_sequential`]).
+    pub const fn single() -> Allocation {
+        Allocation::uniform(1)
+    }
+
+    /// Effectively unbounded units (time-constrained scheduling / ASAP).
+    pub const fn unlimited() -> Allocation {
+        Allocation::uniform(u32::MAX)
+    }
+
+    /// Sets the count for one kind.
+    pub fn with(mut self, kind: FuKind, n: u32) -> Allocation {
+        self.counts[kind.index()] = n;
+        self
+    }
+
+    /// The count for one kind.
+    pub fn count(&self, kind: FuKind) -> u32 {
+        self.counts[kind.index()]
+    }
+
+    /// Total area of this allocation, counting only kinds actually used by
+    /// at least one operation in `used` (unused allocated units cost
+    /// nothing — synthesis would not instantiate them).
+    pub fn area(&self, used: &[u32; FU_KINDS]) -> f64 {
+        ALL_FU_KINDS
+            .iter()
+            .map(|k| {
+                let n = used[k.index()].min(self.counts[k.index()]);
+                n as f64 * k.area()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_binding_is_total() {
+        for op in scperf_core::ALL_OPS {
+            let _ = FuKind::for_op(op); // must not panic; exhaustive match
+        }
+        assert_eq!(FuKind::for_op(Op::Add), FuKind::Alu);
+        assert_eq!(FuKind::for_op(Op::Mul), FuKind::Mul);
+        assert_eq!(FuKind::for_op(Op::Index), FuKind::Mem);
+        assert_eq!(FuKind::for_op(Op::FDiv), FuKind::Fpu);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, k) in ALL_FU_KINDS.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn allocation_accessors() {
+        let a = Allocation::uniform(2).with(FuKind::Div, 0);
+        assert_eq!(a.count(FuKind::Alu), 2);
+        assert_eq!(a.count(FuKind::Div), 0);
+    }
+
+    #[test]
+    fn area_counts_only_used_units() {
+        let a = Allocation::uniform(4);
+        let mut used = [0_u32; FU_KINDS];
+        used[FuKind::Alu.index()] = 2; // only 2 ALUs ever busy at once
+        assert_eq!(a.area(&used), 2.0);
+        used[FuKind::Mul.index()] = 8; // more used than allocated: clamp
+        assert_eq!(a.area(&used), 2.0 + 4.0 * 4.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Textual Gantt rendering of schedules — a quick way to inspect what the
+//! list scheduler did with a segment's DFG.
+
+use scperf_core::Dfg;
+
+use crate::fu::FuKind;
+use crate::sched::Schedule;
+
+/// Renders `schedule` as a per-operation text Gantt chart.
+///
+/// One row per operation (creation order), one column per cycle; `#` marks
+/// occupancy. Rendering is capped at `max_cycles` columns and `max_rows`
+/// rows to stay readable for large graphs (a truncation note is appended
+/// when the cap bites).
+pub fn render(dfg: &Dfg, schedule: &Schedule, max_rows: usize, max_cycles: u64) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let span = schedule.makespan.min(max_cycles);
+    let _ = writeln!(
+        out,
+        "makespan {} cycles ({} operations){}",
+        schedule.makespan,
+        dfg.len(),
+        if schedule.makespan > max_cycles || dfg.len() > max_rows {
+            "  [truncated view]"
+        } else {
+            ""
+        }
+    );
+    // Cycle ruler, every 5 cycles.
+    let _ = write!(out, "{:>16} |", "cycle");
+    for c in 0..span {
+        let _ = write!(out, "{}", if c % 5 == 0 { '\'' } else { ' ' });
+    }
+    out.push('\n');
+    for (i, node) in dfg.nodes().iter().enumerate().take(max_rows) {
+        let start = schedule.start[i];
+        let _ = write!(
+            out,
+            "{:>3} {:<5} {:<6} |",
+            i + 1,
+            node.op.to_string(),
+            format!("{:?}", FuKind::for_op(node.op)).to_lowercase()
+        );
+        for c in 0..span {
+            let busy = c >= start && c < start + node.latency;
+            out.push(if busy { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    if dfg.len() > max_rows {
+        let _ = writeln!(out, "... {} more operations", dfg.len() - max_rows);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{schedule_asap, schedule_sequential};
+    use scperf_core::{Op, NO_NODE};
+
+    fn small_dfg() -> Dfg {
+        let mut g = Dfg::new();
+        let a = g.push(Op::Add, 1, NO_NODE, NO_NODE);
+        let b = g.push(Op::Mul, 2, a, NO_NODE);
+        g.push(Op::Add, 1, b, NO_NODE);
+        g
+    }
+
+    #[test]
+    fn gantt_shows_occupancy_in_order() {
+        let g = small_dfg();
+        let s = schedule_asap(&g);
+        let text = render(&g, &s, 10, 32);
+        assert!(text.contains("makespan 4 cycles"));
+        // Row 1: add at cycle 0.
+        assert!(text.contains("  1 +"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Row for the multiply occupies cycles 1-2: ".##."
+        let mul_line = lines.iter().find(|l| l.contains("2 *")).unwrap();
+        assert!(mul_line.ends_with(".##."), "got {mul_line}");
+    }
+
+    #[test]
+    fn truncation_is_flagged() {
+        let mut g = Dfg::new();
+        for _ in 0..20 {
+            g.push(Op::Add, 1, NO_NODE, NO_NODE);
+        }
+        let s = schedule_sequential(&g);
+        let text = render(&g, &s, 5, 8);
+        assert!(text.contains("[truncated view]"));
+        assert!(text.contains("... 15 more operations"));
+    }
+}

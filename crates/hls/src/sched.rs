@@ -1,0 +1,397 @@
+//! DFG scheduling: ASAP, ALAP, resource-constrained list scheduling and
+//! the fully sequential (single-ALU) schedule.
+
+use scperf_core::Dfg;
+
+use crate::fu::{Allocation, FuKind, FU_KINDS};
+
+/// A computed schedule of one dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Start cycle of each node (creation order).
+    pub start: Vec<u64>,
+    /// Total cycles (finish time of the last operation).
+    pub makespan: u64,
+    /// Maximum number of simultaneously busy units, per FU kind.
+    pub fu_used: [u32; FU_KINDS],
+}
+
+impl Schedule {
+    /// Total area of the functional units this schedule actually needs.
+    pub fn area(&self, alloc: &Allocation) -> f64 {
+        alloc.area(&self.fu_used)
+    }
+
+    /// Checks that `self` respects data dependences and (optionally) a
+    /// resource allocation. Used by tests and property checks.
+    pub fn validate(&self, dfg: &Dfg, alloc: Option<&Allocation>) -> Result<(), String> {
+        let nodes = dfg.nodes();
+        if self.start.len() != nodes.len() {
+            return Err("schedule length mismatch".into());
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            for &p in &n.preds {
+                let pi = (p - 1) as usize;
+                let p_finish = self.start[pi] + nodes[pi].latency;
+                if self.start[i] < p_finish {
+                    return Err(format!(
+                        "node {} starts at {} before predecessor {} finishes at {}",
+                        i + 1,
+                        self.start[i],
+                        p,
+                        p_finish
+                    ));
+                }
+            }
+        }
+        if let Some(alloc) = alloc {
+            // Check per-cycle FU occupancy.
+            for kind in crate::fu::ALL_FU_KINDS {
+                let limit = alloc.count(kind) as usize;
+                let mut intervals: Vec<(u64, u64)> = nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| FuKind::for_op(n.op) == kind && n.latency > 0)
+                    .map(|(i, n)| (self.start[i], self.start[i] + n.latency))
+                    .collect();
+                intervals.sort_unstable();
+                // Sweep: at any instant, overlapping intervals <= limit.
+                let mut events: Vec<(u64, i64)> = Vec::new();
+                for (s, e) in intervals {
+                    events.push((s, 1));
+                    events.push((e, -1));
+                }
+                events.sort_unstable_by_key(|&(t, d)| (t, d));
+                let mut level = 0_i64;
+                for (_, d) in events {
+                    level += d;
+                    if level > limit as i64 {
+                        return Err(format!("{kind:?} over-subscribed: {level} > {limit}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// ASAP schedule (unlimited resources): every operation starts the cycle
+/// all its operands are ready. Its makespan is the critical path — the
+/// paper's HW best case and the output of *time-constrained* behavioral
+/// synthesis with no resource limits.
+pub fn schedule_asap(dfg: &Dfg) -> Schedule {
+    let nodes = dfg.nodes();
+    let mut start = vec![0_u64; nodes.len()];
+    let mut finish = vec![0_u64; nodes.len() + 1];
+    let mut makespan = 0;
+    for (i, n) in nodes.iter().enumerate() {
+        let s = n.preds.iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+        start[i] = s;
+        finish[i + 1] = s + n.latency;
+        makespan = makespan.max(finish[i + 1]);
+    }
+    Schedule {
+        fu_used: peak_usage(dfg, &start),
+        start,
+        makespan,
+    }
+}
+
+/// ALAP schedule for deadline `deadline` (must be ≥ the critical path):
+/// every operation starts as late as its consumers allow.
+///
+/// # Panics
+///
+/// Panics if `deadline` is smaller than the critical path.
+pub fn schedule_alap(dfg: &Dfg, deadline: u64) -> Schedule {
+    assert!(
+        deadline >= dfg.critical_path(),
+        "deadline {deadline} below critical path {}",
+        dfg.critical_path()
+    );
+    let nodes = dfg.nodes();
+    let n = nodes.len();
+    // latest finish for each node, computed in reverse topological order.
+    let mut latest_finish = vec![deadline; n];
+    for (i, node) in nodes.iter().enumerate().rev() {
+        let start_i = latest_finish[i] - node.latency;
+        for &p in &node.preds {
+            let pi = (p - 1) as usize;
+            latest_finish[pi] = latest_finish[pi].min(start_i);
+        }
+    }
+    let start: Vec<u64> = latest_finish
+        .iter()
+        .zip(nodes)
+        .map(|(&f, n)| f - n.latency)
+        .collect();
+    Schedule {
+        fu_used: peak_usage(dfg, &start),
+        start,
+        makespan: deadline,
+    }
+}
+
+/// Resource-constrained list scheduling: ready operations are issued in
+/// priority order (longest path to the sink first) whenever a unit of
+/// their kind is free. This is the classic core of behavioral-synthesis
+/// scheduling under an area budget.
+pub fn schedule_list(dfg: &Dfg, alloc: &Allocation) -> Schedule {
+    let nodes = dfg.nodes();
+    let n = nodes.len();
+    let priority = path_to_sink(dfg);
+    let mut remaining_preds: Vec<usize> = nodes.iter().map(|nd| nd.preds.len()).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, nd) in nodes.iter().enumerate() {
+        for &p in &nd.preds {
+            succs[(p - 1) as usize].push(i);
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+    let mut start = vec![u64::MAX; n];
+    let mut finish_events: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    let mut busy = [0_u32; FU_KINDS];
+    let mut now = 0_u64;
+    let mut scheduled = 0_usize;
+    let mut makespan = 0_u64;
+    while scheduled < n {
+        // Retire operations finishing at `now`.
+        while let Some(&std::cmp::Reverse((t, i))) = finish_events.peek() {
+            if t > now {
+                break;
+            }
+            finish_events.pop();
+            busy[FuKind::for_op(nodes[i].op).index()] -= 1;
+            for &s in &succs[i] {
+                remaining_preds[s] -= 1;
+                if remaining_preds[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        // Issue ready ops in priority order while units are free.
+        ready.sort_unstable_by_key(|&i| (std::cmp::Reverse(priority[i]), i));
+        let mut still_ready = Vec::new();
+        for &i in &ready {
+            let kind = FuKind::for_op(nodes[i].op);
+            if busy[kind.index()] < alloc.count(kind) {
+                busy[kind.index()] += 1;
+                start[i] = now;
+                let f = now + nodes[i].latency;
+                makespan = makespan.max(f);
+                finish_events.push(std::cmp::Reverse((f, i)));
+                scheduled += 1;
+            } else {
+                still_ready.push(i);
+            }
+        }
+        ready = still_ready;
+        // Advance to the next finish event.
+        if scheduled < n {
+            let Some(&std::cmp::Reverse((t, _))) = finish_events.peek() else {
+                unreachable!("ready ops exist but nothing is in flight");
+            };
+            now = t;
+        }
+    }
+    Schedule {
+        fu_used: peak_usage(dfg, &start),
+        start,
+        makespan,
+    }
+}
+
+/// The paper's HW worst case: all operations strictly one after the other
+/// ("only one ALU is used and all the operations are executed
+/// sequentially"). Makespan = Σ latencies.
+pub fn schedule_sequential(dfg: &Dfg) -> Schedule {
+    let nodes = dfg.nodes();
+    // Execute in topological (creation) order, one at a time.
+    let mut start = vec![0_u64; nodes.len()];
+    let mut now = 0_u64;
+    for (i, n) in nodes.iter().enumerate() {
+        start[i] = now;
+        now += n.latency;
+    }
+    Schedule {
+        fu_used: peak_usage(dfg, &start),
+        start,
+        makespan: now,
+    }
+}
+
+/// Continuous-time (chained) critical path: the longest dependence path
+/// through the graph using the *raw fractional* operation delays from
+/// `costs`, in cycles. This models a synthesis tool with operation
+/// chaining under a time constraint — the Tables 2/4 best-case reference.
+pub fn chained_critical_path(dfg: &Dfg, costs: &scperf_core::CostTable) -> f64 {
+    let nodes = dfg.nodes();
+    let mut finish = vec![0.0_f64; nodes.len() + 1];
+    let mut best = 0.0_f64;
+    for (i, n) in nodes.iter().enumerate() {
+        let start = n
+            .preds
+            .iter()
+            .map(|&p| finish[p as usize])
+            .fold(0.0_f64, f64::max);
+        finish[i + 1] = start + costs[n.op];
+        best = best.max(finish[i + 1]);
+    }
+    best
+}
+
+/// Continuous-time (chained) fully sequential execution: the sum of the
+/// raw fractional operation delays — a single chained ALU datapath, the
+/// Tables 2/4 worst-case (resource-constrained) reference.
+pub fn chained_sequential(dfg: &Dfg, costs: &scperf_core::CostTable) -> f64 {
+    dfg.nodes().iter().map(|n| costs[n.op]).sum()
+}
+
+/// Longest path (in cycles) from each node to any sink, inclusive of the
+/// node's own latency — the list-scheduling priority function.
+fn path_to_sink(dfg: &Dfg) -> Vec<u64> {
+    let nodes = dfg.nodes();
+    let n = nodes.len();
+    let mut dist = vec![0_u64; n];
+    for i in (0..n).rev() {
+        dist[i] += nodes[i].latency;
+        for &p in &nodes[i].preds {
+            let pi = (p - 1) as usize;
+            dist[pi] = dist[pi].max(dist[i]);
+        }
+    }
+    dist
+}
+
+/// Peak concurrent usage per FU kind for a given start-time vector.
+fn peak_usage(dfg: &Dfg, start: &[u64]) -> [u32; FU_KINDS] {
+    let nodes = dfg.nodes();
+    let mut used = [0_u32; FU_KINDS];
+    for kind in crate::fu::ALL_FU_KINDS {
+        let mut events: Vec<(u64, i32)> = Vec::new();
+        for (i, n) in nodes.iter().enumerate() {
+            if FuKind::for_op(n.op) == kind && n.latency > 0 {
+                events.push((start[i], 1));
+                events.push((start[i] + n.latency, -1));
+            }
+        }
+        events.sort_unstable_by_key(|&(t, d)| (t, d));
+        let mut level = 0_i32;
+        let mut peak = 0_i32;
+        for (_, d) in events {
+            level += d;
+            peak = peak.max(level);
+        }
+        used[kind.index()] = peak as u32;
+    }
+    used
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scperf_core::{Op, NO_NODE};
+
+    /// add(1) feeding two muls(2 each) feeding an add(1).
+    fn diamond() -> Dfg {
+        let mut g = Dfg::new();
+        let a = g.push(Op::Add, 1, NO_NODE, NO_NODE);
+        let b = g.push(Op::Mul, 2, a, NO_NODE);
+        let c = g.push(Op::Mul, 2, a, NO_NODE);
+        g.push(Op::Add, 1, b, c);
+        g
+    }
+
+    #[test]
+    fn asap_matches_critical_path() {
+        let g = diamond();
+        let s = schedule_asap(&g);
+        assert_eq!(s.makespan, g.critical_path());
+        assert_eq!(s.makespan, 4);
+        s.validate(&g, None).unwrap();
+        // The two muls run concurrently: 2 multipliers needed.
+        assert_eq!(s.fu_used[FuKind::Mul.index()], 2);
+    }
+
+    #[test]
+    fn alap_pushes_ops_late() {
+        let g = diamond();
+        let s = schedule_alap(&g, 6);
+        assert_eq!(s.makespan, 6);
+        s.validate(&g, None).unwrap();
+        // Final add starts at 5; muls finish by then.
+        assert_eq!(s.start[3], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "below critical path")]
+    fn alap_rejects_tight_deadline() {
+        let _ = schedule_alap(&diamond(), 3);
+    }
+
+    #[test]
+    fn list_schedule_respects_single_multiplier() {
+        let g = diamond();
+        let alloc = Allocation::unlimited().with(FuKind::Mul, 1);
+        let s = schedule_list(&g, &alloc);
+        s.validate(&g, Some(&alloc)).unwrap();
+        // Muls serialize: 1 + 2 + 2 + 1 = 6.
+        assert_eq!(s.makespan, 6);
+        assert_eq!(s.fu_used[FuKind::Mul.index()], 1);
+    }
+
+    #[test]
+    fn list_schedule_with_unlimited_resources_is_asap() {
+        let g = diamond();
+        let s = schedule_list(&g, &Allocation::unlimited());
+        assert_eq!(s.makespan, schedule_asap(&g).makespan);
+    }
+
+    #[test]
+    fn sequential_is_sum_of_latencies() {
+        let g = diamond();
+        let s = schedule_sequential(&g);
+        assert_eq!(s.makespan, g.sequential_cycles());
+        assert_eq!(s.makespan, 6);
+        s.validate(&g, Some(&Allocation::single())).unwrap();
+        // Fully serialized: never more than one unit of any kind busy.
+        assert!(s.fu_used.iter().all(|&u| u <= 1));
+    }
+
+    #[test]
+    fn empty_graph_schedules_trivially() {
+        let g = Dfg::new();
+        assert_eq!(schedule_asap(&g).makespan, 0);
+        assert_eq!(schedule_list(&g, &Allocation::single()).makespan, 0);
+        assert_eq!(schedule_sequential(&g).makespan, 0);
+    }
+
+    #[test]
+    fn priorities_prefer_critical_ops() {
+        // Two independent chains: long (3 adds) and short (1 add), one ALU.
+        let mut g = Dfg::new();
+        let a1 = g.push(Op::Add, 1, NO_NODE, NO_NODE);
+        let a2 = g.push(Op::Add, 1, a1, NO_NODE);
+        g.push(Op::Add, 1, a2, NO_NODE);
+        g.push(Op::Add, 1, NO_NODE, NO_NODE); // short chain
+        let alloc = Allocation::unlimited().with(FuKind::Alu, 1);
+        let s = schedule_list(&g, &alloc);
+        s.validate(&g, Some(&alloc)).unwrap();
+        // Optimal: issue the long chain head first; the short op fills a
+        // gap. Total 4 cycles (4 unit-latency ops on 1 ALU).
+        assert_eq!(s.makespan, 4);
+        assert_eq!(s.start[0], 0, "critical chain must start first");
+    }
+
+    #[test]
+    fn schedule_area_uses_peak_usage() {
+        let g = diamond();
+        let s = schedule_asap(&g);
+        // 1 ALU + 2 MULs = 1 + 8 = 9.
+        assert_eq!(s.area(&Allocation::unlimited()), 1.0 + 2.0 * 4.0);
+        let seq = schedule_sequential(&g);
+        // 1 ALU + 1 MUL = 5.
+        assert_eq!(seq.area(&Allocation::single()), 5.0);
+    }
+}

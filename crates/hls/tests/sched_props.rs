@@ -1,0 +1,95 @@
+//! Property tests: scheduling invariants over random DFGs.
+
+use proptest::prelude::*;
+use scperf_core::{Dfg, Op, NO_NODE};
+use scperf_hls::{
+    explore, schedule_asap, schedule_list, schedule_sequential, Allocation, FuKind,
+};
+
+/// Strategy: a random DAG of up to `n` nodes. Each node picks its
+/// predecessors from earlier nodes, so the graph is acyclic by
+/// construction (like real recorded DFGs).
+fn arb_dfg(max_nodes: usize) -> impl Strategy<Value = Dfg> {
+    prop::collection::vec((0_u8..6, any::<u16>(), any::<u16>()), 1..max_nodes).prop_map(|spec| {
+        let mut g = Dfg::new();
+        for (i, (opk, pa, pb)) in spec.into_iter().enumerate() {
+            let (op, lat) = match opk {
+                0 => (Op::Add, 1),
+                1 => (Op::Mul, 2),
+                2 => (Op::Div, 8),
+                3 => (Op::Index, 1),
+                4 => (Op::Cmp, 1),
+                _ => (Op::Shift, 1),
+            };
+            let a = if i == 0 {
+                NO_NODE
+            } else {
+                (pa as u32 % (i as u32 + 1)).min(i as u32) // 0 = NO_NODE or an earlier id
+            };
+            let b = if i == 0 {
+                NO_NODE
+            } else {
+                (pb as u32 % (i as u32 + 1)).min(i as u32)
+            };
+            g.push(op, lat, a, b);
+        }
+        g
+    })
+}
+
+proptest! {
+    /// ASAP ≤ list ≤ sequential for any allocation: resources only slow
+    /// things down, and full serialization is the worst case.
+    #[test]
+    fn makespans_are_ordered(dfg in arb_dfg(24), alus in 1_u32..4) {
+        let asap = schedule_asap(&dfg).makespan;
+        let alloc = Allocation::uniform(alus);
+        let list = schedule_list(&dfg, &alloc).makespan;
+        let seq = schedule_sequential(&dfg).makespan;
+        prop_assert!(asap <= list, "asap {asap} > list {list}");
+        prop_assert!(list <= seq, "list {list} > seq {seq}");
+        prop_assert_eq!(asap, dfg.critical_path());
+        prop_assert_eq!(seq, dfg.sequential_cycles());
+    }
+
+    /// Every produced schedule is valid: dependences respected and the
+    /// allocation never over-subscribed.
+    #[test]
+    fn schedules_validate(dfg in arb_dfg(24), alus in 1_u32..4) {
+        let alloc = Allocation::uniform(alus);
+        schedule_asap(&dfg).validate(&dfg, None).map_err(TestCaseError::fail)?;
+        schedule_list(&dfg, &alloc)
+            .validate(&dfg, Some(&alloc))
+            .map_err(TestCaseError::fail)?;
+        schedule_sequential(&dfg)
+            .validate(&dfg, Some(&Allocation::single()))
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// More ALUs never increase the list-schedule makespan.
+    #[test]
+    fn alus_are_monotone(dfg in arb_dfg(20)) {
+        let mut prev = u64::MAX;
+        for alus in 1..=4 {
+            let alloc = Allocation::unlimited().with(FuKind::Alu, alus);
+            let m = schedule_list(&dfg, &alloc).makespan;
+            prop_assert!(m <= prev);
+            prev = m;
+        }
+    }
+
+    /// The trade-off curve is bracketed by the two §3 extremes and the
+    /// Pareto filter returns a subset.
+    #[test]
+    fn tradeoff_curve_brackets(dfg in arb_dfg(20)) {
+        let pts = explore::tradeoff_curve(&dfg);
+        prop_assert!(!pts.is_empty());
+        prop_assert_eq!(pts.first().unwrap().cycles, dfg.sequential_cycles());
+        prop_assert_eq!(pts.last().unwrap().cycles, dfg.critical_path());
+        let pareto = explore::pareto(&pts);
+        prop_assert!(pareto.len() <= pts.len());
+        for p in &pareto {
+            prop_assert!(pts.iter().any(|q| q.cycles == p.cycles && q.area == p.area));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! A small assembler layer: label management over the raw instruction
+//! stream. Used directly by hand-written kernels and as the backend of the
+//! `minic` compiler.
+
+use std::collections::HashMap;
+
+use crate::isa::{Instr, Program, Target};
+
+/// A forward-referencable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds a [`Program`] with symbolic labels.
+///
+/// # Examples
+///
+/// ```
+/// use scperf_iss::{Instr, Machine, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let done = b.new_label();
+/// b.emit(Instr::Li(Reg::ACC, 0));
+/// b.emit(Instr::Li(Reg::TMP, 5));
+/// let top = b.bind_here();
+/// b.emit(Instr::Add(Reg::ACC, Reg::ACC, Reg::TMP));
+/// b.emit(Instr::Addi(Reg::TMP, Reg::TMP, -1));
+/// b.beq(Reg::TMP, Reg::ZERO, done);
+/// b.j(top);
+/// b.bind(done);
+/// b.emit(Instr::Halt);
+///
+/// let mut m = Machine::new(1024);
+/// m.load(&b.finish());
+/// m.run(1_000)?;
+/// assert_eq!(m.reg(Reg::ACC), 5 + 4 + 3 + 2 + 1);
+/// # Ok::<(), scperf_iss::IssError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    code: Vec<Instr>,
+    data: Vec<(u32, Vec<u8>)>,
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs to patch at finish.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a label for later binding.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.code.len() as u32);
+    }
+
+    /// Declares and binds a label at the current position.
+    pub fn bind_here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// The index the next instruction will occupy.
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Appends an instruction with no label operand.
+    pub fn emit(&mut self, ins: Instr) {
+        self.code.push(ins);
+    }
+
+    /// `beq rs, rt, label`
+    pub fn beq(&mut self, rs: crate::Reg, rt: crate::Reg, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Beq(rs, rt, Target(u32::MAX)));
+    }
+
+    /// `bne rs, rt, label`
+    pub fn bne(&mut self, rs: crate::Reg, rt: crate::Reg, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Bne(rs, rt, Target(u32::MAX)));
+    }
+
+    /// `blt rs, rt, label`
+    pub fn blt(&mut self, rs: crate::Reg, rt: crate::Reg, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Blt(rs, rt, Target(u32::MAX)));
+    }
+
+    /// `bge rs, rt, label`
+    pub fn bge(&mut self, rs: crate::Reg, rt: crate::Reg, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Bge(rs, rt, Target(u32::MAX)));
+    }
+
+    /// `j label`
+    pub fn j(&mut self, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::J(Target(u32::MAX)));
+    }
+
+    /// `jal label`
+    pub fn jal(&mut self, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Jal(Target(u32::MAX)));
+    }
+
+    /// Adds an initialized data segment.
+    pub fn data(&mut self, addr: u32, bytes: Vec<u8>) {
+        self.data.push((addr, bytes));
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(mut self) -> Program {
+        let resolve: HashMap<usize, u32> = self
+            .fixups
+            .iter()
+            .map(|&(at, l)| {
+                let target = self.labels[l.0].expect("label referenced but never bound");
+                (at, target)
+            })
+            .collect();
+        for (&at, &target) in &resolve {
+            let t = Target(target);
+            self.code[at] = match self.code[at] {
+                Instr::Beq(a, b, _) => Instr::Beq(a, b, t),
+                Instr::Bne(a, b, _) => Instr::Bne(a, b, t),
+                Instr::Blt(a, b, _) => Instr::Blt(a, b, t),
+                Instr::Bge(a, b, _) => Instr::Bge(a, b, t),
+                Instr::J(_) => Instr::J(t),
+                Instr::Jal(_) => Instr::Jal(t),
+                other => other,
+            };
+        }
+        Program {
+            code: self.code,
+            data: self.data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+    use crate::machine::Machine;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        b.emit(Instr::Li(Reg(10), 3));
+        let top = b.bind_here();
+        b.emit(Instr::Addi(Reg(10), Reg(10), -1));
+        b.beq(Reg(10), Reg::ZERO, end); // forward
+        b.j(top); // backward
+        b.bind(end);
+        b.emit(Instr::Halt);
+        let p = b.finish();
+        let mut m = Machine::new(256);
+        m.load(&p);
+        m.run(1000).unwrap();
+        assert_eq!(m.reg(Reg(10)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.j(l);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn data_segments_flow_through() {
+        let mut b = ProgramBuilder::new();
+        b.data(64, vec![1, 2, 3]);
+        b.emit(Instr::Halt);
+        let p = b.finish();
+        assert_eq!(p.data, vec![(64, vec![1, 2, 3])]);
+    }
+}

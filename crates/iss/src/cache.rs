@@ -1,0 +1,145 @@
+//! A direct-mapped cache model for instruction and data accesses.
+//!
+//! The paper (§1) notes that cache effects are "a traditional problem in SW
+//! execution time estimation" and that "some error percentage is
+//! unavoidable". The reference ISS therefore carries an optional cache
+//! model, letting the experiments quantify exactly that unavoidable error
+//! (the estimation library has no cache awareness — by design).
+
+/// Configuration of one direct-mapped cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of cache lines (must be a power of two).
+    pub lines: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+    /// Extra cycles charged on a miss.
+    pub miss_penalty: u64,
+}
+
+impl CacheConfig {
+    /// A small L1-like default: 256 lines × 16 B = 4 KiB, 10-cycle miss.
+    pub fn small() -> CacheConfig {
+        CacheConfig {
+            lines: 256,
+            line_bytes: 16,
+            miss_penalty: 10,
+        }
+    }
+}
+
+/// A direct-mapped cache with tag storage only (contents are irrelevant to
+/// timing).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    tags: Vec<Option<u32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `line_bytes` is not a non-zero power of two.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(
+            cfg.lines.is_power_of_two() && cfg.line_bytes.is_power_of_two(),
+            "cache geometry must be powers of two"
+        );
+        Cache {
+            cfg,
+            tags: vec![None; cfg.lines],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Performs one access; returns the extra cycles (0 on hit,
+    /// `miss_penalty` on miss).
+    #[inline]
+    pub fn access(&mut self, addr: u32) -> u64 {
+        let line_addr = addr as usize / self.cfg.line_bytes;
+        let index = line_addr & (self.cfg.lines - 1);
+        let tag = (line_addr / self.cfg.lines) as u32;
+        if self.tags[index] == Some(tag) {
+            self.hits += 1;
+            0
+        } else {
+            self.tags[index] = Some(tag);
+            self.misses += 1;
+            self.cfg.miss_penalty
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 1.0 when no accesses have occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            lines: 4,
+            line_bytes: 16,
+            miss_penalty: 10,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x100), 10);
+        assert_eq!(c.access(0x104), 0); // same line
+        assert_eq!(c.access(0x10f), 0);
+        assert_eq!(c.access(0x110), 10); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = tiny();
+        // 4 lines × 16 B = 64 B: addresses 0 and 64 conflict on index 0.
+        assert_eq!(c.access(0), 10);
+        assert_eq!(c.access(64), 10);
+        assert_eq!(c.access(0), 10); // evicted
+    }
+
+    #[test]
+    fn empty_cache_reports_full_hit_rate() {
+        assert_eq!(tiny().hit_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Cache::new(CacheConfig {
+            lines: 3,
+            line_bytes: 16,
+            miss_penalty: 1,
+        });
+    }
+}

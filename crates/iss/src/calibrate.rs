@@ -1,0 +1,300 @@
+//! Cost-table calibration by least squares.
+//!
+//! §5 of the paper: "Library weights were obtained analyzing assembler code
+//! from several functions specifically developed for this purpose and
+//! taking into account microprocessor architectural characteristics." This
+//! module automates that step: given probe kernels with known source-level
+//! operation counts (rows) and their measured ISS cycle counts (targets),
+//! it fits per-operation cycle costs `x` minimizing `‖A·x − b‖₂`, with a
+//! non-negativity clean-up pass (negative fitted costs are clamped to zero
+//! and the remaining support re-fitted).
+
+/// A calibration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// No probe rows were supplied.
+    Empty,
+    /// Row lengths disagree, or targets don't match the row count.
+    ShapeMismatch,
+    /// The normal equations are singular even after regularization.
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::Empty => write!(f, "no calibration probes supplied"),
+            FitError::ShapeMismatch => write!(f, "probe matrix shape mismatch"),
+            FitError::Singular => write!(f, "singular calibration system"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// The result of a calibration fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fit {
+    /// Fitted per-operation costs (cycles), `cols` entries, all ≥ 0.
+    pub costs: Vec<f64>,
+    /// Coefficient of determination over the probe set.
+    pub r_squared: f64,
+    /// Per-probe relative errors `|Ax − b| / b`.
+    pub residuals: Vec<f64>,
+}
+
+/// Fits non-negative per-operation costs from probe observations.
+///
+/// `rows[i]` holds probe `i`'s operation counts; `cycles[i]` its measured
+/// ISS cycle count. Operations never exercised by any probe get cost zero.
+///
+/// # Errors
+///
+/// Returns [`FitError`] on empty/ragged input or a singular system.
+///
+/// # Examples
+///
+/// ```
+/// use scperf_iss::calibrate::fit;
+///
+/// // Two ops; probes: 10 of each → 30 cycles, 10 of op0 → 10 cycles.
+/// let rows = vec![vec![10.0, 10.0], vec![10.0, 0.0], vec![0.0, 10.0]];
+/// let cycles = vec![30.0, 10.0, 20.0];
+/// let f = fit(&rows, &cycles)?;
+/// assert!((f.costs[0] - 1.0).abs() < 1e-9);
+/// assert!((f.costs[1] - 2.0).abs() < 1e-9);
+/// assert!(f.r_squared > 0.999);
+/// # Ok::<(), scperf_iss::calibrate::FitError>(())
+/// ```
+pub fn fit(rows: &[Vec<f64>], cycles: &[f64]) -> Result<Fit, FitError> {
+    if rows.is_empty() {
+        return Err(FitError::Empty);
+    }
+    let cols = rows[0].len();
+    if cycles.len() != rows.len() || rows.iter().any(|r| r.len() != cols) {
+        return Err(FitError::ShapeMismatch);
+    }
+    // Active-set style NNLS-lite: solve unconstrained, clamp negatives to
+    // zero, drop them from the support, repeat.
+    let mut active: Vec<bool> = (0..cols)
+        .map(|j| rows.iter().any(|r| r[j] != 0.0))
+        .collect();
+    loop {
+        let support: Vec<usize> = (0..cols).filter(|&j| active[j]).collect();
+        if support.is_empty() {
+            let costs = vec![0.0; cols];
+            let (r2, residuals) = goodness(rows, cycles, &costs);
+            return Ok(Fit {
+                costs,
+                r_squared: r2,
+                residuals,
+            });
+        }
+        let sol = solve_normal_equations(rows, cycles, &support)?;
+        let negatives: Vec<usize> = support
+            .iter()
+            .zip(&sol)
+            .filter(|(_, &v)| v < -1e-9)
+            .map(|(&j, _)| j)
+            .collect();
+        if negatives.is_empty() {
+            let mut costs = vec![0.0; cols];
+            for (&j, &v) in support.iter().zip(&sol) {
+                costs[j] = v.max(0.0);
+            }
+            let (r2, residuals) = goodness(rows, cycles, &costs);
+            return Ok(Fit {
+                costs,
+                r_squared: r2,
+                residuals,
+            });
+        }
+        for j in negatives {
+            active[j] = false;
+        }
+    }
+}
+
+/// Solves `(AᵀA + λI) x = Aᵀ b` restricted to `support`, with a tiny ridge
+/// `λ` for numerical robustness.
+fn solve_normal_equations(
+    rows: &[Vec<f64>],
+    b: &[f64],
+    support: &[usize],
+) -> Result<Vec<f64>, FitError> {
+    let n = support.len();
+    let mut ata = vec![vec![0.0_f64; n]; n];
+    let mut atb = vec![0.0_f64; n];
+    for (row, &bv) in rows.iter().zip(b) {
+        for (i, &ji) in support.iter().enumerate() {
+            let ri = row[ji];
+            if ri == 0.0 {
+                continue;
+            }
+            atb[i] += ri * bv;
+            for (k, &jk) in support.iter().enumerate() {
+                ata[i][k] += ri * row[jk];
+            }
+        }
+    }
+    let ridge = 1e-12
+        * ata
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r[i])
+            .fold(0.0_f64, f64::max)
+            .max(1.0);
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += ridge;
+    }
+    gaussian_elimination(ata, atb)
+}
+
+/// Solves `M x = y` by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // two rows of `m` are updated in lock-step
+fn gaussian_elimination(mut m: Vec<Vec<f64>>, mut y: Vec<f64>) -> Result<Vec<f64>, FitError> {
+    let n = y.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))
+            .expect("non-empty range");
+        if m[pivot][col].abs() < 1e-30 {
+            return Err(FitError::Singular);
+        }
+        m.swap(col, pivot);
+        y.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = m[row][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row][k] -= factor * m[col][k];
+            }
+            y[row] -= factor * y[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = y[col];
+        for (k, &xk) in x.iter().enumerate().take(n).skip(col + 1) {
+            acc -= m[col][k] * xk;
+        }
+        x[col] = acc / m[col][col];
+    }
+    Ok(x)
+}
+
+fn goodness(rows: &[Vec<f64>], b: &[f64], costs: &[f64]) -> (f64, Vec<f64>) {
+    let predict =
+        |row: &Vec<f64>| -> f64 { row.iter().zip(costs).map(|(r, c)| r * c).sum() };
+    let mean = b.iter().sum::<f64>() / b.len() as f64;
+    let ss_tot: f64 = b.iter().map(|v| (v - mean).powi(2)).sum();
+    let ss_res: f64 = rows
+        .iter()
+        .zip(b)
+        .map(|(row, &v)| (v - predict(row)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    let residuals = rows
+        .iter()
+        .zip(b)
+        .map(|(row, &v)| {
+            if v == 0.0 {
+                predict(row).abs()
+            } else {
+                (v - predict(row)).abs() / v
+            }
+        })
+        .collect();
+    (r2, residuals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_recovers_costs() {
+        let rows = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+        ];
+        let true_costs = [2.0, 3.0, 33.0];
+        let cycles: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().zip(true_costs).map(|(a, c)| a * c).sum())
+            .collect();
+        let f = fit(&rows, &cycles).unwrap();
+        for (got, want) in f.costs.iter().zip(true_costs) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        assert!(f.r_squared > 0.999999);
+        assert!(f.residuals.iter().all(|&r| r < 1e-6));
+    }
+
+    #[test]
+    fn noisy_system_fits_approximately() {
+        // costs 1 and 5 with ±2% noise; columns deliberately non-collinear.
+        let rows: Vec<Vec<f64>> = (1..=10)
+            .map(|i| vec![(i * 10) as f64, ((i * i) % 7 + 1) as f64])
+            .collect();
+        let cycles: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let noise = 1.0 + 0.02 * if i % 2 == 0 { 1.0 } else { -1.0 };
+                (r[0] * 1.0 + r[1] * 5.0) * noise
+            })
+            .collect();
+        let f = fit(&rows, &cycles).unwrap();
+        assert!((f.costs[0] - 1.0).abs() < 0.3);
+        assert!((f.costs[1] - 5.0).abs() < 1.0);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn unused_columns_get_zero_cost() {
+        let rows = vec![vec![2.0, 0.0], vec![4.0, 0.0]];
+        let cycles = vec![6.0, 12.0];
+        let f = fit(&rows, &cycles).unwrap();
+        assert!((f.costs[0] - 3.0).abs() < 1e-6);
+        assert_eq!(f.costs[1], 0.0);
+    }
+
+    #[test]
+    fn negative_solutions_are_clamped() {
+        // Two collinear-ish probes that would push column 1 negative.
+        let rows = vec![vec![10.0, 1.0], vec![20.0, 2.0], vec![10.0, 0.0]];
+        let cycles = vec![10.0, 20.0, 11.0];
+        let f = fit(&rows, &cycles).unwrap();
+        assert!(f.costs.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn shape_errors_detected() {
+        assert_eq!(fit(&[], &[]), Err(FitError::Empty));
+        assert_eq!(
+            fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
+            Err(FitError::ShapeMismatch)
+        );
+        assert_eq!(fit(&[vec![1.0]], &[1.0, 2.0]), Err(FitError::ShapeMismatch));
+    }
+
+    #[test]
+    fn all_zero_matrix_yields_zero_costs() {
+        let f = fit(&[vec![0.0, 0.0]], &[5.0]).unwrap();
+        assert_eq!(f.costs, vec![0.0, 0.0]);
+    }
+}

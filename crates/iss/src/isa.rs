@@ -1,0 +1,246 @@
+//! The instruction set of the reference processor.
+//!
+//! A 32-register, 32-bit in-order RISC in the OpenRISC/RISC-V mould — the
+//! stand-in for the paper's "OpenRISC architectural simulator modified to
+//! supply cycle accurate estimations". The ISA is deliberately small: it is
+//! the *target* of the `minic` compiler and the *subject* of the
+//! cycle-accurate interpreter, nothing more.
+
+use std::fmt;
+
+/// A register index (`r0`–`r31`). `r0` always reads zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address (written by `Jal`/`Jalr`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(3);
+    /// Accumulator / first argument / return value.
+    pub const ACC: Reg = Reg(4);
+    /// Secondary scratch.
+    pub const TMP: Reg = Reg(5);
+    /// Tertiary scratch (used by compound code sequences).
+    pub const TMP2: Reg = Reg(6);
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A resolved branch/jump target: an instruction index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Target(pub u32);
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// One machine instruction.
+///
+/// Three-operand ALU ops write `rd = rs op rt`; immediates are sign-extended
+/// 32-bit values (the interpreter does not model encoding width, but the
+/// cycle model charges an extra cycle for immediates outside ±32 KiB, the
+/// cost of the `lui`+`ori` pair a real encoding would need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    // --- ALU register-register ---
+    /// `rd = rs + rt`
+    Add(Reg, Reg, Reg),
+    /// `rd = rs - rt`
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs * rt` (wrapping)
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs / rt` (traps on zero divisor)
+    Div(Reg, Reg, Reg),
+    /// `rd = rs % rt` (traps on zero divisor)
+    Rem(Reg, Reg, Reg),
+    /// `rd = rs & rt`
+    And(Reg, Reg, Reg),
+    /// `rd = rs | rt`
+    Or(Reg, Reg, Reg),
+    /// `rd = rs ^ rt`
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs << (rt & 31)`
+    Sll(Reg, Reg, Reg),
+    /// `rd = (rs as u32) >> (rt & 31)`
+    Srl(Reg, Reg, Reg),
+    /// `rd = rs >> (rt & 31)` (arithmetic)
+    Sra(Reg, Reg, Reg),
+    /// `rd = (rs < rt) as i32` (signed)
+    Slt(Reg, Reg, Reg),
+    /// `rd = (rs == rt) as i32`
+    Seq(Reg, Reg, Reg),
+    // --- ALU immediate ---
+    /// `rd = rs + imm`
+    Addi(Reg, Reg, i32),
+    /// `rd = rs & imm`
+    Andi(Reg, Reg, i32),
+    /// `rd = rs | imm`
+    Ori(Reg, Reg, i32),
+    /// `rd = rs ^ imm`
+    Xori(Reg, Reg, i32),
+    /// `rd = rs << imm`
+    Slli(Reg, Reg, u8),
+    /// `rd = (rs as u32) >> imm`
+    Srli(Reg, Reg, u8),
+    /// `rd = rs >> imm` (arithmetic)
+    Srai(Reg, Reg, u8),
+    /// `rd = (rs < imm) as i32` (signed)
+    Slti(Reg, Reg, i32),
+    /// `rd = imm` (pseudo `li`; costs 2 cycles for wide immediates)
+    Li(Reg, i32),
+    // --- memory ---
+    /// `rd = mem32[rs + off]`
+    Lw(Reg, Reg, i32),
+    /// `mem32[rs + off] = rt` — operands: (rt, base, off)
+    Sw(Reg, Reg, i32),
+    /// `rd = sext(mem8[rs + off])`
+    Lb(Reg, Reg, i32),
+    /// `rd = zext(mem8[rs + off])`
+    Lbu(Reg, Reg, i32),
+    /// `mem8[rs + off] = rt & 0xff` — operands: (rt, base, off)
+    Sb(Reg, Reg, i32),
+    // --- control ---
+    /// Branch to target if `rs == rt`.
+    Beq(Reg, Reg, Target),
+    /// Branch to target if `rs != rt`.
+    Bne(Reg, Reg, Target),
+    /// Branch to target if `rs < rt` (signed).
+    Blt(Reg, Reg, Target),
+    /// Branch to target if `rs >= rt` (signed).
+    Bge(Reg, Reg, Target),
+    /// Unconditional jump.
+    J(Target),
+    /// Call: `ra = pc + 1; pc = target`.
+    Jal(Target),
+    /// Indirect jump (return): `pc = rs`.
+    Jalr(Reg),
+    /// Stop execution.
+    Halt,
+}
+
+impl Instr {
+    /// `true` for loads and stores (used by the data-cache model).
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Lw(..) | Instr::Sw(..) | Instr::Lb(..) | Instr::Lbu(..) | Instr::Sb(..)
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Add(d, s, t) => write!(f, "add  {d}, {s}, {t}"),
+            Sub(d, s, t) => write!(f, "sub  {d}, {s}, {t}"),
+            Mul(d, s, t) => write!(f, "mul  {d}, {s}, {t}"),
+            Div(d, s, t) => write!(f, "div  {d}, {s}, {t}"),
+            Rem(d, s, t) => write!(f, "rem  {d}, {s}, {t}"),
+            And(d, s, t) => write!(f, "and  {d}, {s}, {t}"),
+            Or(d, s, t) => write!(f, "or   {d}, {s}, {t}"),
+            Xor(d, s, t) => write!(f, "xor  {d}, {s}, {t}"),
+            Sll(d, s, t) => write!(f, "sll  {d}, {s}, {t}"),
+            Srl(d, s, t) => write!(f, "srl  {d}, {s}, {t}"),
+            Sra(d, s, t) => write!(f, "sra  {d}, {s}, {t}"),
+            Slt(d, s, t) => write!(f, "slt  {d}, {s}, {t}"),
+            Seq(d, s, t) => write!(f, "seq  {d}, {s}, {t}"),
+            Addi(d, s, i) => write!(f, "addi {d}, {s}, {i}"),
+            Andi(d, s, i) => write!(f, "andi {d}, {s}, {i}"),
+            Ori(d, s, i) => write!(f, "ori  {d}, {s}, {i}"),
+            Xori(d, s, i) => write!(f, "xori {d}, {s}, {i}"),
+            Slli(d, s, i) => write!(f, "slli {d}, {s}, {i}"),
+            Srli(d, s, i) => write!(f, "srli {d}, {s}, {i}"),
+            Srai(d, s, i) => write!(f, "srai {d}, {s}, {i}"),
+            Slti(d, s, i) => write!(f, "slti {d}, {s}, {i}"),
+            Li(d, i) => write!(f, "li   {d}, {i}"),
+            Lw(d, b, o) => write!(f, "lw   {d}, {o}({b})"),
+            Sw(t, b, o) => write!(f, "sw   {t}, {o}({b})"),
+            Lb(d, b, o) => write!(f, "lb   {d}, {o}({b})"),
+            Lbu(d, b, o) => write!(f, "lbu  {d}, {o}({b})"),
+            Sb(t, b, o) => write!(f, "sb   {t}, {o}({b})"),
+            Beq(s, t, l) => write!(f, "beq  {s}, {t}, {l}"),
+            Bne(s, t, l) => write!(f, "bne  {s}, {t}, {l}"),
+            Blt(s, t, l) => write!(f, "blt  {s}, {t}, {l}"),
+            Bge(s, t, l) => write!(f, "bge  {s}, {t}, {l}"),
+            J(l) => write!(f, "j    {l}"),
+            Jal(l) => write!(f, "jal  {l}"),
+            Jalr(s) => write!(f, "jalr {s}"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// A complete executable program: instructions plus initial data segments.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The instruction stream; execution starts at index 0.
+    pub code: Vec<Instr>,
+    /// `(address, bytes)` pairs copied into memory before execution.
+    pub data: Vec<(u32, Vec<u8>)>,
+}
+
+impl Program {
+    /// Disassembles the program as readable text.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, ins) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "{i:5}: {ins}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_display() {
+        assert_eq!(Reg::ZERO.to_string(), "r0");
+        assert_eq!(Reg::ACC.to_string(), "r4");
+    }
+
+    #[test]
+    fn instruction_display_is_readable() {
+        assert_eq!(
+            Instr::Add(Reg::ACC, Reg::TMP, Reg::ZERO).to_string(),
+            "add  r4, r5, r0"
+        );
+        assert_eq!(Instr::Lw(Reg(7), Reg::SP, -4).to_string(), "lw   r7, -4(r2)");
+        assert_eq!(
+            Instr::Beq(Reg(1), Reg(2), Target(9)).to_string(),
+            "beq  r1, r2, @9"
+        );
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Instr::Lw(Reg(1), Reg(2), 0).is_memory());
+        assert!(Instr::Sb(Reg(1), Reg(2), 0).is_memory());
+        assert!(!Instr::Add(Reg(1), Reg(2), Reg(3)).is_memory());
+    }
+
+    #[test]
+    fn disassembly_lists_all_instructions() {
+        let p = Program {
+            code: vec![Instr::Li(Reg::ACC, 7), Instr::Halt],
+            data: vec![],
+        };
+        let d = p.disassemble();
+        assert!(d.contains("0: li   r4, 7"));
+        assert!(d.contains("1: halt"));
+    }
+}

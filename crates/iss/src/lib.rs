@@ -1,0 +1,56 @@
+//! # scperf-iss — a cycle-accurate reference instruction-set simulator
+//!
+//! The paper validates its estimation library against "an OpenRISC
+//! architectural simulator modified to supply cycle accurate estimations"
+//! (§5, Table 1). This crate is that substrate, rebuilt from scratch:
+//!
+//! * a 32-register in-order RISC **ISA** ([`Instr`], [`Program`]),
+//! * a **cycle-accurate interpreter** ([`Machine`]) with a configurable
+//!   [`CycleModel`] and optional direct-mapped I/D [`cache`]s,
+//! * a label-resolving **assembler layer** ([`ProgramBuilder`]),
+//! * the **`minic` compiler** ([`minic`]) — a small C-like language whose
+//!   non-optimizing code generator produces realistic `-O0` instruction
+//!   mixes, so every benchmark's ISS variant is compiled, not hand-tuned,
+//! * **least-squares calibration** ([`calibrate`]) fitting per-operation
+//!   cost tables from probe-kernel cycle measurements — the automated
+//!   version of the paper's manual "analyzing assembler code from several
+//!   functions" step.
+//!
+//! # Examples
+//!
+//! ```
+//! use scperf_iss::{minic, Machine};
+//!
+//! let compiled = minic::compile(
+//!     "int result;\n\
+//!      int main() {\n\
+//!        int i; int acc = 0;\n\
+//!        for (i = 1; i <= 100; i = i + 1) acc = acc + i;\n\
+//!        result = acc;\n\
+//!        return 0;\n\
+//!      }",
+//! )?;
+//! let mut m = Machine::new(1 << 20);
+//! m.load(&compiled.program);
+//! let stats = m.run(1_000_000).expect("terminates");
+//! assert_eq!(m.read_word(compiled.global("result")), 5050);
+//! println!("{} instructions, {} cycles, CPI {:.2}",
+//!          stats.instructions, stats.cycles, stats.cpi());
+//! # Ok::<(), scperf_iss::minic::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+pub mod cache;
+pub mod calibrate;
+mod isa;
+mod machine;
+pub mod minic;
+mod pipeline;
+
+pub use asm::{Label, ProgramBuilder};
+pub use cache::{Cache, CacheConfig};
+pub use isa::{Instr, Program, Reg, Target};
+pub use machine::{CycleModel, IssError, Machine, RunStats};
+pub use pipeline::PipelineConfig;

@@ -1,0 +1,134 @@
+//! Abstract syntax of `minic`.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (logical; evaluates both operands — see crate docs)
+    LAnd,
+    /// `||` (logical; evaluates both operands — see crate docs)
+    LOr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i32),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `{ … }`
+    Block(Vec<Stmt>),
+    /// `int x;` / `int x = e;`
+    DeclScalar(String, Option<Expr>),
+    /// `int a[N];`
+    DeclArray(String, usize),
+    /// `if (c) s else s`
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (c) s`
+    While(Expr, Box<Stmt>),
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `a[i] = e;`
+    AssignIndex(String, Expr, Expr),
+    /// Bare expression (usually a call).
+    ExprStmt(Expr),
+}
+
+/// A function definition (`int name(int p, …) { … }`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// The function name.
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Global {
+    /// `int g;` / `int g = 7;`
+    Scalar(String, i32),
+    /// `int a[N];` / `int a[N] = {…};` (missing initializers are zero)
+    Array(String, usize, Vec<i32>),
+}
+
+impl Global {
+    /// The declared name.
+    pub fn name(&self) -> &str {
+        match self {
+            Global::Scalar(n, _) => n,
+            Global::Array(n, _, _) => n,
+        }
+    }
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    /// Global variables, in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions, in declaration order. Execution starts at `main`.
+    pub functions: Vec<Function>,
+}

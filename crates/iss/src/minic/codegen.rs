@@ -1,0 +1,484 @@
+//! Code generation: `minic` AST → ISS machine code.
+//!
+//! The generator is deliberately a classic *non-optimizing* compiler
+//! (accumulator + expression stack, everything through memory), like the
+//! `-O0` output the paper's ISS executed: realistic instruction mixes with
+//! loads/stores around every operation.
+
+use std::collections::HashMap;
+
+use super::ast::{BinOp, Expr, Function, Global, Stmt, UnOp, Unit};
+use super::CompileError;
+use crate::asm::{Label, ProgramBuilder};
+use crate::isa::{Instr, Program, Reg};
+
+/// Base address of the globals segment.
+pub const GLOBALS_BASE: u32 = 4096;
+
+const ACC: Reg = Reg::ACC;
+const TMP: Reg = Reg::TMP;
+const TMP2: Reg = Reg::TMP2;
+const SP: Reg = Reg::SP;
+const FP: Reg = Reg::FP;
+const RA: Reg = Reg::RA;
+const ZERO: Reg = Reg::ZERO;
+
+/// A compiled translation unit.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The executable program (entry stub calls `main`, then halts).
+    pub program: Program,
+    /// Byte addresses of the global variables.
+    pub globals: HashMap<String, u32>,
+}
+
+impl Compiled {
+    /// The address of global `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such global exists.
+    pub fn global(&self, name: &str) -> u32 {
+        *self
+            .globals
+            .get(name)
+            .unwrap_or_else(|| panic!("no global named '{name}'"))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// fp-relative offset of a scalar local.
+    Local(i32),
+    /// fp-relative offset of the *base* of a local array.
+    LocalArray(i32),
+    /// Parameter index.
+    Param(usize),
+    /// Absolute address of a scalar global.
+    Global(u32),
+    /// Absolute address of a global array base.
+    GlobalArray(u32),
+}
+
+struct FuncCtx {
+    slots: HashMap<String, Slot>,
+    frame_words: usize,
+    epilogue: Label,
+}
+
+pub(crate) struct CodeGen {
+    b: ProgramBuilder,
+    funcs: HashMap<String, (Label, usize)>, // label, arity
+    globals: HashMap<String, Slot>,
+    global_addrs: HashMap<String, u32>,
+}
+
+impl CodeGen {
+    pub(crate) fn compile(unit: &Unit) -> Result<Compiled, CompileError> {
+        let mut cg = CodeGen {
+            b: ProgramBuilder::new(),
+            funcs: HashMap::new(),
+            globals: HashMap::new(),
+            global_addrs: HashMap::new(),
+        };
+        cg.layout_globals(unit)?;
+        // Entry stub.
+        let mut main_label = None;
+        for f in &unit.functions {
+            if cg.funcs.contains_key(&f.name) {
+                return Err(CompileError::new(f.line, format!("duplicate function '{}'", f.name)));
+            }
+            let l = cg.b.new_label();
+            cg.funcs.insert(f.name.clone(), (l, f.params.len()));
+            if f.name == "main" {
+                main_label = Some(l);
+            }
+        }
+        let main_label =
+            main_label.ok_or_else(|| CompileError::new(0, "no 'main' function defined"))?;
+        cg.b.jal(main_label);
+        cg.b.emit(Instr::Halt);
+        for f in &unit.functions {
+            cg.function(f)?;
+        }
+        Ok(Compiled {
+            program: cg.b.finish(),
+            globals: cg.global_addrs,
+        })
+    }
+
+    fn layout_globals(&mut self, unit: &Unit) -> Result<(), CompileError> {
+        let mut addr = GLOBALS_BASE;
+        for g in &unit.globals {
+            if self.globals.contains_key(g.name()) {
+                return Err(CompileError::new(0, format!("duplicate global '{}'", g.name())));
+            }
+            match g {
+                Global::Scalar(name, init) => {
+                    self.globals.insert(name.clone(), Slot::Global(addr));
+                    self.global_addrs.insert(name.clone(), addr);
+                    if *init != 0 {
+                        self.b.data(addr, init.to_le_bytes().to_vec());
+                    }
+                    addr += 4;
+                }
+                Global::Array(name, n, init) => {
+                    self.globals.insert(name.clone(), Slot::GlobalArray(addr));
+                    self.global_addrs.insert(name.clone(), addr);
+                    if !init.is_empty() {
+                        let bytes: Vec<u8> =
+                            init.iter().flat_map(|v| v.to_le_bytes()).collect();
+                        self.b.data(addr, bytes);
+                    }
+                    addr += 4 * *n as u32;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn function(&mut self, f: &Function) -> Result<(), CompileError> {
+        let (label, _) = self.funcs[&f.name];
+        self.b.bind(label);
+        // Collect all local declarations (function-level scoping).
+        let mut slots: HashMap<String, Slot> = HashMap::new();
+        for (i, p) in f.params.iter().enumerate() {
+            if slots.insert(p.clone(), Slot::Param(i)).is_some() {
+                return Err(CompileError::new(f.line, format!("duplicate parameter '{p}'")));
+            }
+        }
+        let mut next_word = 0_usize;
+        collect_locals(&f.body, &mut slots, &mut next_word, f.line)?;
+        let ctx = FuncCtx {
+            slots,
+            frame_words: next_word,
+            epilogue: self.b.new_label(),
+        };
+        // Prologue.
+        self.push(RA);
+        self.push(FP);
+        self.b.emit(Instr::Addi(FP, SP, 0));
+        if ctx.frame_words > 0 {
+            self.b
+                .emit(Instr::Addi(SP, SP, -4 * ctx.frame_words as i32));
+        }
+        for s in &f.body {
+            self.stmt(s, &ctx)?;
+        }
+        // Implicit `return 0`.
+        self.b.emit(Instr::Li(ACC, 0));
+        self.b.bind(ctx.epilogue);
+        self.b.emit(Instr::Addi(SP, FP, 0));
+        self.pop(FP);
+        self.pop(RA);
+        self.b.emit(Instr::Jalr(RA));
+        Ok(())
+    }
+
+    fn push(&mut self, r: Reg) {
+        self.b.emit(Instr::Addi(SP, SP, -4));
+        self.b.emit(Instr::Sw(r, SP, 0));
+    }
+
+    fn pop(&mut self, r: Reg) {
+        self.b.emit(Instr::Lw(r, SP, 0));
+        self.b.emit(Instr::Addi(SP, SP, 4));
+    }
+
+    fn stmt(&mut self, s: &Stmt, ctx: &FuncCtx) -> Result<(), CompileError> {
+        match s {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.stmt(s, ctx)?;
+                }
+                Ok(())
+            }
+            Stmt::DeclScalar(name, init) => {
+                if let Some(e) = init {
+                    self.expr(e, ctx)?;
+                    self.store_scalar(name, ctx)?;
+                }
+                Ok(())
+            }
+            Stmt::DeclArray(..) => Ok(()), // space reserved in the frame
+            Stmt::Assign(name, e) => {
+                self.expr(e, ctx)?;
+                self.store_scalar(name, ctx)
+            }
+            Stmt::AssignIndex(name, idx, value) => {
+                self.expr(idx, ctx)?;
+                self.push(ACC);
+                self.expr(value, ctx)?;
+                self.pop(TMP); // index
+                self.b.emit(Instr::Slli(TMP, TMP, 2));
+                self.array_base(name, ctx, TMP2)?;
+                self.b.emit(Instr::Add(TMP, TMP, TMP2));
+                self.b.emit(Instr::Sw(ACC, TMP, 0));
+                Ok(())
+            }
+            Stmt::If(cond, then, els) => {
+                self.expr(cond, ctx)?;
+                let else_l = self.b.new_label();
+                self.b.beq(ACC, ZERO, else_l);
+                self.stmt(then, ctx)?;
+                match els {
+                    Some(e) => {
+                        let end = self.b.new_label();
+                        self.b.j(end);
+                        self.b.bind(else_l);
+                        self.stmt(e, ctx)?;
+                        self.b.bind(end);
+                    }
+                    None => self.b.bind(else_l),
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let top = self.b.bind_here();
+                self.expr(cond, ctx)?;
+                let end = self.b.new_label();
+                self.b.beq(ACC, ZERO, end);
+                self.stmt(body, ctx)?;
+                self.b.j(top);
+                self.b.bind(end);
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => self.expr(e, ctx)?,
+                    None => self.b.emit(Instr::Li(ACC, 0)),
+                }
+                self.b.j(ctx.epilogue);
+                Ok(())
+            }
+            Stmt::ExprStmt(e) => self.expr(e, ctx),
+        }
+    }
+
+    fn resolve<'a>(&'a self, name: &str, ctx: &'a FuncCtx) -> Option<&'a Slot> {
+        ctx.slots.get(name).or_else(|| self.globals.get(name))
+    }
+
+    fn store_scalar(&mut self, name: &str, ctx: &FuncCtx) -> Result<(), CompileError> {
+        match self.resolve(name, ctx) {
+            Some(Slot::Local(off)) => {
+                let off = *off;
+                self.b.emit(Instr::Sw(ACC, FP, off));
+                Ok(())
+            }
+            Some(Slot::Param(i)) => {
+                let off = 8 + 4 * *i as i32;
+                self.b.emit(Instr::Sw(ACC, FP, off));
+                Ok(())
+            }
+            Some(Slot::Global(addr)) => {
+                let addr = *addr as i32;
+                self.b.emit(Instr::Sw(ACC, ZERO, addr));
+                Ok(())
+            }
+            Some(Slot::LocalArray(_)) | Some(Slot::GlobalArray(_)) => Err(CompileError::new(
+                0,
+                format!("cannot assign to array '{name}'"),
+            )),
+            None => Err(CompileError::new(0, format!("undefined variable '{name}'"))),
+        }
+    }
+
+    /// Emits code leaving the base address of array (or pointer) `name` in
+    /// `dst`.
+    fn array_base(&mut self, name: &str, ctx: &FuncCtx, dst: Reg) -> Result<(), CompileError> {
+        match self.resolve(name, ctx) {
+            Some(Slot::LocalArray(off)) => {
+                let off = *off;
+                self.b.emit(Instr::Addi(dst, FP, off));
+                Ok(())
+            }
+            Some(Slot::GlobalArray(addr)) => {
+                let addr = *addr as i32;
+                self.b.emit(Instr::Li(dst, addr));
+                Ok(())
+            }
+            // A scalar holding a pointer (array passed as argument).
+            Some(Slot::Local(off)) => {
+                let off = *off;
+                self.b.emit(Instr::Lw(dst, FP, off));
+                Ok(())
+            }
+            Some(Slot::Param(i)) => {
+                let off = 8 + 4 * *i as i32;
+                self.b.emit(Instr::Lw(dst, FP, off));
+                Ok(())
+            }
+            Some(Slot::Global(addr)) => {
+                let addr = *addr as i32;
+                self.b.emit(Instr::Lw(dst, ZERO, addr));
+                Ok(())
+            }
+            None => Err(CompileError::new(0, format!("undefined array '{name}'"))),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, ctx: &FuncCtx) -> Result<(), CompileError> {
+        match e {
+            Expr::Num(n) => {
+                self.b.emit(Instr::Li(ACC, *n));
+                Ok(())
+            }
+            Expr::Var(name) => match self.resolve(name, ctx) {
+                Some(Slot::Local(off)) => {
+                    let off = *off;
+                    self.b.emit(Instr::Lw(ACC, FP, off));
+                    Ok(())
+                }
+                Some(Slot::Param(i)) => {
+                    let off = 8 + 4 * *i as i32;
+                    self.b.emit(Instr::Lw(ACC, FP, off));
+                    Ok(())
+                }
+                Some(Slot::Global(addr)) => {
+                    let addr = *addr as i32;
+                    self.b.emit(Instr::Lw(ACC, ZERO, addr));
+                    Ok(())
+                }
+                // Array name decays to its base address.
+                Some(Slot::LocalArray(off)) => {
+                    let off = *off;
+                    self.b.emit(Instr::Addi(ACC, FP, off));
+                    Ok(())
+                }
+                Some(Slot::GlobalArray(addr)) => {
+                    let addr = *addr as i32;
+                    self.b.emit(Instr::Li(ACC, addr));
+                    Ok(())
+                }
+                None => Err(CompileError::new(0, format!("undefined variable '{name}'"))),
+            },
+            Expr::Index(name, idx) => {
+                self.expr(idx, ctx)?;
+                self.b.emit(Instr::Slli(ACC, ACC, 2));
+                self.array_base(name, ctx, TMP2)?;
+                self.b.emit(Instr::Add(ACC, ACC, TMP2));
+                self.b.emit(Instr::Lw(ACC, ACC, 0));
+                Ok(())
+            }
+            Expr::Call(name, args) => {
+                let Some(&(label, arity)) = self.funcs.get(name) else {
+                    return Err(CompileError::new(0, format!("undefined function '{name}'")));
+                };
+                if arity != args.len() {
+                    return Err(CompileError::new(
+                        0,
+                        format!("function '{name}' takes {arity} args, got {}", args.len()),
+                    ));
+                }
+                for a in args.iter().rev() {
+                    self.expr(a, ctx)?;
+                    self.push(ACC);
+                }
+                self.b.jal(label);
+                if !args.is_empty() {
+                    self.b.emit(Instr::Addi(SP, SP, 4 * args.len() as i32));
+                }
+                Ok(())
+            }
+            Expr::Unary(op, e) => {
+                self.expr(e, ctx)?;
+                match op {
+                    UnOp::Neg => self.b.emit(Instr::Sub(ACC, ZERO, ACC)),
+                    UnOp::Not => self.b.emit(Instr::Seq(ACC, ACC, ZERO)),
+                    UnOp::BitNot => self.b.emit(Instr::Xori(ACC, ACC, -1)),
+                }
+                Ok(())
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                self.expr(lhs, ctx)?;
+                self.push(ACC);
+                self.expr(rhs, ctx)?;
+                self.pop(TMP); // TMP = lhs, ACC = rhs
+                use Instr::*;
+                match op {
+                    BinOp::Add => self.b.emit(Add(ACC, TMP, ACC)),
+                    BinOp::Sub => self.b.emit(Sub(ACC, TMP, ACC)),
+                    BinOp::Mul => self.b.emit(Mul(ACC, TMP, ACC)),
+                    BinOp::Div => self.b.emit(Div(ACC, TMP, ACC)),
+                    BinOp::Rem => self.b.emit(Rem(ACC, TMP, ACC)),
+                    BinOp::BitAnd => self.b.emit(And(ACC, TMP, ACC)),
+                    BinOp::BitOr => self.b.emit(Or(ACC, TMP, ACC)),
+                    BinOp::BitXor => self.b.emit(Xor(ACC, TMP, ACC)),
+                    BinOp::Shl => self.b.emit(Sll(ACC, TMP, ACC)),
+                    BinOp::Shr => self.b.emit(Sra(ACC, TMP, ACC)),
+                    BinOp::Lt => self.b.emit(Slt(ACC, TMP, ACC)),
+                    BinOp::Gt => self.b.emit(Slt(ACC, ACC, TMP)),
+                    BinOp::Le => {
+                        self.b.emit(Slt(ACC, ACC, TMP));
+                        self.b.emit(Xori(ACC, ACC, 1));
+                    }
+                    BinOp::Ge => {
+                        self.b.emit(Slt(ACC, TMP, ACC));
+                        self.b.emit(Xori(ACC, ACC, 1));
+                    }
+                    BinOp::Eq => self.b.emit(Seq(ACC, TMP, ACC)),
+                    BinOp::Ne => {
+                        self.b.emit(Seq(ACC, TMP, ACC));
+                        self.b.emit(Xori(ACC, ACC, 1));
+                    }
+                    BinOp::LAnd => {
+                        self.b.emit(Seq(TMP, TMP, ZERO));
+                        self.b.emit(Xori(TMP, TMP, 1));
+                        self.b.emit(Seq(ACC, ACC, ZERO));
+                        self.b.emit(Xori(ACC, ACC, 1));
+                        self.b.emit(And(ACC, TMP, ACC));
+                    }
+                    BinOp::LOr => {
+                        self.b.emit(Or(ACC, TMP, ACC));
+                        self.b.emit(Seq(ACC, ACC, ZERO));
+                        self.b.emit(Xori(ACC, ACC, 1));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn collect_locals(
+    stmts: &[Stmt],
+    slots: &mut HashMap<String, Slot>,
+    next_word: &mut usize,
+    line: u32,
+) -> Result<(), CompileError> {
+    for s in stmts {
+        match s {
+            Stmt::DeclScalar(name, _) => {
+                *next_word += 1;
+                let off = -4 * *next_word as i32;
+                if slots.insert(name.clone(), Slot::Local(off)).is_some() {
+                    return Err(CompileError::new(
+                        line,
+                        format!("duplicate local '{name}' (minic has function-level scope)"),
+                    ));
+                }
+            }
+            Stmt::DeclArray(name, n) => {
+                *next_word += n;
+                let off = -4 * *next_word as i32;
+                if slots.insert(name.clone(), Slot::LocalArray(off)).is_some() {
+                    return Err(CompileError::new(
+                        line,
+                        format!("duplicate local '{name}' (minic has function-level scope)"),
+                    ));
+                }
+            }
+            Stmt::Block(inner) => collect_locals(inner, slots, next_word, line)?,
+            Stmt::If(_, t, e) => {
+                collect_locals(std::slice::from_ref(t), slots, next_word, line)?;
+                if let Some(e) = e {
+                    collect_locals(std::slice::from_ref(e), slots, next_word, line)?;
+                }
+            }
+            Stmt::While(_, b) => collect_locals(std::slice::from_ref(b), slots, next_word, line)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}

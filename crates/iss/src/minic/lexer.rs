@@ -1,0 +1,292 @@
+//! Tokenizer for the `minic` language.
+
+use std::fmt;
+
+use super::CompileError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// `int`
+    KwInt,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Num(i32),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token plus its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1_u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(start_line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| CompileError::new(line, format!("bad number '{text}'")))?;
+                if n > i64::from(i32::MAX) {
+                    return Err(CompileError::new(line, format!("number '{text}' overflows int")));
+                }
+                out.push(Spanned {
+                    tok: Tok::Num(n as i32),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "int" => Tok::KwInt,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, len) = match two {
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        '[' => (Tok::LBracket, 1),
+                        ']' => (Tok::RBracket, 1),
+                        ';' => (Tok::Semi, 1),
+                        ',' => (Tok::Comma, 1),
+                        '=' => (Tok::Assign, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        '&' => (Tok::Amp, 1),
+                        '|' => (Tok::Pipe, 1),
+                        '^' => (Tok::Caret, 1),
+                        '!' => (Tok::Bang, 1),
+                        '~' => (Tok::Tilde, 1),
+                        _ => {
+                            return Err(CompileError::new(line, format!("unexpected character '{c}'")))
+                        }
+                    },
+                };
+                out.push(Spanned { tok, line });
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("int foo if2 return"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::Ident("if2".into()),
+                Tok::KwReturn
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        assert_eq!(
+            toks("x = 42 << 2 >= 3;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(42),
+                Tok::Shl,
+                Tok::Num(2),
+                Tok::Ge,
+                Tok::Num(3),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let spanned = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(spanned.len(), 2);
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 3);
+    }
+
+    #[test]
+    fn bad_character_reports_line() {
+        let err = lex("a\n@").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn overflowing_number_rejected() {
+        assert!(lex("99999999999").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(lex("/* nope").is_err());
+    }
+}

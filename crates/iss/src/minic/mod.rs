@@ -1,0 +1,292 @@
+//! `minic`: a small C-like language compiled to the reference ISA.
+//!
+//! The paper's Table 1 compares the estimation library against an ISS
+//! running *compiled* benchmark code. To make that comparison honest, this
+//! module provides a real (if small) compiler so every benchmark's ISS
+//! variant is generated from source with realistic `-O0`-style instruction
+//! mixes, rather than hand-tuned assembly.
+//!
+//! # Language
+//!
+//! * One type: `int` (32-bit, wrapping).
+//! * Globals (with optional scalar / `{…}` array initializers), functions,
+//!   parameters, local scalars and arrays (function-level scope).
+//! * `if`/`else`, `while`, `for`, `return`; expressions with C precedence.
+//! * Arrays decay to pointers when passed as arguments; `p[i]` works on
+//!   such pointer parameters.
+//! * **Divergence from C:** `&&` and `||` evaluate *both* operands (no
+//!   short-circuit). Benchmarks avoid relying on short-circuit behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use scperf_iss::minic;
+//! use scperf_iss::Machine;
+//!
+//! let compiled = minic::compile(
+//!     "int result;\n\
+//!      int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n\
+//!      int main() { result = fib(10); return 0; }",
+//! )?;
+//! let mut m = Machine::new(1 << 20);
+//! m.load(&compiled.program);
+//! m.run(10_000_000).expect("runs to completion");
+//! assert_eq!(m.read_word(compiled.global("result")), 55);
+//! # Ok::<(), scperf_iss::minic::CompileError>(())
+//! ```
+
+mod ast;
+mod codegen;
+mod lexer;
+mod parser;
+
+use std::fmt;
+
+pub use ast::{BinOp, Expr, Function, Global, Stmt, UnOp, Unit};
+pub use codegen::{Compiled, GLOBALS_BASE};
+
+/// A compilation diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line (0 when not attributable).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Parses `src` into an AST.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with the offending line on lexical or
+/// syntactic errors.
+pub fn parse(src: &str) -> Result<Unit, CompileError> {
+    let toks = lexer::lex(src)?;
+    parser::Parser::new(toks).unit()
+}
+
+/// Compiles `src` to an executable [`Compiled`] program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on parse errors, undefined or duplicate
+/// symbols, or arity mismatches.
+pub fn compile(src: &str) -> Result<Compiled, CompileError> {
+    let unit = parse(src)?;
+    codegen::CodeGen::compile(&unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    /// Compiles and runs `src`, returning the machine for inspection.
+    fn run(src: &str) -> (Machine, Compiled) {
+        let compiled = compile(src).expect("compiles");
+        let mut m = Machine::new(1 << 20);
+        m.load(&compiled.program);
+        m.run(200_000_000).expect("runs");
+        (m, compiled)
+    }
+
+    fn result_of(src: &str) -> i32 {
+        let (m, c) = run(src);
+        m.read_word(c.global("result"))
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let r = result_of("int result; int main() { result = 2 + 3 * 4 - 10 / 2; return 0; }");
+        assert_eq!(r, 9);
+    }
+
+    #[test]
+    #[allow(clippy::identity_op)]
+    fn comparisons_and_logic() {
+        let r = result_of(
+            "int result;\n\
+             int main() {\n\
+               result = (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (4 == 4) + (4 != 4)\n\
+                      + (1 && 0) + (1 || 0) + !5 + !0;\n\
+               return 0;\n\
+             }",
+        );
+        assert_eq!(r, 1 + 1 + 1 + 0 + 1 + 0 + 0 + 1 + 0 + 1);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let r = result_of(
+            "int result; int main() { result = ((12 & 10) | (1 ^ 3)) + (1 << 4) + (-8 >> 1) + ~0; return 0; }",
+        );
+        assert_eq!(r, ((12 & 10) | (1 ^ 3)) + (1 << 4) + (-8 >> 1) + !0);
+    }
+
+    #[test]
+    fn while_and_for_loops() {
+        let r = result_of(
+            "int result;\n\
+             int main() {\n\
+               int i; int acc = 0;\n\
+               for (i = 0; i < 10; i = i + 1) acc = acc + i;\n\
+               while (acc > 40) acc = acc - 1;\n\
+               result = acc;\n\
+               return 0;\n\
+             }",
+        );
+        assert_eq!(r, 40);
+    }
+
+    #[test]
+    fn recursion_fib() {
+        let r = result_of(
+            "int result;\n\
+             int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n\
+             int main() { result = fib(12); return 0; }",
+        );
+        assert_eq!(r, 144);
+    }
+
+    #[test]
+    #[allow(clippy::identity_op)]
+    fn global_arrays_with_initializers() {
+        let r = result_of(
+            "int a[5] = {5, 4, 3, 2, 1};\n\
+             int result;\n\
+             int main() {\n\
+               int i; int acc = 0;\n\
+               for (i = 0; i < 5; i = i + 1) acc = acc + a[i] * i;\n\
+               result = acc;\n\
+               return 0;\n\
+             }",
+        );
+        assert_eq!(r, 0 + 4 + 6 + 6 + 4);
+    }
+
+    #[test]
+    #[allow(clippy::identity_op)]
+    fn local_arrays() {
+        let r = result_of(
+            "int result;\n\
+             int main() {\n\
+               int a[4];\n\
+               int i;\n\
+               for (i = 0; i < 4; i = i + 1) a[i] = i * i;\n\
+               result = a[0] + a[1] + a[2] + a[3];\n\
+               return 0;\n\
+             }",
+        );
+        assert_eq!(r, 0 + 1 + 4 + 9);
+    }
+
+    #[test]
+    fn arrays_decay_to_pointers_in_calls() {
+        let r = result_of(
+            "int data[4] = {3, 1, 4, 1};\n\
+             int result;\n\
+             int sum(int p, int n) {\n\
+               int i; int acc = 0;\n\
+               for (i = 0; i < n; i = i + 1) acc = acc + p[i];\n\
+               return acc;\n\
+             }\n\
+             int main() { result = sum(data, 4); return 0; }",
+        );
+        assert_eq!(r, 9);
+    }
+
+    #[test]
+    fn local_array_passed_by_pointer_is_mutable() {
+        let r = result_of(
+            "int result;\n\
+             int fill(int p, int n) {\n\
+               int i;\n\
+               for (i = 0; i < n; i = i + 1) p[i] = i + 1;\n\
+               return 0;\n\
+             }\n\
+             int main() {\n\
+               int buf[3];\n\
+               fill(buf, 3);\n\
+               result = buf[0] * 100 + buf[1] * 10 + buf[2];\n\
+               return 0;\n\
+             }",
+        );
+        assert_eq!(r, 123);
+    }
+
+    #[test]
+    fn nested_calls_preserve_frames() {
+        let r = result_of(
+            "int result;\n\
+             int add3(int a, int b, int c) { return a + b + c; }\n\
+             int twice(int x) { return add3(x, x, 0); }\n\
+             int main() { result = add3(twice(1), twice(2), twice(3)); return 0; }",
+        );
+        assert_eq!(r, 12);
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let r = result_of(
+            "int counter;\n\
+             int result;\n\
+             int tick() { counter = counter + 1; return counter; }\n\
+             int main() { tick(); tick(); tick(); result = counter; return 0; }",
+        );
+        assert_eq!(r, 3);
+    }
+
+    #[test]
+    fn undefined_symbols_are_errors() {
+        assert!(compile("int main() { return nope; }").is_err());
+        assert!(compile("int main() { return f(1); }").is_err());
+        assert!(compile("int f(int a) { return a; } int main() { return f(1, 2); }").is_err());
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let err = compile("int f() { return 1; }").unwrap_err();
+        assert!(err.message.contains("main"));
+    }
+
+    #[test]
+    fn duplicate_symbols_are_errors() {
+        assert!(compile("int g; int g; int main() { return 0; }").is_err());
+        assert!(compile("int f() { return 0; } int f() { return 1; } int main() { return 0; }").is_err());
+        assert!(compile("int main() { int x; int x; return 0; }").is_err());
+    }
+
+    #[test]
+    fn modulo_and_division_semantics() {
+        let r = result_of(
+            "int result; int main() { result = (17 % 5) * 100 + (-17 / 5) * -1; return 0; }",
+        );
+        // C semantics: trunc toward zero.
+        assert_eq!(r, 2 * 100 + 3);
+    }
+
+    #[test]
+    fn deep_expression_stack() {
+        let r = result_of(
+            "int result; int main() { result = ((((1+2)*(3+4))+((5+6)*(7+8)))*((1+1)*(2+2))); return 0; }",
+        );
+        assert_eq!(r, ((1 + 2) * (3 + 4) + (5 + 6) * (7 + 8)) * ((1 + 1) * (2 + 2)));
+    }
+}

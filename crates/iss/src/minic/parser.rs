@@ -1,0 +1,482 @@
+//! Recursive-descent parser for `minic`.
+
+use super::ast::{BinOp, Expr, Function, Global, Stmt, UnOp, Unit};
+use super::lexer::{Spanned, Tok};
+use super::CompileError;
+
+pub(crate) struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(toks: Vec<Spanned>) -> Parser {
+        Parser { toks, pos: 0 }
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {t}, found {}",
+                self.peek().map_or("end of input".to_owned(), |p| p.to_string())
+            )))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(CompileError::new(
+                line,
+                format!(
+                    "expected identifier, found {}",
+                    other.map_or("end of input".to_owned(), |t| t.to_string())
+                ),
+            )),
+        }
+    }
+
+    fn num(&mut self) -> Result<i32, CompileError> {
+        // Allow a leading minus in constant initializers.
+        let neg = self.eat(&Tok::Minus);
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(if neg { n.wrapping_neg() } else { n }),
+            other => Err(CompileError::new(
+                line,
+                format!(
+                    "expected number, found {}",
+                    other.map_or("end of input".to_owned(), |t| t.to_string())
+                ),
+            )),
+        }
+    }
+
+    pub(crate) fn unit(&mut self) -> Result<Unit, CompileError> {
+        let mut unit = Unit::default();
+        while self.peek().is_some() {
+            self.expect(&Tok::KwInt)?;
+            let name = self.ident()?;
+            if self.peek() == Some(&Tok::LParen) {
+                unit.functions.push(self.function(name)?);
+            } else {
+                unit.globals.push(self.global(name)?);
+            }
+        }
+        Ok(unit)
+    }
+
+    fn global(&mut self, name: String) -> Result<Global, CompileError> {
+        if self.eat(&Tok::LBracket) {
+            let n = self.num()?;
+            if n <= 0 {
+                return Err(self.err("array size must be positive"));
+            }
+            self.expect(&Tok::RBracket)?;
+            let mut init = Vec::new();
+            if self.eat(&Tok::Assign) {
+                self.expect(&Tok::LBrace)?;
+                loop {
+                    init.push(self.num()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                if init.len() > n as usize {
+                    return Err(self.err("too many initializers"));
+                }
+            }
+            self.expect(&Tok::Semi)?;
+            Ok(Global::Array(name, n as usize, init))
+        } else {
+            let v = if self.eat(&Tok::Assign) { self.num()? } else { 0 };
+            self.expect(&Tok::Semi)?;
+            Ok(Global::Scalar(name, v))
+        }
+    }
+
+    fn function(&mut self, name: String) -> Result<Function, CompileError> {
+        let line = self.line();
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                self.expect(&Tok::KwInt)?;
+                params.push(self.ident()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        self.expect(&Tok::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            body.push(self.stmt()?);
+        }
+        Ok(Function {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek() {
+            Some(Tok::LBrace) => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while !self.eat(&Tok::RBrace) {
+                    stmts.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            Some(Tok::KwInt) => {
+                self.bump();
+                let name = self.ident()?;
+                if self.eat(&Tok::LBracket) {
+                    let n = self.num()?;
+                    if n <= 0 {
+                        return Err(self.err("array size must be positive"));
+                    }
+                    self.expect(&Tok::RBracket)?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::DeclArray(name, n as usize))
+                } else {
+                    let init = if self.eat(&Tok::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::DeclScalar(name, init))
+                }
+            }
+            Some(Tok::KwIf) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then = Box::new(self.stmt()?);
+                let els = if self.eat(&Tok::KwElse) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Some(Tok::KwWhile) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Stmt::While(cond, Box::new(self.stmt()?)))
+            }
+            Some(Tok::KwFor) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.simple_stmt()?)
+                };
+                self.expect(&Tok::Semi)?;
+                let cond = if self.peek() == Some(&Tok::Semi) {
+                    Expr::Num(1)
+                } else {
+                    self.expr()?
+                };
+                self.expect(&Tok::Semi)?;
+                let step = if self.peek() == Some(&Tok::RParen) {
+                    None
+                } else {
+                    Some(self.simple_stmt()?)
+                };
+                self.expect(&Tok::RParen)?;
+                let body = self.stmt()?;
+                // Desugar: { init; while (cond) { body; step; } }
+                let mut inner = vec![body];
+                if let Some(s) = step {
+                    inner.push(s);
+                }
+                let mut outer = Vec::new();
+                if let Some(s) = init {
+                    outer.push(s);
+                }
+                outer.push(Stmt::While(cond, Box::new(Stmt::Block(inner))));
+                Ok(Stmt::Block(outer))
+            }
+            Some(Tok::KwReturn) => {
+                self.bump();
+                let e = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// An assignment or bare expression (no trailing semicolon).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        // Lookahead: ident '=' …, ident '[' … ']' '=' …, else expression.
+        if let (Some(Tok::Ident(_)), Some(next)) = (self.peek(), self.peek2()) {
+            match next {
+                Tok::Assign => {
+                    let name = self.ident()?;
+                    self.bump(); // '='
+                    return Ok(Stmt::Assign(name, self.expr()?));
+                }
+                Tok::LBracket => {
+                    // Could be `a[i] = e` or the expression `a[i]`.
+                    let save = self.pos;
+                    let name = self.ident()?;
+                    self.bump(); // '['
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    if self.eat(&Tok::Assign) {
+                        return Ok(Stmt::AssignIndex(name, idx, self.expr()?));
+                    }
+                    self.pos = save;
+                }
+                _ => {}
+            }
+        }
+        Ok(Stmt::ExprStmt(self.expr()?))
+    }
+
+    pub(crate) fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = self.peek().and_then(bin_op) {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Some(Tok::Tilde) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match self.peek() {
+                Some(Tok::LParen) => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    Ok(Expr::Call(name, args))
+                }
+                Some(Tok::LBracket) => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                }
+                _ => Ok(Expr::Var(name)),
+            },
+            other => Err(CompileError::new(
+                line,
+                format!(
+                    "expected expression, found {}",
+                    other.map_or("end of input".to_owned(), |t| t.to_string())
+                ),
+            )),
+        }
+    }
+}
+
+/// Operator → (AST op, precedence). Higher binds tighter.
+fn bin_op(tok: &Tok) -> Option<(BinOp, u8)> {
+    Some(match tok {
+        Tok::OrOr => (BinOp::LOr, 1),
+        Tok::AndAnd => (BinOp::LAnd, 2),
+        Tok::Pipe => (BinOp::BitOr, 3),
+        Tok::Caret => (BinOp::BitXor, 4),
+        Tok::Amp => (BinOp::BitAnd, 5),
+        Tok::EqEq => (BinOp::Eq, 6),
+        Tok::Ne => (BinOp::Ne, 6),
+        Tok::Lt => (BinOp::Lt, 7),
+        Tok::Le => (BinOp::Le, 7),
+        Tok::Gt => (BinOp::Gt, 7),
+        Tok::Ge => (BinOp::Ge, 7),
+        Tok::Shl => (BinOp::Shl, 8),
+        Tok::Shr => (BinOp::Shr, 8),
+        Tok::Plus => (BinOp::Add, 9),
+        Tok::Minus => (BinOp::Sub, 9),
+        Tok::Star => (BinOp::Mul, 10),
+        Tok::Slash => (BinOp::Div, 10),
+        Tok::Percent => (BinOp::Rem, 10),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn parse(src: &str) -> Unit {
+        Parser::new(lex(src).unwrap()).unit().unwrap()
+    }
+
+    fn parse_expr(src: &str) -> Expr {
+        Parser::new(lex(src).unwrap()).expr().unwrap()
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let e = parse_expr("1 + 2 * 3");
+        match e {
+            Expr::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // a < b == c parses as (a < b) == c
+        let e = parse_expr("a < b == c");
+        assert!(matches!(e, Expr::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn unary_binds_tightest() {
+        let e = parse_expr("-a * b");
+        match e {
+            Expr::Binary(BinOp::Mul, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Unary(UnOp::Neg, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_unit_parses() {
+        let u = parse(
+            "int g = 3;\n\
+             int a[4] = {1, 2, 3, 4};\n\
+             int add(int x, int y) { return x + y; }\n\
+             int main() {\n\
+               int i;\n\
+               int acc = 0;\n\
+               for (i = 0; i < 4; i = i + 1) { acc = acc + a[i]; }\n\
+               if (acc > 5) { g = acc; } else g = 0;\n\
+               while (g > 0) g = g - 1;\n\
+               return add(acc, g);\n\
+             }",
+        );
+        assert_eq!(u.globals.len(), 2);
+        assert_eq!(u.functions.len(), 2);
+        assert_eq!(u.functions[1].name, "main");
+    }
+
+    #[test]
+    fn for_desugars_to_while() {
+        let u = parse("int main() { int i; for (i = 0; i < 3; i = i + 1) {} return i; }");
+        let body = &u.functions[0].body;
+        // DeclScalar, Block[Assign, While], Return
+        assert!(matches!(&body[1], Stmt::Block(inner)
+            if matches!(inner.as_slice(), [Stmt::Assign(..), Stmt::While(..)])));
+    }
+
+    #[test]
+    fn array_store_vs_expression_disambiguation() {
+        let u = parse("int a[2]; int main() { a[0] = 1; return a[0]; }");
+        assert!(matches!(&u.functions[0].body[0], Stmt::AssignIndex(..)));
+    }
+
+    #[test]
+    fn negative_global_initializer() {
+        let u = parse("int g = -7; int main() { return g; }");
+        assert_eq!(u.globals[0], Global::Scalar("g".into(), -7));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let toks = lex("int main() {\n  return 1 +;\n}").unwrap();
+        let err = Parser::new(toks).unit().unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

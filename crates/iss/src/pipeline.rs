@@ -1,0 +1,454 @@
+//! Cycle-stepped five-stage pipeline timing model.
+//!
+//! [`Machine::run`](crate::Machine::run) charges a per-instruction cost and
+//! is fast — a functional simulator with cost annotation. The paper's
+//! reference, however, was "an OpenRISC *architectural* simulator modified
+//! to supply cycle accurate estimations": a model that steps the
+//! micro-architecture cycle by cycle. [`Machine::run_pipelined`] is that
+//! model: a scalar in-order five-stage pipeline (IF, ID, EX, MEM, WB) with
+//!
+//! * full forwarding, so the only data hazard is the **load-use** stall
+//!   (one bubble),
+//! * multi-cycle execute for multiply/divide (structural stall),
+//! * branches resolved in EX — taken branches flush two fetch slots;
+//!   unconditional jumps resolve in ID and flush one,
+//! * instruction- and data-cache stalls when the caches are enabled.
+//!
+//! Architectural state changes are applied in program order when an
+//! instruction enters EX (wrong-path instructions are never fetched, so no
+//! squash logic is needed); the pipeline machinery models *time* only.
+
+use crate::cache::Cache;
+use crate::isa::{Instr, Reg};
+use crate::machine::{IssError, Machine, RunStats};
+
+/// Per-class execute-stage occupancies and penalties of the pipeline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// EX cycles for a multiply.
+    pub mul_ex_cycles: u64,
+    /// EX cycles for a divide/remainder.
+    pub div_ex_cycles: u64,
+    /// Fetch slots flushed by a taken branch (resolved in EX).
+    pub branch_flush: u64,
+    /// Fetch slots flushed by an unconditional jump (resolved in ID).
+    pub jump_flush: u64,
+    /// Bubbles inserted between a load and an immediately dependent
+    /// consumer.
+    pub load_use_stall: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            mul_ex_cycles: 3,
+            div_ex_cycles: 33,
+            branch_flush: 2,
+            jump_flush: 1,
+            load_use_stall: 1,
+        }
+    }
+}
+
+/// What occupies a pipeline stage.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    instr: Instr,
+    /// Remaining cycles in the current stage (0 = ready to advance).
+    remaining: u64,
+    /// Destination register (for load-use detection), if any.
+    dest: Option<Reg>,
+    /// `true` for loads (load-use hazard source).
+    is_load: bool,
+    /// Effective byte address of a memory instruction, captured at
+    /// dispatch (register values may change afterwards).
+    mem_addr: Option<u32>,
+}
+
+fn dest_of(instr: &Instr) -> Option<Reg> {
+    use Instr::*;
+    match *instr {
+        Add(d, ..) | Sub(d, ..) | Mul(d, ..) | Div(d, ..) | Rem(d, ..) | And(d, ..)
+        | Or(d, ..) | Xor(d, ..) | Sll(d, ..) | Srl(d, ..) | Sra(d, ..) | Slt(d, ..)
+        | Seq(d, ..) | Addi(d, ..) | Andi(d, ..) | Ori(d, ..) | Xori(d, ..) | Slli(d, ..)
+        | Srli(d, ..) | Srai(d, ..) | Slti(d, ..) | Li(d, ..) | Lw(d, ..) | Lb(d, ..)
+        | Lbu(d, ..) => Some(d),
+        _ => None,
+    }
+}
+
+fn sources_of(instr: &Instr) -> [Option<Reg>; 2] {
+    use Instr::*;
+    match *instr {
+        Add(_, s, t) | Sub(_, s, t) | Mul(_, s, t) | Div(_, s, t) | Rem(_, s, t)
+        | And(_, s, t) | Or(_, s, t) | Xor(_, s, t) | Sll(_, s, t) | Srl(_, s, t)
+        | Sra(_, s, t) | Slt(_, s, t) | Seq(_, s, t) => [Some(s), Some(t)],
+        Addi(_, s, _) | Andi(_, s, _) | Ori(_, s, _) | Xori(_, s, _) | Slli(_, s, _)
+        | Srli(_, s, _) | Srai(_, s, _) | Slti(_, s, _) | Lw(_, s, _) | Lb(_, s, _)
+        | Lbu(_, s, _) => [Some(s), None],
+        Sw(t, b, _) | Sb(t, b, _) => [Some(t), Some(b)],
+        Beq(s, t, _) | Bne(s, t, _) | Blt(s, t, _) | Bge(s, t, _) => [Some(s), Some(t)],
+        Jalr(s) => [Some(s), None],
+        Li(..) | J(_) | Jal(_) | Halt => [None, None],
+    }
+}
+
+impl Machine {
+    /// Runs the loaded program on the cycle-stepped pipeline model until
+    /// `Halt` retires. Returns statistics whose `cycles` field counts
+    /// *pipeline cycles* (including every stall and flush).
+    ///
+    /// # Errors
+    ///
+    /// The same error conditions as [`Machine::run`], plus
+    /// [`IssError::StepLimit`] when `max_cycles` elapses first.
+    pub fn run_pipelined(&mut self, max_cycles: u64) -> Result<RunStats, IssError> {
+        self.run_pipelined_with(max_cycles, PipelineConfig::default())
+    }
+
+    /// [`Machine::run_pipelined`] with an explicit pipeline configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run_pipelined`].
+    pub fn run_pipelined_with(
+        &mut self,
+        max_cycles: u64,
+        cfg: PipelineConfig,
+    ) -> Result<RunStats, IssError> {
+        let mut stats = RunStats::default();
+        // Stage latches, youngest first: [IF/ID, ID/EX, EX/MEM, MEM/WB].
+        let mut if_id: Option<InFlight> = None;
+        let mut id_ex: Option<InFlight> = None;
+        let mut ex_mem: Option<InFlight> = None;
+        let mut mem_wb: Option<InFlight> = None;
+        // The IF stage's own state: cycles until the current fetch
+        // completes (icache miss or post-flush refill).
+        let mut fetch_stall: u64 = 0;
+        let mut halted_retired = false;
+        let mut halt_seen = false; // stop fetching past Halt
+
+        let mut icache = self.take_icache();
+        let mut dcache = self.take_dcache();
+
+        while !halted_retired {
+            if stats.cycles >= max_cycles {
+                self.put_caches(icache, dcache);
+                return Err(IssError::StepLimit { limit: max_cycles });
+            }
+            stats.cycles += 1;
+
+            // ---- WB: retire.
+            if let Some(fl) = mem_wb.take() {
+                if matches!(fl.instr, Instr::Halt) {
+                    halted_retired = true;
+                }
+                stats.instructions += 1;
+            }
+
+            // ---- MEM: perform the (timing-only) cache access.
+            if let Some(mut fl) = ex_mem.take() {
+                if fl.remaining > 0 {
+                    fl.remaining -= 1;
+                    ex_mem = Some(fl);
+                } else {
+                    mem_wb = Some(fl);
+                }
+            }
+
+            // ---- EX.
+            if ex_mem.is_none() {
+                if let Some(mut fl) = id_ex.take() {
+                    if fl.remaining > 0 {
+                        fl.remaining -= 1;
+                        id_ex = Some(fl);
+                    } else {
+                        // Memory timing is charged in MEM.
+                        let mem_cycles = match (&mut dcache, fl.mem_addr) {
+                            (Some(c), Some(addr)) => c.access(addr),
+                            _ => 0,
+                        };
+                        fl.remaining = mem_cycles;
+                        ex_mem = Some(fl);
+                    }
+                }
+            }
+
+            // ---- ID: dispatch to EX, applying architectural effects.
+            if id_ex.is_none() {
+                if let Some(fl) = if_id {
+                    // Load-use hazard: consumer in ID, load in EX/MEM not
+                    // yet past MEM.
+                    let load_hazard = [&ex_mem]
+                        .iter()
+                        .filter_map(|s| s.as_ref())
+                        .any(|older| {
+                            older.is_load
+                                && older.dest.is_some_and(|d| {
+                                    sources_of(&fl.instr).iter().flatten().any(|&s| s == d)
+                                })
+                        });
+                    if !load_hazard {
+                        if_id = None;
+                        // Capture the memory address before the effect can
+                        // overwrite the base register (e.g. `lw r4, 0(r4)`).
+                        let mem_addr = self.effective_address(&fl.instr);
+                        // Execute architectural effect now (in order).
+                        let pc_before = self.pc();
+                        let mut sub = RunStats::default();
+                        if let Err(e) = self.step(&mut sub) {
+                            self.put_caches(icache, dcache);
+                            return Err(e);
+                        }
+                        stats.branches_taken += sub.branches_taken;
+                        let taken_or_jump = self.pc() != pc_before + 1;
+                        let ex_cycles = match fl.instr {
+                            Instr::Mul(..) => cfg.mul_ex_cycles,
+                            Instr::Div(..) | Instr::Rem(..) => cfg.div_ex_cycles,
+                            _ => 1,
+                        };
+                        id_ex = Some(InFlight {
+                            remaining: ex_cycles - 1,
+                            mem_addr,
+                            ..fl
+                        });
+                        // Control flow: flush the fetch stream.
+                        #[allow(clippy::collapsible_match)]
+                        match fl.instr {
+                            Instr::J(_) | Instr::Jal(_) | Instr::Jalr(_) => {
+                                fetch_stall = fetch_stall.max(cfg.jump_flush);
+                                halt_seen = false;
+                            }
+                            Instr::Beq(..) | Instr::Bne(..) | Instr::Blt(..)
+                            | Instr::Bge(..) => {
+                                if taken_or_jump {
+                                    fetch_stall = fetch_stall.max(cfg.branch_flush);
+                                    halt_seen = false;
+                                }
+                            }
+                            _ => {}
+                        }
+                    } else {
+                        // Bubble: ID holds, EX gets nothing.
+                        let _ = cfg.load_use_stall; // modelled by the held cycle(s)
+                    }
+                }
+            }
+
+            // ---- IF: fetch the next (correct-path) instruction.
+            if if_id.is_none() && !halt_seen {
+                if fetch_stall > 0 {
+                    fetch_stall -= 1;
+                } else {
+                    let pc = self.pc();
+                    let Some(&instr) = self.code_at(pc) else {
+                        self.put_caches(icache, dcache);
+                        return Err(IssError::PcOutOfRange { pc });
+                    };
+                    let icache_extra = icache.as_mut().map_or(0, |c| c.access(pc * 4));
+                    if icache_extra > 0 {
+                        fetch_stall = icache_extra - 1; // this cycle counts
+                    } else {
+                        if_id = Some(InFlight {
+                            instr,
+                            remaining: 0,
+                            dest: dest_of(&instr),
+                            is_load: matches!(
+                                instr,
+                                Instr::Lw(..) | Instr::Lb(..) | Instr::Lbu(..)
+                            ),
+                            mem_addr: None,
+                        });
+                        if matches!(instr, Instr::Halt) {
+                            halt_seen = true;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(c) = &icache {
+            stats.icache_misses = c.misses();
+        }
+        if let Some(c) = &dcache {
+            stats.dcache_misses = c.misses();
+        }
+        self.put_caches(icache, dcache);
+        Ok(stats)
+    }
+}
+
+// Internal accessors the pipeline model needs, kept out of the public API.
+impl Machine {
+    pub(crate) fn take_icache(&mut self) -> Option<Cache> {
+        self.icache_mut().take()
+    }
+
+    pub(crate) fn take_dcache(&mut self) -> Option<Cache> {
+        self.dcache_mut().take()
+    }
+
+    pub(crate) fn put_caches(&mut self, ic: Option<Cache>, dc: Option<Cache>) {
+        *self.icache_mut() = ic;
+        *self.dcache_mut() = dc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::isa::{Program, Target};
+
+    fn pipelined(code: Vec<Instr>) -> (Machine, RunStats) {
+        let mut m = Machine::new(4096);
+        m.load(&Program { code, data: vec![] });
+        let stats = m.run_pipelined(1_000_000).expect("runs");
+        (m, stats)
+    }
+
+    #[test]
+    fn straight_line_code_approaches_cpi_1() {
+        let mut code = vec![Instr::Li(Reg(9), 0)];
+        for _ in 0..100 {
+            code.push(Instr::Addi(Reg(9), Reg(9), 1));
+        }
+        code.push(Instr::Halt);
+        let (m, stats) = pipelined(code);
+        assert_eq!(m.reg(Reg(9)), 100);
+        // 102 instructions + 4 cycles of pipeline fill.
+        assert_eq!(stats.instructions, 102);
+        assert!(stats.cycles >= 102 && stats.cycles <= 110, "{}", stats.cycles);
+    }
+
+    #[test]
+    fn results_match_functional_model() {
+        // The same program must compute identical architectural state
+        // under both timing models.
+        let code = vec![
+            Instr::Li(Reg(10), 10),
+            Instr::Li(Reg(11), 0),
+            Instr::Add(Reg(11), Reg(11), Reg(10)), // 2:
+            Instr::Addi(Reg(10), Reg(10), -1),
+            Instr::Bne(Reg(10), Reg::ZERO, Target(2)),
+            Instr::Mul(Reg(12), Reg(11), Reg(11)),
+            Instr::Halt,
+        ];
+        let (m1, s1) = pipelined(code.clone());
+        let mut m2 = Machine::new(4096);
+        m2.load(&Program { code, data: vec![] });
+        let s2 = m2.run(1_000_000).unwrap();
+        assert_eq!(m1.reg(Reg(11)), m2.reg(Reg(11)));
+        assert_eq!(m1.reg(Reg(12)), 55 * 55);
+        assert_eq!(s1.instructions, s2.instructions);
+        assert_eq!(s1.branches_taken, s2.branches_taken);
+    }
+
+    #[test]
+    fn taken_branches_cost_flush_cycles() {
+        // Loop of 50 taken branches vs equivalent straight-line adds.
+        let mut loop_code = vec![Instr::Li(Reg(9), 50)];
+        loop_code.push(Instr::Addi(Reg(9), Reg(9), -1)); // 1:
+        loop_code.push(Instr::Bne(Reg(9), Reg::ZERO, Target(1)));
+        loop_code.push(Instr::Halt);
+        let (_, looped) = pipelined(loop_code);
+        // Each taken branch adds ~branch_flush cycles of refetch.
+        let expected_min = looped.instructions + 49 * 2;
+        assert!(
+            looped.cycles >= expected_min,
+            "{} < {expected_min}",
+            looped.cycles
+        );
+    }
+
+    #[test]
+    fn load_use_inserts_a_bubble() {
+        let dependent = vec![
+            Instr::Sw(Reg::ZERO, Reg::ZERO, 64),
+            Instr::Lw(Reg(9), Reg::ZERO, 64),
+            Instr::Addi(Reg(10), Reg(9), 1), // immediately uses the load
+            Instr::Halt,
+        ];
+        let independent = vec![
+            Instr::Sw(Reg::ZERO, Reg::ZERO, 64),
+            Instr::Lw(Reg(9), Reg::ZERO, 64),
+            Instr::Addi(Reg(10), Reg(11), 1), // no dependence
+            Instr::Halt,
+        ];
+        let (_, dep) = pipelined(dependent);
+        let (_, indep) = pipelined(independent);
+        assert!(dep.cycles > indep.cycles, "{} <= {}", dep.cycles, indep.cycles);
+    }
+
+    #[test]
+    fn multicycle_divide_stalls() {
+        let with_div = vec![
+            Instr::Li(Reg(9), 100),
+            Instr::Li(Reg(10), 7),
+            Instr::Div(Reg(11), Reg(9), Reg(10)),
+            Instr::Halt,
+        ];
+        let with_add = vec![
+            Instr::Li(Reg(9), 100),
+            Instr::Li(Reg(10), 7),
+            Instr::Add(Reg(11), Reg(9), Reg(10)),
+            Instr::Halt,
+        ];
+        let (m, div) = pipelined(with_div);
+        let (_, add) = pipelined(with_add);
+        assert_eq!(m.reg(Reg(11)), 14);
+        assert!(div.cycles >= add.cycles + 30);
+    }
+
+    #[test]
+    fn caches_add_pipeline_stalls() {
+        let code: Vec<Instr> = (0..64)
+            .map(|i| Instr::Lw(Reg(9), Reg::ZERO, 64 * i))
+            .chain([Instr::Halt])
+            .collect();
+        let (_, fast) = pipelined(code.clone());
+        let mut m = Machine::new(1 << 16);
+        m.enable_icache(CacheConfig::small());
+        m.enable_dcache(CacheConfig::small());
+        m.load(&Program { code, data: vec![] });
+        let slow = m.run_pipelined(1_000_000).unwrap();
+        assert!(slow.dcache_misses >= 60);
+        assert!(slow.cycles > fast.cycles);
+    }
+
+    #[test]
+    fn minic_program_agrees_across_models() {
+        let compiled = crate::minic::compile(
+            "int result;\n\
+             int main() {\n\
+               int i; int acc = 0;\n\
+               for (i = 0; i < 50; i = i + 1) acc = acc + i * 3;\n\
+               result = acc;\n\
+               return 0;\n\
+             }",
+        )
+        .unwrap();
+        let mut m1 = Machine::new(1 << 20);
+        m1.load(&compiled.program);
+        m1.run(10_000_000).unwrap();
+        let mut m2 = Machine::new(1 << 20);
+        m2.load(&compiled.program);
+        m2.run_pipelined(10_000_000).unwrap();
+        assert_eq!(
+            m1.read_word(compiled.global("result")),
+            m2.read_word(compiled.global("result"))
+        );
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let mut m = Machine::new(64);
+        m.load(&Program {
+            code: vec![Instr::J(Target(0))],
+            data: vec![],
+        });
+        assert_eq!(
+            m.run_pipelined(100),
+            Err(IssError::StepLimit { limit: 100 })
+        );
+    }
+}

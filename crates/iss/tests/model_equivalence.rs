@@ -1,0 +1,140 @@
+//! Property tests: the functional and pipelined timing models are
+//! *architecturally* equivalent — same final registers/memory, same
+//! retired-instruction and taken-branch counts — on randomized programs,
+//! while the pipelined model never reports fewer cycles than instructions.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scperf_iss::{Instr, Machine, Program, Reg, Target};
+
+/// Strategy: a random straight-line program over registers r8..r15 with a
+/// final `Halt`. Loads/stores hit a private scratch region; divisors are
+/// biased away from zero by construction.
+fn arb_program(max_len: usize) -> impl Strategy<Value = Vec<Instr>> {
+    let reg = (8_u8..16).prop_map(Reg);
+    let instr = (0_u8..12, reg.clone(), reg.clone(), reg, -100_i32..100).prop_map(
+        |(kind, d, s, t, imm)| match kind {
+            0 => Instr::Add(d, s, t),
+            1 => Instr::Sub(d, s, t),
+            2 => Instr::Mul(d, s, t),
+            3 => Instr::And(d, s, t),
+            4 => Instr::Or(d, s, t),
+            5 => Instr::Xor(d, s, t),
+            6 => Instr::Slt(d, s, t),
+            7 => Instr::Addi(d, s, imm),
+            8 => Instr::Li(d, imm),
+            9 => Instr::Slli(d, s, (imm.unsigned_abs() % 31) as u8),
+            10 => Instr::Lw(d, Reg::ZERO, 256 + 4 * (imm.unsigned_abs() % 32) as i32),
+            _ => Instr::Sw(s, Reg::ZERO, 256 + 4 * (imm.unsigned_abs() % 32) as i32),
+        },
+    );
+    vec(instr, 1..max_len).prop_map(|mut code| {
+        code.push(Instr::Halt);
+        code
+    })
+}
+
+fn run_both(code: Vec<Instr>) -> (Machine, Machine, scperf_iss::RunStats, scperf_iss::RunStats) {
+    let p = Program { code, data: vec![] };
+    let mut m1 = Machine::new(4096);
+    m1.load(&p);
+    let s1 = m1.run(1_000_000).expect("functional run");
+    let mut m2 = Machine::new(4096);
+    m2.load(&p);
+    let s2 = m2.run_pipelined(10_000_000).expect("pipelined run");
+    (m1, m2, s1, s2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn architectural_state_matches(code in arb_program(60)) {
+        let (m1, m2, s1, s2) = run_both(code);
+        for r in 0..32 {
+            prop_assert_eq!(m1.reg(Reg(r)), m2.reg(Reg(r)), "register r{}", r);
+        }
+        for w in 0..32 {
+            let addr = 256 + 4 * w;
+            prop_assert_eq!(m1.read_word(addr), m2.read_word(addr), "mem {}", addr);
+        }
+        prop_assert_eq!(s1.instructions, s2.instructions);
+        prop_assert_eq!(s1.branches_taken, s2.branches_taken);
+    }
+
+    #[test]
+    fn pipeline_cycles_bound_below_by_instructions(code in arb_program(60)) {
+        let (_, _, _, s2) = run_both(code);
+        prop_assert!(s2.cycles >= s2.instructions);
+        // And bounded above by a generous per-instruction worst case
+        // (div-free programs; Mul occupies EX for 3 cycles, plus the
+        // pipeline fill).
+        prop_assert!(s2.cycles <= 4 * s2.instructions + 10);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomized loop programs also agree (exercising branch paths).
+    #[test]
+    fn loops_agree_between_models(n in 1_i32..60, step in 1_i32..5) {
+        let code = vec![
+            Instr::Li(Reg(10), n),
+            Instr::Li(Reg(11), 0),
+            // 2: acc += i; i -= step; if i > 0 goto 2
+            Instr::Add(Reg(11), Reg(11), Reg(10)),
+            Instr::Li(Reg(12), step),
+            Instr::Sub(Reg(10), Reg(10), Reg(12)),
+            Instr::Blt(Reg::ZERO, Reg(10), Target(2)),
+            Instr::Halt,
+        ];
+        let (m1, m2, s1, s2) = run_both(code);
+        prop_assert_eq!(m1.reg(Reg(11)), m2.reg(Reg(11)));
+        prop_assert_eq!(s1.instructions, s2.instructions);
+        // Taken branches cost strictly more cycles on the pipeline.
+        if s2.branches_taken > 0 {
+            prop_assert!(s2.cycles > s2.instructions);
+        }
+    }
+}
+
+#[test]
+fn random_minic_arithmetic_agrees() {
+    // A deterministic pseudo-random arithmetic expression compiled with
+    // minic, executed on both models, and cross-checked against the
+    // equivalent Rust computation.
+    let src = "int result;\n\
+               int main() {\n\
+                 int a = 17; int b = -9; int c = 5; int acc = 0; int i;\n\
+                 for (i = 0; i < 37; i = i + 1) {\n\
+                   acc = acc + (a * b - c) / (i + 1) + ((a ^ i) & 255);\n\
+                   a = a + 3; b = b - 2; c = (c * 7) % 113;\n\
+                 }\n\
+                 result = acc;\n\
+                 return 0;\n\
+               }";
+    let expected = {
+        let (mut a, mut b, mut c, mut acc) = (17_i32, -9_i32, 5_i32, 0_i32);
+        for i in 0..37 {
+            acc = acc
+                .wrapping_add((a.wrapping_mul(b) - c) / (i + 1))
+                .wrapping_add((a ^ i) & 255);
+            a += 3;
+            b -= 2;
+            c = (c * 7) % 113;
+        }
+        acc
+    };
+    let compiled = scperf_iss::minic::compile(src).unwrap();
+    for pipelined in [false, true] {
+        let mut m = Machine::new(1 << 20);
+        m.load(&compiled.program);
+        if pipelined {
+            m.run_pipelined(10_000_000).unwrap();
+        } else {
+            m.run(10_000_000).unwrap();
+        }
+        assert_eq!(m.read_word(compiled.global("result")), expected);
+    }
+}

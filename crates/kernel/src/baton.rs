@@ -1,0 +1,201 @@
+//! The run-baton used to hand execution back and forth between the
+//! scheduler thread and a process thread.
+//!
+//! Exactly one of {scheduler, some process} runs at any instant, which is
+//! what makes the kernel's cooperative semantics identical to SystemC's
+//! coroutine-based processes even though each process lives on its own OS
+//! thread.
+
+use std::cell::Cell;
+use std::sync::Once;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Where a process thread currently stands in the baton protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RunState {
+    /// Parked: waiting for the scheduler to hand over the baton.
+    Waiting,
+    /// Holds the baton and is executing user code.
+    Running,
+    /// The process function returned or panicked; the thread is exiting.
+    /// Carries the panic message if it panicked.
+    Done(Option<String>),
+    /// The simulator is shutting down; the thread must unwind and exit.
+    Kill,
+}
+
+/// One baton per process; both the scheduler and the process thread hold an
+/// `Arc` to it.
+#[derive(Debug)]
+pub(crate) struct Baton {
+    state: Mutex<RunState>,
+    cv: Condvar,
+}
+
+impl Baton {
+    pub(crate) fn new() -> Baton {
+        Baton {
+            state: Mutex::new(RunState::Waiting),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Scheduler side: hand the baton to the process and block until it
+    /// comes back. Returns the state observed when the baton returned
+    /// (`Waiting` after a yield, `Done` after termination).
+    pub(crate) fn dispatch(&self) -> RunState {
+        let mut st = self.state.lock();
+        debug_assert!(matches!(*st, RunState::Waiting));
+        *st = RunState::Running;
+        self.cv.notify_all();
+        while matches!(*st, RunState::Running) {
+            self.cv.wait(&mut st);
+        }
+        st.clone()
+    }
+
+    /// Process side: give the baton back to the scheduler and block until
+    /// it is handed over again.
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with [`KillToken`] when the simulator is shutting down.
+    pub(crate) fn yield_to_scheduler(&self) {
+        let mut st = self.state.lock();
+        *st = RunState::Waiting;
+        self.cv.notify_all();
+        self.block_until_running(&mut st);
+    }
+
+    /// Process side: initial park before the body has ever run. Returns
+    /// `false` when the thread was killed before ever being dispatched.
+    pub(crate) fn wait_first_dispatch(&self) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            match *st {
+                RunState::Running => return true,
+                RunState::Kill => return false,
+                _ => self.cv.wait(&mut st),
+            }
+        }
+    }
+
+    /// Process side: report termination (normal or panicked) and release
+    /// the baton forever.
+    pub(crate) fn finish(&self, panic_msg: Option<String>) {
+        let mut st = self.state.lock();
+        *st = RunState::Done(panic_msg);
+        self.cv.notify_all();
+    }
+
+    /// Scheduler side: order the thread to unwind. Harmless if the thread
+    /// already finished.
+    pub(crate) fn kill(&self) {
+        let mut st = self.state.lock();
+        if !matches!(*st, RunState::Done(_)) {
+            *st = RunState::Kill;
+        }
+        self.cv.notify_all();
+    }
+
+    fn block_until_running(&self, st: &mut parking_lot::MutexGuard<'_, RunState>) {
+        loop {
+            match **st {
+                RunState::Running => return,
+                RunState::Kill => {
+                    drop_guard_and_unwind();
+                }
+                _ => self.cv.wait(st),
+            }
+        }
+    }
+}
+
+/// Panic payload used to unwind a process thread during simulator teardown.
+/// Never escapes the crate: the thread wrapper catches it.
+pub(crate) struct KillToken;
+
+thread_local! {
+    static SUPPRESS_PANIC_HOOK: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK_INIT: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" report for our internal kill-unwind, while delegating
+/// every genuine panic to the previously installed hook.
+pub(crate) fn install_silent_kill_hook() {
+    HOOK_INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPPRESS_PANIC_HOOK.with(Cell::get) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn drop_guard_and_unwind() -> ! {
+    SUPPRESS_PANIC_HOOK.with(|c| c.set(true));
+    // The MutexGuard on the baton state is dropped by unwinding.
+    std::panic::panic_any(KillToken);
+}
+
+/// Runs after `catch_unwind` on the process thread to re-enable panic
+/// reporting for any later panic on this thread.
+pub(crate) fn clear_panic_suppression() {
+    SUPPRESS_PANIC_HOOK.with(|c| c.set(false));
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn baton_round_trip() {
+        let baton = Arc::new(Baton::new());
+        let b2 = Arc::clone(&baton);
+        let t = thread::spawn(move || {
+            assert!(b2.wait_first_dispatch());
+            b2.yield_to_scheduler();
+            b2.finish(None);
+        });
+        assert_eq!(baton.dispatch(), RunState::Waiting);
+        assert_eq!(baton.dispatch(), RunState::Done(None));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn kill_before_first_dispatch() {
+        let baton = Arc::new(Baton::new());
+        let b2 = Arc::clone(&baton);
+        let t = thread::spawn(move || b2.wait_first_dispatch());
+        baton.kill();
+        assert!(!t.join().unwrap());
+    }
+
+    #[test]
+    fn panic_message_extracts_strings() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(payload.as_ref()), "boom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("bang"));
+        assert_eq!(panic_message(payload.as_ref()), "bang");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
+    }
+}

@@ -1,0 +1,201 @@
+//! Unbuffered synchronous (CSP-style) channel.
+//!
+//! A write completes only when a reader has consumed the value, and a read
+//! completes only when a writer has produced one — the rendezvous of CSP,
+//! one of the models of computation the single-source methodology supports
+//! (Herrera et al., "Modeling of CSP, KPN and SR systems with SystemC").
+//!
+//! The channel is intended for exactly one writer and one reader process.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::Event;
+use crate::process::ProcCtx;
+use crate::sim::Simulator;
+
+struct RendezvousInner<T> {
+    name: String,
+    slot: Mutex<Option<T>>,
+    data_ev: Event,
+    consumed_ev: Event,
+}
+
+/// A cloneable handle to a rendezvous channel. Create with
+/// [`Simulator::rendezvous`].
+pub struct Rendezvous<T> {
+    inner: Arc<RendezvousInner<T>>,
+}
+
+impl<T> Clone for Rendezvous<T> {
+    fn clone(&self) -> Rendezvous<T> {
+        Rendezvous {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Simulator {
+    /// Creates a rendezvous (unbuffered, fully synchronous) channel.
+    pub fn rendezvous<T: Send + std::fmt::Debug + 'static>(
+        &mut self,
+        name: impl Into<String>,
+    ) -> Rendezvous<T> {
+        let name = name.into();
+        let data_ev = self.event(format!("{name}.data"));
+        let consumed_ev = self.event(format!("{name}.consumed"));
+        Rendezvous {
+            inner: Arc::new(RendezvousInner {
+                name,
+                slot: Mutex::new(None),
+                data_ev,
+                consumed_ev,
+            }),
+        }
+    }
+}
+
+impl<T: Send + std::fmt::Debug> Rendezvous<T> {
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Offers `value` and blocks until the reader has consumed it.
+    pub fn write(&self, ctx: &mut ProcCtx, value: T) {
+        // Wait for the slot to be free (a previous offer still pending).
+        let mut value = Some(value);
+        loop {
+            let placed = {
+                let mut slot = self.inner.slot.lock();
+                if slot.is_none() {
+                    let v = value.take().expect("value still pending");
+                    let detail = format!("{}={v:?}", self.inner.name);
+                    *slot = Some(v);
+                    Some(detail)
+                } else {
+                    None
+                }
+            };
+            match placed {
+                Some(detail) => {
+                    let shared = Arc::clone(&ctx.shared);
+                    shared.with_state(|st| {
+                        if st.tracing_enabled() {
+                            st.record_trace(Some(ctx.pid), "rendezvous.write", detail);
+                        }
+                    });
+                    self.inner.data_ev.notify_delta();
+                    break;
+                }
+                None => ctx.wait_event(&self.inner.consumed_ev),
+            }
+        }
+        // Block until the reader takes the value (the rendezvous itself).
+        while self.inner.slot.lock().is_some() {
+            ctx.wait_event(&self.inner.consumed_ev);
+        }
+    }
+
+    /// Blocks until a writer offers a value, consumes it and releases the
+    /// writer.
+    pub fn read(&self, ctx: &mut ProcCtx) -> T {
+        loop {
+            let taken = self.inner.slot.lock().take();
+            match taken {
+                Some(v) => {
+                    let shared = Arc::clone(&ctx.shared);
+                    shared.with_state(|st| {
+                        if st.tracing_enabled() {
+                            st.record_trace(
+                                Some(ctx.pid),
+                                "rendezvous.read",
+                                format!("{}={v:?}", self.inner.name),
+                            );
+                        }
+                    });
+                    self.inner.consumed_ev.notify_delta();
+                    return v;
+                }
+                None => ctx.wait_event(&self.inner.data_ev),
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Rendezvous<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rendezvous")
+            .field("name", &self.inner.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+    use std::sync::mpsc;
+
+    #[test]
+    fn write_blocks_until_read() {
+        let mut sim = Simulator::new();
+        let ch = sim.rendezvous::<u32>("r");
+        let (w, r) = (ch.clone(), ch);
+        let (tx, rx) = mpsc::channel();
+        let tx2 = tx.clone();
+        sim.spawn("w", move |ctx| {
+            w.write(ctx, 11);
+            tx.send(("write done", ctx.now())).unwrap();
+        });
+        sim.spawn("r", move |ctx| {
+            ctx.wait(Time::ns(20));
+            let v = r.read(ctx);
+            tx2.send(("read done", ctx.now())).unwrap();
+            assert_eq!(v, 11);
+        });
+        sim.run().unwrap();
+        let got: Vec<_> = rx.try_iter().collect();
+        // The reader consumes at 20ns; the writer can only complete after.
+        assert_eq!(got[0].0, "read done");
+        assert!(got[1].1 >= Time::ns(20));
+    }
+
+    #[test]
+    fn read_blocks_until_write() {
+        let mut sim = Simulator::new();
+        let ch = sim.rendezvous::<u32>("r");
+        let (w, r) = (ch.clone(), ch);
+        sim.spawn("r", move |ctx| {
+            let v = r.read(ctx);
+            assert_eq!(v, 5);
+            assert!(ctx.now() >= Time::ns(30));
+        });
+        sim.spawn("w", move |ctx| {
+            ctx.wait(Time::ns(30));
+            w.write(ctx, 5);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn repeated_rendezvous_preserves_order() {
+        let mut sim = Simulator::new();
+        let ch = sim.rendezvous::<u32>("r");
+        let (w, r) = (ch.clone(), ch);
+        let (tx, rx) = mpsc::channel();
+        sim.spawn("w", move |ctx| {
+            for i in 0..5 {
+                w.write(ctx, i);
+            }
+        });
+        sim.spawn("r", move |ctx| {
+            for _ in 0..5 {
+                tx.send(r.read(ctx)).unwrap();
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+}

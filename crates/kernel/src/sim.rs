@@ -1,0 +1,517 @@
+//! The simulator: elaboration (spawning processes, creating channels) and
+//! the scheduler loop.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::baton::{
+    clear_panic_suppression, install_silent_kill_hook, panic_message, Baton, KillToken, RunState,
+};
+use crate::event::Event;
+use crate::process::{ProcCtx, ProcId};
+use crate::state::{AdvanceOutcome, ProcMeta, Shared};
+use crate::time::Time;
+use crate::trace::TraceRecord;
+
+/// Why a call to [`Simulator::run`] / [`Simulator::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No runnable processes and no pending notifications remain.
+    EventsExhausted,
+    /// The time limit passed to [`Simulator::run_until`] was reached.
+    TimeLimit,
+}
+
+/// Statistics describing a finished (or paused) simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimSummary {
+    /// Simulation time when the run stopped.
+    pub end_time: Time,
+    /// Total delta cycles executed.
+    pub deltas: u64,
+    /// Total process activations (dispatches).
+    pub activations: u64,
+    /// Why the run stopped.
+    pub reason: StopReason,
+}
+
+/// Errors surfaced by the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A process body panicked; carries the process name and panic message.
+    ProcessPanic {
+        /// Name of the panicking process.
+        process: String,
+        /// Stringified panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ProcessPanic { process, message } => {
+                write!(f, "process '{process}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct ProcHandle {
+    baton: Arc<Baton>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A discrete-event simulator with SystemC semantics.
+///
+/// Elaborate the model by spawning processes ([`Simulator::spawn`]) and
+/// creating channels, then call [`Simulator::run`]. Each process runs on its
+/// own OS thread but the kernel hands out a single run-baton, so execution
+/// is cooperative and deterministic: within a delta cycle, runnable
+/// processes execute in spawn order.
+///
+/// # Examples
+///
+/// ```
+/// use scperf_kernel::{Simulator, Time};
+///
+/// let mut sim = Simulator::new();
+/// let fifo = sim.fifo::<u32>("data", 2);
+/// let (tx, rx) = (fifo.clone(), fifo);
+/// sim.spawn("producer", move |ctx| {
+///     for i in 0..4 {
+///         tx.write(ctx, i);
+///     }
+/// });
+/// sim.spawn("consumer", move |ctx| {
+///     let mut sum = 0;
+///     for _ in 0..4 {
+///         sum += rx.read(ctx);
+///     }
+///     assert_eq!(sum, 6);
+/// });
+/// let summary = sim.run()?;
+/// assert_eq!(summary.end_time, Time::ZERO); // untimed model: all in delta cycles
+/// # Ok::<(), scperf_kernel::SimError>(())
+/// ```
+pub struct Simulator {
+    shared: Arc<Shared>,
+    procs: Vec<ProcHandle>,
+    errored: bool,
+}
+
+impl Simulator {
+    /// Creates an empty simulator.
+    pub fn new() -> Simulator {
+        install_silent_kill_hook();
+        Simulator {
+            shared: Shared::new(),
+            procs: Vec::new(),
+            errored: false,
+        }
+    }
+
+    /// Spawns a process (the analogue of `SC_THREAD`). The body runs when
+    /// the simulation starts and the process terminates when it returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        let name = name.into();
+        let pid = self.shared.with_state(|st| {
+            assert!(
+                !st.started,
+                "processes must be spawned before the simulation starts"
+            );
+            st.procs.push(ProcMeta {
+                name: name.clone(),
+                alive: true,
+            });
+            st.procs.len() - 1
+        });
+        let baton = Arc::new(Baton::new());
+        let mut ctx = ProcCtx {
+            pid,
+            shared: Arc::clone(&self.shared),
+            baton: Arc::clone(&baton),
+        };
+        let thread_baton = Arc::clone(&baton);
+        let thread = std::thread::Builder::new()
+            .name(format!("scperf-proc-{name}"))
+            .spawn(move || {
+                if !thread_baton.wait_first_dispatch() {
+                    return; // killed before ever running
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                clear_panic_suppression();
+                let msg = match result {
+                    Ok(()) => None,
+                    Err(payload) if payload.is::<KillToken>() => return,
+                    Err(payload) => Some(panic_message(payload.as_ref())),
+                };
+                thread_baton.finish(msg);
+            })
+            .expect("failed to spawn process thread");
+        self.procs.push(ProcHandle {
+            baton,
+            thread: Some(thread),
+        });
+        ProcId(pid)
+    }
+
+    /// Creates a named event (for testbench components and channels).
+    pub fn event(&mut self, name: impl Into<String>) -> Event {
+        Event::new(Arc::clone(&self.shared), name)
+    }
+
+    /// Enables trace recording. Call before `run`.
+    pub fn enable_tracing(&mut self) {
+        self.shared.with_state(|st| {
+            if st.trace.is_none() {
+                st.trace = Some(Vec::new());
+            }
+        });
+    }
+
+    /// Takes the recorded trace, leaving an empty buffer in place (when
+    /// tracing is enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.shared
+            .with_state(|st| st.trace.as_mut().map(std::mem::take).unwrap_or_default())
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.shared.with_state(|st| st.now)
+    }
+
+    /// The name of a process.
+    pub fn process_name(&self, pid: ProcId) -> String {
+        self.shared.with_state(|st| st.procs[pid.0].name.clone())
+    }
+
+    /// Ids of all spawned processes, in spawn order.
+    pub fn process_ids(&self) -> Vec<ProcId> {
+        self.shared
+            .with_state(|st| (0..st.procs.len()).map(ProcId).collect())
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProcessPanic`] if any process body panics; the
+    /// simulator cannot be resumed afterwards.
+    pub fn run(&mut self) -> Result<SimSummary, SimError> {
+        self.run_until(Time::MAX)
+    }
+
+    /// Runs until no events remain or simulation time would exceed `limit`.
+    /// Can be called repeatedly with growing limits to step a simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProcessPanic`] if any process body panics.
+    pub fn run_until(&mut self, limit: Time) -> Result<SimSummary, SimError> {
+        assert!(!self.errored, "simulator is poisoned by an earlier error");
+        self.shared.with_state(|st| {
+            if !st.started {
+                st.started = true;
+                for pid in 0..st.procs.len() {
+                    st.runnable.insert(pid);
+                }
+            }
+        });
+        let reason = loop {
+            // Evaluate phase.
+            loop {
+                let next = self.shared.with_state(|st| {
+                    let pid = st.runnable.pop_first();
+                    st.current = pid;
+                    pid
+                });
+                let Some(pid) = next else { break };
+                self.dispatch(pid)?;
+            }
+            self.shared.with_state(|st| st.current = None);
+            // Update phase.
+            self.shared.with_state(|st| st.run_update_phase());
+            // Delta notification phase.
+            let progressed = self.shared.with_state(|st| {
+                if st.next_runnable.is_empty() {
+                    false
+                } else {
+                    st.runnable = std::mem::take(&mut st.next_runnable);
+                    st.delta += 1;
+                    true
+                }
+            });
+            if progressed {
+                continue;
+            }
+            // Timed notification phase.
+            match self.shared.with_state(|st| st.advance_time(limit)) {
+                AdvanceOutcome::Advanced => continue,
+                AdvanceOutcome::LimitReached => break StopReason::TimeLimit,
+                AdvanceOutcome::Exhausted => break StopReason::EventsExhausted,
+            }
+        };
+        Ok(self.shared.with_state(|st| SimSummary {
+            end_time: st.now,
+            deltas: st.delta,
+            activations: st.activations,
+            reason,
+        }))
+    }
+
+    fn dispatch(&mut self, pid: usize) -> Result<(), SimError> {
+        let outcome = self.procs[pid].baton.dispatch();
+        self.shared.with_state(|st| st.activations += 1);
+        match outcome {
+            RunState::Waiting => Ok(()),
+            RunState::Done(None) => {
+                self.shared.with_state(|st| st.procs[pid].alive = false);
+                if let Some(t) = self.procs[pid].thread.take() {
+                    let _ = t.join();
+                }
+                Ok(())
+            }
+            RunState::Done(Some(message)) => {
+                self.errored = true;
+                let process = self.shared.with_state(|st| {
+                    st.procs[pid].alive = false;
+                    st.procs[pid].name.clone()
+                });
+                if let Some(t) = self.procs[pid].thread.take() {
+                    let _ = t.join();
+                }
+                Err(SimError::ProcessPanic { process, message })
+            }
+            other => unreachable!("dispatch observed unexpected state {other:?}"),
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Simulator {
+        Simulator::new()
+    }
+}
+
+impl Drop for Simulator {
+    fn drop(&mut self) {
+        // Break the kernel ↔ channel reference cycle.
+        self.shared.with_state(|st| st.clear_update_hooks());
+        for proc in &mut self.procs {
+            proc.baton.kill();
+            if let Some(t) = proc.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("processes", &self.procs.len())
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_simulation_finishes_immediately() {
+        let mut sim = Simulator::new();
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time, Time::ZERO);
+        assert_eq!(s.reason, StopReason::EventsExhausted);
+        assert_eq!(s.activations, 0);
+    }
+
+    #[test]
+    fn single_process_advances_time() {
+        let mut sim = Simulator::new();
+        sim.spawn("p", |ctx| {
+            ctx.wait(Time::ns(5));
+            ctx.wait(Time::ns(7));
+        });
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time, Time::ns(12));
+        assert_eq!(s.reason, StopReason::EventsExhausted);
+    }
+
+    #[test]
+    fn processes_interleave_by_time() {
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel();
+        let mut sim = Simulator::new();
+        let tx1 = tx.clone();
+        sim.spawn("a", move |ctx| {
+            ctx.wait(Time::ns(10));
+            tx1.send(("a", ctx.now())).unwrap();
+        });
+        sim.spawn("b", move |ctx| {
+            ctx.wait(Time::ns(5));
+            tx.send(("b", ctx.now())).unwrap();
+        });
+        sim.run().unwrap();
+        let order: Vec<_> = rx.try_iter().collect();
+        assert_eq!(order, vec![("b", Time::ns(5)), ("a", Time::ns(10))]);
+    }
+
+    #[test]
+    fn same_instant_wakes_in_pid_order() {
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel();
+        let mut sim = Simulator::new();
+        for name in ["x", "y", "z"] {
+            let tx = tx.clone();
+            sim.spawn(name, move |ctx| {
+                ctx.wait(Time::ns(3));
+                tx.send(name).unwrap();
+            });
+        }
+        sim.run().unwrap();
+        let order: Vec<_> = rx.try_iter().collect();
+        assert_eq!(order, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let mut sim = Simulator::new();
+        sim.spawn("p", |ctx| {
+            ctx.wait(Time::ns(100));
+        });
+        let s = sim.run_until(Time::ns(10)).unwrap();
+        assert_eq!(s.reason, StopReason::TimeLimit);
+        assert_eq!(s.end_time, Time::ns(10));
+        let s = sim.run().unwrap();
+        assert_eq!(s.reason, StopReason::EventsExhausted);
+        assert_eq!(s.end_time, Time::ns(100));
+    }
+
+    #[test]
+    fn zero_wait_is_one_timestep() {
+        let mut sim = Simulator::new();
+        sim.spawn("p", |ctx| {
+            let d0 = ctx.delta_count();
+            ctx.wait(Time::ZERO);
+            assert_eq!(ctx.now(), Time::ZERO);
+            assert!(ctx.delta_count() > d0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn event_wait_and_notify() {
+        let mut sim = Simulator::new();
+        let ev = sim.event("go");
+        let ev2 = ev.clone();
+        sim.spawn("waiter", move |ctx| {
+            ctx.wait_event(&ev);
+            assert_eq!(ctx.now(), Time::ns(42));
+        });
+        sim.spawn("notifier", move |ctx| {
+            ctx.wait(Time::ns(42));
+            ev2.notify_delta();
+        });
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time, Time::ns(42));
+    }
+
+    #[test]
+    fn immediate_notification_runs_same_evaluate_phase() {
+        let mut sim = Simulator::new();
+        let ev = sim.event("now");
+        let ev2 = ev.clone();
+        // waiter (pid 0) waits first, notifier (pid 1) fires immediately at
+        // time zero; the waiter must complete in the same delta.
+        sim.spawn("waiter", move |ctx| {
+            ctx.wait_event(&ev);
+            assert_eq!(ctx.delta_count(), 0);
+        });
+        sim.spawn("notifier", move |_ctx| {
+            ev2.notify_immediate();
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut sim = Simulator::new();
+        sim.spawn("bad", |_ctx| panic!("deliberate test panic"));
+        let err = sim.run().unwrap_err();
+        match err {
+            SimError::ProcessPanic { process, message } => {
+                assert_eq!(process, "bad");
+                assert!(message.contains("deliberate"));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_kills_blocked_processes() {
+        let mut sim = Simulator::new();
+        let ev = sim.event("never");
+        sim.spawn("stuck", move |ctx| {
+            ctx.wait_event(&ev); // never notified
+            unreachable!();
+        });
+        let s = sim.run().unwrap();
+        assert_eq!(s.reason, StopReason::EventsExhausted);
+        drop(sim); // must not hang or print panic noise
+    }
+
+    #[test]
+    fn tracing_records_emitted_events() {
+        let mut sim = Simulator::new();
+        sim.enable_tracing();
+        sim.spawn("p", |ctx| {
+            ctx.wait(Time::ns(1));
+            ctx.emit_trace("custom", "hello");
+        });
+        sim.run().unwrap();
+        let trace = sim.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].label, "custom");
+        assert_eq!(trace[0].process, "p");
+        assert_eq!(trace[0].time, Time::ns(1));
+    }
+
+    #[test]
+    fn activations_are_counted() {
+        let mut sim = Simulator::new();
+        sim.spawn("p", |ctx| {
+            ctx.wait(Time::ns(1));
+            ctx.wait(Time::ns(1));
+        });
+        let s = sim.run().unwrap();
+        // initial dispatch + 2 wakes = 3 activations
+        assert_eq!(s.activations, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the simulation starts")]
+    fn spawn_after_start_panics() {
+        let mut sim = Simulator::new();
+        sim.run().unwrap();
+        sim.spawn("late", |_| {});
+    }
+}

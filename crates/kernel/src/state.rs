@@ -1,0 +1,328 @@
+//! The kernel's shared mutable state and the scheduler's phase primitives.
+//!
+//! All of this is `pub(crate)`: user code interacts with it through
+//! [`crate::Simulator`], [`crate::ProcCtx`], [`crate::Event`] and the
+//! channels.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::Time;
+use crate::trace::TraceRecord;
+
+/// A channel that participates in the update phase (e.g. signals, FIFOs).
+///
+/// `update` is called by the scheduler between the evaluate phase and delta
+/// notification, with exclusive access to the kernel state so it can post
+/// delta notifications.
+pub(crate) trait UpdateHook: Send + Sync {
+    fn update(&self, st: &mut KernelState);
+}
+
+/// Entries in the timed-notification queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum TimedAction {
+    /// Wake a process blocked in `wait(time)`.
+    WakeProc(usize),
+    /// Fire an event notified with a delay.
+    NotifyEvent(usize),
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct EventState {
+    pub(crate) name: String,
+    pub(crate) waiters: BTreeSet<usize>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ProcMeta {
+    pub(crate) name: String,
+    pub(crate) alive: bool,
+}
+
+/// Everything the scheduler and the process-side handles share.
+pub(crate) struct KernelState {
+    pub(crate) now: Time,
+    pub(crate) delta: u64,
+    /// Processes runnable in the current evaluate phase, ordered by id for
+    /// determinism.
+    pub(crate) runnable: BTreeSet<usize>,
+    /// Processes woken for the next delta cycle.
+    pub(crate) next_runnable: BTreeSet<usize>,
+    /// Timed notifications, ordered by (time, sequence number).
+    pub(crate) timed: BinaryHeap<Reverse<(Time, u64, TimedAction)>>,
+    seq: u64,
+    pub(crate) events: Vec<EventState>,
+    pub(crate) procs: Vec<ProcMeta>,
+    /// Currently executing process (evaluate phase only).
+    pub(crate) current: Option<usize>,
+    /// Strong references: channels must outlive every process handle so a
+    /// pending update is never lost. The resulting `Shared` ↔ channel
+    /// reference cycle is broken in `Simulator::drop`.
+    update_hooks: Vec<Option<Arc<dyn UpdateHook>>>,
+    update_requests: BTreeSet<usize>,
+    pub(crate) trace: Option<Vec<TraceRecord>>,
+    pub(crate) activations: u64,
+    pub(crate) started: bool,
+}
+
+impl KernelState {
+    pub(crate) fn new() -> KernelState {
+        KernelState {
+            now: Time::ZERO,
+            delta: 0,
+            runnable: BTreeSet::new(),
+            next_runnable: BTreeSet::new(),
+            timed: BinaryHeap::new(),
+            seq: 0,
+            events: Vec::new(),
+            procs: Vec::new(),
+            current: None,
+            update_hooks: Vec::new(),
+            update_requests: BTreeSet::new(),
+            trace: None,
+            activations: 0,
+            started: false,
+        }
+    }
+
+    pub(crate) fn new_event(&mut self, name: impl Into<String>) -> usize {
+        let id = self.events.len();
+        self.events.push(EventState {
+            name: name.into(),
+            waiters: BTreeSet::new(),
+        });
+        id
+    }
+
+    pub(crate) fn register_update_hook(&mut self, hook: Arc<dyn UpdateHook>) -> usize {
+        let id = self.update_hooks.len();
+        self.update_hooks.push(Some(hook));
+        id
+    }
+
+    /// Breaks the `Shared` ↔ channel reference cycle at simulator teardown.
+    pub(crate) fn clear_update_hooks(&mut self) {
+        for h in &mut self.update_hooks {
+            *h = None;
+        }
+    }
+
+    pub(crate) fn request_update(&mut self, hook_id: usize) {
+        self.update_requests.insert(hook_id);
+    }
+
+    /// Schedules a timed action `delay` after the current time.
+    pub(crate) fn schedule(&mut self, delay: Time, action: TimedAction) {
+        let at = self.now.saturating_add(delay);
+        self.seq += 1;
+        self.timed.push(Reverse((at, self.seq, action)));
+    }
+
+    /// Immediate notification: wakes waiters into the *current* evaluate
+    /// phase (SystemC `notify()`).
+    pub(crate) fn notify_event_immediate(&mut self, ev: usize) {
+        let waiters = std::mem::take(&mut self.events[ev].waiters);
+        for pid in waiters {
+            if self.procs[pid].alive {
+                self.runnable.insert(pid);
+            }
+        }
+    }
+
+    /// Delta notification: wakes waiters at the start of the next delta
+    /// cycle (SystemC `notify(SC_ZERO_TIME)`).
+    pub(crate) fn notify_event_delta(&mut self, ev: usize) {
+        let waiters = std::mem::take(&mut self.events[ev].waiters);
+        for pid in waiters {
+            if self.procs[pid].alive {
+                self.next_runnable.insert(pid);
+            }
+        }
+    }
+
+    /// Runs the update phase: every channel that requested an update gets
+    /// its `update` callback.
+    pub(crate) fn run_update_phase(&mut self) {
+        while let Some(id) = self.update_requests.pop_first() {
+            // Clone the Arc out so the hook may itself mutate kernel state.
+            let hook = self.update_hooks[id].clone();
+            if let Some(hook) = hook {
+                hook.update(self);
+            }
+        }
+    }
+
+    /// Outcome of [`KernelState::advance_time`].
+    pub(crate) fn advance_time(&mut self, limit: Time) -> AdvanceOutcome {
+        loop {
+            let Some(&Reverse((t, _, _))) = self.timed.peek() else {
+                return AdvanceOutcome::Exhausted;
+            };
+            if t > limit {
+                self.now = limit;
+                return AdvanceOutcome::LimitReached;
+            }
+            self.now = t;
+            self.delta += 1;
+            // Fire everything scheduled for exactly this instant.
+            while let Some(&Reverse((t2, _, _))) = self.timed.peek() {
+                if t2 != t {
+                    break;
+                }
+                let Reverse((_, _, action)) = self.timed.pop().expect("peeked entry");
+                match action {
+                    TimedAction::WakeProc(pid) => {
+                        if self.procs[pid].alive {
+                            self.runnable.insert(pid);
+                        }
+                    }
+                    TimedAction::NotifyEvent(ev) => self.notify_event_immediate(ev),
+                }
+            }
+            if !self.runnable.is_empty() {
+                return AdvanceOutcome::Advanced;
+            }
+            // Every action at `t` was moot (dead waiters, eventless
+            // notification) — keep advancing.
+        }
+    }
+
+    pub(crate) fn record_trace(&mut self, pid: Option<usize>, label: &str, detail: String) {
+        // Split borrows: read metadata before taking the trace buffer.
+        let time = self.now;
+        let delta = self.delta;
+        let pid = pid.or(self.current);
+        let proc_name = pid.map(|p| self.procs[p].name.clone()).unwrap_or_default();
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(TraceRecord {
+                time,
+                delta,
+                process: proc_name,
+                label: label.to_owned(),
+                detail,
+            });
+        }
+    }
+
+    pub(crate) fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdvanceOutcome {
+    /// Time moved forward (or stayed, for zero-delay wakes) and at least one
+    /// process became runnable.
+    Advanced,
+    /// The next timed action lies beyond the run limit.
+    LimitReached,
+    /// No timed actions remain.
+    Exhausted,
+}
+
+/// The shared handle: one `Arc<Shared>` per simulator, cloned into every
+/// process context, event and channel.
+pub(crate) struct Shared {
+    state: Mutex<KernelState>,
+}
+
+impl Shared {
+    pub(crate) fn new() -> Arc<Shared> {
+        Arc::new(Shared {
+            state: Mutex::new(KernelState::new()),
+        })
+    }
+
+    pub(crate) fn with_state<R>(&self, f: impl FnOnce(&mut KernelState) -> R) -> R {
+        f(&mut self.state.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with_procs(n: usize) -> KernelState {
+        let mut st = KernelState::new();
+        for i in 0..n {
+            st.procs.push(ProcMeta {
+                name: format!("p{i}"),
+                alive: true,
+            });
+        }
+        st
+    }
+
+    #[test]
+    fn schedule_orders_by_time_then_sequence() {
+        let mut st = state_with_procs(3);
+        st.schedule(Time::ns(5), TimedAction::WakeProc(2));
+        st.schedule(Time::ns(1), TimedAction::WakeProc(0));
+        st.schedule(Time::ns(1), TimedAction::WakeProc(1));
+        assert_eq!(st.advance_time(Time::MAX), AdvanceOutcome::Advanced);
+        assert_eq!(st.now, Time::ns(1));
+        assert_eq!(st.runnable.iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+        st.runnable.clear();
+        assert_eq!(st.advance_time(Time::MAX), AdvanceOutcome::Advanced);
+        assert_eq!(st.now, Time::ns(5));
+        assert!(st.runnable.contains(&2));
+    }
+
+    #[test]
+    fn advance_respects_limit() {
+        let mut st = state_with_procs(1);
+        st.schedule(Time::ns(10), TimedAction::WakeProc(0));
+        assert_eq!(st.advance_time(Time::ns(5)), AdvanceOutcome::LimitReached);
+        assert_eq!(st.now, Time::ns(5));
+        // The entry is still pending and fires when the limit is lifted.
+        assert_eq!(st.advance_time(Time::MAX), AdvanceOutcome::Advanced);
+        assert_eq!(st.now, Time::ns(10));
+    }
+
+    #[test]
+    fn advance_skips_moot_instants() {
+        let mut st = state_with_procs(2);
+        st.procs[0].alive = false;
+        st.schedule(Time::ns(1), TimedAction::WakeProc(0));
+        st.schedule(Time::ns(2), TimedAction::WakeProc(1));
+        assert_eq!(st.advance_time(Time::MAX), AdvanceOutcome::Advanced);
+        assert_eq!(st.now, Time::ns(2));
+        assert!(st.runnable.contains(&1));
+    }
+
+    #[test]
+    fn exhausted_when_no_timed_actions() {
+        let mut st = state_with_procs(1);
+        assert_eq!(st.advance_time(Time::MAX), AdvanceOutcome::Exhausted);
+    }
+
+    #[test]
+    fn event_notification_routing() {
+        let mut st = state_with_procs(2);
+        let ev = st.new_event("e");
+        st.events[ev].waiters.insert(0);
+        st.events[ev].waiters.insert(1);
+        st.notify_event_delta(ev);
+        assert!(st.runnable.is_empty());
+        assert_eq!(st.next_runnable.len(), 2);
+
+        st.next_runnable.clear();
+        st.events[ev].waiters.insert(0);
+        st.notify_event_immediate(ev);
+        assert!(st.runnable.contains(&0));
+    }
+
+    #[test]
+    fn dead_processes_are_not_woken() {
+        let mut st = state_with_procs(1);
+        st.procs[0].alive = false;
+        let ev = st.new_event("e");
+        st.events[ev].waiters.insert(0);
+        st.notify_event_delta(ev);
+        assert!(st.next_runnable.is_empty());
+    }
+}

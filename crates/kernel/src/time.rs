@@ -1,0 +1,321 @@
+//! Simulation time.
+//!
+//! [`Time`] is an absolute point (or duration) on the simulated time axis,
+//! stored as an integral number of **picoseconds** in a `u64`. This mirrors
+//! SystemC's 64-bit `sc_time` with a fixed resolution; one picosecond of
+//! resolution gives a range of about 213 days of simulated time, far beyond
+//! anything the estimation experiments need.
+//!
+//! # Examples
+//!
+//! ```
+//! use scperf_kernel::Time;
+//!
+//! let t = Time::ns(10) + Time::ps(500);
+//! assert_eq!(t.as_ps(), 10_500);
+//! assert_eq!(t.to_string(), "10.5ns");
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A simulation time point or duration with picosecond resolution.
+///
+/// `Time` is ordered, hashable and cheap to copy. Arithmetic panics on
+/// overflow in debug builds (the same behaviour as the underlying `u64`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(u64);
+
+impl Time {
+    /// Zero simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time (~213 days).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time of `ps` picoseconds.
+    #[inline]
+    pub const fn ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Creates a time of `ns` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the picosecond representation.
+    #[inline]
+    pub const fn ns(ns: u64) -> Time {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time of `us` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the picosecond representation.
+    #[inline]
+    pub const fn us(us: u64) -> Time {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates a time of `ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the picosecond representation.
+    #[inline]
+    pub const fn ms(ms: u64) -> Time {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Creates a time of `s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the picosecond representation.
+    #[inline]
+    pub const fn s(s: u64) -> Time {
+        Time(s * 1_000_000_000_000)
+    }
+
+    /// Creates a time from a fractional nanosecond count, rounding to the
+    /// nearest picosecond. Negative or non-finite inputs saturate to zero.
+    ///
+    /// This is the conversion used when back-annotating estimated delays
+    /// (which are fractional cycle counts) onto the strict-timed axis.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Time {
+        Time::from_ps_f64(ns * 1_000.0)
+    }
+
+    /// Creates a time from a fractional picosecond count, rounding to the
+    /// nearest picosecond. Negative or non-finite inputs saturate to zero;
+    /// values beyond the representable range saturate to [`Time::MAX`].
+    #[inline]
+    pub fn from_ps_f64(ps: f64) -> Time {
+        if ps.is_nan() || ps <= 0.0 {
+            Time::ZERO
+        } else if ps >= u64::MAX as f64 {
+            Time::MAX
+        } else {
+            Time(ps.round() as u64)
+        }
+    }
+
+    /// The raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed as fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time expressed as fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This time expressed as fractional seconds.
+    #[inline]
+    pub fn as_s_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000_000.0
+    }
+
+    /// `true` when this is [`Time::ZERO`].
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, rhs: Time) -> Time {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, rhs: Time) -> Time {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for u64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    /// Formats with the largest unit that keeps the value >= 1, e.g.
+    /// `10.5ns`, `3us`, `0ps`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const UNITS: [(u64, &str); 5] = [
+            (1_000_000_000_000, "s"),
+            (1_000_000_000, "ms"),
+            (1_000_000, "us"),
+            (1_000, "ns"),
+            (1, "ps"),
+        ];
+        let ps = self.0;
+        for &(scale, unit) in &UNITS {
+            if ps >= scale || scale == 1 {
+                let whole = ps / scale;
+                let frac = ps % scale;
+                if frac == 0 {
+                    return write!(f, "{whole}{unit}");
+                }
+                let val = ps as f64 / scale as f64;
+                return write!(f, "{val}{unit}");
+            }
+        }
+        unreachable!()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Time::ps(7).as_ps(), 7);
+        assert_eq!(Time::ns(7).as_ps(), 7_000);
+        assert_eq!(Time::us(7).as_ps(), 7_000_000);
+        assert_eq!(Time::ms(7).as_ps(), 7_000_000_000);
+        assert_eq!(Time::s(7).as_ps(), 7_000_000_000_000);
+    }
+
+    #[test]
+    fn from_f64_rounds_and_saturates() {
+        assert_eq!(Time::from_ns_f64(1.4999).as_ps(), 1_500);
+        assert_eq!(Time::from_ns_f64(-3.0), Time::ZERO);
+        assert_eq!(Time::from_ns_f64(f64::NAN), Time::ZERO);
+        assert_eq!(Time::from_ps_f64(f64::INFINITY), Time::MAX);
+        assert_eq!(Time::from_ps_f64(1e30), Time::MAX);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Time::ns(3);
+        let b = Time::ns(2);
+        assert_eq!(a + b, Time::ns(5));
+        assert_eq!(a - b, Time::ns(1));
+        assert_eq!(a * 4, Time::ns(12));
+        assert_eq!(a / 3, Time::ns(1));
+        assert_eq!(Time::ZERO.saturating_sub(a), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_add(a), Time::MAX);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let total: Time = [a, b, b].into_iter().sum();
+        assert_eq!(total, Time::ns(7));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time::ps(999) < Time::ns(1));
+        assert!(Time::ns(1) < Time::us(1));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Time::ZERO.to_string(), "0ps");
+        assert_eq!(Time::ps(345).to_string(), "345ps");
+        assert_eq!(Time::ns(10).to_string(), "10ns");
+        assert_eq!((Time::ns(10) + Time::ps(500)).to_string(), "10.5ns");
+        assert_eq!(Time::us(3).to_string(), "3us");
+        assert_eq!(Time::s(2).to_string(), "2s");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Time::MAX.checked_add(Time::ps(1)), None);
+        assert_eq!(Time::ps(1).checked_add(Time::ps(2)), Some(Time::ps(3)));
+    }
+}

@@ -1,0 +1,68 @@
+//! The uniform three-form benchmark interface used by the Table 1/3
+//! harnesses.
+
+/// One sequential benchmark in the three matched forms the experiments
+/// need:
+///
+/// * `plain` — ordinary Rust, the reference result and the "original
+///   SystemC specification" timing baseline;
+/// * `annotated` — the same algorithm written against the `scperf-core`
+///   annotated types (charges costs when run inside a
+///   [`scperf_core::PerfModel`] process, behaves exactly like `plain`
+///   otherwise);
+/// * `minic` — the same algorithm in `minic` source, compiled and executed
+///   on the reference ISS. The program must leave its checksum in a global
+///   named `result`.
+///
+/// All three forms must produce the same checksum on the same embedded
+/// input data.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Benchmark name, matching the paper's Table 1 rows where possible.
+    pub name: &'static str,
+    /// Reference implementation.
+    pub plain: fn() -> i32,
+    /// Cost-annotated implementation.
+    pub annotated: fn() -> i32,
+    /// `minic` source (global `int result;` holds the checksum).
+    pub minic: String,
+}
+
+impl BenchCase {
+    /// Compiles and runs the minic form on a fresh cycle-accurate ISS
+    /// (pipelined model, 4 KiB I/D caches — the Table 1/3 reference
+    /// configuration), returning `(checksum, stats)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails to compile or run — benchmark sources
+    /// are fixtures, so failure is a bug.
+    pub fn run_iss(&self) -> (i32, scperf_iss::RunStats) {
+        let compiled = scperf_iss::minic::compile(&self.minic)
+            .unwrap_or_else(|e| panic!("{}: minic compile error: {e}", self.name));
+        let mut m = reference_machine();
+        m.load(&compiled.program);
+        let stats = m
+            .run_pipelined(8_000_000_000)
+            .unwrap_or_else(|e| panic!("{}: ISS run failed: {e}", self.name));
+        (m.read_word(compiled.global("result")), stats)
+    }
+}
+
+/// The reference-ISS configuration shared by every experiment: the
+/// cycle-stepped pipeline model with an 8 KiB instruction cache and a
+/// 32 KiB data cache (an ARM926/OpenRISC-class memory system).
+pub fn reference_machine() -> scperf_iss::Machine {
+    let mut m = scperf_iss::Machine::new(1 << 22);
+    m.enable_icache(scperf_iss::CacheConfig {
+        lines: 512,
+        line_bytes: 16,
+        miss_penalty: 10,
+    });
+    m.enable_dcache(scperf_iss::CacheConfig {
+        lines: 2048,
+        line_bytes: 16,
+        miss_penalty: 10,
+    });
+    m
+}

@@ -1,0 +1,143 @@
+//! Deterministic input-data generation shared by all three benchmark
+//! forms.
+//!
+//! Every benchmark must process byte-identical inputs in its plain-Rust,
+//! annotated and compiled-to-ISS variants, across runs and platforms, so
+//! inputs come from a self-contained linear congruential generator rather
+//! than an external RNG.
+
+/// A 64-bit LCG (Knuth's MMIX constants) with helper draws.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+        }
+    }
+
+    /// Next raw 32 bits.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u32() % bound
+    }
+
+    /// Uniform signed value in `[-mag, mag]`.
+    pub fn signed(&mut self, mag: u32) -> i32 {
+        self.below(2 * mag + 1) as i32 - mag as i32
+    }
+}
+
+/// `n` signed 32-bit values in `[-mag, mag]`.
+pub fn signed_values(seed: u64, n: usize, mag: u32) -> Vec<i32> {
+    let mut lcg = Lcg::new(seed);
+    (0..n).map(|_| lcg.signed(mag)).collect()
+}
+
+/// `n` bytes of compressible text-like data: words drawn from a small
+/// vocabulary over a 26-letter alphabet, separated by spaces.
+pub fn text_like(seed: u64, n: usize) -> Vec<u8> {
+    let mut lcg = Lcg::new(seed);
+    // Build a 32-word vocabulary first.
+    let vocab: Vec<Vec<u8>> = (0..32)
+        .map(|_| {
+            let len = 2 + lcg.below(7) as usize;
+            (0..len).map(|_| b'a' + lcg.below(26) as u8).collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let w = &vocab[lcg.below(32) as usize];
+        out.extend_from_slice(w);
+        out.push(b' ');
+    }
+    out.truncate(n);
+    out
+}
+
+/// Renders an `i32` slice as a minic `{…}` initializer list.
+pub fn minic_initializer(values: &[i32]) -> String {
+    let mut out = String::with_capacity(values.len() * 6 + 2);
+    out.push('{');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a byte slice as a minic `{…}` initializer list (one int per
+/// byte).
+pub fn minic_byte_initializer(values: &[u8]) -> String {
+    let ints: Vec<i32> = values.iter().map(|&b| b as i32).collect();
+    minic_initializer(&ints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let a: Vec<u32> = {
+            let mut l = Lcg::new(7);
+            (0..10).map(|_| l.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut l = Lcg::new(7);
+            (0..10).map(|_| l.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u32> = {
+            let mut l = Lcg::new(8);
+            (0..10).map(|_| l.next_u32()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn signed_values_respect_magnitude() {
+        let v = signed_values(3, 1000, 50);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| (-50..=50).contains(&x)));
+        assert!(v.iter().any(|&x| x < 0));
+        assert!(v.iter().any(|&x| x > 0));
+    }
+
+    #[test]
+    fn text_like_is_compressible_ascii() {
+        let t = text_like(11, 2048);
+        assert_eq!(t.len(), 2048);
+        assert!(t.iter().all(|&b| b == b' ' || b.is_ascii_lowercase()));
+        // Vocabulary reuse implies repeated substrings: crude check via
+        // distinct 4-grams being far fewer than the maximum possible.
+        let grams: std::collections::HashSet<&[u8]> = t.windows(4).collect();
+        assert!(grams.len() < t.len() / 2);
+    }
+
+    #[test]
+    fn initializer_format() {
+        assert_eq!(minic_initializer(&[1, -2, 3]), "{1,-2,3}");
+        assert_eq!(minic_byte_initializer(&[65, 0]), "{65,0}");
+    }
+}

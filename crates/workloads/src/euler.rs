@@ -1,0 +1,111 @@
+//! Euler ODE integrator (Table 2 HW rows, Figure 4): a forward-Euler step
+//! of the Van der Pol oscillator with harmonic forcing.
+//!
+//! One integration step is the natural hardware segment — it is the loop
+//! body a behavioral synthesis tool would schedule:
+//!
+//! ```text
+//! x' = v
+//! v' = μ·(1 − x²)·v − x + A·sin(ω t)      (sin via 2-term series)
+//! ```
+
+use scperf_core::{g_call, g_f64, G};
+
+/// Integration step size.
+pub const H: f64 = 0.01;
+/// Van der Pol damping.
+pub const MU: f64 = 1.5;
+/// Forcing amplitude.
+pub const AMP: f64 = 0.8;
+/// Forcing angular frequency.
+pub const OMEGA: f64 = 2.0;
+/// Steps integrated by the full benchmark.
+pub const STEPS: usize = 2000;
+
+/// One plain Euler step.
+pub fn step_plain(x: f64, v: f64, t: f64) -> (f64, f64) {
+    // 2-term sine series around 0 after range reduction to [-π, π).
+    let phase = OMEGA * t;
+    let reduced = phase - (phase / (2.0 * std::f64::consts::PI)).floor() * 2.0 * std::f64::consts::PI
+        - std::f64::consts::PI;
+    let s = -(reduced - reduced * reduced * reduced / 6.0);
+    let force = AMP * s;
+    let dv = MU * (1.0 - x * x) * v - x + force;
+    (x + H * v, v + H * dv)
+}
+
+/// Reference implementation: integrates the oscillator and returns a
+/// fixed-point checksum of the final state.
+pub fn plain() -> i32 {
+    let (mut x, mut v) = (0.5_f64, 0.0_f64);
+    for n in 0..STEPS {
+        let t = n as f64 * H;
+        let (nx, nv) = step_plain(x, v, t);
+        x = nx;
+        v = nv;
+    }
+    ((x * 4096.0) as i32).wrapping_add(((v * 4096.0) as i32).wrapping_mul(31))
+}
+
+fn sin_series(reduced: G<f64>) -> G<f64> {
+    -(reduced - reduced * reduced * reduced / 6.0)
+}
+
+/// One annotated Euler step (the HW segment of Tables 2/4 and Figure 4).
+pub fn step_annotated(x: G<f64>, v: G<f64>, t: G<f64>) -> (G<f64>, G<f64>) {
+    let two_pi = G::raw(2.0 * std::f64::consts::PI);
+    let phase = G::raw(OMEGA) * t;
+    // floor() has no dataflow cost model of its own; treat the range
+    // reduction division + multiply + subtract as the charged operations.
+    let k = G::raw((phase.get() / (2.0 * std::f64::consts::PI)).floor());
+    let reduced = phase - k * two_pi - G::raw(std::f64::consts::PI);
+    let s = g_call!(sin_series(reduced));
+    let force = G::raw(AMP) * s;
+    let one = G::raw(1.0);
+    let dv = G::raw(MU) * (one - x * x) * v - x + force;
+    (x + G::raw(H) * v, v + G::raw(H) * dv)
+}
+
+/// Cost-annotated implementation.
+pub fn annotated() -> i32 {
+    let mut x = g_f64(0.5);
+    let mut v = g_f64(0.0);
+    for n in 0..STEPS {
+        let t = G::raw(n as f64 * H);
+        let (nx, nv) = step_annotated(x, v, t);
+        x = nx;
+        v = nv;
+    }
+    ((x.get() * 4096.0) as i32).wrapping_add(((v.get() * 4096.0) as i32).wrapping_mul(31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_and_annotated_agree() {
+        assert_eq!(plain(), annotated());
+    }
+
+    #[test]
+    fn trajectory_stays_bounded() {
+        // The forced Van der Pol oscillator settles on a bounded orbit;
+        // a blow-up would indicate a broken integrator.
+        let (mut x, mut v) = (0.5, 0.0);
+        for n in 0..STEPS {
+            let (nx, nv) = step_plain(x, v, n as f64 * H);
+            x = nx;
+            v = nv;
+            assert!(x.abs() < 10.0 && v.abs() < 10.0, "diverged at step {n}");
+        }
+    }
+
+    #[test]
+    fn single_step_matches_between_forms() {
+        let (px, pv) = step_plain(0.3, -0.2, 1.7);
+        let (ax, av) = step_annotated(G::raw(0.3), G::raw(-0.2), G::raw(1.7));
+        assert_eq!(px, ax.get());
+        assert_eq!(pv, av.get());
+    }
+}

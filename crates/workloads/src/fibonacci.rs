@@ -1,0 +1,76 @@
+//! Recursive Fibonacci benchmark (Table 1 row "Fibonacci"): the classic
+//! call-overhead stress test.
+
+use scperf_core::{g_call, g_i32, g_if, G};
+
+/// The argument (fib(18) = 2584; ~8k recursive calls).
+pub const N: i32 = 18;
+
+fn fib_plain(n: i32) -> i32 {
+    if n < 2 {
+        return n;
+    }
+    fib_plain(n - 1).wrapping_add(fib_plain(n - 2))
+}
+
+/// Reference implementation.
+pub fn plain() -> i32 {
+    fib_plain(N)
+}
+
+fn fib_annotated(n: G<i32>) -> G<i32> {
+    // `if (n < 2) return n;`
+    let mut result = G::raw(0);
+    let mut done = false;
+    g_if!((n < 2) {
+        result = n;
+        done = true;
+    });
+    if done {
+        return result;
+    }
+    let a = g_call!(fib_annotated(n - 1));
+    let b = g_call!(fib_annotated(n - 2));
+    a + b
+}
+
+/// Cost-annotated implementation.
+pub fn annotated() -> i32 {
+    let seed = g_i32(N);
+    fib_annotated(seed).get()
+}
+
+/// `minic` source.
+pub fn minic() -> String {
+    format!(
+        "int result;\n\
+         int fib(int n) {{\n\
+           if (n < 2) return n;\n\
+           return fib(n - 1) + fib(n - 2);\n\
+         }}\n\
+         int main() {{ result = fib({N}); return 0; }}\n"
+    )
+}
+
+/// The Table 1 case.
+pub fn case() -> crate::case::BenchCase {
+    crate::case::BenchCase {
+        name: "Fibonacci",
+        plain,
+        annotated,
+        minic: minic(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_forms_agree() {
+        assert_eq!(plain(), 2584);
+        assert_eq!(annotated(), 2584);
+        let (iss, _) = case().run_iss();
+        assert_eq!(iss, 2584);
+    }
+}

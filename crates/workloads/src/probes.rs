@@ -1,0 +1,674 @@
+//! Calibration probe kernels (§5: "functions specifically developed for
+//! this purpose").
+//!
+//! Each probe exists in two matched forms — annotated (yielding exact
+//! source-level operation counts when run inside a
+//! [`scperf_core::PerfModel`]) and `minic` (yielding reference cycles on
+//! the ISS). The Table 1 harness runs all probes through
+//! [`scperf_iss::calibrate::fit`] to derive the SW cost table. Probes are
+//! deliberately distinct from the benchmarks they calibrate for.
+
+use scperf_core::{g_call, g_for, g_i32, g_if, g_while, GArr, G};
+
+use crate::data::{minic_initializer, signed_values};
+
+/// One calibration probe.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Probe name.
+    pub name: &'static str,
+    /// The annotated kernel; returns a checksum.
+    pub annotated: fn() -> i32,
+    /// Matched `minic` source (checksum in global `result`).
+    pub minic: String,
+}
+
+impl Probe {
+    /// Compiles and runs the minic form; returns `(checksum, cycles)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on compile or run failure (probes are fixtures).
+    pub fn run_iss(&self) -> (i32, u64) {
+        let compiled = scperf_iss::minic::compile(&self.minic)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        let mut m = crate::case::reference_machine();
+        m.load(&compiled.program);
+        let stats = m
+            .run_pipelined(2_000_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        (m.read_word(compiled.global("result")), stats.cycles)
+    }
+}
+
+// -------------------------------------------------------------- probe 1 --
+
+fn add_chain_annotated() -> i32 {
+    let mut s = g_i32(0);
+    let mut t = g_i32(7);
+    g_for!(i in 0..400 => {
+        s.assign(s + G::raw(i as i32)); // s = s + i;
+        t.assign(t - s + G::raw(3)); // t = t - s + 3;
+    });
+    (s + t).get()
+}
+
+fn add_chain_minic() -> String {
+    "int result;\n\
+     int main() {\n\
+       int i; int s = 0; int t = 7;\n\
+       for (i = 0; i < 400; i = i + 1) {\n\
+         s = s + i;\n\
+         t = t - s + 3;\n\
+       }\n\
+       result = s + t;\n\
+       return 0;\n\
+     }\n"
+        .to_owned()
+}
+
+// -------------------------------------------------------------- probe 2 --
+
+fn mul_heavy_annotated() -> i32 {
+    let mut s = g_i32(1);
+    let mut a = g_i32(3);
+    g_for!(_i in 0..300 => {
+        s.assign(s + a * a * G::raw(5)); // s = s + a * a * 5;
+        a.assign(a + 1); // a = a + 1;
+    });
+    s.get()
+}
+
+fn mul_heavy_minic() -> String {
+    "int result;\n\
+     int main() {\n\
+       int i; int s = 1; int a = 3;\n\
+       for (i = 0; i < 300; i = i + 1) {\n\
+         s = s + a * a * 5;\n\
+         a = a + 1;\n\
+       }\n\
+       result = s;\n\
+       return 0;\n\
+     }\n"
+        .to_owned()
+}
+
+// -------------------------------------------------------------- probe 3 --
+
+fn div_heavy_annotated() -> i32 {
+    let mut s = g_i32(1_000_000);
+    let mut acc = g_i32(0);
+    g_for!(i in 0..200 => {
+        // acc = acc + s / (i + 3) + s % (i + 5);
+        acc.assign(acc + s / (G::raw(i as i32) + 3) + s % (G::raw(i as i32) + 5));
+        s.assign(s - G::raw(17)); // s = s - 17;
+    });
+    acc.get()
+}
+
+fn div_heavy_minic() -> String {
+    "int result;\n\
+     int main() {\n\
+       int i; int s = 1000000; int acc = 0;\n\
+       for (i = 0; i < 200; i = i + 1) {\n\
+         acc = acc + s / (i + 3) + s % (i + 5);\n\
+         s = s - 17;\n\
+       }\n\
+       result = acc;\n\
+       return 0;\n\
+     }\n"
+        .to_owned()
+}
+
+// -------------------------------------------------------------- probe 4 --
+
+const MEM_N: usize = 256;
+
+fn mem_data() -> Vec<i32> {
+    signed_values(0xCA11, MEM_N, 999)
+}
+
+fn mem_heavy_annotated() -> i32 {
+    let mut arr = GArr::from_vec(mem_data());
+    let mut j = G::raw(0_i32);
+    g_for!(pass in 0..4 => {
+        g_for!(i in 0..MEM_N => {
+            // j = (i * 7 + pass) & 255;
+            j.assign((G::raw(i as i32) * 7 + G::raw(pass as i32)) & G::raw(MEM_N as i32 - 1));
+            // arr[i] = arr[i] + arr[j];
+            arr.set_raw(i, arr.at_raw(i) + arr.at_raw(j.get() as usize));
+        });
+    });
+    let mut s = g_i32(0);
+    g_for!(i in 0..MEM_N => {
+        s.assign(s + arr.at_raw(i)); // s = s + arr[i];
+    });
+    s.get()
+}
+
+fn mem_heavy_minic() -> String {
+    format!(
+        "int arr[{n}] = {init};\n\
+         int result;\n\
+         int main() {{\n\
+           int pass; int i; int j; int s = 0;\n\
+           for (pass = 0; pass < 4; pass = pass + 1) {{\n\
+             for (i = 0; i < {n}; i = i + 1) {{\n\
+               j = (i * 7 + pass) & {mask};\n\
+               arr[i] = arr[i] + arr[j];\n\
+             }}\n\
+           }}\n\
+           for (i = 0; i < {n}; i = i + 1) s = s + arr[i];\n\
+           result = s;\n\
+           return 0;\n\
+         }}\n",
+        n = MEM_N,
+        mask = MEM_N - 1,
+        init = minic_initializer(&mem_data()),
+    )
+}
+
+// -------------------------------------------------------------- probe 5 --
+
+fn branch_heavy_annotated() -> i32 {
+    let mut x = g_i32(987_654);
+    let mut steps = g_i32(0);
+    g_while!((x > 1) {
+        g_if!((x % 2 == 1) {
+            x.assign(x * 3 + 1); // x = x * 3 + 1;
+        } else {
+            x.assign(x / 2); // x = x / 2;
+        });
+        steps.assign(steps + 1); // steps = steps + 1;
+    });
+    steps.get()
+}
+
+fn branch_heavy_minic() -> String {
+    "int result;\n\
+     int main() {\n\
+       int x = 987654; int steps = 0;\n\
+       while (x > 1) {\n\
+         if (x % 2 == 1) {\n\
+           x = x * 3 + 1;\n\
+         } else {\n\
+           x = x / 2;\n\
+         }\n\
+         steps = steps + 1;\n\
+       }\n\
+       result = steps;\n\
+       return 0;\n\
+     }\n"
+        .to_owned()
+}
+
+// -------------------------------------------------------------- probe 6 --
+
+fn callee(a: G<i32>, b: G<i32>) -> G<i32> {
+    a + b * G::raw(2)
+}
+
+fn call_heavy_annotated() -> i32 {
+    let mut s = g_i32(0);
+    g_for!(i in 0..300 => {
+        s.assign(g_call!(callee(s, G::raw(i as i32)))); // s = callee(s, i);
+    });
+    s.get()
+}
+
+fn call_heavy_minic() -> String {
+    "int result;\n\
+     int callee(int a, int b) { return a + b * 2; }\n\
+     int main() {\n\
+       int i; int s = 0;\n\
+       for (i = 0; i < 300; i = i + 1) {\n\
+         s = callee(s, i);\n\
+       }\n\
+       result = s;\n\
+       return 0;\n\
+     }\n"
+        .to_owned()
+}
+
+// -------------------------------------------------------------- probe 7 --
+
+fn shift_logic_annotated() -> i32 {
+    let mut s = g_i32(0x1234_5678_u32 as i32);
+    g_for!(i in 0..350 => {
+        // s = (s << 1) ^ (s >> 3) | (i & 15);
+        s.assign((s << G::raw(1)) ^ (s >> G::raw(3)) | (G::raw(i as i32) & 15));
+    });
+    s.get()
+}
+
+fn shift_logic_minic() -> String {
+    "int result;\n\
+     int main() {\n\
+       int i; int s = 305419896;\n\
+       for (i = 0; i < 350; i = i + 1) {\n\
+         s = (s << 1) ^ (s >> 3) | (i & 15);\n\
+       }\n\
+       result = s;\n\
+       return 0;\n\
+     }\n"
+        .to_owned()
+}
+
+// -------------------------------------------------------------- probe 8 --
+
+const CMP_N: usize = 300;
+
+fn cmp_data() -> Vec<i32> {
+    signed_values(0xC39, CMP_N, 5000)
+}
+
+fn cmp_heavy_annotated() -> i32 {
+    let arr = GArr::from_vec(cmp_data());
+    let mut below = g_i32(0);
+    let mut above = g_i32(0);
+    let mut v = G::raw(0_i32);
+    g_for!(i in 0..CMP_N => {
+        v.assign(arr.at_raw(i)); // v = arr[i];
+        g_if!((v < 0) {
+            below.assign(below + 1); // below = below + 1;
+        });
+        g_if!((v > 1000) {
+            above.assign(above + 1); // above = above + 1;
+        });
+    });
+    (below * 1000 + above).get()
+}
+
+fn cmp_heavy_minic() -> String {
+    format!(
+        "int arr[{n}] = {init};\n\
+         int result;\n\
+         int main() {{\n\
+           int i; int below = 0; int above = 0; int v;\n\
+           for (i = 0; i < {n}; i = i + 1) {{\n\
+             v = arr[i];\n\
+             if (v < 0) below = below + 1;\n\
+             if (v > 1000) above = above + 1;\n\
+           }}\n\
+           result = below * 1000 + above;\n\
+           return 0;\n\
+         }}\n",
+        n = CMP_N,
+        init = minic_initializer(&cmp_data()),
+    )
+}
+
+// -------------------------------------------------------------- probe 9 --
+
+fn mixed_small_annotated() -> i32 {
+    let mut arr = GArr::<i32>::zeroed(64);
+    let mut s = g_i32(0);
+    let mut v = G::raw(0_i32);
+    g_for!(i in 0..64 => {
+        // arr[i] = (i * i) % 97;
+        arr.set_raw(i, (G::raw(i as i32) * G::raw(i as i32)) % 97);
+    });
+    g_for!(i in 0..64 => {
+        v.assign(arr.at_raw(i)); // v = arr[i];
+        g_if!((v % 3 == 0) {
+            s.assign(s + v * 2); // s = s + v * 2;
+        } else {
+            s.assign(s - v / 3); // s = s - v / 3;
+        });
+    });
+    s.get()
+}
+
+fn mixed_small_minic() -> String {
+    "int arr[64];\n\
+     int result;\n\
+     int main() {\n\
+       int i; int s = 0; int v;\n\
+       for (i = 0; i < 64; i = i + 1) arr[i] = (i * i) % 97;\n\
+       for (i = 0; i < 64; i = i + 1) {\n\
+         v = arr[i];\n\
+         if (v % 3 == 0) {\n\
+           s = s + v * 2;\n\
+         } else {\n\
+           s = s - v / 3;\n\
+         }\n\
+       }\n\
+       result = s;\n\
+       return 0;\n\
+     }\n"
+        .to_owned()
+}
+
+// ------------------------------------------------------------- probe 10 --
+
+fn poly(x: G<i32>, arr: &GArr<i32>) -> G<i32> {
+    let mut acc = g_i32(0); // acc = 0;
+    g_for!(k in 0..8 => {
+        acc.assign(acc * x + arr.at_raw(k)); // acc = acc * x + coeffs[k];
+    });
+    acc
+}
+
+fn mixed_large_annotated() -> i32 {
+    let coeffs = GArr::from_vec(signed_values(0x1A, 8, 20));
+    let mut s = g_i32(0);
+    let mut x = G::raw(0_i32);
+    let mut p = G::raw(0_i32);
+    g_for!(i in 0..120 => {
+        x.assign((G::raw(i as i32) % 7) - 3); // x = (i % 7) - 3;
+        p.assign(g_call!(poly(x, &coeffs))); // p = poly(x);
+        g_if!((p > 0) {
+            s.assign(s + p % 1000); // s = s + p % 1000;
+        } else {
+            s.assign(s + p / 2); // s = s + p / 2;
+        });
+    });
+    s.get()
+}
+
+fn mixed_large_minic() -> String {
+    format!(
+        "int coeffs[8] = {init};\n\
+         int result;\n\
+         int poly(int x) {{\n\
+           int k; int acc = 0;\n\
+           for (k = 0; k < 8; k = k + 1) acc = acc * x + coeffs[k];\n\
+           return acc;\n\
+         }}\n\
+         int main() {{\n\
+           int i; int s = 0; int x; int p;\n\
+           for (i = 0; i < 120; i = i + 1) {{\n\
+             x = (i % 7) - 3;\n\
+             p = poly(x);\n\
+             if (p > 0) {{\n\
+               s = s + p % 1000;\n\
+             }} else {{\n\
+               s = s + p / 2;\n\
+             }}\n\
+           }}\n\
+           result = s;\n\
+           return 0;\n\
+         }}\n",
+        init = minic_initializer(&signed_values(0x1A, 8, 20)),
+    )
+}
+
+// ------------------------------------------------------------- probe 11 --
+
+fn rsum(n: G<i32>) -> G<i32> {
+    let mut done = false;
+    let mut result = G::raw(0_i32);
+    g_if!((n <= 0) {
+        result = n;
+        done = true;
+    });
+    if done {
+        return result;
+    }
+    let sub = g_call!(rsum(n - 1));
+    n + sub
+}
+
+fn recurse_annotated() -> i32 {
+    let mut total = g_i32(0);
+    g_for!(_i in 0..6 => {
+        total.assign(total + g_call!(rsum(g_i32(60)))); // total = total + rsum(60);
+    });
+    total.get()
+}
+
+fn recurse_minic() -> String {
+    "int result;\n\
+     int rsum(int n) {\n\
+       if (n <= 0) return n;\n\
+       return n + rsum(n - 1);\n\
+     }\n\
+     int main() {\n\
+       int i; int total = 0;\n\
+       for (i = 0; i < 6; i = i + 1) {\n\
+         total = total + rsum(60);\n\
+       }\n\
+       result = total;\n\
+       return 0;\n\
+     }\n"
+        .to_owned()
+}
+
+// ------------------------------------------------------------- probe 12 --
+
+fn scale(buf: &mut GArr<i32>, n: G<i32>, f: G<i32>) -> G<i32> {
+    let mut i = g_i32(0); // i = 0;
+    g_while!((i < n) {
+        // buf[i] = (buf[i] * f) >> 4;
+        buf.set_raw(i.get() as usize, (buf.at_raw(i.get() as usize) * f) >> G::raw(4));
+        i.assign(i + 1); // i = i + 1;
+    });
+    G::raw(0)
+}
+
+fn ptr_array_annotated() -> i32 {
+    let mut buf = GArr::from_vec(signed_values(0x77, 128, 3000));
+    g_for!(pass in 0..5 => {
+        let _ = g_call!(scale(&mut buf, g_i32(128), g_i32(17 + pass as i32)));
+    });
+    let mut s = g_i32(0);
+    g_for!(i in 0..128 => {
+        s.assign(s + buf.at_raw(i)); // s = s + buf[i];
+    });
+    s.get()
+}
+
+fn ptr_array_minic() -> String {
+    format!(
+        "int buf[128] = {init};\n\
+         int result;\n\
+         int scale(int p, int n, int f) {{\n\
+           int i = 0;\n\
+           while (i < n) {{\n\
+             p[i] = (p[i] * f) >> 4;\n\
+             i = i + 1;\n\
+           }}\n\
+           return 0;\n\
+         }}\n\
+         int main() {{\n\
+           int pass; int i; int s = 0;\n\
+           for (pass = 0; pass < 5; pass = pass + 1) {{\n\
+             scale(buf, 128, 17 + pass);\n\
+           }}\n\
+           for (i = 0; i < 128; i = i + 1) s = s + buf[i];\n\
+           result = s;\n\
+           return 0;\n\
+         }}\n",
+        init = minic_initializer(&signed_values(0x77, 128, 3000)),
+    )
+}
+
+// ------------------------------------------------------------- probe 13 --
+
+const MAC_N: usize = 96;
+
+fn mac_annotated() -> i32 {
+    let a = GArr::from_vec(signed_values(0xD07, MAC_N, 1500));
+    let b = GArr::from_vec(signed_values(0xD08, MAC_N, 900));
+    let mut acc = g_i32(0);
+    g_for!(pass in 0..3_usize => {
+        g_for!(i in 0..MAC_N - 3 => {
+            // acc = acc + (a[i] * b[i + 3]) >> 5;
+            let idx = G::raw(i) + G::raw(3);
+            acc.assign(acc + ((a.at_raw(i) * b.at(idx)) >> G::raw(5)));
+        });
+        let _ = pass;
+    });
+    acc.get()
+}
+
+fn mac_minic() -> String {
+    format!(
+        "int a[{n}] = {ia};\n\
+         int b[{n}] = {ib};\n\
+         int result;\n\
+         int main() {{\n\
+           int pass; int i; int acc = 0;\n\
+           for (pass = 0; pass < 3; pass = pass + 1) {{\n\
+             for (i = 0; i < {bound}; i = i + 1) {{\n\
+               acc = acc + ((a[i] * b[i + 3]) >> 5);\n\
+             }}\n\
+           }}\n\
+           result = acc;\n\
+           return 0;\n\
+         }}\n",
+        n = MAC_N,
+        bound = MAC_N - 3,
+        ia = minic_initializer(&signed_values(0xD07, MAC_N, 1500)),
+        ib = minic_initializer(&signed_values(0xD08, MAC_N, 900)),
+    )
+}
+
+// ------------------------------------------------------------- probe 14 --
+
+const SWAP_N: usize = 80;
+
+fn condswap_annotated() -> i32 {
+    let mut arr = GArr::from_vec(signed_values(0xE0, SWAP_N, 700));
+    g_for!(pass in 0..3_usize => {
+        g_for!(i in 0..SWAP_N - 1 => {
+            // if (arr[i] > arr[i + 1]) { t = arr[i]; ... }
+            let jp = G::raw(i) + G::raw(1);
+            g_if!((arr.at_raw(i) > arr.at(jp)) {
+                let mut t = G::raw(0_i32);
+                t.assign(arr.at_raw(i));
+                let jp2 = G::raw(i) + G::raw(1);
+                arr.set_raw(i, arr.at(jp2));
+                let jp3 = G::raw(i) + G::raw(1);
+                arr.set(jp3, t);
+            });
+        });
+        let _ = pass;
+    });
+    let mut s = g_i32(0);
+    g_for!(i in 0..SWAP_N => {
+        s.assign(s + arr.at_raw(i));
+    });
+    s.get()
+}
+
+fn condswap_minic() -> String {
+    format!(
+        "int arr[{n}] = {init};\n\
+         int result;\n\
+         int main() {{\n\
+           int pass; int i; int t; int s = 0;\n\
+           for (pass = 0; pass < 3; pass = pass + 1) {{\n\
+             for (i = 0; i < {bound}; i = i + 1) {{\n\
+               if (arr[i] > arr[i + 1]) {{\n\
+                 t = arr[i]; arr[i] = arr[i + 1]; arr[i + 1] = t;\n\
+               }}\n\
+             }}\n\
+           }}\n\
+           for (i = 0; i < {n}; i = i + 1) s = s + arr[i];\n\
+           result = s;\n\
+           return 0;\n\
+         }}\n",
+        n = SWAP_N,
+        bound = SWAP_N - 1,
+        init = minic_initializer(&signed_values(0xE0, SWAP_N, 700)),
+    )
+}
+
+/// The full probe set.
+pub fn probes() -> Vec<Probe> {
+    vec![
+        Probe {
+            name: "add_chain",
+            annotated: add_chain_annotated,
+            minic: add_chain_minic(),
+        },
+        Probe {
+            name: "mul_heavy",
+            annotated: mul_heavy_annotated,
+            minic: mul_heavy_minic(),
+        },
+        Probe {
+            name: "div_heavy",
+            annotated: div_heavy_annotated,
+            minic: div_heavy_minic(),
+        },
+        Probe {
+            name: "mem_heavy",
+            annotated: mem_heavy_annotated,
+            minic: mem_heavy_minic(),
+        },
+        Probe {
+            name: "branch_heavy",
+            annotated: branch_heavy_annotated,
+            minic: branch_heavy_minic(),
+        },
+        Probe {
+            name: "call_heavy",
+            annotated: call_heavy_annotated,
+            minic: call_heavy_minic(),
+        },
+        Probe {
+            name: "shift_logic",
+            annotated: shift_logic_annotated,
+            minic: shift_logic_minic(),
+        },
+        Probe {
+            name: "cmp_heavy",
+            annotated: cmp_heavy_annotated,
+            minic: cmp_heavy_minic(),
+        },
+        Probe {
+            name: "mixed_small",
+            annotated: mixed_small_annotated,
+            minic: mixed_small_minic(),
+        },
+        Probe {
+            name: "mixed_large",
+            annotated: mixed_large_annotated,
+            minic: mixed_large_minic(),
+        },
+        Probe {
+            name: "recurse",
+            annotated: recurse_annotated,
+            minic: recurse_minic(),
+        },
+        Probe {
+            name: "ptr_array",
+            annotated: ptr_array_annotated,
+            minic: ptr_array_minic(),
+        },
+        Probe {
+            name: "mac",
+            annotated: mac_annotated,
+            minic: mac_minic(),
+        },
+        Probe {
+            name: "condswap",
+            annotated: condswap_annotated,
+            minic: condswap_minic(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_probes_agree_across_forms() {
+        for p in probes() {
+            let a = (p.annotated)();
+            let (iss, cycles) = p.run_iss();
+            assert_eq!(a, iss, "probe {} disagrees", p.name);
+            assert!(cycles > 100, "probe {} too trivial", p.name);
+        }
+    }
+
+    #[test]
+    fn probe_names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            probes().iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), probes().len());
+    }
+}

@@ -1,0 +1,357 @@
+//! `minic` program generators for the five vocoder stages.
+//!
+//! Table 3 needs a per-process ISS cycle reference. Each generator embeds
+//! the stage's *actual input stream* (captured from the reference
+//! pipeline) as global initializers and implements the stage as a
+//! per-frame function taking pointer arguments — the same statement
+//! structure the annotated form charges for — leaving the stage checksum
+//! in `result`.
+
+use crate::data::minic_initializer;
+
+use super::{gamma_powers, VocoderTrace, FRAME, MAX_LAG, MIN_LAG, ORDER, SUBLEN};
+
+fn flatten(frames: &[Vec<i32>]) -> Vec<i32> {
+    frames.iter().flatten().copied().collect()
+}
+
+/// LSP-estimation stage program.
+pub fn lsp(trace: &VocoderTrace) -> String {
+    let nf = trace.speech.len();
+    format!(
+        "int speech[{total}] = {init};\n\
+         int checksum;\n\
+         int result;\n\
+         int lsp_frame(int sp) {{\n\
+           int r[11]; int a[11]; int tmp[11]; int lpc[{order}];\n\
+           int k; int n; int i; int j; int acc; int err; int kk;\n\
+           for (k = 0; k < 11; k = k + 1) {{\n\
+             acc = 0;\n\
+             for (n = k; n < {frame}; n = n + 1) {{\n\
+               acc = acc + (((sp[n] >> 4) * (sp[n - k] >> 4)) >> 6);\n\
+             }}\n\
+             r[k] = acc;\n\
+           }}\n\
+           if (r[0] < 1) r[0] = 1;\n\
+           for (i = 0; i < 11; i = i + 1) a[i] = 0;\n\
+           a[0] = 4096;\n\
+           err = r[0];\n\
+           for (i = 1; i <= {order}; i = i + 1) {{\n\
+             acc = r[i];\n\
+             for (j = 1; j < i; j = j + 1) {{\n\
+               acc = acc - ((a[j] * r[i - j]) >> 12);\n\
+             }}\n\
+             if (acc > 131071) acc = 131071;\n\
+             if (acc < -131071) acc = -131071;\n\
+             kk = (acc << 12) / err;\n\
+             if (kk > 4095) kk = 4095;\n\
+             if (kk < -4095) kk = -4095;\n\
+             for (j = 1; j < i; j = j + 1) {{\n\
+               tmp[j] = a[j] - ((kk * a[i - j]) >> 12);\n\
+             }}\n\
+             for (j = 1; j < i; j = j + 1) a[j] = tmp[j];\n\
+             a[i] = kk;\n\
+             err = (err * (4096 - ((kk * kk) >> 12))) >> 12;\n\
+             if (err < 1) err = 1;\n\
+           }}\n\
+           for (i = 0; i < {order}; i = i + 1) lpc[i] = a[i + 1];\n\
+           for (i = 0; i < {order}; i = i + 1) checksum = checksum * 31 + lpc[i];\n\
+           return 0;\n\
+         }}\n\
+         int main() {{\n\
+           int f;\n\
+           for (f = 0; f < {nf}; f = f + 1) lsp_frame(speech + f * {framebytes});\n\
+           result = checksum;\n\
+           return 0;\n\
+         }}\n",
+        total = nf * FRAME,
+        init = minic_initializer(&flatten(&trace.speech)),
+        nf = nf,
+        frame = FRAME,
+        order = ORDER,
+        framebytes = FRAME * 4,
+    )
+}
+
+/// LPC-interpolation stage program.
+pub fn lpc_int(trace: &VocoderTrace) -> String {
+    let nf = trace.lpc.len();
+    format!(
+        "int lpcall[{total}] = {init};\n\
+         int gammas[{order}] = {gammas};\n\
+         int prev[{order}];\n\
+         int aq[{aqlen}];\n\
+         int checksum;\n\
+         int result;\n\
+         int lpcint_frame(int lpc) {{\n\
+           int s; int j; int mixed;\n\
+           for (s = 0; s < 4; s = s + 1) {{\n\
+             for (j = 0; j < {order}; j = j + 1) {{\n\
+               mixed = ((4 - s) * prev[j] + s * lpc[j]) / 4;\n\
+               aq[s * {order} + j] = (mixed * gammas[j]) >> 12;\n\
+             }}\n\
+           }}\n\
+           for (j = 0; j < {order}; j = j + 1) prev[j] = lpc[j];\n\
+           for (j = 0; j < {aqlen}; j = j + 1) checksum = checksum * 31 + aq[j];\n\
+           return 0;\n\
+         }}\n\
+         int main() {{\n\
+           int f;\n\
+           for (f = 0; f < {nf}; f = f + 1) lpcint_frame(lpcall + f * {lpcbytes});\n\
+           result = checksum;\n\
+           return 0;\n\
+         }}\n",
+        total = nf * ORDER,
+        init = minic_initializer(&flatten(&trace.lpc)),
+        gammas = minic_initializer(&gamma_powers()),
+        order = ORDER,
+        aqlen = 4 * ORDER,
+        nf = nf,
+        lpcbytes = ORDER * 4,
+    )
+}
+
+/// Adaptive-codebook-search stage program.
+pub fn acb(trace: &VocoderTrace) -> String {
+    let nf = trace.speech.len();
+    format!(
+        "int speech[{stotal}] = {sinit};\n\
+         int aqall[{atotal}] = {ainit};\n\
+         int hist[{maxlag}];\n\
+         int checksum;\n\
+         int result;\n\
+         int acb_frame(int sp, int aq) {{\n\
+           int res[{frame}]; int acb[{frame}]; int lags[4]; int gains[4];\n\
+           int n; int s; int j; int k; int x; int pred; int v; int cb; int idx;\n\
+           int base; int lag; int corr; int energy; int p; int cn; int en; int score;\n\
+           int best_score; int best_lag; int best_gain; int gain;\n\
+           for (n = 0; n < {frame}; n = n + 1) {{\n\
+             cb = (n / {sublen}) * {order};\n\
+             pred = 0;\n\
+             for (j = 1; j <= {order}; j = j + 1) {{\n\
+               if (n >= j) {{ x = sp[n - j]; }} else {{ x = 0; }}\n\
+               pred = pred + ((aq[cb + j - 1] * x) >> 12);\n\
+             }}\n\
+             v = sp[n] - pred;\n\
+             if (v > 4095) v = 4095;\n\
+             if (v < -4095) v = -4095;\n\
+             res[n] = v;\n\
+           }}\n\
+           for (s = 0; s < 4; s = s + 1) {{\n\
+             base = s * {sublen};\n\
+             best_score = -1;\n\
+             best_lag = {minlag};\n\
+             best_gain = 0;\n\
+             lag = {minlag};\n\
+             while (lag <= {maxlag}) {{\n\
+               corr = 0;\n\
+               energy = 0;\n\
+               for (n = 0; n < {sublen}; n = n + 1) {{\n\
+                 idx = base + n - lag;\n\
+                 if (idx < 0) {{ p = hist[{maxlag} + idx]; }} else {{ p = res[idx]; }}\n\
+                 p = p >> 2;\n\
+                 corr = corr + (((res[base + n] >> 2) * p) >> 4);\n\
+                 energy = energy + ((p * p) >> 4);\n\
+               }}\n\
+               cn = corr >> 6;\n\
+               en = (energy >> 6) + 1;\n\
+               score = (cn * cn) / en;\n\
+               if (score > best_score) {{\n\
+                 best_score = score;\n\
+                 best_lag = lag;\n\
+                 gain = (cn * 4096) / en;\n\
+                 if (gain > 8191) gain = 8191;\n\
+                 if (gain < -8191) gain = -8191;\n\
+                 best_gain = gain;\n\
+               }}\n\
+               lag = lag + 1;\n\
+             }}\n\
+             lags[s] = best_lag;\n\
+             gains[s] = best_gain;\n\
+             for (n = 0; n < {sublen}; n = n + 1) {{\n\
+               idx = base + n - best_lag;\n\
+               if (idx < 0) {{ p = hist[{maxlag} + idx]; }} else {{ p = res[idx]; }}\n\
+               acb[base + n] = (best_gain * p) >> 12;\n\
+             }}\n\
+             for (k = 0; k < {hist_keep}; k = k + 1) {{\n\
+               hist[k] = hist[k + {sublen}];\n\
+             }}\n\
+             for (k = 0; k < {sublen}; k = k + 1) {{\n\
+               hist[{hist_keep} + k] = res[base + k];\n\
+             }}\n\
+           }}\n\
+           for (s = 0; s < 4; s = s + 1) checksum = checksum * 31 + lags[s];\n\
+           for (s = 0; s < 4; s = s + 1) checksum = checksum * 31 + gains[s];\n\
+           return 0;\n\
+         }}\n\
+         int main() {{\n\
+           int f;\n\
+           for (f = 0; f < {nf}; f = f + 1) {{\n\
+             acb_frame(speech + f * {framebytes}, aqall + f * {aqbytes});\n\
+           }}\n\
+           result = checksum;\n\
+           return 0;\n\
+         }}\n",
+        stotal = nf * FRAME,
+        sinit = minic_initializer(&flatten(&trace.speech)),
+        atotal = nf * 4 * ORDER,
+        ainit = minic_initializer(&flatten(&trace.aq)),
+        maxlag = MAX_LAG,
+        frame = FRAME,
+        nf = nf,
+        sublen = SUBLEN,
+        order = ORDER,
+        minlag = MIN_LAG,
+        hist_keep = MAX_LAG - SUBLEN,
+        framebytes = FRAME * 4,
+        aqbytes = 4 * ORDER * 4,
+    )
+}
+
+/// Innovative-codebook-search stage program.
+pub fn icb(trace: &VocoderTrace) -> String {
+    let nf = trace.res.len();
+    format!(
+        "int resall[{total}] = {rinit};\n\
+         int acball[{total}] = {ainit};\n\
+         int checksum;\n\
+         int result;\n\
+         int icb_frame(int res, int acb) {{\n\
+           int exc[{frame}]; int res2[{sublen}];\n\
+           int n; int s; int t; int p; int mag; int best_pos; int best_mag;\n\
+           int base;\n\
+           for (n = 0; n < {frame}; n = n + 1) exc[n] = acb[n];\n\
+           for (s = 0; s < 4; s = s + 1) {{\n\
+             base = s * {sublen};\n\
+             for (n = 0; n < {sublen}; n = n + 1) {{\n\
+               res2[n] = res[base + n] - acb[base + n];\n\
+             }}\n\
+             for (t = 0; t < 4; t = t + 1) {{\n\
+               best_pos = t;\n\
+               best_mag = res2[t];\n\
+               if (best_mag < 0) best_mag = -best_mag;\n\
+               p = t + 4;\n\
+               while (p < {sublen}) {{\n\
+                 mag = res2[p];\n\
+                 if (mag < 0) mag = -mag;\n\
+                 if (mag > best_mag) {{\n\
+                   best_mag = mag;\n\
+                   best_pos = p;\n\
+                 }}\n\
+                 p = p + 4;\n\
+               }}\n\
+               exc[base + best_pos] = exc[base + best_pos] + res2[best_pos];\n\
+             }}\n\
+           }}\n\
+           for (n = 0; n < {frame}; n = n + 1) checksum = checksum * 31 + exc[n];\n\
+           return 0;\n\
+         }}\n\
+         int main() {{\n\
+           int f;\n\
+           for (f = 0; f < {nf}; f = f + 1) {{\n\
+             icb_frame(resall + f * {framebytes}, acball + f * {framebytes});\n\
+           }}\n\
+           result = checksum;\n\
+           return 0;\n\
+         }}\n",
+        total = nf * FRAME,
+        rinit = minic_initializer(&flatten(&trace.res)),
+        ainit = minic_initializer(&flatten(&trace.acb)),
+        frame = FRAME,
+        sublen = SUBLEN,
+        nf = nf,
+        framebytes = FRAME * 4,
+    )
+}
+
+/// Post-processing stage program.
+pub fn post(trace: &VocoderTrace) -> String {
+    let nf = trace.exc.len();
+    format!(
+        "int aqall[{atotal}] = {ainit};\n\
+         int excall[{etotal}] = {einit};\n\
+         int synth_hist[{order}];\n\
+         int deemph;\n\
+         int checksum;\n\
+         int result;\n\
+         int post_frame(int aq, int exc) {{\n\
+           int y[{frame}]; int out[{frame}];\n\
+           int n; int j; int acc; int prev; int d; int cb;\n\
+           for (n = 0; n < {frame}; n = n + 1) {{\n\
+             cb = (n / {sublen}) * {order};\n\
+             acc = exc[n];\n\
+             for (j = 1; j <= {order}; j = j + 1) {{\n\
+               if (n >= j) {{ prev = y[n - j]; }}\n\
+               else {{ prev = synth_hist[{order} + n - j]; }}\n\
+               acc = acc + ((aq[cb + j - 1] * prev) >> 12);\n\
+             }}\n\
+             if (acc > 1000000) acc = 1000000;\n\
+             if (acc < -1000000) acc = -1000000;\n\
+             y[n] = acc;\n\
+           }}\n\
+           for (j = 0; j < {order}; j = j + 1) {{\n\
+             synth_hist[j] = y[{hist_base} + j];\n\
+           }}\n\
+           d = deemph;\n\
+           for (n = 0; n < {frame}; n = n + 1) {{\n\
+             d = y[n] + ((2785 * d) >> 12);\n\
+             if (d > 32767) d = 32767;\n\
+             if (d < -32767) d = -32767;\n\
+             out[n] = d;\n\
+             checksum = checksum * 31 + d;\n\
+           }}\n\
+           deemph = d;\n\
+           return 0;\n\
+         }}\n\
+         int main() {{\n\
+           int f;\n\
+           for (f = 0; f < {nf}; f = f + 1) {{\n\
+             post_frame(aqall + f * {aqbytes}, excall + f * {framebytes});\n\
+           }}\n\
+           result = checksum;\n\
+           return 0;\n\
+         }}\n",
+        atotal = nf * 4 * ORDER,
+        ainit = minic_initializer(&flatten(&trace.aq)),
+        etotal = nf * FRAME,
+        einit = minic_initializer(&flatten(&trace.exc)),
+        order = ORDER,
+        frame = FRAME,
+        nf = nf,
+        sublen = SUBLEN,
+        hist_base = FRAME - ORDER,
+        aqbytes = 4 * ORDER * 4,
+        framebytes = FRAME * 4,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocoder::run_reference;
+
+    fn run_minic(src: &str) -> (i32, u64) {
+        let compiled = scperf_iss::minic::compile(src).expect("stage compiles");
+        let mut m = scperf_iss::Machine::new(1 << 22);
+        m.load(&compiled.program);
+        let stats = m.run(2_000_000_000).expect("stage runs");
+        (m.read_word(compiled.global("result")), stats.cycles)
+    }
+
+    #[test]
+    fn all_five_stage_programs_match_reference_checksums() {
+        let trace = run_reference(3);
+        let programs = [
+            ("lsp", lsp(&trace), trace.checksums[0]),
+            ("lpc_int", lpc_int(&trace), trace.checksums[1]),
+            ("acb", acb(&trace), trace.checksums[2]),
+            ("icb", icb(&trace), trace.checksums[3]),
+            ("post", post(&trace), trace.checksums[4]),
+        ];
+        for (name, src, expect) in programs {
+            let (got, cycles) = run_minic(&src);
+            assert_eq!(got, expect, "stage {name} checksum mismatch");
+            assert!(cycles > 1_000, "stage {name} suspiciously cheap");
+        }
+    }
+}

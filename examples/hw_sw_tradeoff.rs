@@ -1,0 +1,95 @@
+//! HW/SW design-space exploration for the FIR kernel: compare the same
+//! computation mapped to a CPU versus a hardware block, sweep the HW
+//! time/area weight `k` (§3), and cross-check the estimate against the
+//! behavioral-synthesis scheduler's solution space (Figure 4).
+//!
+//! Run with `cargo run --release --example hw_sw_tradeoff`.
+
+use scperf::core::{weighted_hw_cycles, CostTable, Mode, PerfModel, Platform};
+use scperf::hls;
+use scperf::kernel::{Simulator, Time};
+use scperf::workloads::fir;
+
+const CLOCK: Time = Time::ns(10);
+
+/// Runs the one-sample FIR kernel on the given platform mapping and
+/// returns the simulated segment time.
+fn simulate(platform: Platform, hw: scperf::core::ResourceId) -> Time {
+    let mut sim = Simulator::new();
+    let model = PerfModel::new(platform, Mode::StrictTimed);
+    model.spawn(&mut sim, "fir", hw, |_ctx| {
+        let _ = fir::annotated_one_sample(7);
+    });
+    sim.run().expect("simulation runs").end_time
+}
+
+fn main() {
+    // --- Software mapping.
+    let mut sw_platform = Platform::new();
+    let cpu = sw_platform.sequential("cpu0", CLOCK, CostTable::risc_sw(), 0.0);
+    let sw_time = simulate(sw_platform, cpu);
+    println!("FIR sample on SW (100 MHz CPU): {sw_time}");
+
+    // --- Hardware mapping, k sweep.
+    println!("\nFIR sample on HW, k sweep (T = T_min + (T_max - T_min) * k):");
+    for i in 0..=10 {
+        let k = i as f64 / 10.0;
+        let mut platform = Platform::new();
+        let hw = platform.parallel("fir_asic", CLOCK, CostTable::asic_hw(), k);
+        let t = simulate(platform, hw);
+        println!("  k = {k:.1}  ->  {t}");
+    }
+
+    // --- The scheduler's view of the same segment (Figure 4).
+    let mut platform = Platform::new();
+    let hw = platform.parallel("fir_asic", CLOCK, CostTable::asic_hw(), 0.0);
+    let mut sim = Simulator::new();
+    let model = PerfModel::new(platform, Mode::EstimateOnly);
+    model.record_dfgs();
+    model.spawn(&mut sim, "fir", hw, |_ctx| {
+        let _ = fir::annotated_one_sample(7);
+    });
+    sim.run().expect("recording run");
+    let report = model.report();
+    let seg = &report.process("fir").expect("fir reported").segments[0];
+    let (t_min, t_max) = (seg.stats.last_t_min, seg.stats.last_t_max);
+    let dfg = model
+        .dfgs("fir")
+        .into_iter()
+        .next()
+        .map(|(_, d)| d)
+        .expect("dfg recorded");
+
+    println!(
+        "\nestimator extremes: T_min = {:.0} cycles, T_max = {:.0} cycles \
+         (k = 0.5 -> {:.0} cycles)",
+        t_min,
+        t_max,
+        weighted_hw_cycles(t_min, t_max, 0.5)
+    );
+    println!(
+        "recorded DFG: {} operations, critical path {} cycles",
+        dfg.len(),
+        dfg.critical_path()
+    );
+
+    println!("\nbehavioral-synthesis solution space (ALUs, time, area):");
+    for p in hls::explore::tradeoff_curve(&dfg) {
+        let label = if p.alus == 0 {
+            "seq".to_owned()
+        } else {
+            p.alus.to_string()
+        };
+        println!(
+            "  {label:>4} ALU(s): {:>8} cycles, area {:>6.1}",
+            p.cycles, p.area
+        );
+    }
+
+    // A peek at what the 2-ALU schedule actually does with the first
+    // operations of the kernel.
+    let alloc = hls::Allocation::unlimited().with(hls::FuKind::Alu, 2);
+    let schedule = hls::schedule_list(&dfg, &alloc);
+    println!("\n2-ALU schedule, first operations (Gantt):");
+    print!("{}", hls::gantt::render(&dfg, &schedule, 14, 48));
+}

@@ -1,0 +1,91 @@
+//! Rate analysis on top of the estimation results (§6): take the
+//! vocoder's per-process estimated execution times, treat each stage as a
+//! periodic task activated once per 20 ms speech frame, and check
+//! schedulability on one CPU with the Liu–Layland test and exact
+//! response-time analysis.
+//!
+//! Run with `cargo run --release --example rate_analysis`.
+
+use scperf::core::{rate, Mode, PerfModel, Platform};
+use scperf::kernel::{Simulator, Time};
+use scperf::workloads::{calibration, vocoder};
+
+fn main() -> Result<(), scperf::kernel::SimError> {
+    let nframes = 8;
+    // Calibrate the cost table against the reference ISS (the automated
+    // version of the paper's "weights obtained analyzing assembler code").
+    println!("calibrating cost table from the probe set...");
+    let cal = calibration::calibrate();
+    println!("  R^2 = {:.4}\n", cal.r_squared);
+    // Estimate the five stages' execution times on the target CPU.
+    let mut platform = Platform::new();
+    let cpu = platform.sequential("cpu0", Time::ns(10), cal.table, 150.0);
+    let mut sim = Simulator::new();
+    let model = PerfModel::new(platform, Mode::EstimateOnly);
+    let _ = vocoder::pipeline::build(
+        &mut sim,
+        &model,
+        vocoder::pipeline::VocoderMapping::all_on(cpu),
+        nframes,
+    );
+    sim.run()?;
+    let report = model.report();
+
+    // One GSM frame = 160 samples at 8 kHz = 20 ms.
+    let frame_period = Time::ms(20);
+    let tasks: Vec<rate::Task> = vocoder::pipeline::STAGE_NAMES
+        .iter()
+        .map(|name| {
+            let p = report.process(name).expect("stage reported");
+            // Per activation: total over the run divided by frames, plus
+            // the RTOS share.
+            let per_frame =
+                (p.total_time + p.rtos_time) / nframes as u64;
+            rate::Task {
+                name: p.name.clone(),
+                wcet: per_frame,
+                period: frame_period,
+            }
+        })
+        .collect();
+
+    println!("vocoder stages as periodic tasks (period = one 20 ms frame):");
+    for t in &tasks {
+        println!(
+            "  {:<12} C = {:>12}  U = {:.4}",
+            t.name,
+            t.wcet.to_string(),
+            t.utilization()
+        );
+    }
+    let u = rate::utilization(&tasks);
+    println!(
+        "\ntotal utilization U = {:.4}  (Liu–Layland bound for n = {}: {:.4})",
+        u,
+        tasks.len(),
+        rate::rm_utilization_bound(tasks.len())
+    );
+    match rate::rm_utilization_test(&tasks) {
+        Some(true) => println!("utilization test: schedulable"),
+        Some(false) => println!("utilization test: NOT schedulable (U > 1)"),
+        None => println!("utilization test: inconclusive — running exact analysis"),
+    }
+
+    println!("\nexact worst-case response times (rate-monotonic):");
+    for (t, r) in tasks.iter().zip(rate::response_times(&tasks)) {
+        match r {
+            Some(r) => println!("  {:<12} R = {:>12}  (deadline {})", t.name, r.to_string(), t.period),
+            None => println!("  {:<12} MISSES its {} deadline", t.name, t.period),
+        }
+    }
+    println!(
+        "\nverdict: {}",
+        if rate::rm_schedulable(&tasks) {
+            "the all-SW mapping meets the 20 ms frame deadline"
+        } else {
+            "the all-SW mapping cannot sustain real time on this CPU — \
+             offload a stage (see the hw_sw_tradeoff example)"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # scperf — system-level performance analysis in a SystemC-like kernel
+//!
+//! A from-scratch Rust reproduction of *Posadas, Herrera, Sánchez, Villar,
+//! Blasco: "System-Level Performance Analysis in SystemC" (DATE 2004)*:
+//! dynamic timing estimation of system-level models during simulation,
+//! turning an untimed delta-cycle simulation into a strict-timed one with
+//! no change to the model's structure.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`kernel`] | `scperf-kernel` | SystemC-like discrete-event simulation kernel |
+//! | [`core`] | `scperf-core` | the paper's estimation library (annotated types, segments, platform model, back-annotation, capture points) |
+//! | [`iss`] | `scperf-iss` | cycle-accurate reference RISC ISS + `minic` compiler + calibration |
+//! | [`hls`] | `scperf-hls` | behavioral-synthesis scheduling baseline (ASAP/ALAP/list, area model) |
+//! | [`workloads`] | `scperf-workloads` | the paper's benchmarks in three matched forms, incl. the GSM-like vocoder |
+//!
+//! The experiment harness (`scperf-bench`) regenerates every table and
+//! figure of the paper's evaluation; see the repository README and
+//! EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use scperf::core::{g_i32, CostTable, Mode, PerfModel, Platform};
+//! use scperf::kernel::{Simulator, Time};
+//!
+//! let mut platform = Platform::new();
+//! let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 100.0);
+//!
+//! let mut sim = Simulator::new();
+//! let model = PerfModel::new(platform, Mode::StrictTimed);
+//! model.spawn(&mut sim, "worker", cpu, |_ctx| {
+//!     let mut acc = g_i32(0);
+//!     for i in 0..100 {
+//!         acc = acc + scperf::core::G::raw(i);
+//!     }
+//!     assert_eq!(acc.get(), 4950);
+//! });
+//! let summary = sim.run()?;
+//! assert!(summary.end_time > Time::ZERO); // the model became timed
+//! # Ok::<(), scperf::kernel::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use scperf_core as core;
+pub use scperf_hls as hls;
+pub use scperf_iss as iss;
+pub use scperf_kernel as kernel;
+pub use scperf_workloads as workloads;
