@@ -3,21 +3,21 @@
 //! * estimation accuracy vs calibration-set size (how many probes are
 //!   needed before Table 1 errors stabilize),
 //! * RTOS cost on/off (its share of the vocoder's simulated time),
-//! * the `k` weight sweep on the HW FIR segment,
 //! * ISS cache model on/off (the "unavoidable" cache error of §1),
-//! * functional vs pipelined ISS timing model cost.
+//! * functional vs pipelined ISS timing model cost,
+//! * HLS scheduling cost on the recorded Post-Proc DFG.
 //!
 //! These are wall-clock benches plus printed accuracy summaries; run with
 //! `cargo bench -p scperf-bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scperf_bench::microbench::{run_group, Case};
 use scperf_bench::{calibration, harness};
 use scperf_core::{Mode, PerfModel, Platform};
 use scperf_kernel::{Simulator, Time};
 use scperf_workloads::{probes::probes, table1_cases, vocoder};
 
 /// Accuracy vs calibration-set size (printed once; benches the full fit).
-fn ablation_calibration_size(c: &mut Criterion) {
+fn ablation_calibration_size() {
     let all = probes();
     println!("\n[ablation] Table-1 max error vs number of calibration probes:");
     for n in [4, 6, 8, 10, all.len()] {
@@ -30,21 +30,24 @@ fn ablation_calibration_size(c: &mut Criterion) {
                 harness::pct_error(est.cycles, stats.cycles as f64)
             })
             .fold(0.0_f64, f64::max);
-        println!("  {n:>2} probes -> max error {max_err:6.2}%  (R^2 {:.4})", cal.r_squared);
+        println!(
+            "  {n:>2} probes -> max error {max_err:6.2}%  (R^2 {:.4})",
+            cal.r_squared
+        );
     }
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("full_calibration", |b| b.iter(calibration::calibrate));
-    group.finish();
+    run_group(
+        "ablation",
+        &[Case::new("full_calibration", || {
+            std::hint::black_box(calibration::calibrate());
+        })],
+    );
 }
 
 /// RTOS overhead share: vocoder simulated end time with and without the
 /// per-node RTOS cost.
-fn ablation_rtos(c: &mut Criterion) {
+fn ablation_rtos() {
     let table = calibration::calibrate().table;
-    let run = |rtos: f64| -> Time {
+    let run = move |rtos: f64| -> Time {
         let mut platform = Platform::new();
         let cpu = platform.sequential("cpu0", harness::CLOCK, table.clone(), rtos);
         let mut sim = Simulator::new();
@@ -66,19 +69,17 @@ fn ablation_rtos(c: &mut Criterion) {
         without,
         (with_rtos.as_ns_f64() - without.as_ns_f64()) / with_rtos.as_ns_f64() * 100.0
     );
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("vocoder_strict_timed_4f", |b| {
-        b.iter(|| run(harness::RTOS_CYCLES))
-    });
-    group.finish();
+    run_group(
+        "ablation",
+        &[Case::new("vocoder_strict_timed_4f", move || {
+            std::hint::black_box(run(harness::RTOS_CYCLES));
+        })],
+    );
 }
 
 /// ISS model ablation: functional cost model vs cycle-stepped pipeline,
 /// caches on/off, on the FIR benchmark.
-fn ablation_iss_models(c: &mut Criterion) {
+fn ablation_iss_models() {
     let case = &table1_cases()[0]; // FIR
     let compiled = scperf_iss::minic::compile(&case.minic).expect("compiles");
     {
@@ -94,29 +95,27 @@ fn ablation_iss_models(c: &mut Criterion) {
             functional.cycles, pipelined.cycles, pipelined.icache_misses, pipelined.dcache_misses
         );
     }
-    let mut group = c.benchmark_group("iss_model");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("functional", |b| {
-        b.iter(|| {
-            let mut m = scperf_iss::Machine::new(1 << 22);
-            m.load(&compiled.program);
-            m.run(1_000_000_000).expect("runs").cycles
-        })
-    });
-    group.bench_function("pipelined_cached", |b| {
-        b.iter(|| {
-            let mut m = scperf_workloads::case::reference_machine();
-            m.load(&compiled.program);
-            m.run_pipelined(8_000_000_000).expect("runs").cycles
-        })
-    });
-    group.finish();
+    let c1 = compiled.clone();
+    let c2 = compiled;
+    run_group(
+        "iss_model",
+        &[
+            Case::new("functional", move || {
+                let mut m = scperf_iss::Machine::new(1 << 22);
+                m.load(&c1.program);
+                std::hint::black_box(m.run(1_000_000_000).expect("runs").cycles);
+            }),
+            Case::new("pipelined_cached", move || {
+                let mut m = scperf_workloads::case::reference_machine();
+                m.load(&c2.program);
+                std::hint::black_box(m.run_pipelined(8_000_000_000).expect("runs").cycles);
+            }),
+        ],
+    );
 }
 
 /// HLS scheduling cost on the recorded Post-Proc DFG (Table 4's segment).
-fn ablation_hls(c: &mut Criterion) {
+fn ablation_hls() {
     let trace = vocoder::run_reference(2);
     let aq = trace.aq[0].clone();
     let exc = trace.exc[0].clone();
@@ -130,24 +129,26 @@ fn ablation_hls(c: &mut Criterion) {
         let _ = vocoder::stages::post_annotated(&mut synth_hist, &mut deemph, &aq, &exc, &mut chk);
     });
     println!("\n[ablation] Post-Proc DFG: {} operation nodes", dfg.len());
-    let mut group = c.benchmark_group("hls");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("list_schedule_postproc", |b| {
-        b.iter(|| scperf_hls::schedule_list(&dfg, &scperf_hls::Allocation::uniform(2)).makespan)
-    });
-    group.bench_function("asap_postproc", |b| {
-        b.iter(|| scperf_hls::schedule_asap(&dfg).makespan)
-    });
-    group.finish();
+    let d1 = dfg.clone();
+    let d2 = dfg;
+    run_group(
+        "hls",
+        &[
+            Case::new("list_schedule_postproc", move || {
+                std::hint::black_box(
+                    scperf_hls::schedule_list(&d1, &scperf_hls::Allocation::uniform(2)).makespan,
+                );
+            }),
+            Case::new("asap_postproc", move || {
+                std::hint::black_box(scperf_hls::schedule_asap(&d2).makespan);
+            }),
+        ],
+    );
 }
 
-criterion_group!(
-    benches,
-    ablation_calibration_size,
-    ablation_rtos,
-    ablation_iss_models,
-    ablation_hls
-);
-criterion_main!(benches);
+fn main() {
+    ablation_calibration_size();
+    ablation_rtos();
+    ablation_iss_models();
+    ablation_hls();
+}

@@ -1,63 +1,55 @@
-//! Criterion benches for the host-simulation-time columns of Tables 1
+//! Wall-clock benches for the host-simulation-time columns of Tables 1
 //! and 3: the same benchmark simulated (a) plain/untimed, (b) with the
 //! estimation library in strict-timed mode, and (c) on the reference ISS.
 //!
 //! Run with `cargo bench -p scperf-bench --bench host_time`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scperf_bench::harness;
+use scperf_bench::microbench::{run_group, Case};
 use scperf_core::{Mode, PerfModel};
 use scperf_kernel::Simulator;
 use scperf_workloads::{table1_cases, vocoder};
 
-fn bench_table1_paths(c: &mut Criterion) {
+fn bench_table1_paths() {
     let table = scperf_bench::calibration::calibrate().table;
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
     for case in table1_cases() {
         let plain = case.plain;
-        group.bench_with_input(BenchmarkId::new("plain_sim", case.name), &(), |b, ()| {
-            b.iter(|| harness::time_plain(plain).1)
-        });
         let annotated = case.annotated;
         let t = table.clone();
-        group.bench_with_input(BenchmarkId::new("library_sim", case.name), &(), |b, ()| {
-            b.iter(|| harness::time_strict_timed(&t, annotated).2)
-        });
         // Compile once; bench only the ISS execution.
         let compiled = scperf_iss::minic::compile(&case.minic).expect("compiles");
-        group.bench_with_input(BenchmarkId::new("iss", case.name), &(), |b, ()| {
-            b.iter(|| {
+        let cases = vec![
+            Case::new("plain_sim", move || {
+                std::hint::black_box(harness::time_plain(plain).1);
+            }),
+            Case::new("library_sim", move || {
+                std::hint::black_box(harness::time_strict_timed(&t, annotated).2);
+            }),
+            Case::new("iss", move || {
                 let mut m = scperf_workloads::case::reference_machine();
                 m.load(&compiled.program);
-                m.run_pipelined(8_000_000_000).expect("runs").cycles
-            })
-        });
+                std::hint::black_box(m.run_pipelined(8_000_000_000).expect("runs").cycles);
+            }),
+        ];
+        run_group(&format!("table1/{}", case.name), &cases);
     }
-    group.finish();
 }
 
-fn bench_vocoder_paths(c: &mut Criterion) {
+fn bench_vocoder_paths() {
     let table = scperf_bench::calibration::calibrate().table;
     let nframes = 4;
-    let mut group = c.benchmark_group("vocoder");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("plain_sim", |b| {
-        b.iter(|| {
+    let t1 = table.clone();
+    let t2 = table;
+    let cases = vec![
+        Case::new("plain_sim", move || {
             let mut sim = Simulator::new();
             let out = vocoder::pipeline::build_plain(&mut sim, nframes);
             sim.run().expect("runs");
-            let v = out.lock().expect("finished");
-            v
-        })
-    });
-    group.bench_function("library_sim_strict", |b| {
-        b.iter(|| {
-            let (platform, cpu) = harness::cpu_platform(table.clone());
+            let v = *out.lock();
+            std::hint::black_box(v.expect("finished"));
+        }),
+        Case::new("library_sim_strict", move || {
+            let (platform, cpu) = harness::cpu_platform(t1.clone());
             let mut sim = Simulator::new();
             let model = PerfModel::new(platform, Mode::StrictTimed);
             let handles = vocoder::pipeline::build(
@@ -67,13 +59,11 @@ fn bench_vocoder_paths(c: &mut Criterion) {
                 nframes,
             );
             sim.run().expect("runs");
-            let v = handles.output.lock().expect("finished");
-            v
-        })
-    });
-    group.bench_function("library_sim_untimed", |b| {
-        b.iter(|| {
-            let (platform, cpu) = harness::cpu_platform(table.clone());
+            let v = *handles.output.lock();
+            std::hint::black_box(v.expect("finished"));
+        }),
+        Case::new("library_sim_untimed", move || {
+            let (platform, cpu) = harness::cpu_platform(t2.clone());
             let mut sim = Simulator::new();
             let model = PerfModel::new(platform, Mode::EstimateOnly);
             let handles = vocoder::pipeline::build(
@@ -83,20 +73,16 @@ fn bench_vocoder_paths(c: &mut Criterion) {
                 nframes,
             );
             sim.run().expect("runs");
-            let v = handles.output.lock().expect("finished");
-            v
-        })
-    });
-    group.finish();
+            let v = *handles.output.lock();
+            std::hint::black_box(v.expect("finished"));
+        }),
+    ];
+    run_group(&format!("vocoder ({nframes} frames)"), &cases);
 }
 
-fn bench_kernel_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("fifo_10k_items", |b| {
-        b.iter(|| {
+fn bench_kernel_primitives() {
+    let cases = vec![
+        Case::new("fifo_10k_items", || {
             let mut sim = Simulator::new();
             let f = sim.fifo::<u64>("f", 16);
             let (tx, rx) = (f.clone(), f);
@@ -110,27 +96,23 @@ fn bench_kernel_primitives(c: &mut Criterion) {
                     let _ = rx.read(ctx);
                 }
             });
-            sim.run().expect("runs").deltas
-        })
-    });
-    group.bench_function("timed_waits_10k", |b| {
-        b.iter(|| {
+            std::hint::black_box(sim.run().expect("runs").deltas);
+        }),
+        Case::new("timed_waits_10k", || {
             let mut sim = Simulator::new();
             sim.spawn("p", |ctx| {
                 for _ in 0..10_000 {
                     ctx.wait(scperf_kernel::Time::ns(5));
                 }
             });
-            sim.run().expect("runs").end_time
-        })
-    });
-    group.finish();
+            std::hint::black_box(sim.run().expect("runs").end_time);
+        }),
+    ];
+    run_group("kernel", &cases);
 }
 
-criterion_group!(
-    benches,
-    bench_table1_paths,
-    bench_vocoder_paths,
-    bench_kernel_primitives
-);
-criterion_main!(benches);
+fn main() {
+    bench_table1_paths();
+    bench_vocoder_paths();
+    bench_kernel_primitives();
+}

@@ -6,8 +6,13 @@ fn main() {
         let (_, stats) = case.run_iss();
         println!(
             "{:<12} instr {:>9} cyc {:>9} cpi {:.2} ic_miss {:>7} dc_miss {:>7} br {:>8}",
-            case.name, stats.instructions, stats.cycles, stats.cpi(),
-            stats.icache_misses, stats.dcache_misses, stats.branches_taken
+            case.name,
+            stats.instructions,
+            stats.cycles,
+            stats.cpi(),
+            stats.icache_misses,
+            stats.dcache_misses,
+            stats.branches_taken
         );
     }
 }

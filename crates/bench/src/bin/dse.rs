@@ -9,7 +9,10 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(2);
     let cal = scperf_bench::calibration::calibrate();
-    println!("cost table calibrated (R^2 = {:.4}); exploring...", cal.r_squared);
+    println!(
+        "cost table calibrated (R^2 = {:.4}); exploring...",
+        cal.r_squared
+    );
     let points = scperf_bench::dse::explore_all(&cal.table, nframes);
     println!("{}", scperf_bench::dse::format_summary(&points, nframes));
 }

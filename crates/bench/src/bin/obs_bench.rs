@@ -1,0 +1,88 @@
+//! Observability dump: runs the strict-timed vocoder with tracing,
+//! metrics and profiling enabled and writes
+//!
+//! * `BENCH_obs.json` — merged kernel + estimator metrics snapshot,
+//! * `vocoder_trace.json` — Chrome `trace_event` document (open in
+//!   Perfetto / `chrome://tracing`): one instant-event track per process
+//!   from the kernel trace, plus one span track per analyzed process
+//!   from the estimator's instantaneous samples,
+//! * a host-time profile of the scheduler phases on stdout.
+//!
+//! Output paths are relative to the working directory; set
+//! `SCPERF_OBS_DIR` to redirect.
+
+use scperf_core::{Mode, PerfModel};
+use scperf_kernel::Simulator;
+use scperf_obs::chrome::ChromeTrace;
+use scperf_obs::profile;
+use scperf_workloads::vocoder;
+
+fn main() {
+    let nframes: usize = std::env::var("SCPERF_OBS_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let dir = std::env::var("SCPERF_OBS_DIR").unwrap_or_else(|_| ".".into());
+    let table = scperf_bench::calibration::calibrate().table;
+    let (platform, cpu) = scperf_bench::harness::cpu_platform(table);
+
+    profile::reset();
+    profile::set_enabled(true);
+
+    let mut sim = Simulator::new();
+    sim.enable_tracing();
+    let model = PerfModel::new(platform, Mode::StrictTimed);
+    model.record_instantaneous();
+    let handles = vocoder::pipeline::build(
+        &mut sim,
+        &model,
+        vocoder::pipeline::VocoderMapping::all_on(cpu),
+        nframes,
+    );
+    let summary = {
+        let _span = profile::span("vocoder.run");
+        sim.run().expect("vocoder runs")
+    };
+    profile::set_enabled(false);
+
+    let checksum = (*handles.output.lock()).expect("sink finished");
+    println!(
+        "vocoder: {nframes} frames, checksum {checksum}, end {}, {} deltas, {} activations",
+        summary.end_time, summary.deltas, summary.activations
+    );
+
+    // Metrics: kernel internals + estimator internals, one snapshot.
+    let mut metrics = sim.metrics();
+    metrics.merge(model.metrics_snapshot());
+    let metrics_path = format!("{dir}/BENCH_obs.json");
+    std::fs::write(&metrics_path, metrics.to_json()).expect("write metrics json");
+    println!("\n{metrics}");
+    println!("metrics -> {metrics_path}");
+
+    // Chrome trace: kernel events (instants per process track) merged
+    // with the estimator's per-segment spans.
+    let table = sim.take_events();
+    let mut chrome = ChromeTrace::from_table(&table);
+    chrome.merge(model.chrome_trace());
+    let trace_path = format!("{dir}/vocoder_trace.json");
+    chrome.write_to(&trace_path).expect("write chrome trace");
+    println!(
+        "chrome trace -> {trace_path} ({} events from {} kernel records; load in Perfetto)",
+        chrome.len(),
+        table.len()
+    );
+
+    // Host-time profile of the scheduler phases.
+    println!("\nhost-time profile:");
+    for (name, stats) in profile::report() {
+        println!(
+            "  {name:<20} total {:>12?}  count {:>8}  mean {:>10?}",
+            stats.total,
+            stats.count,
+            stats
+                .total
+                .checked_div(stats.count as u32)
+                .unwrap_or_default(),
+        );
+    }
+}

@@ -256,7 +256,12 @@ mod tests {
         for f in &frontier {
             for p in &points {
                 let dominated = p.latency < f.latency && p.cost <= f.cost;
-                assert!(!dominated, "{} dominated by {}", f.mapping_label(), p.mapping_label());
+                assert!(
+                    !dominated,
+                    "{} dominated by {}",
+                    f.mapping_label(),
+                    p.mapping_label()
+                );
             }
         }
     }

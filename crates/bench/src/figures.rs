@@ -7,7 +7,6 @@ use scperf_core::{
 };
 use scperf_kernel::{Simulator, Time};
 
-
 use crate::harness::CLOCK;
 
 // ============================================================ Figure 1/2 ==
@@ -59,7 +58,7 @@ pub fn figure1_2() -> (String, String) {
                 // common code to S1-3 / S2-3
                 acc = acc + 7;
                 timed_wait(ctx, delay1); // N3
-                // code of segment S3-4
+                                         // code of segment S3-4
                 let _ = acc * 2;
                 let _ = ch2.read(ctx); // N4
             }
@@ -142,7 +141,10 @@ pub fn figure3() -> String {
         ],
         &mut out,
     );
-    let _ = writeln!(out, "  ch2.read();              final delay = {time:.1} cycles");
+    let _ = writeln!(
+        out,
+        "  ch2.read();              final delay = {time:.1} cycles"
+    );
     assert!((time - 75.8).abs() < 1e-9, "walk must total 75.8 cycles");
     out
 }
@@ -363,9 +365,13 @@ mod tests {
     fn figure5_traces_differ_only_in_time() {
         let (untimed, timed) = figure5();
         // Untimed: everything in delta cycles at time 0.
-        assert!(untimed.lines().all(|l| l.is_empty() || l.starts_with("[0ps")));
+        assert!(untimed
+            .lines()
+            .all(|l| l.is_empty() || l.starts_with("[0ps")));
         // Strict-timed: updates happen at non-zero times.
-        assert!(timed.lines().any(|l| !l.is_empty() && !l.starts_with("[0ps")));
+        assert!(timed
+            .lines()
+            .any(|l| !l.is_empty() && !l.starts_with("[0ps")));
         // Same functional content: each signal updated three times in both.
         for sig in ["s1=", "s2=", "s3="] {
             assert_eq!(untimed.matches(sig).count(), 3, "{sig} untimed");

@@ -38,7 +38,7 @@ pub fn estimate(table: &CostTable, body: fn() -> i32) -> EstimateRun {
     let (platform, cpu) = cpu_platform(table.clone());
     let mut sim = Simulator::new();
     let model = PerfModel::new(platform, Mode::EstimateOnly);
-    let value = std::sync::Arc::new(parking_lot::Mutex::new(0_i32));
+    let value = std::sync::Arc::new(scperf_sync::Mutex::new(0_i32));
     {
         let value = std::sync::Arc::clone(&value);
         model.spawn(&mut sim, "bench", cpu, move |_ctx| {
@@ -64,7 +64,7 @@ pub fn time_strict_timed(table: &CostTable, body: fn() -> i32) -> (Duration, Tim
     let (platform, cpu) = cpu_platform(table.clone());
     let mut sim = Simulator::new();
     let model = PerfModel::new(platform, Mode::StrictTimed);
-    let value = std::sync::Arc::new(parking_lot::Mutex::new(0_i32));
+    let value = std::sync::Arc::new(scperf_sync::Mutex::new(0_i32));
     {
         let value = std::sync::Arc::clone(&value);
         model.spawn(&mut sim, "bench", cpu, move |_ctx| {
@@ -83,7 +83,7 @@ pub fn time_strict_timed(table: &CostTable, body: fn() -> i32) -> (Duration, Tim
 /// `(host_time, value)`.
 pub fn time_plain(body: fn() -> i32) -> (Duration, i32) {
     let mut sim = Simulator::new();
-    let value = std::sync::Arc::new(parking_lot::Mutex::new(0_i32));
+    let value = std::sync::Arc::new(scperf_sync::Mutex::new(0_i32));
     {
         let value = std::sync::Arc::clone(&value);
         sim.spawn("bench", move |_ctx| {

@@ -15,8 +15,11 @@
 //! | Figure 5 (untimed vs strict-timed)       | `cargo run -p scperf-bench --release --bin fig5` |
 //! | Everything                               | `cargo run -p scperf-bench --release --bin all_experiments` |
 //! | Mapping design-space exploration (DSE)   | `cargo run -p scperf-bench --release --bin dse` |
+//! | Observability dump (`BENCH_obs.json` + Chrome trace) | `cargo run -p scperf-bench --release --bin obs_bench` |
 //!
-//! Criterion benches for the host-time columns live in `benches/`.
+//! Wall-clock benches for the host-time columns live in `benches/`
+//! (plain `harness = false` mains on [`microbench`]): `host_time`,
+//! `ablations` and `trace_overhead`.
 
 #![warn(missing_docs)]
 
@@ -24,4 +27,5 @@ pub mod calibration;
 pub mod dse;
 pub mod figures;
 pub mod harness;
+pub mod microbench;
 pub mod tables;

@@ -1,0 +1,132 @@
+//! A minimal wall-clock microbenchmark harness (criterion-free).
+//!
+//! Each [`Case`] is a closure run `warmup + reps` times; the minimum
+//! observed time is the headline number (host-time noise is strictly
+//! additive, so the minimum is the best point estimate of the true
+//! cost), with the mean printed alongside as a stability indicator.
+//!
+//! Set `SCPERF_BENCH_REPS` to change the repetition count (default 5).
+
+use std::time::{Duration, Instant};
+
+/// One named benchmark case.
+pub struct Case {
+    /// Display name.
+    pub name: String,
+    run: Box<dyn Fn()>,
+}
+
+impl Case {
+    /// Wraps a closure as a named case.
+    pub fn new(name: impl Into<String>, run: impl Fn() + 'static) -> Case {
+        Case {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+impl std::fmt::Debug for Case {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Case").field("name", &self.name).finish()
+    }
+}
+
+/// The timing result of one case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Case name.
+    pub name: String,
+    /// Minimum observed time.
+    pub min: Duration,
+    /// Mean over all measured repetitions.
+    pub mean: Duration,
+    /// Measured repetitions (excluding warmup).
+    pub reps: usize,
+}
+
+/// Repetition count: `SCPERF_BENCH_REPS` or 5.
+pub fn default_reps() -> usize {
+    std::env::var("SCPERF_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5)
+}
+
+/// Runs one case: one warmup iteration, then `reps` timed iterations.
+pub fn measure(case: &Case, reps: usize) -> Measurement {
+    (case.run)(); // warmup
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..reps {
+        let start = Instant::now();
+        (case.run)();
+        let t = start.elapsed();
+        min = min.min(t);
+        total += t;
+    }
+    Measurement {
+        name: case.name.clone(),
+        min,
+        mean: total / reps as u32,
+        reps,
+    }
+}
+
+/// Renders a duration with an auto-selected unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2}µs", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Runs every case in `cases`, printing an aligned table, and returns
+/// the measurements in case order.
+pub fn run_group(title: &str, cases: &[Case]) -> Vec<Measurement> {
+    let reps = default_reps();
+    println!("\n== {title} (min of {reps} reps) ==");
+    let width = cases.iter().map(|c| c.name.len()).max().unwrap_or(0);
+    let mut results = Vec::with_capacity(cases.len());
+    for case in cases {
+        let m = measure(case, reps);
+        println!(
+            "  {:<width$}  min {:>10}  mean {:>10}",
+            m.name,
+            fmt_duration(m.min),
+            fmt_duration(m.mean),
+        );
+        results.push(m);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_min_and_mean() {
+        let case = Case::new("spin", || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        let m = measure(&case, 3);
+        assert_eq!(m.reps, 3);
+        assert!(m.min <= m.mean);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).ends_with("s"));
+    }
+}

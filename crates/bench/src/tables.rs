@@ -3,8 +3,8 @@
 use std::fmt;
 
 use scperf_core::{CostTable, Dfg, Mode, PerfModel};
-use scperf_kernel::{Simulator, Time};
 use scperf_hls::{chained_critical_path, chained_sequential};
+use scperf_kernel::{Simulator, Time};
 use scperf_workloads::vocoder;
 
 use crate::calibration::Calibration;
@@ -52,7 +52,8 @@ pub fn table1(cal: &Calibration, reps: usize) -> Vec<Table1Row> {
                 (t, (c, v))
             });
             assert_eq!(est.value, iss_value, "{}: forms disagree", case.name);
-            let (host_plain, plain_value) = harness::min_time(reps, || harness::time_plain(case.plain));
+            let (host_plain, plain_value) =
+                harness::min_time(reps, || harness::time_plain(case.plain));
             assert_eq!(est.value, plain_value, "{}: plain disagrees", case.name);
             let (host_lib, _) = harness::min_time(reps, || {
                 let (t, end, v) = harness::time_strict_timed(&cal.table, case.annotated);
@@ -87,7 +88,16 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         out,
         "{:<12} {:>12} {:>12} {:>12} {:>7} | {:>10} {:>10} {:>10} {:>9} {:>9}",
-        "Benchmark", "Lib est us", "ISS us", "ISS cyc", "Err %", "plain ms", "lib ms", "ISS ms", "overhead", "gain"
+        "Benchmark",
+        "Lib est us",
+        "ISS us",
+        "ISS cyc",
+        "Err %",
+        "plain ms",
+        "lib ms",
+        "ISS ms",
+        "overhead",
+        "gain"
     );
     for r in rows {
         let _ = writeln!(
@@ -171,11 +181,8 @@ pub fn table2() -> Vec<HwRow> {
     });
     let (euler_dfg, eu_tmin, eu_tmax) = harness::record_hw_dfg(CostTable::asic_hw(), || {
         use scperf_core::G;
-        let (x, v) = scperf_workloads::euler::step_annotated(
-            G::raw(0.4),
-            G::raw(-0.1),
-            G::raw(2.25),
-        );
+        let (x, v) =
+            scperf_workloads::euler::step_annotated(G::raw(0.4), G::raw(-0.1), G::raw(2.25));
         let _ = (x, v);
     });
     vec![
@@ -400,8 +407,18 @@ mod tests {
             assert!(r.wc_est_ns >= r.bc_est_ns, "{}", r.name);
             // Estimates bracket reality: T_max >= real WC is not guaranteed
             // in general, but errors must stay single/low-double digit.
-            assert!(r.wc_err_pct < 20.0, "{} WC err {:.1}%", r.name, r.wc_err_pct);
-            assert!(r.bc_err_pct < 20.0, "{} BC err {:.1}%", r.name, r.bc_err_pct);
+            assert!(
+                r.wc_err_pct < 20.0,
+                "{} WC err {:.1}%",
+                r.name,
+                r.wc_err_pct
+            );
+            assert!(
+                r.bc_err_pct < 20.0,
+                "{} BC err {:.1}%",
+                r.name,
+                r.bc_err_pct
+            );
         }
     }
 
@@ -412,6 +429,11 @@ mod tests {
         let r = &rows[0];
         assert!(r.wc_real_ns > 0.0);
         assert!(r.wc_est_ns >= r.bc_est_ns);
-        assert!(r.wc_err_pct < 20.0 && r.bc_err_pct < 20.0, "WC {:.1}% BC {:.1}%", r.wc_err_pct, r.bc_err_pct);
+        assert!(
+            r.wc_err_pct < 20.0 && r.bc_err_pct < 20.0,
+            "WC {:.1}% BC {:.1}%",
+            r.wc_err_pct,
+            r.bc_err_pct
+        );
     }
 }

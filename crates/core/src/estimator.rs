@@ -4,8 +4,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use scperf_kernel::{ProcCtx, Time};
+use scperf_sync::Mutex;
 
 use crate::cost::OpCounts;
 use crate::hw::{weighted_hw_cycles, Dfg};
@@ -78,6 +78,10 @@ pub struct InstSample {
     pub segment: (u32, u32),
     /// Estimated cycles of this single execution.
     pub cycles: f64,
+    /// Estimated wall time of this execution including RTOS overhead
+    /// (the interval the process occupies on the strict-timed axis,
+    /// starting at `at`).
+    pub dur: Time,
 }
 
 #[derive(Debug)]
@@ -178,6 +182,7 @@ impl EstimatorShared {
 /// Returns the estimated segment time (zero for environment resources and
 /// unmapped processes).
 pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
+    let _span = scperf_obs::profile::span("est.end_segment");
     // Phase 1: drain the thread-local accumulator.
     let Some((est, pid, resource, kind, k, rtos_cycles, from, acc, max_ready, counts, dfg)) =
         crate::tls::with(|t| {
@@ -231,7 +236,10 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
             .procs
             .get_mut(&pid)
             .expect("process registered with the estimator");
-        let seg = rec.segments.entry((from, node)).or_insert_with(SegStats::new);
+        let seg = rec
+            .segments
+            .entry((from, node))
+            .or_insert_with(SegStats::new);
         seg.count += 1;
         seg.total_cycles += cycles;
         seg.min_cycles = seg.min_cycles.min(cycles);
@@ -250,6 +258,7 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
                 at: now,
                 segment: (from, node),
                 cycles,
+                dur: seg_time + rtos_time,
             });
         }
         if record_dfgs {

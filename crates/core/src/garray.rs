@@ -6,7 +6,7 @@
 //! paper's overloaded `operator[]` with its `t_[]` cost (Figure 3).
 
 use crate::cost::Op;
-use crate::gval::{G, IndexValue};
+use crate::gval::{IndexValue, G};
 use crate::hw::NO_NODE;
 use crate::tls;
 
@@ -69,8 +69,8 @@ impl<T: Copy> GArr<T> {
     #[inline]
     pub fn at<I: IndexValue>(&self, i: G<I>) -> G<T> {
         let (iv, iready, inode) = i.parts();
-        let (ready, node) =
-            tls::with(|c| c.charge(Op::Index, iready, inode, 0.0, NO_NODE)).unwrap_or((0.0, NO_NODE));
+        let (ready, node) = tls::with(|c| c.charge(Op::Index, iready, inode, 0.0, NO_NODE))
+            .unwrap_or((0.0, NO_NODE));
         G::from_parts(self.data[iv.as_index()], ready, node)
     }
 
@@ -81,8 +81,8 @@ impl<T: Copy> GArr<T> {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn at_raw(&self, i: usize) -> G<T> {
-        let (ready, node) =
-            tls::with(|c| c.charge(Op::Index, 0.0, NO_NODE, 0.0, NO_NODE)).unwrap_or((0.0, NO_NODE));
+        let (ready, node) = tls::with(|c| c.charge(Op::Index, 0.0, NO_NODE, 0.0, NO_NODE))
+            .unwrap_or((0.0, NO_NODE));
         G::from_parts(self.data[i], ready, node)
     }
 
@@ -97,7 +97,13 @@ impl<T: Copy> GArr<T> {
         let (vv, vready, vnode) = v.parts();
         let _ = tls::with(|c| {
             let (r1, n1) = c.charge(Op::Index, iready, inode, 0.0, NO_NODE);
-            c.charge(Op::Assign, vready.max(r1), if vnode != NO_NODE { vnode } else { n1 }, r1, n1)
+            c.charge(
+                Op::Assign,
+                vready.max(r1),
+                if vnode != NO_NODE { vnode } else { n1 },
+                r1,
+                n1,
+            )
         });
         self.data[iv.as_index()] = vv;
     }

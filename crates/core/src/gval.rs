@@ -224,8 +224,10 @@ macro_rules! impl_int_type {
         impl_binop!($t, BitAnd, bitand, Op::Logic, |a: $t, b: $t| a & b);
         impl_binop!($t, BitOr, bitor, Op::Logic, |a: $t, b: $t| a | b);
         impl_binop!($t, BitXor, bitxor, Op::Logic, |a: $t, b: $t| a ^ b);
-        impl_binop!($t, Shl, shl, Op::Shift, |a: $t, b: $t| a.wrapping_shl(b as u32));
-        impl_binop!($t, Shr, shr, Op::Shift, |a: $t, b: $t| a.wrapping_shr(b as u32));
+        impl_binop!($t, Shl, shl, Op::Shift, |a: $t, b: $t| a
+            .wrapping_shl(b as u32));
+        impl_binop!($t, Shr, shr, Op::Shift, |a: $t, b: $t| a
+            .wrapping_shr(b as u32));
         impl_cmp!($t);
 
         impl std::ops::Not for G<$t> {
@@ -389,11 +391,16 @@ mod tests {
 
     #[test]
     fn raw_values_are_free() {
-        let ctx = with_test_ctx(ResourceKind::Sequential, CostTable::risc_sw(), false, || {
-            let a: G<i64> = G::raw(5);
-            let b: G<i64> = 7.into();
-            let _ = a.get() + b.get();
-        });
+        let ctx = with_test_ctx(
+            ResourceKind::Sequential,
+            CostTable::risc_sw(),
+            false,
+            || {
+                let a: G<i64> = G::raw(5);
+                let b: G<i64> = 7.into();
+                let _ = a.get() + b.get();
+            },
+        );
         assert_eq!(ctx.acc, 0.0);
     }
 

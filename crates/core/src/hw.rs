@@ -92,7 +92,12 @@ impl Dfg {
         let mut finish = vec![0_u64; self.nodes.len() + 1];
         let mut best = 0;
         for (i, n) in self.nodes.iter().enumerate() {
-            let start = n.preds.iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let start = n
+                .preds
+                .iter()
+                .map(|&p| finish[p as usize])
+                .max()
+                .unwrap_or(0);
             finish[i + 1] = start + n.latency;
             best = best.max(finish[i + 1]);
         }
@@ -112,13 +117,7 @@ impl Dfg {
         let _ = writeln!(out, "digraph \"{name}\" {{");
         let _ = writeln!(out, "  rankdir=TB;");
         for (i, n) in self.nodes.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "  n{} [label=\"{} ({}cy)\"];",
-                i + 1,
-                n.op,
-                n.latency
-            );
+            let _ = writeln!(out, "  n{} [label=\"{} ({}cy)\"];", i + 1, n.op, n.latency);
             for &p in &n.preds {
                 let _ = writeln!(out, "  n{} -> n{};", p, i + 1);
             }

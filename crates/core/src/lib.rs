@@ -78,8 +78,8 @@ mod garray;
 mod gval;
 pub mod hw;
 mod macros;
-pub mod rate;
 mod model;
+pub mod rate;
 mod report;
 mod resource;
 mod tls;

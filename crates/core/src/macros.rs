@@ -171,11 +171,7 @@ mod tests {
         fn body(x: G<i32>, y: G<i32>) -> G<i32> {
             x + y // one Add
         }
-        let table = CostTable::from_pairs([
-            (Op::Call, 18.0),
-            (Op::Add, 1.0),
-            (Op::Assign, 2.0),
-        ]);
+        let table = CostTable::from_pairs([(Op::Call, 18.0), (Op::Add, 1.0), (Op::Assign, 2.0)]);
         let ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {
             let _ = g_call!(body(G::raw(1), G::raw(2)));
         });

@@ -104,8 +104,8 @@ impl PerfModel {
                 let r = inner.platform.resource(resource);
                 (r.kind, tls::dense_costs(&r.costs), r.k, r.rtos_cycles)
             };
-            let record_dfgs = est.inner.lock().record_dfgs
-                && kind == crate::resource::ResourceKind::Parallel;
+            let record_dfgs =
+                est.inner.lock().record_dfgs && kind == crate::resource::ResourceKind::Parallel;
             tls::install(tls::ThreadCtx {
                 est: Arc::clone(&est),
                 pid: ctx.pid().index(),
@@ -199,6 +199,89 @@ impl PerfModel {
     /// Builds the full performance report (call after `sim.run()`).
     pub fn report(&self) -> Report {
         Report::build(&self.est.inner.lock())
+    }
+
+    /// Snapshots the estimator's internals as metrics: segments closed,
+    /// annotated operation totals (overall and per class), estimated
+    /// cycles/time and per-resource busy/RTOS time. Complements
+    /// [`Simulator::metrics`]; merge the two snapshots for a full
+    /// picture of one run.
+    pub fn metrics_snapshot(&self) -> scperf_obs::MetricsSnapshot {
+        let inner = self.est.inner.lock();
+        let mut m = scperf_obs::MetricsSnapshot::new();
+        m.set_counter("est.processes", inner.procs.len() as u64);
+        let mut segments = 0_u64;
+        let mut ops = crate::cost::OpCounts::new();
+        let mut cycles = 0.0;
+        let mut time = Time::ZERO;
+        let mut rtos = Time::ZERO;
+        for rec in inner.procs.values() {
+            segments += rec.segment_executions;
+            ops.merge(&rec.counts);
+            cycles += rec.total_cycles;
+            time += rec.total_time;
+            rtos += rec.rtos_time;
+        }
+        m.set_counter("est.segments_closed", segments);
+        m.set_counter("est.annotated_ops", ops.total());
+        for op in crate::cost::ALL_OPS {
+            let n = ops.get(op);
+            if n > 0 {
+                m.set_counter(format!("est.ops.{op:?}"), n);
+            }
+        }
+        m.set_gauge("est.total_cycles", cycles);
+        m.set_gauge("est.total_time_ns", time.as_ns_f64());
+        m.set_gauge("est.rtos_time_ns", rtos.as_ns_f64());
+        for (id, r) in inner.platform.iter() {
+            m.set_gauge(
+                format!("resource.{}.busy_ns", r.name),
+                inner.busy_total[id.index()].as_ns_f64(),
+            );
+            m.set_gauge(
+                format!("resource.{}.rtos_ns", r.name),
+                inner.rtos_total[id.index()].as_ns_f64(),
+            );
+        }
+        m
+    }
+
+    /// Builds a Chrome `trace_event` document from the recorded
+    /// instantaneous samples: one track per process, one complete span
+    /// per segment execution, positioned at the segment's strict-timed
+    /// simulation interval. Requires [`PerfModel::record_instantaneous`]
+    /// before the run; load the written JSON in Perfetto or
+    /// `chrome://tracing`.
+    pub fn chrome_trace(&self) -> scperf_obs::chrome::ChromeTrace {
+        let inner = self.est.inner.lock();
+        let mut t = scperf_obs::chrome::ChromeTrace::new();
+        // Own process group so a merge with the kernel trace (pid 1)
+        // cannot put estimator spans on a kernel instant track.
+        t.set_pid(2);
+        t.process_name("estimation (segment spans)");
+        let node = |n: u32| {
+            inner
+                .nodes
+                .get(n as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("node{n}"))
+        };
+        for (track, rec) in inner.procs.values().enumerate() {
+            let tid = track as u64 + 1;
+            let res = inner.platform.resource(rec.resource);
+            t.thread_name(tid, format!("{} @ {}", rec.name, res.name));
+            for s in &rec.instantaneous {
+                let name = format!("{}→{}", node(s.segment.0), node(s.segment.1));
+                t.complete(
+                    tid,
+                    name,
+                    s.at.as_ps() as f64 / 1e6,
+                    s.dur.as_ps() as f64 / 1e6,
+                )
+                .arg("cycles", s.cycles);
+            }
+        }
+        t
     }
 
     /// The label of a node id (used with
@@ -297,7 +380,7 @@ impl<T> Clone for PFifo<T> {
     }
 }
 
-impl<T: Send + std::fmt::Debug> PFifo<T> {
+impl<T: Send + std::fmt::Debug + 'static> PFifo<T> {
     /// Blocking read; ends the current segment first.
     pub fn read(&self, ctx: &mut ProcCtx) -> T {
         end_segment(ctx, self.read_node);
@@ -334,7 +417,7 @@ impl<T> Clone for PSignal<T> {
     }
 }
 
-impl<T: Send + Clone + PartialEq + std::fmt::Debug> PSignal<T> {
+impl<T: Send + Clone + PartialEq + std::fmt::Debug + 'static> PSignal<T> {
     /// Reads the committed value (never blocks, not a segment boundary).
     pub fn read(&self) -> T {
         self.inner.read()
@@ -370,7 +453,7 @@ impl<T> Clone for PRendezvous<T> {
     }
 }
 
-impl<T: Send + std::fmt::Debug> PRendezvous<T> {
+impl<T: Send + std::fmt::Debug + 'static> PRendezvous<T> {
     /// Blocking read; ends the current segment first.
     pub fn read(&self, ctx: &mut ProcCtx) -> T {
         end_segment(ctx, self.read_node);

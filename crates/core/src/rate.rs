@@ -37,11 +37,7 @@ impl Task {
     /// `segments_per_activation` is how many of the process's segments make
     /// up one activation (e.g. a stage that reads, computes and writes per
     /// frame has 2 channel-bounded segments per frame).
-    pub fn from_report(
-        p: &ProcessReport,
-        period: Time,
-        segments_per_activation: u64,
-    ) -> Task {
+    pub fn from_report(p: &ProcessReport, period: Time, segments_per_activation: u64) -> Task {
         let max_seg_cycles = p
             .segments
             .iter()
@@ -53,9 +49,7 @@ impl Task {
             p.rtos_time / p.segment_executions
         };
         let per_seg = if p.total_cycles > 0.0 {
-            Time::from_ps_f64(
-                max_seg_cycles / p.total_cycles * p.total_time.as_ps() as f64,
-            )
+            Time::from_ps_f64(max_seg_cycles / p.total_cycles * p.total_time.as_ps() as f64)
         } else {
             Time::ZERO
         };

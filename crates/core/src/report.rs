@@ -157,19 +157,20 @@ impl Report {
 impl ProcessReport {
     /// Renders this process's instantaneous samples (when recorded via
     /// [`crate::PerfModel::record_instantaneous`]) as CSV
-    /// (`time_ns,from,to,cycles`) — the paper's "instantaneous estimated
-    /// parameters for each process", ready for post-processing.
+    /// (`time_ns,from,to,cycles,dur_ns`) — the paper's "instantaneous
+    /// estimated parameters for each process", ready for post-processing.
     pub fn instantaneous_csv(&self, node_label: impl Fn(u32) -> String) -> String {
         use fmt::Write;
-        let mut out = String::from("time_ns,from,to,cycles\n");
+        let mut out = String::from("time_ns,from,to,cycles,dur_ns\n");
         for s in &self.instantaneous {
             let _ = writeln!(
                 out,
-                "{},{},{},{}",
+                "{},{},{},{},{}",
                 s.at.as_ns_f64(),
                 node_label(s.segment.0),
                 node_label(s.segment.1),
-                s.cycles
+                s.cycles,
+                s.dur.as_ns_f64()
             );
         }
         out
@@ -177,9 +178,7 @@ impl ProcessReport {
 
     /// Looks up a segment by its `(from, to)` node labels.
     pub fn segment(&self, from: &str, to: &str) -> Option<&SegmentReport> {
-        self.segments
-            .iter()
-            .find(|s| s.from == from && s.to == to)
+        self.segments.iter().find(|s| s.from == from && s.to == to)
     }
 
     /// Mean cycles per segment execution.

@@ -228,7 +228,7 @@ fn report_and_instantaneous_csv_exports() {
     assert!(csv.contains("p,cpu,Sequential,14,140,0,3"));
     let p = report.process("p").unwrap();
     let inst = p.instantaneous_csv(|n| model.node_label(n));
-    assert!(inst.starts_with("time_ns,from,to,cycles\n"));
+    assert!(inst.starts_with("time_ns,from,to,cycles,dur_ns\n"));
     assert!(inst.contains("entry,wait,5"));
     assert!(inst.contains("wait,wait,9"));
     assert!(inst.contains("wait,exit,0"));

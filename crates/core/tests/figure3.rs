@@ -13,7 +13,7 @@
 //!
 //! The paper's running totals: 5.4 → 8.4 → 15.4 → 35.4 → **75.8** cycles.
 
-use scperf_core::{g_call, g_if, CostTable, G, GArr, Mode, PerfModel, Platform};
+use scperf_core::{g_call, g_if, CostTable, GArr, Mode, PerfModel, Platform, G};
 use scperf_kernel::Simulator;
 use scperf_kernel::Time;
 
@@ -118,5 +118,9 @@ fn figure3_condition_false_skips_branch_body() {
         .unwrap()
         .stats
         .clone();
-    assert!((seg.total_cycles - 5.4).abs() < 1e-9, "got {}", seg.total_cycles);
+    assert!(
+        (seg.total_cycles - 5.4).abs() < 1e-9,
+        "got {}",
+        seg.total_cycles
+    );
 }

@@ -61,7 +61,7 @@ fn two_processes_on_one_cpu_serialize() {
     let (platform, cpu) = platform_cpu(0.0);
     let mut sim = Simulator::new();
     let model = PerfModel::new(platform, Mode::StrictTimed);
-    let done = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let done = std::sync::Arc::new(scperf_sync::Mutex::new(Vec::new()));
     for (name, cycles) in [("p2", 300_u64), ("p3", 500_u64)] {
         let done = std::sync::Arc::clone(&done);
         model.spawn(&mut sim, name, cpu, move |ctx| {
@@ -126,7 +126,7 @@ fn arbitration_loop_handles_resource_stealing() {
     let (platform, cpu) = platform_cpu(0.0);
     let mut sim = Simulator::new();
     let model = PerfModel::new(platform, Mode::StrictTimed);
-    let spans = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let spans = std::sync::Arc::new(scperf_sync::Mutex::new(Vec::new()));
     for (i, cycles) in [700_u64, 200, 400].into_iter().enumerate() {
         let spans = std::sync::Arc::clone(&spans);
         model.spawn(&mut sim, format!("p{i}"), cpu, move |ctx| {

@@ -67,10 +67,9 @@ pub fn tradeoff_curve(dfg: &Dfg) -> Vec<TradeoffPoint> {
 pub fn pareto(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
     let mut result: Vec<TradeoffPoint> = Vec::new();
     for &p in points {
-        if points
-            .iter()
-            .any(|q| (q.cycles < p.cycles && q.area <= p.area) || (q.cycles <= p.cycles && q.area < p.area))
-        {
+        if points.iter().any(|q| {
+            (q.cycles < p.cycles && q.area <= p.area) || (q.cycles <= p.cycles && q.area < p.area)
+        }) {
             continue;
         }
         if !result

@@ -21,8 +21,13 @@ pub enum FuKind {
 pub const FU_KINDS: usize = 5;
 
 /// All functional-unit classes.
-pub const ALL_FU_KINDS: [FuKind; FU_KINDS] =
-    [FuKind::Alu, FuKind::Mul, FuKind::Div, FuKind::Mem, FuKind::Fpu];
+pub const ALL_FU_KINDS: [FuKind; FU_KINDS] = [
+    FuKind::Alu,
+    FuKind::Mul,
+    FuKind::Div,
+    FuKind::Mem,
+    FuKind::Fpu,
+];
 
 impl FuKind {
     /// Dense index of this kind.
@@ -43,13 +48,9 @@ impl FuKind {
             Op::Div => FuKind::Div,
             Op::Index => FuKind::Mem,
             Op::FAdd | Op::FMul | Op::FDiv => FuKind::Fpu,
-            Op::Assign
-            | Op::Add
-            | Op::Cmp
-            | Op::Logic
-            | Op::Shift
-            | Op::Branch
-            | Op::Call => FuKind::Alu,
+            Op::Assign | Op::Add | Op::Cmp | Op::Logic | Op::Shift | Op::Branch | Op::Call => {
+                FuKind::Alu
+            }
         }
     }
 

@@ -85,7 +85,12 @@ pub fn schedule_asap(dfg: &Dfg) -> Schedule {
     let mut finish = vec![0_u64; nodes.len() + 1];
     let mut makespan = 0;
     for (i, n) in nodes.iter().enumerate() {
-        let s = n.preds.iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+        let s = n
+            .preds
+            .iter()
+            .map(|&p| finish[p as usize])
+            .max()
+            .unwrap_or(0);
         start[i] = s;
         finish[i + 1] = s + n.latency;
         makespan = makespan.max(finish[i + 1]);

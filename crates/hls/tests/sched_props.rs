@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use scperf_core::{Dfg, Op, NO_NODE};
-use scperf_hls::{
-    explore, schedule_asap, schedule_list, schedule_sequential, Allocation, FuKind,
-};
+use scperf_hls::{explore, schedule_asap, schedule_list, schedule_sequential, Allocation, FuKind};
 
 /// Strategy: a random DAG of up to `n` nodes. Each node picks its
 /// predecessors from earlier nodes, so the graph is acyclic by

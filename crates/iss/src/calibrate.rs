@@ -187,8 +187,7 @@ fn gaussian_elimination(mut m: Vec<Vec<f64>>, mut y: Vec<f64>) -> Result<Vec<f64
 }
 
 fn goodness(rows: &[Vec<f64>], b: &[f64], costs: &[f64]) -> (f64, Vec<f64>) {
-    let predict =
-        |row: &Vec<f64>| -> f64 { row.iter().zip(costs).map(|(r, c)| r * c).sum() };
+    let predict = |row: &Vec<f64>| -> f64 { row.iter().zip(costs).map(|(r, c)| r * c).sum() };
     let mean = b.iter().sum::<f64>() / b.len() as f64;
     let ss_tot: f64 = b.iter().map(|v| (v - mean).powi(2)).sum();
     let ss_res: f64 = rows

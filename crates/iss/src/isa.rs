@@ -219,7 +219,10 @@ mod tests {
             Instr::Add(Reg::ACC, Reg::TMP, Reg::ZERO).to_string(),
             "add  r4, r5, r0"
         );
-        assert_eq!(Instr::Lw(Reg(7), Reg::SP, -4).to_string(), "lw   r7, -4(r2)");
+        assert_eq!(
+            Instr::Lw(Reg(7), Reg::SP, -4).to_string(),
+            "lw   r7, -4(r2)"
+        );
         assert_eq!(
             Instr::Beq(Reg(1), Reg(2), Target(9)).to_string(),
             "beq  r1, r2, @9"

@@ -340,7 +340,10 @@ impl Machine {
                 m.alu
             }
             Srl(d, s, t) => {
-                self.set_reg(d, ((self.reg(s) as u32) >> (self.reg(t) as u32 & 31)) as i32);
+                self.set_reg(
+                    d,
+                    ((self.reg(s) as u32) >> (self.reg(t) as u32 & 31)) as i32,
+                );
                 m.alu
             }
             Sra(d, s, t) => {
@@ -484,7 +487,13 @@ impl Machine {
     }
 
     #[inline]
-    fn branch(&self, taken: bool, l: crate::isa::Target, next: &mut u32, stats: &mut RunStats) -> u64 {
+    fn branch(
+        &self,
+        taken: bool,
+        l: crate::isa::Target,
+        next: &mut u32,
+        stats: &mut RunStats,
+    ) -> u64 {
         if taken {
             *next = l.0;
             stats.branches_taken += 1;

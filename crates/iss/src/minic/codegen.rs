@@ -86,7 +86,10 @@ impl CodeGen {
         let mut main_label = None;
         for f in &unit.functions {
             if cg.funcs.contains_key(&f.name) {
-                return Err(CompileError::new(f.line, format!("duplicate function '{}'", f.name)));
+                return Err(CompileError::new(
+                    f.line,
+                    format!("duplicate function '{}'", f.name),
+                ));
             }
             let l = cg.b.new_label();
             cg.funcs.insert(f.name.clone(), (l, f.params.len()));
@@ -111,7 +114,10 @@ impl CodeGen {
         let mut addr = GLOBALS_BASE;
         for g in &unit.globals {
             if self.globals.contains_key(g.name()) {
-                return Err(CompileError::new(0, format!("duplicate global '{}'", g.name())));
+                return Err(CompileError::new(
+                    0,
+                    format!("duplicate global '{}'", g.name()),
+                ));
             }
             match g {
                 Global::Scalar(name, init) => {
@@ -126,8 +132,7 @@ impl CodeGen {
                     self.globals.insert(name.clone(), Slot::GlobalArray(addr));
                     self.global_addrs.insert(name.clone(), addr);
                     if !init.is_empty() {
-                        let bytes: Vec<u8> =
-                            init.iter().flat_map(|v| v.to_le_bytes()).collect();
+                        let bytes: Vec<u8> = init.iter().flat_map(|v| v.to_le_bytes()).collect();
                         self.b.data(addr, bytes);
                     }
                     addr += 4 * *n as u32;
@@ -144,7 +149,10 @@ impl CodeGen {
         let mut slots: HashMap<String, Slot> = HashMap::new();
         for (i, p) in f.params.iter().enumerate() {
             if slots.insert(p.clone(), Slot::Param(i)).is_some() {
-                return Err(CompileError::new(f.line, format!("duplicate parameter '{p}'")));
+                return Err(CompileError::new(
+                    f.line,
+                    format!("duplicate parameter '{p}'"),
+                ));
             }
         }
         let mut next_word = 0_usize;

@@ -152,7 +152,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                     .parse()
                     .map_err(|_| CompileError::new(line, format!("bad number '{text}'")))?;
                 if n > i64::from(i32::MAX) {
-                    return Err(CompileError::new(line, format!("number '{text}' overflows int")));
+                    return Err(CompileError::new(
+                        line,
+                        format!("number '{text}' overflows int"),
+                    ));
                 }
                 out.push(Spanned {
                     tok: Tok::Num(n as i32),
@@ -161,7 +164,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
@@ -215,7 +219,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
                         '!' => (Tok::Bang, 1),
                         '~' => (Tok::Tilde, 1),
                         _ => {
-                            return Err(CompileError::new(line, format!("unexpected character '{c}'")))
+                            return Err(CompileError::new(
+                                line,
+                                format!("unexpected character '{c}'"),
+                            ))
                         }
                     },
                 };

@@ -269,7 +269,10 @@ mod tests {
     #[test]
     fn duplicate_symbols_are_errors() {
         assert!(compile("int g; int g; int main() { return 0; }").is_err());
-        assert!(compile("int f() { return 0; } int f() { return 1; } int main() { return 0; }").is_err());
+        assert!(
+            compile("int f() { return 0; } int f() { return 1; } int main() { return 0; }")
+                .is_err()
+        );
         assert!(compile("int main() { int x; int x; return 0; }").is_err());
     }
 
@@ -287,6 +290,9 @@ mod tests {
         let r = result_of(
             "int result; int main() { result = ((((1+2)*(3+4))+((5+6)*(7+8)))*((1+1)*(2+2))); return 0; }",
         );
-        assert_eq!(r, ((1 + 2) * (3 + 4) + (5 + 6) * (7 + 8)) * ((1 + 1) * (2 + 2)));
+        assert_eq!(
+            r,
+            ((1 + 2) * (3 + 4) + (5 + 6) * (7 + 8)) * ((1 + 1) * (2 + 2))
+        );
     }
 }

@@ -49,7 +49,8 @@ impl Parser {
         } else {
             Err(self.err(format!(
                 "expected {t}, found {}",
-                self.peek().map_or("end of input".to_owned(), |p| p.to_string())
+                self.peek()
+                    .map_or("end of input".to_owned(), |p| p.to_string())
             )))
         }
     }
@@ -126,7 +127,11 @@ impl Parser {
             self.expect(&Tok::Semi)?;
             Ok(Global::Array(name, n as usize, init))
         } else {
-            let v = if self.eat(&Tok::Assign) { self.num()? } else { 0 };
+            let v = if self.eat(&Tok::Assign) {
+                self.num()?
+            } else {
+                0
+            };
             self.expect(&Tok::Semi)?;
             Ok(Global::Scalar(name, v))
         }

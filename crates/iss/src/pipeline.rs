@@ -68,10 +68,30 @@ struct InFlight {
 fn dest_of(instr: &Instr) -> Option<Reg> {
     use Instr::*;
     match *instr {
-        Add(d, ..) | Sub(d, ..) | Mul(d, ..) | Div(d, ..) | Rem(d, ..) | And(d, ..)
-        | Or(d, ..) | Xor(d, ..) | Sll(d, ..) | Srl(d, ..) | Sra(d, ..) | Slt(d, ..)
-        | Seq(d, ..) | Addi(d, ..) | Andi(d, ..) | Ori(d, ..) | Xori(d, ..) | Slli(d, ..)
-        | Srli(d, ..) | Srai(d, ..) | Slti(d, ..) | Li(d, ..) | Lw(d, ..) | Lb(d, ..)
+        Add(d, ..)
+        | Sub(d, ..)
+        | Mul(d, ..)
+        | Div(d, ..)
+        | Rem(d, ..)
+        | And(d, ..)
+        | Or(d, ..)
+        | Xor(d, ..)
+        | Sll(d, ..)
+        | Srl(d, ..)
+        | Sra(d, ..)
+        | Slt(d, ..)
+        | Seq(d, ..)
+        | Addi(d, ..)
+        | Andi(d, ..)
+        | Ori(d, ..)
+        | Xori(d, ..)
+        | Slli(d, ..)
+        | Srli(d, ..)
+        | Srai(d, ..)
+        | Slti(d, ..)
+        | Li(d, ..)
+        | Lw(d, ..)
+        | Lb(d, ..)
         | Lbu(d, ..) => Some(d),
         _ => None,
     }
@@ -80,11 +100,29 @@ fn dest_of(instr: &Instr) -> Option<Reg> {
 fn sources_of(instr: &Instr) -> [Option<Reg>; 2] {
     use Instr::*;
     match *instr {
-        Add(_, s, t) | Sub(_, s, t) | Mul(_, s, t) | Div(_, s, t) | Rem(_, s, t)
-        | And(_, s, t) | Or(_, s, t) | Xor(_, s, t) | Sll(_, s, t) | Srl(_, s, t)
-        | Sra(_, s, t) | Slt(_, s, t) | Seq(_, s, t) => [Some(s), Some(t)],
-        Addi(_, s, _) | Andi(_, s, _) | Ori(_, s, _) | Xori(_, s, _) | Slli(_, s, _)
-        | Srli(_, s, _) | Srai(_, s, _) | Slti(_, s, _) | Lw(_, s, _) | Lb(_, s, _)
+        Add(_, s, t)
+        | Sub(_, s, t)
+        | Mul(_, s, t)
+        | Div(_, s, t)
+        | Rem(_, s, t)
+        | And(_, s, t)
+        | Or(_, s, t)
+        | Xor(_, s, t)
+        | Sll(_, s, t)
+        | Srl(_, s, t)
+        | Sra(_, s, t)
+        | Slt(_, s, t)
+        | Seq(_, s, t) => [Some(s), Some(t)],
+        Addi(_, s, _)
+        | Andi(_, s, _)
+        | Ori(_, s, _)
+        | Xori(_, s, _)
+        | Slli(_, s, _)
+        | Srli(_, s, _)
+        | Srai(_, s, _)
+        | Slti(_, s, _)
+        | Lw(_, s, _)
+        | Lb(_, s, _)
         | Lbu(_, s, _) => [Some(s), None],
         Sw(t, b, _) | Sb(t, b, _) => [Some(t), Some(b)],
         Beq(s, t, _) | Bne(s, t, _) | Blt(s, t, _) | Bge(s, t, _) => [Some(s), Some(t)],
@@ -179,15 +217,12 @@ impl Machine {
                 if let Some(fl) = if_id {
                     // Load-use hazard: consumer in ID, load in EX/MEM not
                     // yet past MEM.
-                    let load_hazard = [&ex_mem]
-                        .iter()
-                        .filter_map(|s| s.as_ref())
-                        .any(|older| {
-                            older.is_load
-                                && older.dest.is_some_and(|d| {
-                                    sources_of(&fl.instr).iter().flatten().any(|&s| s == d)
-                                })
-                        });
+                    let load_hazard = [&ex_mem].iter().filter_map(|s| s.as_ref()).any(|older| {
+                        older.is_load
+                            && older.dest.is_some_and(|d| {
+                                sources_of(&fl.instr).iter().flatten().any(|&s| s == d)
+                            })
+                    });
                     if !load_hazard {
                         if_id = None;
                         // Capture the memory address before the effect can
@@ -219,8 +254,7 @@ impl Machine {
                                 fetch_stall = fetch_stall.max(cfg.jump_flush);
                                 halt_seen = false;
                             }
-                            Instr::Beq(..) | Instr::Bne(..) | Instr::Blt(..)
-                            | Instr::Bge(..) => {
+                            Instr::Beq(..) | Instr::Bne(..) | Instr::Blt(..) | Instr::Bge(..) => {
                                 if taken_or_jump {
                                     fetch_stall = fetch_stall.max(cfg.branch_flush);
                                     halt_seen = false;
@@ -317,7 +351,11 @@ mod tests {
         assert_eq!(m.reg(Reg(9)), 100);
         // 102 instructions + 4 cycles of pipeline fill.
         assert_eq!(stats.instructions, 102);
-        assert!(stats.cycles >= 102 && stats.cycles <= 110, "{}", stats.cycles);
+        assert!(
+            stats.cycles >= 102 && stats.cycles <= 110,
+            "{}",
+            stats.cycles
+        );
     }
 
     #[test]
@@ -376,7 +414,12 @@ mod tests {
         ];
         let (_, dep) = pipelined(dependent);
         let (_, indep) = pipelined(independent);
-        assert!(dep.cycles > indep.cycles, "{} <= {}", dep.cycles, indep.cycles);
+        assert!(
+            dep.cycles > indep.cycles,
+            "{} <= {}",
+            dep.cycles,
+            indep.cycles
+        );
     }
 
     #[test]

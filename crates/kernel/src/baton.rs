@@ -9,7 +9,7 @@
 use std::cell::Cell;
 use std::sync::Once;
 
-use parking_lot::{Condvar, Mutex};
+use scperf_sync::{Condvar, Mutex};
 
 /// Where a process thread currently stands in the baton protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,7 +99,7 @@ impl Baton {
         self.cv.notify_all();
     }
 
-    fn block_until_running(&self, st: &mut parking_lot::MutexGuard<'_, RunState>) {
+    fn block_until_running(&self, st: &mut scperf_sync::MutexGuard<'_, RunState>) {
         loop {
             match **st {
                 RunState::Running => return,

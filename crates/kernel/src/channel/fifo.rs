@@ -7,14 +7,16 @@
 //! which runnable processes execute within a delta.
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use scperf_obs::{Payload, Sym};
+use scperf_sync::Mutex;
 
 use crate::event::Event;
 use crate::process::ProcCtx;
 use crate::sim::Simulator;
-use crate::state::{KernelState, UpdateHook};
+use crate::state::{ChanStats, KernelState, UpdateHook};
 
 struct FifoBuf<T> {
     q: VecDeque<T>,
@@ -28,10 +30,13 @@ struct FifoBuf<T> {
 
 struct FifoInner<T> {
     name: String,
+    /// The channel name interned in the kernel's symbol table.
+    name_sym: Sym,
     capacity: usize,
     buf: Mutex<FifoBuf<T>>,
     data_ev: Event,
     space_ev: Event,
+    stats: Arc<ChanStats>,
 }
 
 impl<T: Send + std::fmt::Debug> UpdateHook for FifoInner<T> {
@@ -86,8 +91,11 @@ impl Simulator {
         let data_ev = self.event(format!("{name}.data"));
         let space_ev = self.event(format!("{name}.space"));
         let shared = Arc::clone(self.shared());
+        let (name_sym, stats) =
+            shared.with_state(|st| (st.interner.intern(&name), st.register_chan_stats(&name)));
         let inner = Arc::new(FifoInner {
             name,
+            name_sym,
             capacity,
             buf: Mutex::new(FifoBuf {
                 q: VecDeque::with_capacity(capacity),
@@ -97,15 +105,15 @@ impl Simulator {
             }),
             data_ev,
             space_ev,
+            stats,
         });
-        let hook_id = shared.with_state(|st| {
-            st.register_update_hook(Arc::clone(&inner) as Arc<dyn UpdateHook>)
-        });
+        let hook_id = shared
+            .with_state(|st| st.register_update_hook(Arc::clone(&inner) as Arc<dyn UpdateHook>));
         Fifo { inner, hook_id }
     }
 }
 
-impl<T: Send + std::fmt::Debug> Fifo<T> {
+impl<T: Send + std::fmt::Debug + 'static> Fifo<T> {
     /// The channel's name.
     pub fn name(&self) -> &str {
         &self.inner.name
@@ -144,20 +152,25 @@ impl<T: Send + std::fmt::Debug> Fifo<T> {
             };
             match taken {
                 Some(v) => {
+                    self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+                    // Capture the payload outside the kernel lock, and only
+                    // when a sink is installed: with tracing off the read
+                    // path performs no allocation at all.
+                    let payload = ctx.shared.tracing_fast().then(|| Payload::capture(&v));
                     let shared = Arc::clone(&ctx.shared);
                     shared.with_state(|st| {
                         st.request_update(self.hook_id);
-                        if st.tracing_enabled() {
-                            st.record_trace(
-                                Some(ctx.pid),
-                                "fifo.read",
-                                format!("{}={v:?}", self.inner.name),
-                            );
+                        if let Some(payload) = payload {
+                            let label = st.labels.fifo_read;
+                            st.record_event(Some(ctx.pid), label, self.inner.name_sym, payload);
                         }
                     });
                     return v;
                 }
-                None => ctx.wait_event(&self.inner.data_ev),
+                None => {
+                    self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
+                    ctx.wait_event(&self.inner.data_ev)
+                }
             }
         }
     }
@@ -171,26 +184,33 @@ impl<T: Send + std::fmt::Debug> Fifo<T> {
                 let mut buf = self.inner.buf.lock();
                 if self.inner.capacity - buf.readable - buf.written > 0 {
                     let v = value.take().expect("value still pending");
-                    let detail = format!("{}={v:?}", self.inner.name);
+                    // Only snapshot the value when tracing is live — the
+                    // legacy path built a `String` here unconditionally.
+                    let payload = ctx.shared.tracing_fast().then(|| Payload::capture(&v));
                     buf.q.push_back(v);
                     buf.written += 1;
-                    Some(detail)
+                    Some(payload)
                 } else {
                     None
                 }
             };
             match wrote {
-                Some(detail) => {
+                Some(payload) => {
+                    self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
                     let shared = Arc::clone(&ctx.shared);
                     shared.with_state(|st| {
                         st.request_update(self.hook_id);
-                        if st.tracing_enabled() {
-                            st.record_trace(Some(ctx.pid), "fifo.write", detail);
+                        if let Some(payload) = payload {
+                            let label = st.labels.fifo_write;
+                            st.record_event(Some(ctx.pid), label, self.inner.name_sym, payload);
                         }
                     });
                     return;
                 }
-                None => ctx.wait_event(&self.inner.space_ev),
+                None => {
+                    self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
+                    ctx.wait_event(&self.inner.space_ev)
+                }
             }
         }
     }
@@ -208,6 +228,7 @@ impl<T: Send + std::fmt::Debug> Fifo<T> {
             }
         };
         if taken.is_some() {
+            self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
             let shared = Arc::clone(&ctx.shared);
             shared.with_state(|st| st.request_update(self.hook_id));
         }

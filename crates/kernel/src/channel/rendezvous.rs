@@ -7,19 +7,25 @@
 //!
 //! The channel is intended for exactly one writer and one reader process.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use scperf_obs::{Payload, Sym};
+use scperf_sync::Mutex;
 
 use crate::event::Event;
 use crate::process::ProcCtx;
 use crate::sim::Simulator;
+use crate::state::ChanStats;
 
 struct RendezvousInner<T> {
     name: String,
+    /// The channel name interned in the kernel's symbol table.
+    name_sym: Sym,
     slot: Mutex<Option<T>>,
     data_ev: Event,
     consumed_ev: Event,
+    stats: Arc<ChanStats>,
 }
 
 /// A cloneable handle to a rendezvous channel. Create with
@@ -45,18 +51,23 @@ impl Simulator {
         let name = name.into();
         let data_ev = self.event(format!("{name}.data"));
         let consumed_ev = self.event(format!("{name}.consumed"));
+        let (name_sym, stats) = self
+            .shared()
+            .with_state(|st| (st.interner.intern(&name), st.register_chan_stats(&name)));
         Rendezvous {
             inner: Arc::new(RendezvousInner {
                 name,
+                name_sym,
                 slot: Mutex::new(None),
                 data_ev,
                 consumed_ev,
+                stats,
             }),
         }
     }
 }
 
-impl<T: Send + std::fmt::Debug> Rendezvous<T> {
+impl<T: Send + std::fmt::Debug + 'static> Rendezvous<T> {
     /// The channel's name.
     pub fn name(&self) -> &str {
         &self.inner.name
@@ -71,29 +82,37 @@ impl<T: Send + std::fmt::Debug> Rendezvous<T> {
                 let mut slot = self.inner.slot.lock();
                 if slot.is_none() {
                     let v = value.take().expect("value still pending");
-                    let detail = format!("{}={v:?}", self.inner.name);
+                    // Snapshot the value only when tracing is live — the
+                    // legacy path formatted a `String` for every write.
+                    let payload = ctx.shared.tracing_fast().then(|| Payload::capture(&v));
                     *slot = Some(v);
-                    Some(detail)
+                    Some(payload)
                 } else {
                     None
                 }
             };
             match placed {
-                Some(detail) => {
-                    let shared = Arc::clone(&ctx.shared);
-                    shared.with_state(|st| {
-                        if st.tracing_enabled() {
-                            st.record_trace(Some(ctx.pid), "rendezvous.write", detail);
-                        }
-                    });
+                Some(payload) => {
+                    self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(payload) = payload {
+                        let shared = Arc::clone(&ctx.shared);
+                        shared.with_state(|st| {
+                            let label = st.labels.rendezvous_write;
+                            st.record_event(Some(ctx.pid), label, self.inner.name_sym, payload);
+                        });
+                    }
                     self.inner.data_ev.notify_delta();
                     break;
                 }
-                None => ctx.wait_event(&self.inner.consumed_ev),
+                None => {
+                    self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
+                    ctx.wait_event(&self.inner.consumed_ev)
+                }
             }
         }
         // Block until the reader takes the value (the rendezvous itself).
         while self.inner.slot.lock().is_some() {
+            self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
             ctx.wait_event(&self.inner.consumed_ev);
         }
     }
@@ -105,20 +124,22 @@ impl<T: Send + std::fmt::Debug> Rendezvous<T> {
             let taken = self.inner.slot.lock().take();
             match taken {
                 Some(v) => {
-                    let shared = Arc::clone(&ctx.shared);
-                    shared.with_state(|st| {
-                        if st.tracing_enabled() {
-                            st.record_trace(
-                                Some(ctx.pid),
-                                "rendezvous.read",
-                                format!("{}={v:?}", self.inner.name),
-                            );
-                        }
-                    });
+                    self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+                    if ctx.shared.tracing_fast() {
+                        let payload = Payload::capture(&v);
+                        let shared = Arc::clone(&ctx.shared);
+                        shared.with_state(|st| {
+                            let label = st.labels.rendezvous_read;
+                            st.record_event(Some(ctx.pid), label, self.inner.name_sym, payload);
+                        });
+                    }
                     self.inner.consumed_ev.notify_delta();
                     return v;
                 }
-                None => ctx.wait_event(&self.inner.data_ev),
+                None => {
+                    self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
+                    ctx.wait_event(&self.inner.data_ev)
+                }
             }
         }
     }

@@ -1,14 +1,16 @@
 //! Signal channel with `sc_signal` semantics: writes are committed in the
 //! update phase and a value-changed event fires one delta later.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use scperf_obs::{Payload, Sym};
+use scperf_sync::Mutex;
 
 use crate::event::Event;
 use crate::process::ProcCtx;
 use crate::sim::Simulator;
-use crate::state::{KernelState, UpdateHook};
+use crate::state::{ChanStats, KernelState, UpdateHook};
 
 struct SignalBuf<T> {
     current: T,
@@ -17,21 +19,27 @@ struct SignalBuf<T> {
 
 struct SignalInner<T> {
     name: String,
+    /// The signal name interned in the kernel's symbol table.
+    name_sym: Sym,
     buf: Mutex<SignalBuf<T>>,
     changed_ev: Event,
+    stats: Arc<ChanStats>,
 }
 
-impl<T: Send + Clone + PartialEq + std::fmt::Debug> UpdateHook for SignalInner<T> {
+impl<T: Send + Clone + PartialEq + std::fmt::Debug + 'static> UpdateHook for SignalInner<T> {
     fn update(&self, st: &mut KernelState) {
         let mut buf = self.buf.lock();
         if let Some(next) = buf.next.take() {
             if next != buf.current {
                 buf.current = next;
-                let detail = format!("{}={:?}", self.name, buf.current);
+                // Snapshot the committed value only when a sink is live;
+                // the legacy path formatted a `String` on every commit.
+                let payload = st.tracing_enabled().then(|| Payload::capture(&buf.current));
                 drop(buf);
                 st.notify_event_delta(self.changed_ev.id);
-                if st.tracing_enabled() {
-                    st.record_trace(None, "signal.update", detail);
+                if let Some(payload) = payload {
+                    let label = st.labels.signal_update;
+                    st.record_event(None, label, self.name_sym, payload);
                 }
             }
         }
@@ -69,22 +77,25 @@ impl Simulator {
         let name = name.into();
         let changed_ev = self.event(format!("{name}.changed"));
         let shared = Arc::clone(self.shared());
+        let (name_sym, stats) =
+            shared.with_state(|st| (st.interner.intern(&name), st.register_chan_stats(&name)));
         let inner = Arc::new(SignalInner {
             name,
+            name_sym,
             buf: Mutex::new(SignalBuf {
                 current: initial,
                 next: None,
             }),
             changed_ev,
+            stats,
         });
-        let hook_id = shared.with_state(|st| {
-            st.register_update_hook(Arc::clone(&inner) as Arc<dyn UpdateHook>)
-        });
+        let hook_id = shared
+            .with_state(|st| st.register_update_hook(Arc::clone(&inner) as Arc<dyn UpdateHook>));
         Signal { inner, hook_id }
     }
 }
 
-impl<T: Send + Clone + PartialEq + std::fmt::Debug> Signal<T> {
+impl<T: Send + Clone + PartialEq + std::fmt::Debug + 'static> Signal<T> {
     /// The signal's name.
     pub fn name(&self) -> &str {
         &self.inner.name
@@ -92,12 +103,14 @@ impl<T: Send + Clone + PartialEq + std::fmt::Debug> Signal<T> {
 
     /// The committed value.
     pub fn read(&self) -> T {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
         self.inner.buf.lock().current.clone()
     }
 
     /// Schedules `value` to be committed in the update phase of the current
     /// delta cycle.
     pub fn write(&self, ctx: &mut ProcCtx, value: T) {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
         {
             let mut buf = self.inner.buf.lock();
             buf.next = Some(value);
@@ -122,7 +135,9 @@ impl<T: Send + Clone + PartialEq + std::fmt::Debug> Signal<T> {
 
 impl<T> std::fmt::Debug for Signal<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Signal").field("name", &self.inner.name).finish()
+        f.debug_struct("Signal")
+            .field("name", &self.inner.name)
+            .finish()
     }
 }
 

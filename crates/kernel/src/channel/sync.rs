@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex as HostMutex;
+use scperf_sync::Mutex as HostMutex;
 
 use crate::event::Event;
 use crate::process::ProcCtx;

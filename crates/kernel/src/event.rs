@@ -36,7 +36,8 @@ impl Event {
     /// Immediate notification: processes waiting on this event become
     /// runnable in the *current* evaluate phase (SystemC `notify()`).
     pub fn notify_immediate(&self) {
-        self.shared.with_state(|st| st.notify_event_immediate(self.id));
+        self.shared
+            .with_state(|st| st.notify_event_immediate(self.id));
     }
 
     /// Delta notification: waiting processes run in the next delta cycle

@@ -98,9 +98,13 @@ impl ProcCtx {
     /// Appends a record to the simulator's trace (no-op when tracing is
     /// disabled). `label` classifies the record; `detail` carries values.
     pub fn emit_trace(&mut self, label: &str, detail: impl Into<String>) {
+        if !self.shared.tracing_fast() {
+            return;
+        }
         let pid = self.pid;
+        let detail = detail.into();
         self.shared
-            .with_state(|st| st.record_trace(Some(pid), label, detail.into()));
+            .with_state(|st| st.record_text(Some(pid), label, &detail));
     }
 }
 

@@ -6,6 +6,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use scperf_obs::{MemorySink, MetricsSnapshot, TraceSink, TraceTable};
+
 use crate::baton::{
     clear_panic_suppression, install_silent_kill_hook, panic_message, Baton, KillToken, RunState,
 };
@@ -172,20 +174,73 @@ impl Simulator {
         Event::new(Arc::clone(&self.shared), name)
     }
 
-    /// Enables trace recording. Call before `run`.
+    /// Enables trace recording into an unbounded in-memory sink. Call
+    /// before `run`.
     pub fn enable_tracing(&mut self) {
-        self.shared.with_state(|st| {
-            if st.trace.is_none() {
-                st.trace = Some(Vec::new());
-            }
-        });
+        if !self.shared.tracing_fast() {
+            self.shared.set_sink(Some(Box::new(MemorySink::new())));
+        }
     }
 
-    /// Takes the recorded trace, leaving an empty buffer in place (when
-    /// tracing is enabled).
-    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+    /// Enables trace recording into a ring buffer keeping roughly the
+    /// last `max_events` events — bounded memory for long simulations.
+    pub fn enable_tracing_ring(&mut self, max_events: usize) {
         self.shared
-            .with_state(|st| st.trace.as_mut().map(std::mem::take).unwrap_or_default())
+            .set_sink(Some(Box::new(MemorySink::ring(max_events))));
+    }
+
+    /// Installs a custom [`TraceSink`] (streaming writer, aggregator,
+    /// …). Replaces any previous sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.shared.set_sink(Some(sink));
+    }
+
+    /// Disables tracing and returns the installed sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.shared.take_sink()
+    }
+
+    /// Takes the recorded trace as legacy string-based records (a view
+    /// materialized from the compact event buffer). Tracing stays
+    /// enabled with a fresh buffer.
+    ///
+    /// Returns an empty vector when tracing is disabled or a custom
+    /// (non-memory) sink is installed.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        let table = self.take_events();
+        table
+            .events
+            .iter()
+            .map(|ev| crate::trace::materialize_record(&table, ev))
+            .collect()
+    }
+
+    /// Takes the recorded trace as a detached [`TraceTable`] (compact
+    /// events plus string table and process names). Tracing stays
+    /// enabled with a fresh buffer.
+    pub fn take_events(&mut self) -> TraceTable {
+        self.shared.with_state(|st| {
+            let (events, dropped) = match st.sink.as_mut().and_then(|s| s.as_memory()) {
+                Some(mem) => {
+                    let dropped = mem.dropped();
+                    (mem.drain(), dropped)
+                }
+                None => (Vec::new(), 0),
+            };
+            TraceTable {
+                events,
+                strings: st.interner.snapshot(),
+                process_names: st.procs.iter().map(|p| p.name.clone()).collect(),
+                dropped,
+            }
+        })
+    }
+
+    /// Snapshots the kernel's metrics (delta cycles, context switches,
+    /// notification counts, per-channel access counts, …). Available at
+    /// any point, with or without tracing.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.with_state(|st| st.metrics_snapshot())
     }
 
     /// Current simulation time.
@@ -232,18 +287,24 @@ impl Simulator {
         });
         let reason = loop {
             // Evaluate phase.
-            loop {
-                let next = self.shared.with_state(|st| {
-                    let pid = st.runnable.pop_first();
-                    st.current = pid;
-                    pid
-                });
-                let Some(pid) = next else { break };
-                self.dispatch(pid)?;
+            {
+                let _span = scperf_obs::profile::span("kernel.evaluate");
+                loop {
+                    let next = self.shared.with_state(|st| {
+                        let pid = st.runnable.pop_first();
+                        st.current = pid;
+                        pid
+                    });
+                    let Some(pid) = next else { break };
+                    self.dispatch(pid)?;
+                }
+                self.shared.with_state(|st| st.current = None);
             }
-            self.shared.with_state(|st| st.current = None);
             // Update phase.
-            self.shared.with_state(|st| st.run_update_phase());
+            {
+                let _span = scperf_obs::profile::span("kernel.update");
+                self.shared.with_state(|st| st.run_update_phase());
+            }
             // Delta notification phase.
             let progressed = self.shared.with_state(|st| {
                 if st.next_runnable.is_empty() {

@@ -6,12 +6,13 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use scperf_obs::{Interner, MetricsSnapshot, Payload, Sym, TraceEvent, TraceSink};
+use scperf_sync::Mutex;
 
 use crate::time::Time;
-use crate::trace::TraceRecord;
 
 /// A channel that participates in the update phase (e.g. signals, FIFOs).
 ///
@@ -43,6 +44,57 @@ pub(crate) struct ProcMeta {
     pub(crate) alive: bool,
 }
 
+/// Always-on per-channel access counters. Channels bump these with
+/// relaxed atomics on their own hot path (no kernel lock, no
+/// allocation); the kernel owns a registry of them for snapshots.
+#[derive(Debug, Default)]
+pub(crate) struct ChanStats {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) blocks: AtomicU64,
+}
+
+pub(crate) struct ChanStatsEntry {
+    pub(crate) name: String,
+    pub(crate) stats: Arc<ChanStats>,
+}
+
+/// Scheduler-internal counters, updated under the kernel lock.
+#[derive(Debug, Default)]
+pub(crate) struct KernelMetrics {
+    pub(crate) immediate_notifications: u64,
+    pub(crate) delta_notifications: u64,
+    pub(crate) timed_scheduled: u64,
+    pub(crate) timed_fired: u64,
+    pub(crate) moot_wakes: u64,
+    pub(crate) update_phases: u64,
+    pub(crate) ready_peak: usize,
+    pub(crate) events_recorded: u64,
+}
+
+/// Interned label symbols for the kernel's own record sites, created
+/// once so the hot path never touches the intern hash map.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct KernelLabels {
+    pub(crate) fifo_read: Sym,
+    pub(crate) fifo_write: Sym,
+    pub(crate) signal_update: Sym,
+    pub(crate) rendezvous_read: Sym,
+    pub(crate) rendezvous_write: Sym,
+}
+
+impl KernelLabels {
+    fn new(interner: &mut Interner) -> KernelLabels {
+        KernelLabels {
+            fifo_read: interner.intern("fifo.read"),
+            fifo_write: interner.intern("fifo.write"),
+            signal_update: interner.intern("signal.update"),
+            rendezvous_read: interner.intern("rendezvous.read"),
+            rendezvous_write: interner.intern("rendezvous.write"),
+        }
+    }
+}
+
 /// Everything the scheduler and the process-side handles share.
 pub(crate) struct KernelState {
     pub(crate) now: Time,
@@ -64,13 +116,21 @@ pub(crate) struct KernelState {
     /// reference cycle is broken in `Simulator::drop`.
     update_hooks: Vec<Option<Arc<dyn UpdateHook>>>,
     update_requests: BTreeSet<usize>,
-    pub(crate) trace: Option<Vec<TraceRecord>>,
+    /// Structured trace sink; `None` disables tracing entirely.
+    pub(crate) sink: Option<Box<dyn TraceSink>>,
+    /// Symbol table for labels, channel names and text payloads.
+    pub(crate) interner: Interner,
+    pub(crate) labels: KernelLabels,
+    pub(crate) metrics: KernelMetrics,
+    pub(crate) chan_stats: Vec<ChanStatsEntry>,
     pub(crate) activations: u64,
     pub(crate) started: bool,
 }
 
 impl KernelState {
     pub(crate) fn new() -> KernelState {
+        let mut interner = Interner::new();
+        let labels = KernelLabels::new(&mut interner);
         KernelState {
             now: Time::ZERO,
             delta: 0,
@@ -83,7 +143,11 @@ impl KernelState {
             current: None,
             update_hooks: Vec::new(),
             update_requests: BTreeSet::new(),
-            trace: None,
+            sink: None,
+            interner,
+            labels,
+            metrics: KernelMetrics::default(),
+            chan_stats: Vec::new(),
             activations: 0,
             started: false,
         }
@@ -119,23 +183,27 @@ impl KernelState {
     pub(crate) fn schedule(&mut self, delay: Time, action: TimedAction) {
         let at = self.now.saturating_add(delay);
         self.seq += 1;
+        self.metrics.timed_scheduled += 1;
         self.timed.push(Reverse((at, self.seq, action)));
     }
 
     /// Immediate notification: wakes waiters into the *current* evaluate
     /// phase (SystemC `notify()`).
     pub(crate) fn notify_event_immediate(&mut self, ev: usize) {
+        self.metrics.immediate_notifications += 1;
         let waiters = std::mem::take(&mut self.events[ev].waiters);
         for pid in waiters {
             if self.procs[pid].alive {
                 self.runnable.insert(pid);
             }
         }
+        self.note_ready_depth();
     }
 
     /// Delta notification: wakes waiters at the start of the next delta
     /// cycle (SystemC `notify(SC_ZERO_TIME)`).
     pub(crate) fn notify_event_delta(&mut self, ev: usize) {
+        self.metrics.delta_notifications += 1;
         let waiters = std::mem::take(&mut self.events[ev].waiters);
         for pid in waiters {
             if self.procs[pid].alive {
@@ -144,9 +212,19 @@ impl KernelState {
         }
     }
 
+    fn note_ready_depth(&mut self) {
+        let depth = self.runnable.len().max(self.next_runnable.len());
+        if depth > self.metrics.ready_peak {
+            self.metrics.ready_peak = depth;
+        }
+    }
+
     /// Runs the update phase: every channel that requested an update gets
     /// its `update` callback.
     pub(crate) fn run_update_phase(&mut self) {
+        if !self.update_requests.is_empty() {
+            self.metrics.update_phases += 1;
+        }
         while let Some(id) = self.update_requests.pop_first() {
             // Clone the Arc out so the hook may itself mutate kernel state.
             let hook = self.update_hooks[id].clone();
@@ -174,16 +252,20 @@ impl KernelState {
                     break;
                 }
                 let Reverse((_, _, action)) = self.timed.pop().expect("peeked entry");
+                self.metrics.timed_fired += 1;
                 match action {
                     TimedAction::WakeProc(pid) => {
                         if self.procs[pid].alive {
                             self.runnable.insert(pid);
+                        } else {
+                            self.metrics.moot_wakes += 1;
                         }
                     }
                     TimedAction::NotifyEvent(ev) => self.notify_event_immediate(ev),
                 }
             }
             if !self.runnable.is_empty() {
+                self.note_ready_depth();
                 return AdvanceOutcome::Advanced;
             }
             // Every action at `t` was moot (dead waiters, eventless
@@ -191,25 +273,101 @@ impl KernelState {
         }
     }
 
-    pub(crate) fn record_trace(&mut self, pid: Option<usize>, label: &str, detail: String) {
-        // Split borrows: read metadata before taking the trace buffer.
-        let time = self.now;
-        let delta = self.delta;
-        let pid = pid.or(self.current);
-        let proc_name = pid.map(|p| self.procs[p].name.clone()).unwrap_or_default();
-        if let Some(tr) = self.trace.as_mut() {
-            tr.push(TraceRecord {
-                time,
-                delta,
-                process: proc_name,
-                label: label.to_owned(),
-                detail,
-            });
+    /// Records one structured trace event. No-op without a sink; with
+    /// one, this copies a few words plus the payload — no `String`
+    /// clones (the legacy hot path cloned process + label + detail per
+    /// record).
+    pub(crate) fn record_event(
+        &mut self,
+        pid: Option<usize>,
+        label: Sym,
+        chan: Sym,
+        payload: Payload,
+    ) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        let pid = pid
+            .or(self.current)
+            .map(|p| p as u32)
+            .unwrap_or(scperf_obs::NO_PROCESS);
+        self.metrics.events_recorded += 1;
+        sink.record(
+            &self.interner,
+            &TraceEvent {
+                time_ps: self.now.as_ps(),
+                delta: self.delta,
+                pid,
+                label,
+                chan,
+                payload,
+            },
+        );
+    }
+
+    /// Records a user-emitted event with a free-form text detail.
+    pub(crate) fn record_text(&mut self, pid: Option<usize>, label: &str, detail: &str) {
+        if self.sink.is_none() {
+            return;
         }
+        let label = self.interner.intern(label);
+        self.record_event(pid, label, Sym::NONE, Payload::text(detail));
     }
 
     pub(crate) fn tracing_enabled(&self) -> bool {
-        self.trace.is_some()
+        self.sink.is_some()
+    }
+
+    /// Registers a channel's always-on access counters; returns the
+    /// handle the channel bumps from its own lock.
+    pub(crate) fn register_chan_stats(&mut self, name: &str) -> Arc<ChanStats> {
+        let stats = Arc::new(ChanStats::default());
+        self.chan_stats.push(ChanStatsEntry {
+            name: name.to_owned(),
+            stats: Arc::clone(&stats),
+        });
+        stats
+    }
+
+    /// Builds a metrics snapshot of the kernel's internals: scheduler
+    /// counters plus per-channel access counts.
+    pub(crate) fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("kernel.delta_cycles", self.delta);
+        m.set_counter("kernel.context_switches", self.activations);
+        m.set_counter("kernel.processes", self.procs.len() as u64);
+        m.set_counter("kernel.events", self.events.len() as u64);
+        m.set_counter(
+            "kernel.notifications.immediate",
+            self.metrics.immediate_notifications,
+        );
+        m.set_counter(
+            "kernel.notifications.delta",
+            self.metrics.delta_notifications,
+        );
+        m.set_counter("kernel.timed.scheduled", self.metrics.timed_scheduled);
+        m.set_counter("kernel.timed.fired", self.metrics.timed_fired);
+        m.set_counter("kernel.timed.moot_wakes", self.metrics.moot_wakes);
+        m.set_counter("kernel.update_phases", self.metrics.update_phases);
+        m.set_counter("kernel.ready_queue.peak", self.metrics.ready_peak as u64);
+        m.set_counter("kernel.trace.events_recorded", self.metrics.events_recorded);
+        m.set_gauge("kernel.sim_time_ns", self.now.as_ps() as f64 / 1e3);
+        for entry in &self.chan_stats {
+            let base = format!("channel.{}", entry.name);
+            m.set_counter(
+                format!("{base}.reads"),
+                entry.stats.reads.load(Ordering::Relaxed),
+            );
+            m.set_counter(
+                format!("{base}.writes"),
+                entry.stats.writes.load(Ordering::Relaxed),
+            );
+            m.set_counter(
+                format!("{base}.blocks"),
+                entry.stats.blocks.load(Ordering::Relaxed),
+            );
+        }
+        m
     }
 }
 
@@ -228,17 +386,45 @@ pub(crate) enum AdvanceOutcome {
 /// process context, event and channel.
 pub(crate) struct Shared {
     state: Mutex<KernelState>,
+    /// Mirror of `KernelState::tracing_enabled()`, readable without the
+    /// kernel lock so channels can skip payload capture entirely when
+    /// tracing is off (the zero-allocation disabled path).
+    tracing: AtomicBool,
 }
 
 impl Shared {
     pub(crate) fn new() -> Arc<Shared> {
         Arc::new(Shared {
             state: Mutex::new(KernelState::new()),
+            tracing: AtomicBool::new(false),
         })
     }
 
     pub(crate) fn with_state<R>(&self, f: impl FnOnce(&mut KernelState) -> R) -> R {
         f(&mut self.state.lock())
+    }
+
+    /// Lock-free check used by channels before capturing payloads.
+    pub(crate) fn tracing_fast(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or removes) the trace sink, keeping the lock-free
+    /// mirror flag in sync.
+    pub(crate) fn set_sink(&self, sink: Option<Box<dyn TraceSink>>) {
+        self.with_state(|st| {
+            self.tracing.store(sink.is_some(), Ordering::Relaxed);
+            st.sink = sink;
+        });
+    }
+
+    /// Takes the current sink out (e.g. to drain a `MemorySink`),
+    /// leaving tracing disabled.
+    pub(crate) fn take_sink(&self) -> Option<Box<dyn TraceSink>> {
+        self.with_state(|st| {
+            self.tracing.store(false, Ordering::Relaxed);
+            st.sink.take()
+        })
     }
 }
 

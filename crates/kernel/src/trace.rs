@@ -11,6 +11,8 @@
 
 use std::fmt;
 
+use scperf_obs::{Sym, TraceEvent, TraceTable, NO_PROCESS};
+
 use crate::time::Time;
 
 /// One traced occurrence.
@@ -35,6 +37,35 @@ impl fmt::Display for TraceRecord {
             "[{} δ{}] {:<12} {:<14} {}",
             self.time, self.delta, self.process, self.label, self.detail
         )
+    }
+}
+
+/// Materializes one compact [`TraceEvent`] into the legacy string-based
+/// [`TraceRecord`] view, reproducing the exact strings the old
+/// `String`-per-field hot path produced (`"name=value"` details for
+/// channel events, the raw text for user-emitted records, an empty
+/// process name for kernel-level events).
+pub fn materialize_record(table: &TraceTable, ev: &TraceEvent) -> TraceRecord {
+    let process = if ev.pid == NO_PROCESS {
+        String::new()
+    } else {
+        table
+            .process_names
+            .get(ev.pid as usize)
+            .cloned()
+            .unwrap_or_default()
+    };
+    let detail = if ev.chan == Sym::NONE {
+        ev.payload.to_string()
+    } else {
+        format!("{}={}", table.resolve(ev.chan), ev.payload)
+    };
+    TraceRecord {
+        time: Time::ps(ev.time_ps),
+        delta: ev.delta,
+        process,
+        label: table.resolve(ev.label).to_string(),
+        detail,
     }
 }
 
@@ -84,10 +115,8 @@ pub fn compare_traces(a: &[TraceRecord], b: &[TraceRecord]) -> Vec<String> {
     let per_stream_a = collect(a);
     let per_stream_b = collect(b);
     let mut differing = Vec::new();
-    let names: std::collections::BTreeSet<&String> = per_stream_a
-        .keys()
-        .chain(per_stream_b.keys())
-        .collect();
+    let names: std::collections::BTreeSet<&String> =
+        per_stream_a.keys().chain(per_stream_b.keys()).collect();
     for name in names {
         if per_stream_a.get(name) != per_stream_b.get(name) {
             differing.push(name.clone());

@@ -30,10 +30,101 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 
 use crate::time::Time;
 use crate::trace::TraceRecord;
+
+/// Errors from VCD export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcdError {
+    /// The timescale string did not parse as `<multiplier><unit>`.
+    Malformed {
+        /// The offending input.
+        input: String,
+    },
+    /// The multiplier parsed but is not one of 1, 10 or 100 (the only
+    /// values IEEE 1364 allows in a `$timescale` declaration).
+    BadMultiplier {
+        /// The offending input.
+        input: String,
+        /// The parsed multiplier.
+        multiplier: u64,
+    },
+    /// The unit is not one of `ps`, `ns`, `us`, `ms` (or `s`).
+    BadUnit {
+        /// The offending input.
+        input: String,
+        /// The parsed unit suffix.
+        unit: String,
+    },
+}
+
+impl fmt::Display for VcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcdError::Malformed { input } => write!(
+                f,
+                "unsupported timescale '{input}': expected <multiplier><unit>, e.g. '1ns' or '10ps'"
+            ),
+            VcdError::BadMultiplier { input, multiplier } => write!(
+                f,
+                "unsupported timescale '{input}': multiplier {multiplier} is not 1, 10 or 100"
+            ),
+            VcdError::BadUnit { input, unit } => write!(
+                f,
+                "unsupported timescale '{input}': unknown unit '{unit}' (use ps/ns/us/ms/s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VcdError {}
+
+/// Parses a VCD `$timescale` declaration body (e.g. `"1ns"`, `"10ps"`,
+/// `"100 us"`) into the number of picoseconds per VCD time unit.
+///
+/// IEEE 1364 allows multipliers 1, 10 and 100 with units down to `fs`;
+/// this kernel's [`Time`] has picosecond resolution, so the supported
+/// units are `ps`, `ns`, `us`, `ms` and `s`.
+///
+/// # Errors
+///
+/// Returns a [`VcdError`] describing which part of the declaration was
+/// rejected.
+pub fn parse_timescale(timescale: &str) -> Result<u64, VcdError> {
+    let body = timescale.trim();
+    let split = body
+        .find(|c: char| !c.is_ascii_digit())
+        .ok_or_else(|| VcdError::Malformed {
+            input: timescale.to_owned(),
+        })?;
+    let (digits, unit) = body.split_at(split);
+    let multiplier: u64 = digits.parse().map_err(|_| VcdError::Malformed {
+        input: timescale.to_owned(),
+    })?;
+    if !matches!(multiplier, 1 | 10 | 100) {
+        return Err(VcdError::BadMultiplier {
+            input: timescale.to_owned(),
+            multiplier,
+        });
+    }
+    let ps_per_unit: u64 = match unit.trim() {
+        "ps" => 1,
+        "ns" => 1_000,
+        "us" => 1_000_000,
+        "ms" => 1_000_000_000,
+        "s" => 1_000_000_000_000,
+        other => {
+            return Err(VcdError::BadUnit {
+                input: timescale.to_owned(),
+                unit: other.to_owned(),
+            })
+        }
+    };
+    Ok(multiplier * ps_per_unit)
+}
 
 /// A parsed signal value.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,17 +162,25 @@ fn id_code(mut index: usize) -> String {
 
 /// Converts the signal-update records of a trace into a VCD document.
 ///
-/// `timescale` is the VCD timescale declaration (e.g. `"1ns"`, `"1ps"`);
+/// `timescale` is the VCD timescale declaration (e.g. `"1ns"`, `"10ps"`);
 /// record timestamps are converted to that unit. Records whose `label` is
 /// not `"signal.update"` are ignored.
+///
+/// # Panics
+///
+/// Panics on an invalid timescale declaration; use
+/// [`trace_to_vcd_checked`] to handle the error instead.
 pub fn trace_to_vcd(trace: &[TraceRecord], timescale: &str) -> String {
-    let ps_per_unit: u64 = match timescale {
-        "1ps" => 1,
-        "1ns" => 1_000,
-        "1us" => 1_000_000,
-        "1ms" => 1_000_000_000,
-        other => panic!("unsupported timescale '{other}' (use 1ps/1ns/1us/1ms)"),
-    };
+    match trace_to_vcd_checked(trace, timescale) {
+        Ok(doc) => doc,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`trace_to_vcd`], but returns a [`VcdError`] instead of
+/// panicking when the timescale declaration is invalid.
+pub fn trace_to_vcd_checked(trace: &[TraceRecord], timescale: &str) -> Result<String, VcdError> {
+    let ps_per_unit = parse_timescale(timescale)?;
     // Collect signals in order of first appearance.
     let mut ids: BTreeMap<String, String> = BTreeMap::new();
     let mut order: Vec<String> = Vec::new();
@@ -134,7 +233,7 @@ pub fn trace_to_vcd(trace: &[TraceRecord], timescale: &str) -> String {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -234,5 +333,82 @@ mod tests {
     #[should_panic(expected = "unsupported timescale")]
     fn bad_timescale_is_rejected() {
         let _ = trace_to_vcd(&[], "3fs");
+    }
+
+    #[test]
+    fn timescale_parser_accepts_multiplier_unit_pairs() {
+        assert_eq!(parse_timescale("1ps"), Ok(1));
+        assert_eq!(parse_timescale("10ps"), Ok(10));
+        assert_eq!(parse_timescale("100ns"), Ok(100_000));
+        assert_eq!(parse_timescale("1us"), Ok(1_000_000));
+        assert_eq!(parse_timescale("10ms"), Ok(10_000_000_000));
+        assert_eq!(parse_timescale("1s"), Ok(1_000_000_000_000));
+        // Whitespace between multiplier and unit, as VCD files often have.
+        assert_eq!(parse_timescale(" 10 ns "), Ok(10_000));
+    }
+
+    #[test]
+    fn timescale_parser_rejects_bad_input_with_typed_errors() {
+        match parse_timescale("3fs") {
+            Err(VcdError::BadMultiplier { multiplier: 3, .. }) => {}
+            other => panic!("expected BadMultiplier, got {other:?}"),
+        }
+        match parse_timescale("1fs") {
+            Err(VcdError::BadUnit { ref unit, .. }) if unit == "fs" => {}
+            other => panic!("expected BadUnit, got {other:?}"),
+        }
+        match parse_timescale("ns") {
+            Err(VcdError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_timescale("1000ns"),
+            Err(VcdError::BadMultiplier {
+                multiplier: 1000,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_timescale(""),
+            Err(VcdError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_timescale("10"),
+            Err(VcdError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_export_reports_errors_instead_of_panicking() {
+        let err = trace_to_vcd_checked(&[], "2ns").unwrap_err();
+        assert!(err.to_string().contains("unsupported timescale"));
+        assert!(trace_to_vcd_checked(&[], "10ns").is_ok());
+    }
+
+    #[test]
+    fn multiplier_scales_timestamps() {
+        let t = vec![rec(100, "a=1")];
+        let doc = trace_to_vcd(&t, "10ns");
+        // 100ns = 10 units of 10ns.
+        assert!(doc.contains("\n#10\n"));
+    }
+
+    #[test]
+    fn headers_stay_unique_past_94_signals() {
+        // More signals than single-character id codes: every $var line
+        // must still get a distinct identifier.
+        let trace: Vec<TraceRecord> = (0..200).map(|i| rec(i, &format!("sig{i}=1"))).collect();
+        let doc = trace_to_vcd(&trace, "1ns");
+        let mut ids = std::collections::HashSet::new();
+        let mut vars = 0;
+        for line in doc.lines() {
+            if let Some(rest) = line.strip_prefix("$var wire 32 ") {
+                let id = rest.split_whitespace().next().unwrap();
+                assert!(ids.insert(id.to_owned()), "duplicate id code {id}");
+                vars += 1;
+            }
+        }
+        assert_eq!(vars, 200);
+        assert!(ids.iter().any(|id| id.len() > 1), "multi-char codes in use");
     }
 }

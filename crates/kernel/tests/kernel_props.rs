@@ -5,7 +5,11 @@ use proptest::prelude::*;
 use scperf_kernel::{trace, Simulator, StopReason, Time};
 
 /// Builds a randomized multi-stage pipeline and returns its trace.
-fn run_pipeline(stage_delays: &[u64], values: &[u32], capacity: usize) -> Vec<scperf_kernel::TraceRecord> {
+fn run_pipeline(
+    stage_delays: &[u64],
+    values: &[u32],
+    capacity: usize,
+) -> Vec<scperf_kernel::TraceRecord> {
     let mut sim = Simulator::new();
     sim.enable_tracing();
     let n_stages = stage_delays.len();
@@ -165,7 +169,7 @@ fn many_processes_contend_on_one_fifo() {
         });
     }
     let rx = f.clone();
-    let got = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let got = std::sync::Arc::new(scperf_sync::Mutex::new(Vec::new()));
     let sink = std::sync::Arc::clone(&got);
     sim.spawn("reader", move |ctx| {
         for _ in 0..n {

@@ -1,0 +1,70 @@
+//! The compact trace event and the detached trace table.
+
+use crate::intern::Sym;
+use crate::value::Payload;
+
+/// Pseudo process id for kernel-level events (e.g. signal updates in
+/// the update phase, which no process "owns").
+pub const NO_PROCESS: u32 = u32::MAX;
+
+/// One traced occurrence, fully symbolic: ~48 bytes, no owned strings
+/// for the common numeric case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time in picoseconds.
+    pub time_ps: u64,
+    /// Global delta-cycle counter value.
+    pub delta: u64,
+    /// Originating process id, or [`NO_PROCESS`].
+    pub pid: u32,
+    /// Record class, e.g. `"fifo.write"` (interned).
+    pub label: Sym,
+    /// Channel / signal the event concerns, or [`Sym::NONE`].
+    pub chan: Sym,
+    /// The transferred value.
+    pub payload: Payload,
+}
+
+/// A trace detached from the live simulation: the raw events plus
+/// owned copies of the string table and process names, so it can be
+/// inspected, exported or stored after the simulator is gone.
+#[derive(Debug, Clone, Default)]
+pub struct TraceTable {
+    /// The recorded events, in record order.
+    pub events: Vec<TraceEvent>,
+    /// Interned strings, indexed by [`Sym::index`].
+    pub strings: Vec<String>,
+    /// Process names, indexed by pid.
+    pub process_names: Vec<String>,
+    /// Events dropped by a bounded (ring) sink before these.
+    pub dropped: u64,
+}
+
+impl TraceTable {
+    /// Resolves a symbol against the snapshot ([`Sym::NONE`] → `""`).
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.strings
+            .get(sym.index() as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// The name of the process that produced `event` (`"kernel"` for
+    /// kernel-level events).
+    pub fn process_name(&self, event: &TraceEvent) -> &str {
+        self.process_names
+            .get(event.pid as usize)
+            .map(String::as_str)
+            .unwrap_or("kernel")
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the table holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}

@@ -1,0 +1,113 @@
+//! String interning: the trace hot path stores 4-byte [`Sym`] handles
+//! instead of cloning `String`s per record.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An interned string handle. Cheap to copy and compare; resolved back
+/// to text through the [`Interner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Sentinel for "no string" (e.g. an event with no channel).
+    pub const NONE: Sym = Sym(u32::MAX);
+
+    /// Whether this is the [`Sym::NONE`] sentinel.
+    pub fn is_none(self) -> bool {
+        self == Sym::NONE
+    }
+
+    /// The raw index (meaningful only to the owning interner).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A deduplicating string table. Interning the same text twice returns
+/// the same [`Sym`]; resolution is an array index.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    index: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Returns the symbol for `text`, interning it on first sight.
+    pub fn intern(&mut self, text: &str) -> Sym {
+        if let Some(&id) = self.index.get(text) {
+            return Sym(id);
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        assert!(id != u32::MAX, "interner full");
+        let owned: Arc<str> = Arc::from(text);
+        self.strings.push(Arc::clone(&owned));
+        self.index.insert(owned, id);
+        Sym(id)
+    }
+
+    /// Resolves a symbol; [`Sym::NONE`] and unknown symbols resolve to
+    /// the empty string.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.strings
+            .get(sym.0 as usize)
+            .map(|s| s.as_ref())
+            .unwrap_or("")
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// An owned copy of the string table, indexed by symbol. Used when
+    /// detaching a [`crate::TraceTable`] from the live simulation.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.strings.iter().map(|s| s.to_string()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_and_resolves() {
+        let mut i = Interner::new();
+        let a = i.intern("fifo.write");
+        let b = i.intern("fifo.read");
+        let a2 = i.intern("fifo.write");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "fifo.write");
+        assert_eq!(i.resolve(b), "fifo.read");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn none_resolves_to_empty() {
+        let i = Interner::new();
+        assert_eq!(i.resolve(Sym::NONE), "");
+        assert!(Sym::NONE.is_none());
+    }
+
+    #[test]
+    fn snapshot_matches_indices() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let snap = i.snapshot();
+        assert_eq!(snap[a.index() as usize], "x");
+        assert_eq!(snap[b.index() as usize], "y");
+    }
+}

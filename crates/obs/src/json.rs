@@ -1,0 +1,200 @@
+//! A minimal JSON writer (no external deps).
+//!
+//! Emits compact, valid JSON with correct string escaping; used by the
+//! Chrome exporter, the metrics snapshot, and the bench harness's
+//! `BENCH_obs.json` emitter.
+
+/// Escapes `s` into `out` per RFC 8259 (quotes not included).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ctx {
+    Object,
+    Array,
+}
+
+/// An append-only JSON document builder with automatic comma handling.
+///
+/// ```
+/// use scperf_obs::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.value_str("vocoder");
+/// w.key("frames");
+/// w.value_u64(4);
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"vocoder","frames":4}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    stack: Vec<(Ctx, bool)>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some((_, has_prior)) = self.stack.last_mut() {
+            if *has_prior {
+                self.out.push(',');
+            }
+            *has_prior = true;
+        }
+    }
+
+    /// Opens an object (as a value in the current context).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push((Ctx::Object, false));
+    }
+
+    /// Closes the current object.
+    pub fn end_object(&mut self) {
+        let popped = self.stack.pop();
+        debug_assert_eq!(popped.map(|p| p.0), Some(Ctx::Object));
+        self.out.push('}');
+    }
+
+    /// Opens an array (as a value in the current context).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push((Ctx::Array, false));
+    }
+
+    /// Closes the current array.
+    pub fn end_array(&mut self) {
+        let popped = self.stack.pop();
+        debug_assert_eq!(popped.map(|p| p.0), Some(Ctx::Array));
+        self.out.push(']');
+    }
+
+    /// Writes an object key. Must be followed by exactly one value.
+    pub fn key(&mut self, name: &str) {
+        if let Some((ctx, has_prior)) = self.stack.last_mut() {
+            debug_assert_eq!(*ctx, Ctx::Object);
+            if *has_prior {
+                self.out.push(',');
+            }
+            // The upcoming value must not add its own comma.
+            *has_prior = false;
+        }
+        self.out.push('"');
+        escape_into(name, &mut self.out);
+        self.out.push_str("\":");
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.before_value();
+        self.out.push('"');
+        escape_into(v, &mut self.out);
+        self.out.push('"');
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a signed integer value.
+    pub fn value_i64(&mut self, v: i64) {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float value (non-finite values become `null`).
+    pub fn value_f64(&mut self, v: f64) {
+        self.before_value();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v:?}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Returns the document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unbalanced JSON writer");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("list");
+        w.begin_array();
+        w.value_u64(1);
+        w.value_str("two");
+        w.begin_object();
+        w.key("three");
+        w.value_f64(3.5);
+        w.end_object();
+        w.end_array();
+        w.key("flag");
+        w.value_bool(false);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"list":[1,"two",{"three":3.5}],"flag":false}"#
+        );
+    }
+
+    #[test]
+    fn escaping() {
+        let mut w = JsonWriter::new();
+        w.value_str("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_json_safe() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.value_f64(1.0);
+        w.value_f64(f64::NAN);
+        w.value_f64(0.125);
+        w.end_array();
+        assert_eq!(w.finish(), "[1.0,null,0.125]");
+    }
+
+    #[test]
+    fn negative_ints() {
+        let mut w = JsonWriter::new();
+        w.value_i64(-42);
+        assert_eq!(w.finish(), "-42");
+    }
+}

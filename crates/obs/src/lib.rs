@@ -1,0 +1,45 @@
+//! # scperf-obs — unified low-overhead observability
+//!
+//! The paper's core promise (§4) is *visibility*: per-process and
+//! per-resource execution times "generated automatically" from an
+//! unmodified description. This crate is the workspace's observability
+//! substrate, designed so that visibility never distorts what it
+//! measures:
+//!
+//! * **Structured tracing** ([`TraceEvent`], [`Interner`]) — the hot
+//!   path records interned symbol ids and a compact [`Payload`] into a
+//!   preallocated segment/ring buffer ([`MemorySink`]) behind the
+//!   pluggable [`TraceSink`] trait. No `String` per field; numeric
+//!   payloads never touch the heap.
+//! * **Metrics** ([`MetricsSnapshot`]) — counters and gauges for kernel
+//!   and estimator internals (delta cycles, context switches, channel
+//!   access counts, segments closed, …), snapshotable at any sim time.
+//! * **Profiling** ([`profile`], [`span!`]) — host-time span guards
+//!   answering "where does wall-clock go" (scheduling vs. estimation
+//!   vs. channel ops), the Figure-4 overhead question for our own
+//!   kernel.
+//! * **Exporters** ([`chrome`], [`json`]) — Chrome `trace_event` JSON
+//!   loadable in Perfetto / `chrome://tracing` with one track per
+//!   process or resource, plus a tiny JSON writer for machine-readable
+//!   metric dumps (`BENCH_obs.json`).
+//!
+//! The crate is dependency-free and usable by every layer of the
+//! workspace (kernel, estimator, benches).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+mod event;
+mod intern;
+pub mod json;
+mod metrics;
+pub mod profile;
+mod sink;
+mod value;
+
+pub use event::{TraceEvent, TraceTable, NO_PROCESS};
+pub use intern::{Interner, Sym};
+pub use metrics::{MetricValue, MetricsSnapshot};
+pub use sink::{MemorySink, TraceSink};
+pub use value::Payload;

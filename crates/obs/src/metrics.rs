@@ -1,0 +1,164 @@
+//! Metrics: named counters and gauges snapshotable at any sim time.
+//!
+//! Producers (the kernel, the estimator) keep their counters wherever
+//! is cheapest — plain fields under an existing lock, atomics in a
+//! channel — and materialize a [`MetricsSnapshot`] on demand. The
+//! snapshot is an ordered name → value map, renderable as text or JSON
+//! (`BENCH_obs.json`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::JsonWriter;
+
+/// A snapshotted metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+}
+
+/// An ordered collection of named metrics, e.g.
+/// `kernel.delta_cycles`, `channel.speech_in.writes`,
+/// `estimator.segments_closed`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Sets a counter.
+    pub fn set_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.entries
+            .insert(name.into(), MetricValue::Counter(value));
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.entries.insert(name.into(), MetricValue::Gauge(value));
+    }
+
+    /// Reads a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Absorbs all entries of `other` (later wins on name clashes).
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Renders the snapshot as a JSON object (`{"name": value, ...}`).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Writes the snapshot as an object into an ongoing JSON document.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        for (name, value) in &self.entries {
+            w.key(name);
+            match value {
+                MetricValue::Counter(v) => w.value_u64(*v),
+                MetricValue::Gauge(v) => w.value_f64(*v),
+            }
+        }
+        w.end_object();
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.entries.keys().map(String::len).max().unwrap_or(0);
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => writeln!(f, "{name:<width$}  {v}")?,
+                MetricValue::Gauge(v) => writeln!(f, "{name:<width$}  {v:.3}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_read_back() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("kernel.delta_cycles", 12);
+        m.set_gauge("kernel.ready_peak", 3.0);
+        assert_eq!(m.counter("kernel.delta_cycles"), Some(12));
+        assert_eq!(m.gauge("kernel.ready_peak"), Some(3.0));
+        assert_eq!(m.counter("missing"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn json_round_trip_shape() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("b.count", 2);
+        m.set_gauge("a.value", 1.5);
+        // BTreeMap ordering makes the output deterministic.
+        assert_eq!(m.to_json(), "{\"a.value\":1.5,\"b.count\":2}");
+    }
+
+    #[test]
+    fn merge_overwrites_on_clash() {
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("x", 1);
+        let mut b = MetricsSnapshot::new();
+        b.set_counter("x", 9);
+        b.set_counter("y", 2);
+        a.merge(b);
+        assert_eq!(a.counter("x"), Some(9));
+        assert_eq!(a.counter("y"), Some(2));
+    }
+
+    #[test]
+    fn display_lists_all_entries() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("kernel.context_switches", 7);
+        m.set_gauge("estimator.cycles", 42.5);
+        let text = m.to_string();
+        assert!(text.contains("kernel.context_switches"));
+        assert!(text.contains("7"));
+        assert!(text.contains("42.500"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Host-time profiling spans.
+//!
+//! A [`span`] guard measures the wall-clock time between its creation
+//! and drop and accumulates it into a process-global table keyed by a
+//! static name. Disabled (the default), a span is one relaxed atomic
+//! load — cheap enough to leave in the kernel's scheduler phases.
+//!
+//! ```
+//! scperf_obs::profile::reset();
+//! scperf_obs::profile::set_enabled(true);
+//! {
+//!     let _g = scperf_obs::profile::span("phase.example");
+//!     // ... work ...
+//! }
+//! let report = scperf_obs::profile::report();
+//! assert_eq!(report[0].0, "phase.example");
+//! assert_eq!(report[0].1.count, 1);
+//! scperf_obs::profile::set_enabled(false);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn table() -> &'static Mutex<HashMap<&'static str, SpanStats>> {
+    static TABLE: OnceLock<Mutex<HashMap<&'static str, SpanStats>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Globally enables or disables span measurement.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span measurement is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Accumulated host-time statistics for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Total wall-clock time spent inside the span.
+    pub total: Duration,
+    /// Number of completed span instances.
+    pub count: u64,
+}
+
+/// RAII guard measuring one span instance. Create via [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts a span named `name`. When profiling is disabled this is a
+/// single atomic load and the guard does nothing on drop.
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed();
+            let mut table = table().lock().unwrap_or_else(PoisonError::into_inner);
+            let stats = table.entry(self.name).or_default();
+            stats.total += elapsed;
+            stats.count += 1;
+        }
+    }
+}
+
+/// The accumulated spans, sorted by total time descending.
+pub fn report() -> Vec<(&'static str, SpanStats)> {
+    let table = table().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut out: Vec<_> = table.iter().map(|(&k, &v)| (k, v)).collect();
+    out.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(b.0)));
+    out
+}
+
+/// Clears all accumulated spans.
+pub fn reset() {
+    table()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Opens a profiling span for the rest of the enclosing scope:
+/// `span!("kernel.evaluate");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _scperf_obs_span_guard = $crate::profile::span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Serialize profile tests: they share the global table.
+    fn lock_tests() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(false);
+        {
+            crate::span!("never");
+        }
+        assert!(report().iter().all(|(n, _)| *n != "never"));
+    }
+
+    #[test]
+    fn enabled_spans_accumulate() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _s = span("unit.work");
+            std::hint::black_box(0_u64);
+        }
+        set_enabled(false);
+        let report = report();
+        let entry = report.iter().find(|(n, _)| *n == "unit.work").unwrap();
+        assert_eq!(entry.1.count, 3);
+        reset();
+    }
+
+    #[test]
+    fn report_sorts_by_total_desc() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        {
+            let _a = span("fast");
+        }
+        {
+            let _b = span("slow");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        set_enabled(false);
+        let report = report();
+        let slow_pos = report.iter().position(|(n, _)| *n == "slow").unwrap();
+        let fast_pos = report.iter().position(|(n, _)| *n == "fast").unwrap();
+        assert!(slow_pos < fast_pos);
+        reset();
+    }
+}

@@ -1,0 +1,297 @@
+//! Compact trace payloads.
+//!
+//! [`Payload::capture`] turns a value into a payload without going
+//! through `format!` for the common numeric cases: primitives are
+//! stored inline (zero heap traffic), everything else falls back to its
+//! `Debug` rendering, inlined up to 22 bytes before spilling to one
+//! heap allocation. Rendering a payload with `Display` reproduces the
+//! legacy `format!("{value:?}")` text exactly, so the old string-based
+//! trace API can be materialized as a view.
+
+use std::any::Any;
+use std::fmt;
+
+/// The value carried by a [`crate::TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// No value (pure occurrence).
+    Empty,
+    /// Signed integer (i8..=i64, also u8..=u32 which fit losslessly).
+    Int(i64),
+    /// Unsigned integer too large for `Int`.
+    UInt(u64),
+    /// 32-bit float (kept separate so `Debug` fidelity is preserved).
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Anything else, pre-rendered via `Debug`. Short strings are
+    /// stored inline.
+    Text(CompactStr),
+}
+
+impl Payload {
+    /// Captures `value` as compactly as possible. Primitive numerics
+    /// and booleans are stored without allocating; other types are
+    /// rendered through their `Debug` impl (matching the legacy
+    /// `format!("{value:?}")` trace text).
+    pub fn capture<T: fmt::Debug + 'static>(value: &T) -> Payload {
+        let any = value as &dyn Any;
+        if let Some(v) = any.downcast_ref::<i32>() {
+            Payload::Int(*v as i64)
+        } else if let Some(v) = any.downcast_ref::<u32>() {
+            Payload::Int(*v as i64)
+        } else if let Some(v) = any.downcast_ref::<i64>() {
+            Payload::Int(*v)
+        } else if let Some(v) = any.downcast_ref::<u64>() {
+            if let Ok(i) = i64::try_from(*v) {
+                Payload::Int(i)
+            } else {
+                Payload::UInt(*v)
+            }
+        } else if let Some(v) = any.downcast_ref::<usize>() {
+            Payload::UInt(*v as u64)
+        } else if let Some(v) = any.downcast_ref::<isize>() {
+            Payload::Int(*v as i64)
+        } else if let Some(v) = any.downcast_ref::<i16>() {
+            Payload::Int(*v as i64)
+        } else if let Some(v) = any.downcast_ref::<u16>() {
+            Payload::Int(*v as i64)
+        } else if let Some(v) = any.downcast_ref::<i8>() {
+            Payload::Int(*v as i64)
+        } else if let Some(v) = any.downcast_ref::<u8>() {
+            Payload::Int(*v as i64)
+        } else if let Some(v) = any.downcast_ref::<bool>() {
+            Payload::Bool(*v)
+        } else if let Some(v) = any.downcast_ref::<f32>() {
+            Payload::F32(*v)
+        } else if let Some(v) = any.downcast_ref::<f64>() {
+            Payload::F64(*v)
+        } else {
+            Payload::Text(CompactStr::from_debug(value))
+        }
+    }
+
+    /// Raw text payload (no `Debug` quoting) — for user-emitted trace
+    /// details.
+    pub fn text(s: &str) -> Payload {
+        Payload::Text(CompactStr::from(s))
+    }
+
+    /// The payload as a float, when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Payload::Int(v) => Some(*v as f64),
+            Payload::UInt(v) => Some(*v as f64),
+            Payload::F32(v) => Some(*v as f64),
+            Payload::F64(v) => Some(*v),
+            Payload::Bool(v) => Some(*v as u8 as f64),
+            _ => None,
+        }
+    }
+
+    /// The payload as a signed integer, when it is integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Payload::Int(v) => Some(*v),
+            Payload::UInt(v) => i64::try_from(*v).ok(),
+            Payload::Bool(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Empty => Ok(()),
+            Payload::Int(v) => write!(f, "{v}"),
+            Payload::UInt(v) => write!(f, "{v}"),
+            // Debug formatting keeps "1.0" (vs Display's "1") so the
+            // legacy `{:?}` trace text round-trips.
+            Payload::F32(v) => write!(f, "{v:?}"),
+            Payload::F64(v) => write!(f, "{v:?}"),
+            Payload::Bool(v) => write!(f, "{v}"),
+            Payload::Text(s) => f.write_str(s.as_str()),
+        }
+    }
+}
+
+const INLINE_CAP: usize = 22;
+
+/// A string inlined up to 22 bytes, spilling to a single boxed `str`
+/// beyond that.
+#[derive(Clone)]
+pub enum CompactStr {
+    /// Stored in place.
+    Inline {
+        /// Number of meaningful bytes in `buf`.
+        len: u8,
+        /// UTF-8 bytes.
+        buf: [u8; INLINE_CAP],
+    },
+    /// Spilled to the heap.
+    Heap(Box<str>),
+}
+
+impl CompactStr {
+    /// Renders `value`'s `Debug` form, inline when short.
+    pub fn from_debug<T: fmt::Debug + ?Sized>(value: &T) -> CompactStr {
+        let mut w = CompactWriter::new();
+        let _ = fmt::write(&mut w, format_args!("{value:?}"));
+        w.finish()
+    }
+
+    /// The text.
+    pub fn as_str(&self) -> &str {
+        match self {
+            CompactStr::Inline { len, buf } => {
+                std::str::from_utf8(&buf[..*len as usize]).expect("inline bytes are utf-8")
+            }
+            CompactStr::Heap(s) => s,
+        }
+    }
+}
+
+impl From<&str> for CompactStr {
+    fn from(s: &str) -> CompactStr {
+        if s.len() <= INLINE_CAP {
+            let mut buf = [0_u8; INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            CompactStr::Inline {
+                len: s.len() as u8,
+                buf,
+            }
+        } else {
+            CompactStr::Heap(s.into())
+        }
+    }
+}
+
+impl PartialEq for CompactStr {
+    fn eq(&self, other: &CompactStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl fmt::Debug for CompactStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for CompactStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// `fmt::Write` target that stays on the stack until it overflows.
+struct CompactWriter {
+    buf: [u8; INLINE_CAP],
+    len: usize,
+    spill: Option<String>,
+}
+
+impl CompactWriter {
+    fn new() -> CompactWriter {
+        CompactWriter {
+            buf: [0; INLINE_CAP],
+            len: 0,
+            spill: None,
+        }
+    }
+
+    fn finish(self) -> CompactStr {
+        match self.spill {
+            Some(s) => CompactStr::Heap(s.into_boxed_str()),
+            None => CompactStr::Inline {
+                len: self.len as u8,
+                buf: self.buf,
+            },
+        }
+    }
+}
+
+impl fmt::Write for CompactWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        if let Some(spill) = &mut self.spill {
+            spill.push_str(s);
+            return Ok(());
+        }
+        if self.len + s.len() <= INLINE_CAP {
+            self.buf[self.len..self.len + s.len()].copy_from_slice(s.as_bytes());
+            self.len += s.len();
+        } else {
+            let mut spill = String::with_capacity(self.len + s.len());
+            spill.push_str(std::str::from_utf8(&self.buf[..self.len]).expect("utf-8"));
+            spill.push_str(s);
+            self.spill = Some(spill);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_captures_are_inline() {
+        assert_eq!(Payload::capture(&42_i32), Payload::Int(42));
+        assert_eq!(Payload::capture(&42_u32), Payload::Int(42));
+        assert_eq!(Payload::capture(&-7_i64), Payload::Int(-7));
+        assert_eq!(Payload::capture(&u64::MAX), Payload::UInt(u64::MAX));
+        assert_eq!(Payload::capture(&true), Payload::Bool(true));
+        assert_eq!(Payload::capture(&1.5_f32), Payload::F32(1.5));
+        assert_eq!(Payload::capture(&2.5_f64), Payload::F64(2.5));
+    }
+
+    #[test]
+    fn display_matches_legacy_debug_format() {
+        // The old trace path did format!("{v:?}").
+        assert_eq!(Payload::capture(&9_u32).to_string(), format!("{:?}", 9_u32));
+        assert_eq!(Payload::capture(&true).to_string(), format!("{:?}", true));
+        assert_eq!(
+            Payload::capture(&1.0_f64).to_string(),
+            format!("{:?}", 1.0_f64)
+        );
+        assert_eq!(
+            Payload::capture(&0.25_f32).to_string(),
+            format!("{:?}", 0.25_f32)
+        );
+        let s = String::from("hello");
+        assert_eq!(Payload::capture(&s).to_string(), format!("{s:?}"));
+        let tup = (1, 2);
+        assert_eq!(Payload::capture(&tup).to_string(), format!("{tup:?}"));
+    }
+
+    #[test]
+    fn long_debug_text_spills_to_heap() {
+        let long = "x".repeat(100);
+        let p = Payload::capture(&long);
+        assert_eq!(p.to_string(), format!("{long:?}"));
+        match p {
+            Payload::Text(CompactStr::Heap(_)) => {}
+            other => panic!("expected heap text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_debug_text_stays_inline() {
+        let v = vec![1_u8, 2];
+        match Payload::capture(&v) {
+            Payload::Text(CompactStr::Inline { .. }) => {}
+            other => panic!("expected inline text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_accessors() {
+        assert_eq!(Payload::Int(-3).as_i64(), Some(-3));
+        assert_eq!(Payload::Bool(true).as_i64(), Some(1));
+        assert_eq!(Payload::F64(0.5).as_f64(), Some(0.5));
+        assert_eq!(Payload::text("x").as_f64(), None);
+    }
+}

@@ -48,7 +48,7 @@ pub fn count_ops(body: fn() -> i32) -> (OpCounts, i32) {
     assert_eq!(platform.resource(cpu).kind, ResourceKind::Sequential);
     let mut sim = Simulator::new();
     let model = PerfModel::new(platform, Mode::EstimateOnly);
-    let value = std::sync::Arc::new(parking_lot::Mutex::new(0_i32));
+    let value = std::sync::Arc::new(scperf_sync::Mutex::new(0_i32));
     {
         let value = std::sync::Arc::clone(&value);
         model.spawn(&mut sim, "probe", cpu, move |_ctx| {

@@ -26,7 +26,8 @@ pub const STEPS: usize = 2000;
 pub fn step_plain(x: f64, v: f64, t: f64) -> (f64, f64) {
     // 2-term sine series around 0 after range reduction to [-π, π).
     let phase = OMEGA * t;
-    let reduced = phase - (phase / (2.0 * std::f64::consts::PI)).floor() * 2.0 * std::f64::consts::PI
+    let reduced = phase
+        - (phase / (2.0 * std::f64::consts::PI)).floor() * 2.0 * std::f64::consts::PI
         - std::f64::consts::PI;
     let s = -(reduced - reduced * reduced * reduced / 6.0);
     let force = AMP * s;

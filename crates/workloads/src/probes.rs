@@ -64,7 +64,7 @@ fn add_chain_minic() -> String {
        result = s + t;\n\
        return 0;\n\
      }\n"
-        .to_owned()
+    .to_owned()
 }
 
 // -------------------------------------------------------------- probe 2 --
@@ -90,7 +90,7 @@ fn mul_heavy_minic() -> String {
        result = s;\n\
        return 0;\n\
      }\n"
-        .to_owned()
+    .to_owned()
 }
 
 // -------------------------------------------------------------- probe 3 --
@@ -117,7 +117,7 @@ fn div_heavy_minic() -> String {
        result = acc;\n\
        return 0;\n\
      }\n"
-        .to_owned()
+    .to_owned()
 }
 
 // -------------------------------------------------------------- probe 4 --
@@ -199,7 +199,7 @@ fn branch_heavy_minic() -> String {
        result = steps;\n\
        return 0;\n\
      }\n"
-        .to_owned()
+    .to_owned()
 }
 
 // -------------------------------------------------------------- probe 6 --
@@ -227,7 +227,7 @@ fn call_heavy_minic() -> String {
        result = s;\n\
        return 0;\n\
      }\n"
-        .to_owned()
+    .to_owned()
 }
 
 // -------------------------------------------------------------- probe 7 --
@@ -251,7 +251,7 @@ fn shift_logic_minic() -> String {
        result = s;\n\
        return 0;\n\
      }\n"
-        .to_owned()
+    .to_owned()
 }
 
 // -------------------------------------------------------------- probe 8 --
@@ -336,7 +336,7 @@ fn mixed_small_minic() -> String {
        result = s;\n\
        return 0;\n\
      }\n"
-        .to_owned()
+    .to_owned()
 }
 
 // ------------------------------------------------------------- probe 10 --
@@ -431,7 +431,7 @@ fn recurse_minic() -> String {
        result = total;\n\
        return 0;\n\
      }\n"
-        .to_owned()
+    .to_owned()
 }
 
 // ------------------------------------------------------------- probe 12 --
@@ -667,8 +667,7 @@ mod tests {
 
     #[test]
     fn probe_names_are_unique() {
-        let names: std::collections::HashSet<&str> =
-            probes().iter().map(|p| p.name).collect();
+        let names: std::collections::HashSet<&str> = probes().iter().map(|p| p.name).collect();
         assert_eq!(names.len(), probes().len());
     }
 }

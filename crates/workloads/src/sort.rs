@@ -114,11 +114,7 @@ fn qsort_annotated(a: &mut GArr<i32>, lo: G<i32>, hi: G<i32>) {
 /// Annotated quicksort.
 pub fn qsort_annotated_run() -> i32 {
     let mut a = GArr::from_vec(qsort_input());
-    g_call!(qsort_annotated(
-        &mut a,
-        g_i32(0),
-        g_i32(QSORT_N as i32 - 1)
-    ));
+    g_call!(qsort_annotated(&mut a, g_i32(0), g_i32(QSORT_N as i32 - 1)));
     let mut s = g_i32(0); // s = 0;
     g_for!(i in 0..QSORT_N => {
         // s = s + (i + 1) * a[i];

@@ -175,10 +175,7 @@ mod tests {
         let a = speech_frames(4);
         let b = speech_frames(4);
         assert_eq!(a, b);
-        assert!(a
-            .iter()
-            .flatten()
-            .all(|&v| (-2047..=2047).contains(&v)));
+        assert!(a.iter().flatten().all(|&v| (-2047..=2047).contains(&v)));
         // Signal must actually carry energy.
         let energy: i64 = a.iter().flatten().map(|&v| (v as i64) * (v as i64)).sum();
         assert!(energy > 1_000_000);
@@ -201,7 +198,11 @@ mod tests {
         assert_eq!(t.out.len(), 4);
         assert!(t.out.iter().flatten().any(|&v| v != 0));
         // Output is clipped to 16-bit audio.
-        assert!(t.out.iter().flatten().all(|&v| (-32767..=32767).contains(&v)));
+        assert!(t
+            .out
+            .iter()
+            .flatten()
+            .all(|&v| (-32767..=32767).contains(&v)));
         // All five stage checksums populated (overwhelmingly non-zero).
         assert!(t.checksums.iter().filter(|&&c| c != 0).count() >= 4);
     }

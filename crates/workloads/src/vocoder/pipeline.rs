@@ -6,9 +6,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use scperf_core::{GArr, PerfModel, ResourceId, G};
 use scperf_kernel::Simulator;
+use scperf_sync::Mutex;
 
 use super::{checksum_acc, speech_frames, stages, MAX_LAG, ORDER};
 
@@ -211,9 +211,8 @@ pub fn build(
                 let mut msg = rx.read(ctx);
                 let aq = GArr::from_slice(&msg.aq);
                 let exc = GArr::from_slice(&msg.exc);
-                msg.out =
-                    stages::post_annotated(&mut synth_hist, &mut deemph, &aq, &exc, &mut chk)
-                        .into_vec();
+                msg.out = stages::post_annotated(&mut synth_hist, &mut deemph, &aq, &exc, &mut chk)
+                    .into_vec();
                 tx.write(ctx, msg);
             }
             chks.lock()[4] = Some(chk.get());
@@ -385,7 +384,9 @@ mod tests {
 
         let report = model.report();
         for name in STAGE_NAMES {
-            let p = report.process(name).unwrap_or_else(|| panic!("{name} missing"));
+            let p = report
+                .process(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
             assert!(p.total_cycles > 0.0, "{name} has no estimate");
             assert!(p.rtos_time > Time::ZERO, "{name} charged no RTOS time");
         }

@@ -4,7 +4,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use scperf_core::{G, GArr};
+use scperf_core::{GArr, G};
 use scperf_workloads::vocoder::{stages, FRAME, MAX_LAG, MIN_LAG, ORDER};
 
 fn frame_strategy() -> impl Strategy<Value = Vec<i32>> {

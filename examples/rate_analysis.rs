@@ -39,8 +39,7 @@ fn main() -> Result<(), scperf::kernel::SimError> {
             let p = report.process(name).expect("stage reported");
             // Per activation: total over the run divided by frames, plus
             // the RTOS share.
-            let per_frame =
-                (p.total_time + p.rtos_time) / nframes as u64;
+            let per_frame = (p.total_time + p.rtos_time) / nframes as u64;
             rate::Task {
                 name: p.name.clone(),
                 wcet: per_frame,
@@ -74,7 +73,12 @@ fn main() -> Result<(), scperf::kernel::SimError> {
     println!("\nexact worst-case response times (rate-monotonic):");
     for (t, r) in tasks.iter().zip(rate::response_times(&tasks)) {
         match r {
-            Some(r) => println!("  {:<12} R = {:>12}  (deadline {})", t.name, r.to_string(), t.period),
+            Some(r) => println!(
+                "  {:<12} R = {:>12}  (deadline {})",
+                t.name,
+                r.to_string(),
+                t.period
+            ),
             None => println!("  {:<12} MISSES its {} deadline", t.name, t.period),
         }
     }

@@ -9,9 +9,7 @@
 //!
 //! Run with `cargo run --release --example strict_timed`.
 
-use scperf::core::{
-    determinism, timed_wait, CostTable, Mode, PerfModel, Platform, ResourceId, G,
-};
+use scperf::core::{determinism, timed_wait, CostTable, Mode, PerfModel, Platform, ResourceId, G};
 use scperf::kernel::{Simulator, Time};
 
 const CLOCK: Time = Time::ns(10);

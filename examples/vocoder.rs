@@ -46,7 +46,10 @@ fn main() -> Result<(), scperf::kernel::SimError> {
     let summary = sim.run()?;
     let reference = vocoder::run_reference(nframes);
     let out = handles.output.lock().expect("sink finished");
-    assert_eq!(out, reference.checksums[4], "output must match the reference");
+    assert_eq!(
+        out, reference.checksums[4],
+        "output must match the reference"
+    );
 
     println!(
         "vocoder: {nframes} frames decoded correctly, simulated time {}",

@@ -15,6 +15,7 @@
 //! | [`iss`] | `scperf-iss` | cycle-accurate reference RISC ISS + `minic` compiler + calibration |
 //! | [`hls`] | `scperf-hls` | behavioral-synthesis scheduling baseline (ASAP/ALAP/list, area model) |
 //! | [`workloads`] | `scperf-workloads` | the paper's benchmarks in three matched forms, incl. the GSM-like vocoder |
+//! | [`obs`] | `scperf-obs` | observability layer: compact tracing, metrics snapshots, host-time profiling, Chrome-trace export |
 //!
 //! The experiment harness (`scperf-bench`) regenerates every table and
 //! figure of the paper's evaluation; see the repository README and
@@ -49,4 +50,5 @@ pub use scperf_core as core;
 pub use scperf_hls as hls;
 pub use scperf_iss as iss;
 pub use scperf_kernel as kernel;
+pub use scperf_obs as obs;
 pub use scperf_workloads as workloads;

@@ -3,9 +3,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use scperf::core::{
-    charge_op, timed_wait, CostTable, Mode, Op, PerfModel, Platform, ResourceKind,
-};
+use scperf::core::{charge_op, timed_wait, CostTable, Mode, Op, PerfModel, Platform, ResourceKind};
 use scperf::kernel::{Simulator, Time};
 
 const CLOCK: Time = Time::ns(10);
