@@ -146,9 +146,57 @@ fn ablation_hls() {
     );
 }
 
+/// DSE segment-cost cache on/off: wall time of a mapping-sweep subset
+/// with and without memoized traces, plus the cache hit rate.
+fn ablation_dse_cache() {
+    use scperf_bench::dse::sweep::{sweep, SweepConfig};
+    let table = calibration::calibrate().table;
+    let config = SweepConfig {
+        table,
+        nframes: 1,
+        jobs: 1,
+        use_cache: true,
+        limit: Some(27),
+    };
+    let cached = sweep(&config);
+    let uncached = sweep(&SweepConfig {
+        use_cache: false,
+        ..config.clone()
+    });
+    assert_eq!(
+        cached.points, uncached.points,
+        "cache must not change results"
+    );
+    println!(
+        "\n[ablation] DSE sweep ({} points): cache hit rate {:.1}% over {} lookups, \
+         {} recorded traces; results identical with cache off",
+        cached.points.len(),
+        cached.cache.hit_rate() * 100.0,
+        cached.cache.hits + cached.cache.misses,
+        cached.cache.entries,
+    );
+    let c1 = config.clone();
+    let c2 = SweepConfig {
+        use_cache: false,
+        ..config
+    };
+    run_group(
+        "dse",
+        &[
+            Case::new("sweep27_cached", move || {
+                std::hint::black_box(sweep(&c1).frontier.len());
+            }),
+            Case::new("sweep27_uncached", move || {
+                std::hint::black_box(sweep(&c2).frontier.len());
+            }),
+        ],
+    );
+}
+
 fn main() {
     ablation_calibration_size();
     ablation_rtos();
     ablation_iss_models();
     ablation_hls();
+    ablation_dse_cache();
 }

@@ -24,8 +24,12 @@
 #![warn(missing_docs)]
 
 pub mod calibration;
-pub mod dse;
 pub mod figures;
 pub mod harness;
 pub mod microbench;
 pub mod tables;
+
+/// The design-space exploration engine, promoted to its own crate
+/// (`scperf-dse`) in PR 2; re-exported here so the experiment binaries
+/// and older call sites keep working.
+pub use scperf_dse as dse;

@@ -98,6 +98,10 @@ pub(crate) struct ProcRecord {
     /// First recorded DFG per segment (parallel resources with DFG
     /// recording enabled).
     pub(crate) dfgs: BTreeMap<(u32, u32), Dfg>,
+    /// Per-execution cycle trace in segment-execution order, recorded
+    /// when [`EstInner::record_segment_costs`] is on. Feeds the replay
+    /// path ([`crate::PerfModel::spawn_replay`]).
+    pub(crate) cost_trace: Vec<f64>,
 }
 
 pub(crate) struct EstInner {
@@ -115,6 +119,9 @@ pub(crate) struct EstInner {
     pub(crate) rtos_total: Vec<Time>,
     pub(crate) record_instantaneous: bool,
     pub(crate) record_dfgs: bool,
+    /// Record every segment execution's cycles into
+    /// [`ProcRecord::cost_trace`] (cheap: one `Vec::push` per segment).
+    pub(crate) record_segment_costs: bool,
     pub(crate) captures: Vec<crate::capture::CaptureList>,
 }
 
@@ -137,6 +144,7 @@ impl EstimatorShared {
                 rtos_total: vec![Time::ZERO; n],
                 record_instantaneous: false,
                 record_dfgs: false,
+                record_segment_costs: false,
                 captures: Vec::new(),
             }),
         })
@@ -171,6 +179,7 @@ impl EstimatorShared {
                 segment_executions: 0,
                 instantaneous: Vec::new(),
                 dfgs: BTreeMap::new(),
+                cost_trace: Vec::new(),
             },
         );
     }
@@ -183,26 +192,41 @@ impl EstimatorShared {
 /// unmapped processes).
 pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
     let _span = scperf_obs::profile::span("est.end_segment");
-    // Phase 1: drain the thread-local accumulator.
-    let Some((est, pid, resource, kind, k, rtos_cycles, from, acc, max_ready, counts, dfg)) =
-        crate::tls::with(|t| {
-            let (acc, max_ready, counts, dfg) = t.take_segment();
-            let from = t.current_node;
-            t.current_node = node;
-            (
-                Arc::clone(&t.est),
-                t.pid,
-                t.resource,
-                t.kind,
-                t.k,
-                t.rtos_cycles,
-                from,
-                acc,
-                max_ready,
-                counts,
-                dfg,
-            )
-        })
+    // Phase 1: drain the thread-local accumulator (or, in replay mode,
+    // pop the next recorded segment cost).
+    let Some((
+        est,
+        pid,
+        resource,
+        kind,
+        k,
+        rtos_cycles,
+        from,
+        acc,
+        max_ready,
+        counts,
+        dfg,
+        replayed,
+    )) = crate::tls::with(|t| {
+        let (acc, max_ready, counts, dfg) = t.take_segment();
+        let from = t.current_node;
+        t.current_node = node;
+        let replayed = t.pop_replay();
+        (
+            Arc::clone(&t.est),
+            t.pid,
+            t.resource,
+            t.kind,
+            t.k,
+            t.rtos_cycles,
+            from,
+            acc,
+            max_ready,
+            counts,
+            dfg,
+            replayed,
+        )
+    })
     else {
         return Time::ZERO; // un-instrumented process
     };
@@ -211,11 +235,16 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
         return Time::ZERO;
     }
 
-    // Phase 2: compute the segment's annotated cycle count.
-    let (cycles, t_min, t_max) = match kind {
-        ResourceKind::Sequential => (acc, 0.0, 0.0),
-        ResourceKind::Parallel => (weighted_hw_cycles(max_ready, acc, k), max_ready, acc),
-        ResourceKind::Environment => unreachable!(),
+    // Phase 2: compute the segment's annotated cycle count. A replayed
+    // segment reuses the recorded value, which is bit-identical to what
+    // live estimation of the same (code, data, cost table) produces.
+    let (cycles, t_min, t_max) = match replayed {
+        Some(cycles) => (cycles, 0.0, 0.0),
+        None => match kind {
+            ResourceKind::Sequential => (acc, 0.0, 0.0),
+            ResourceKind::Parallel => (weighted_hw_cycles(max_ready, acc, k), max_ready, acc),
+            ResourceKind::Environment => unreachable!(),
+        },
     };
 
     // Phase 3: record statistics and convert to time.
@@ -232,6 +261,7 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
         let mode = inner.mode;
         let record_inst = inner.record_instantaneous;
         let record_dfgs = inner.record_dfgs;
+        let record_costs = inner.record_segment_costs;
         let rec = inner
             .procs
             .get_mut(&pid)
@@ -248,6 +278,9 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
         seg.counts.merge(&counts);
         seg.last_t_min = t_min;
         seg.last_t_max = t_max;
+        if record_costs {
+            rec.cost_trace.push(cycles);
+        }
         rec.total_cycles += cycles;
         rec.total_time += seg_time;
         rec.rtos_time += rtos_time;

@@ -68,7 +68,7 @@
 //! # Ok::<(), scperf_kernel::SimError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod capture;
 mod cost;

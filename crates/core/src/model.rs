@@ -81,6 +81,30 @@ impl PerfModel {
         self.est.inner.lock().record_dfgs = true;
     }
 
+    /// Record every segment execution's estimated cycles, per process,
+    /// in execution order (one `Vec::push` per segment boundary). The
+    /// recorded trace can be fetched with
+    /// [`PerfModel::segment_cost_trace`] after the run and replayed in a
+    /// later simulation with [`PerfModel::spawn_replay`] — the
+    /// memoization that lets a design-space exploration skip
+    /// re-estimating segments whose annotation cannot differ between
+    /// design points. Off by default.
+    pub fn record_segment_costs(&self) {
+        self.est.inner.lock().record_segment_costs = true;
+    }
+
+    /// The recorded per-segment cycle trace of `process` (requires
+    /// [`PerfModel::record_segment_costs`] before the run). `None` when
+    /// the process is unknown; empty when recording was off.
+    pub fn segment_cost_trace(&self, process: &str) -> Option<Vec<f64>> {
+        let inner = self.est.inner.lock();
+        inner
+            .procs
+            .values()
+            .find(|p| p.name == process)
+            .map(|p| p.cost_trace.clone())
+    }
+
     /// Spawns a process mapped to `resource` (the architectural-mapping
     /// annotation of §2). The body runs with the estimation context
     /// installed, so `G`-typed operations are charged automatically and
@@ -95,8 +119,59 @@ impl PerfModel {
     where
         F: FnOnce(&mut ProcCtx) + Send + 'static,
     {
+        self.spawn_inner(sim, name.into(), resource, None, body)
+    }
+
+    /// Spawns a process mapped to `resource` that **replays** a
+    /// previously recorded per-segment cycle trace instead of estimating
+    /// live (see [`PerfModel::record_segment_costs`]).
+    ///
+    /// The body should execute the *plain* (un-annotated) form of the
+    /// workload: operator charging is disabled, and every segment
+    /// boundary pops the next entry of `trace` as the segment's cycles.
+    /// Back-annotation, resource arbitration and RTOS accounting behave
+    /// exactly as in a live run, so the strict-timed schedule is
+    /// bit-identical — provided the body performs the same sequence of
+    /// channel accesses and waits as the recorded run.
+    ///
+    /// Replay is sound when the recorded process's charging is
+    /// deterministic in (code, input data, cost table) — the
+    /// single-source methodology's data-independence assumption. It is
+    /// the caller's responsibility to key cached traces on everything
+    /// the annotation depends on (process identity, workload size,
+    /// resource kind, clock, cost table, `k`, RTOS overhead).
+    ///
+    /// # Panics
+    ///
+    /// The spawned process panics (surfacing as
+    /// [`scperf_kernel::SimError::ProcessPanic`]) if it reaches more
+    /// segment boundaries than `trace` holds.
+    pub fn spawn_replay<F>(
+        &self,
+        sim: &mut Simulator,
+        name: impl Into<String>,
+        resource: ResourceId,
+        trace: Arc<Vec<f64>>,
+        body: F,
+    ) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        self.spawn_inner(sim, name.into(), resource, Some(trace), body)
+    }
+
+    fn spawn_inner<F>(
+        &self,
+        sim: &mut Simulator,
+        name: String,
+        resource: ResourceId,
+        replay: Option<Arc<Vec<f64>>>,
+        body: F,
+    ) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
         let est = Arc::clone(&self.est);
-        let name = name.into();
         let reg_name = name.clone();
         let pid = sim.spawn(name, move |ctx| {
             let (kind, costs, k, rtos_cycles) = {
@@ -104,8 +179,9 @@ impl PerfModel {
                 let r = inner.platform.resource(resource);
                 (r.kind, tls::dense_costs(&r.costs), r.k, r.rtos_cycles)
             };
-            let record_dfgs =
-                est.inner.lock().record_dfgs && kind == crate::resource::ResourceKind::Parallel;
+            let record_dfgs = replay.is_none()
+                && est.inner.lock().record_dfgs
+                && kind == crate::resource::ResourceKind::Parallel;
             tls::install(tls::ThreadCtx {
                 est: Arc::clone(&est),
                 pid: ctx.pid().index(),
@@ -119,6 +195,7 @@ impl PerfModel {
                 max_ready: 0.0,
                 dfg: record_dfgs.then(Dfg::default),
                 current_node: crate::estimator::NODE_ENTRY,
+                replay: replay.map(|trace| tls::ReplayCursor { trace, next: 0 }),
             });
             body(ctx);
             // The process-exit statement is a node (§2): flush the final

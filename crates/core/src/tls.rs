@@ -15,6 +15,22 @@ use crate::estimator::EstimatorShared;
 use crate::hw::{Dfg, NO_NODE};
 use crate::resource::{ResourceId, ResourceKind};
 
+/// Cursor over a previously recorded per-segment cycle trace.
+///
+/// When installed, the process is in *replay* mode: operator charging is
+/// a no-op and every segment boundary pops the next recorded cycle count
+/// instead of recomputing it. Sound whenever the process's charging is
+/// deterministic in (code, input data, cost table) — which the
+/// single-source methodology guarantees for data-independent workloads —
+/// because the popped value is bit-identical to what live estimation
+/// would produce.
+pub(crate) struct ReplayCursor {
+    /// Recorded cycle counts, one per `end_segment` in execution order.
+    pub(crate) trace: Arc<Vec<f64>>,
+    /// Index of the next segment to replay.
+    pub(crate) next: usize,
+}
+
 /// The running segment's accumulated state for one process thread.
 pub(crate) struct ThreadCtx {
     pub(crate) est: Arc<EstimatorShared>,
@@ -35,6 +51,8 @@ pub(crate) struct ThreadCtx {
     pub(crate) dfg: Option<Dfg>,
     /// Node at which the current segment started.
     pub(crate) current_node: u32,
+    /// Replay mode: pop recorded segment costs instead of charging.
+    pub(crate) replay: Option<ReplayCursor>,
 }
 
 thread_local! {
@@ -83,6 +101,12 @@ impl ThreadCtx {
         b_ready: f64,
         b_node: u32,
     ) -> (f64, u32) {
+        if self.replay.is_some() {
+            // Replay mode: the segment's cycles come from the recorded
+            // trace at the next boundary; individual operations charge
+            // nothing (the workload runs its plain form).
+            return (0.0, NO_NODE);
+        }
         match self.kind {
             ResourceKind::Environment => (0.0, NO_NODE),
             ResourceKind::Sequential => {
@@ -106,6 +130,28 @@ impl ThreadCtx {
                 (ready, node)
             }
         }
+    }
+
+    /// Replay mode: pops the next recorded segment cost, or `None` when
+    /// the context estimates live.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the recorded trace is exhausted — the replayed process
+    /// executed more segments than the recording, i.e. the cached trace
+    /// belongs to a different workload configuration (stale cache key).
+    pub(crate) fn pop_replay(&mut self) -> Option<f64> {
+        let cursor = self.replay.as_mut()?;
+        let v = cursor.trace.get(cursor.next).copied().unwrap_or_else(|| {
+            panic!(
+                "segment replay trace exhausted after {} segments: \
+                 the recorded trace does not match this process \
+                 (stale or mismatched segment-cost cache entry)",
+                cursor.next
+            )
+        });
+        cursor.next += 1;
+        Some(v)
     }
 
     /// Resets the per-segment accumulators, returning the finished
@@ -188,6 +234,7 @@ pub(crate) mod testutil {
             max_ready: 0.0,
             dfg: record_dfg.then(Dfg::default),
             current_node: 0,
+            replay: None,
         });
         f();
         uninstall().expect("context present")
@@ -238,6 +285,29 @@ mod tests {
         charge_op(Op::Add);
         charge_branch();
         charge_call();
+    }
+
+    #[test]
+    fn replaying_context_ignores_charges_and_pops_trace() {
+        let table = CostTable::from_pairs([(Op::Add, 2.0)]);
+        let mut ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {});
+        ctx.replay = Some(ReplayCursor {
+            trace: Arc::new(vec![7.5, 3.25]),
+            next: 0,
+        });
+        let (ready, node) = ctx.charge(Op::Add, 0.0, NO_NODE, 0.0, NO_NODE);
+        assert_eq!((ready, node), (0.0, NO_NODE));
+        assert_eq!(ctx.acc, 0.0, "replay must not accumulate");
+        assert_eq!(ctx.counts.total(), 0);
+        assert_eq!(ctx.pop_replay(), Some(7.5));
+        assert_eq!(ctx.pop_replay(), Some(3.25));
+    }
+
+    #[test]
+    fn live_context_does_not_pop() {
+        let table = CostTable::from_pairs([(Op::Add, 2.0)]);
+        let mut ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {});
+        assert_eq!(ctx.pop_replay(), None);
     }
 
     #[test]

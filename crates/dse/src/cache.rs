@@ -1,0 +1,227 @@
+//! Shared segment-cost memoization cache.
+//!
+//! The key soundness argument (and the reason DSE can go much faster
+//! than naively re-simulating 243 points): a vocoder stage's per-segment
+//! cycle trace is a pure function of the stage's code, its input data
+//! and the *cost model of the resource it is mapped to* — it does not
+//! depend on where the other four stages are mapped, because inter-stage
+//! coupling happens only through the scheduler (when segments run), not
+//! through what each segment costs. Recording the trace once per
+//! `(stage, resource fingerprint, workload size)` and replaying it via
+//! [`scperf_core::PerfModel::spawn_replay`] therefore reproduces every
+//! later evaluation bit-exactly while skipping all operator-overloading
+//! work.
+//!
+//! The fingerprint hashes everything the annotation depends on: resource
+//! kind, clock period, the dense per-operation cost table (bit pattern),
+//! the HW time-area weight `k`, the RTOS overhead and the frame count.
+//! Two processors sharing one cost table (cpu0/cpu1 here) fingerprint
+//! identically and share entries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use scperf_core::{Resource, ResourceKind};
+use scperf_obs::MetricsSnapshot;
+use scperf_sync::RwLock;
+
+/// Cache key half: which stage (pipeline position) the trace belongs to.
+type StageIndex = usize;
+
+/// Full cache key: the stage plus its resource fingerprint.
+type CacheKey = (StageIndex, u64);
+
+/// A concurrent map from `(stage, resource fingerprint)` to the recorded
+/// per-segment cycle trace. Shared by all sweep workers behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct SegmentCostCache {
+    map: RwLock<HashMap<CacheKey, Arc<Vec<f64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss accounting of a [`SegmentCostCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a trace.
+    pub hits: u64,
+    /// Lookups that found nothing (the point then records the trace).
+    pub misses: u64,
+    /// Distinct traces currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, in `[0, 1]`; zero when nothing was
+    /// looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// 64-bit FNV-1a, folding `u64` words (values are hashed by bit
+/// pattern, so `f64` inputs go through `to_bits`).
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl SegmentCostCache {
+    /// Creates an empty cache.
+    pub fn new() -> SegmentCostCache {
+        SegmentCostCache::default()
+    }
+
+    /// Fingerprints everything a stage's recorded trace depends on
+    /// besides the stage itself: the resource's cost model and the
+    /// workload size.
+    pub fn fingerprint(resource: &Resource, nframes: usize) -> u64 {
+        let kind = match resource.kind {
+            ResourceKind::Sequential => 1_u64,
+            ResourceKind::Parallel => 2,
+            ResourceKind::Environment => 3,
+        };
+        let head = [
+            kind,
+            resource.clock.as_ps(),
+            resource.k.to_bits(),
+            resource.rtos_cycles.to_bits(),
+            nframes as u64,
+        ];
+        let costs = resource.costs.as_dense().iter().map(|c| c.to_bits());
+        fnv1a(head.into_iter().chain(costs))
+    }
+
+    /// Looks up the trace for `(stage, fingerprint)`, counting a hit or
+    /// a miss.
+    pub fn get(&self, stage: StageIndex, fingerprint: u64) -> Option<Arc<Vec<f64>>> {
+        let found = self.map.read().get(&(stage, fingerprint)).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a recorded trace. Racing inserts of the same key are
+    /// benign: both workers recorded the same deterministic trace, so
+    /// either copy is correct; the first one wins.
+    pub fn insert(&self, stage: StageIndex, fingerprint: u64, trace: Arc<Vec<f64>>) {
+        self.map
+            .write()
+            .entry((stage, fingerprint))
+            .or_insert(trace);
+    }
+
+    /// Current hit/miss/entry counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().len(),
+        }
+    }
+
+    /// The stats as observability counters/gauges
+    /// (`dse.cache.hits`, `dse.cache.misses`, `dse.cache.entries`,
+    /// `dse.cache.hit_rate`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let stats = self.stats();
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("dse.cache.hits", stats.hits);
+        m.set_counter("dse.cache.misses", stats.misses);
+        m.set_counter("dse.cache.entries", stats.entries as u64);
+        m.set_gauge("dse.cache.hit_rate", stats.hit_rate());
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scperf_core::{CostTable, Platform};
+    use scperf_kernel::Time;
+
+    fn resource(table: CostTable, rtos: f64) -> Resource {
+        let mut p = Platform::new();
+        let id = p.sequential("cpu", Time::ns(10), table, rtos);
+        p.resource(id).clone()
+    }
+
+    #[test]
+    fn lookup_accounting_hits_and_misses() {
+        let cache = SegmentCostCache::new();
+        let fp = 42;
+        assert!(cache.get(0, fp).is_none());
+        cache.insert(0, fp, Arc::new(vec![1.0, 2.0]));
+        assert_eq!(cache.get(0, fp).as_deref(), Some(&vec![1.0, 2.0]));
+        assert!(cache.get(1, fp).is_none(), "stage is part of the key");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_mirror_stats() {
+        let cache = SegmentCostCache::new();
+        cache.insert(0, 7, Arc::new(vec![3.0]));
+        let _ = cache.get(0, 7);
+        let _ = cache.get(0, 8);
+        let m = cache.metrics();
+        assert_eq!(m.counter("dse.cache.hits"), Some(1));
+        assert_eq!(m.counter("dse.cache.misses"), Some(1));
+        assert_eq!(m.counter("dse.cache.entries"), Some(1));
+        assert_eq!(m.gauge("dse.cache.hit_rate"), Some(0.5));
+    }
+
+    #[test]
+    fn fingerprint_separates_cost_models_but_not_names() {
+        let base = resource(CostTable::risc_sw(), 150.0);
+        let same = {
+            let mut r = resource(CostTable::risc_sw(), 150.0);
+            r.name = "another-name".into();
+            r
+        };
+        assert_eq!(
+            SegmentCostCache::fingerprint(&base, 4),
+            SegmentCostCache::fingerprint(&same, 4),
+            "cpu0/cpu1 with one cost table must share entries"
+        );
+        let other_table = resource(CostTable::asic_hw(), 150.0);
+        assert_ne!(
+            SegmentCostCache::fingerprint(&base, 4),
+            SegmentCostCache::fingerprint(&other_table, 4)
+        );
+        let other_rtos = resource(CostTable::risc_sw(), 0.0);
+        assert_ne!(
+            SegmentCostCache::fingerprint(&base, 4),
+            SegmentCostCache::fingerprint(&other_rtos, 4)
+        );
+        assert_ne!(
+            SegmentCostCache::fingerprint(&base, 4),
+            SegmentCostCache::fingerprint(&base, 5),
+            "workload size is part of the key"
+        );
+    }
+
+    #[test]
+    fn racing_inserts_first_wins() {
+        let cache = SegmentCostCache::new();
+        cache.insert(0, 1, Arc::new(vec![1.0]));
+        cache.insert(0, 1, Arc::new(vec![9.9]));
+        assert_eq!(cache.get(0, 1).as_deref(), Some(&vec![1.0]));
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Pareto-frontier extraction over (latency, cost).
+//!
+//! [`pareto`] is the production path: sort once, sweep once —
+//! O(n log n) instead of the O(n²) pairwise domination scan — while
+//! producing *exactly* the same frontier as the naive definition
+//! ([`pareto_naive`], kept as the test oracle).
+
+use crate::point::DesignPoint;
+
+/// Whether `q` dominates `p`: at least as good on both axes and
+/// strictly better on one.
+fn dominates(q: &DesignPoint, p: &DesignPoint) -> bool {
+    (q.latency < p.latency && q.cost <= p.cost) || (q.latency <= p.latency && q.cost < p.cost)
+}
+
+/// The Pareto frontier by direct application of the domination
+/// definition: a point survives iff no other point dominates it;
+/// duplicate (latency, cost) pairs keep their first occurrence in input
+/// order. O(n²) — the oracle the fast path is verified against.
+pub fn pareto_naive(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    for p in points {
+        if points.iter().any(|q| dominates(q, p)) {
+            continue;
+        }
+        if !frontier
+            .iter()
+            .any(|f| f.latency == p.latency && f.cost == p.cost)
+        {
+            frontier.push(p.clone());
+        }
+    }
+    frontier.sort_by(|a, b| a.latency.cmp(&b.latency).then(a.cost.total_cmp(&b.cost)));
+    frontier
+}
+
+/// The Pareto frontier via sort-and-sweep pruning.
+///
+/// Points are visited in (latency, cost, input-index) order; within one
+/// latency only the cheapest point can be non-dominated, and it survives
+/// iff it is strictly cheaper than everything already kept at lower
+/// latency. Returns the same frontier as [`pareto_naive`], bit for bit
+/// (this equivalence is property-tested against random point clouds).
+pub fn pareto(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .latency
+            .cmp(&points[b].latency)
+            .then(points[a].cost.total_cmp(&points[b].cost))
+            .then(a.cmp(&b))
+    });
+
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    let mut i = 0;
+    while i < order.len() {
+        // The group of points sharing this latency, sorted by cost: only
+        // the head can be on the frontier.
+        let latency = points[order[i]].latency;
+        let mut end = i;
+        while end < order.len() && points[order[end]].latency == latency {
+            end += 1;
+        }
+        let group = &order[i..end];
+        let min_cost = points[group[0]].cost;
+        if min_cost < best_cost {
+            // Duplicate (latency, cost) pairs collapse to their first
+            // occurrence in *input* order, matching the naive oracle.
+            let first = group
+                .iter()
+                .copied()
+                .filter(|&g| points[g].cost == min_cost)
+                .min()
+                .expect("non-empty group");
+            frontier.push(points[first].clone());
+            best_cost = min_cost;
+        }
+        i = end;
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Target;
+    use scperf_kernel::Time;
+
+    fn pt(latency_ns: u64, cost: f64) -> DesignPoint {
+        DesignPoint {
+            mapping: [Target::Cpu0; 5],
+            latency: Time::ns(latency_ns),
+            cost,
+            checksum: 0,
+        }
+    }
+
+    #[test]
+    fn sweep_matches_naive_on_fixed_cloud() {
+        let points = vec![
+            pt(10, 5.0),
+            pt(10, 5.0), // duplicate: first occurrence kept
+            pt(12, 4.0),
+            pt(12, 6.0), // dominated within its latency group
+            pt(15, 4.0), // dominated by (12, 4.0)
+            pt(20, 1.0),
+            pt(25, 1.0), // dominated by (20, 1.0)
+            pt(9, 9.0),
+        ];
+        let fast = pareto(&points);
+        assert_eq!(fast, pareto_naive(&points));
+        let coords: Vec<(u64, f64)> = fast
+            .iter()
+            .map(|p| (p.latency.as_ps() / 1000, p.cost))
+            .collect();
+        assert_eq!(coords, vec![(9, 9.0), (10, 5.0), (12, 4.0), (20, 1.0)]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pareto(&[]).is_empty());
+        let one = vec![pt(5, 2.0)];
+        assert_eq!(pareto(&one), one);
+    }
+
+    #[test]
+    fn sweep_matches_naive_on_random_clouds() {
+        // Deterministic pseudo-random clouds (splitmix64).
+        let mut state: u64 = 0x5ee3_1f00_d5e0_cafe;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for _ in 0..200 {
+            let n = (next() % 40) as usize;
+            let points: Vec<DesignPoint> = (0..n)
+                .map(|_| pt(next() % 16, (next() % 8) as f64 / 2.0))
+                .collect();
+            assert_eq!(pareto(&points), pareto_naive(&points), "cloud: {points:?}");
+        }
+    }
+}

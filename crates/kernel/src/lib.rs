@@ -51,7 +51,7 @@
 //! # Ok::<(), scperf_kernel::SimError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod baton;

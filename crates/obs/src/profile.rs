@@ -1,9 +1,16 @@
 //! Host-time profiling spans.
 //!
 //! A [`span`] guard measures the wall-clock time between its creation
-//! and drop and accumulates it into a process-global table keyed by a
-//! static name. Disabled (the default), a span is one relaxed atomic
+//! and drop and accumulates it into a process-global table keyed by the
+//! span name. Disabled (the default), a span is one relaxed atomic
 //! load — cheap enough to leave in the kernel's scheduler phases.
+//!
+//! Hot paths use [`span`] with a `&'static str` (no allocation);
+//! dynamically named tracks — e.g. one span per design-space-exploration
+//! worker — use [`span_dyn`] with an owned `String`. Because the table
+//! is process-global, spans from concurrent simulations aggregate by
+//! name; give concurrent tracks distinct names when they must stay
+//! apart.
 //!
 //! ```
 //! scperf_obs::profile::reset();
@@ -18,6 +25,7 @@
 //! scperf_obs::profile::set_enabled(false);
 //! ```
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
@@ -25,8 +33,8 @@ use std::time::{Duration, Instant};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-fn table() -> &'static Mutex<HashMap<&'static str, SpanStats>> {
-    static TABLE: OnceLock<Mutex<HashMap<&'static str, SpanStats>>> = OnceLock::new();
+fn table() -> &'static Mutex<HashMap<Cow<'static, str>, SpanStats>> {
+    static TABLE: OnceLock<Mutex<HashMap<Cow<'static, str>, SpanStats>>> = OnceLock::new();
     TABLE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -49,28 +57,43 @@ pub struct SpanStats {
     pub count: u64,
 }
 
-/// RAII guard measuring one span instance. Create via [`span`].
+/// RAII guard measuring one span instance. Create via [`span`] (static
+/// name) or [`span_dyn`] (owned name).
 #[derive(Debug)]
 pub struct SpanGuard {
-    name: &'static str,
+    name: Option<Cow<'static, str>>,
     start: Option<Instant>,
 }
 
 /// Starts a span named `name`. When profiling is disabled this is a
 /// single atomic load and the guard does nothing on drop.
 pub fn span(name: &'static str) -> SpanGuard {
-    SpanGuard {
-        name,
-        start: enabled().then(Instant::now),
+    span_dyn(Cow::Borrowed(name))
+}
+
+/// Starts a span with a dynamically built name (e.g. `dse.worker.3`).
+/// Allocates only when profiling is enabled and the name is owned;
+/// prefer [`span`] on hot paths with fixed names.
+pub fn span_dyn(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if enabled() {
+        SpanGuard {
+            name: Some(name.into()),
+            start: Some(Instant::now()),
+        }
+    } else {
+        SpanGuard {
+            name: None,
+            start: None,
+        }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
+        if let (Some(start), Some(name)) = (self.start, self.name.take()) {
             let elapsed = start.elapsed();
             let mut table = table().lock().unwrap_or_else(PoisonError::into_inner);
-            let stats = table.entry(self.name).or_default();
+            let stats = table.entry(name).or_default();
             stats.total += elapsed;
             stats.count += 1;
         }
@@ -78,10 +101,13 @@ impl Drop for SpanGuard {
 }
 
 /// The accumulated spans, sorted by total time descending.
-pub fn report() -> Vec<(&'static str, SpanStats)> {
+pub fn report() -> Vec<(String, SpanStats)> {
     let table = table().lock().unwrap_or_else(PoisonError::into_inner);
-    let mut out: Vec<_> = table.iter().map(|(&k, &v)| (k, v)).collect();
-    out.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(b.0)));
+    let mut out: Vec<_> = table
+        .iter()
+        .map(|(k, &v)| (k.clone().into_owned(), v))
+        .collect();
+    out.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(&b.0)));
     out
 }
 
@@ -138,6 +164,27 @@ mod tests {
         let report = report();
         let entry = report.iter().find(|(n, _)| *n == "unit.work").unwrap();
         assert_eq!(entry.1.count, 3);
+        reset();
+    }
+
+    #[test]
+    fn dyn_spans_aggregate_by_owned_name() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        for worker in 0..2 {
+            for _ in 0..2 {
+                let _s = span_dyn(format!("unit.worker.{worker}"));
+                std::hint::black_box(0_u64);
+            }
+        }
+        set_enabled(false);
+        let report = report();
+        for worker in 0..2 {
+            let name = format!("unit.worker.{worker}");
+            let entry = report.iter().find(|(n, _)| *n == name).unwrap();
+            assert_eq!(entry.1.count, 2);
+        }
         reset();
     }
 

@@ -2,8 +2,9 @@
 //!
 //! A thin wrapper over [`std::sync`] exposing the subset of the
 //! `parking_lot` API the workspace uses: a [`Mutex`] whose `lock()`
-//! returns the guard directly (no `Result`), and a [`Condvar`] that
-//! waits on a `&mut MutexGuard`. Lock poisoning is ignored: a panicking
+//! returns the guard directly (no `Result`), a [`RwLock`] with the same
+//! no-poison contract for read-mostly shared state, and a [`Condvar`]
+//! that waits on a `&mut MutexGuard`. Lock poisoning is ignored: a panicking
 //! holder does not prevent other threads from making progress, which is
 //! the behaviour the simulation kernel's run-baton protocol relies on
 //! when a process panics mid-simulation.
@@ -106,6 +107,76 @@ impl<T: fmt::Debug + ?Sized> fmt::Debug for MutexGuard<'_, T> {
     }
 }
 
+/// A readers-writer lock. Like [`Mutex`], lock acquisition never fails:
+/// poisoning from a panicked holder is swallowed and the data is handed
+/// out as-is. Intended for read-mostly shared state (e.g. memoization
+/// caches shared across worker threads).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<std::sync::RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<std::sync::RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the protected value (requires
+    /// exclusive access to the lock itself, so no locking is needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            None => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
 /// A condition variable usable with [`MutexGuard`].
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -184,6 +255,34 @@ mod tests {
         }
         t.join().unwrap();
         assert!(!*pair.0.lock());
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = RwLock::new(10);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!((*r1, *r2), (10, 10));
+            assert!(l.try_write().is_none());
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 11);
+        assert_eq!(l.into_inner(), 11);
+    }
+
+    #[test]
+    fn poisoned_rwlock_still_hands_out_data() {
+        let l = Arc::new(RwLock::new(3));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*l.read(), 3);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 4);
     }
 
     #[test]

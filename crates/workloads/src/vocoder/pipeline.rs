@@ -88,6 +88,11 @@ pub const STAGE_NAMES: [&str; 5] = [
     "Post Proc.",
 ];
 
+/// An optional recorded per-segment cycle trace for one stage, as
+/// produced by [`scperf_core::PerfModel::segment_cost_trace`] after a run
+/// with [`scperf_core::PerfModel::record_segment_costs`] enabled.
+pub type StageTrace = Option<Arc<Vec<f64>>>;
+
 /// Elaborates the full vocoder model into `sim`/`model`: an environment
 /// source feeding `nframes` frames, the five analyzed stage processes
 /// connected by FIFOs, and an environment sink. Returns a handle that
@@ -97,6 +102,30 @@ pub fn build(
     model: &PerfModel,
     mapping: VocoderMapping,
     nframes: usize,
+) -> VocoderHandles {
+    build_hybrid(sim, model, mapping, nframes, [None, None, None, None, None])
+}
+
+/// Like [`build`], but stages with a recorded segment-cost trace run in
+/// *replay* mode: the stage executes its plain (un-annotated)
+/// implementation — so data still flows and checksums still hold — while
+/// every segment's cycles are popped from the trace instead of being
+/// re-estimated operation by operation. Timing is bit-identical to the
+/// live run the trace was recorded from; host time drops because all
+/// operator-overloading overhead disappears.
+///
+/// This is the workhorse of the design-space-exploration memoization
+/// cache ([`scperf_dse`](../../../scperf_dse/index.html)): a stage's
+/// per-segment cycles depend only on its own code, input data and the
+/// cost model of the resource it is mapped to — not on where the *other*
+/// stages are mapped — so a trace recorded once per `(stage, resource
+/// cost model, nframes)` is valid across every mapping that shares them.
+pub fn build_hybrid(
+    sim: &mut Simulator,
+    model: &PerfModel,
+    mapping: VocoderMapping,
+    nframes: usize,
+    replays: [StageTrace; 5],
 ) -> VocoderHandles {
     let ch_in = model.fifo::<FrameMsg>(sim, "speech_in", 2);
     let ch_lsp = model.fifo::<FrameMsg>(sim, "lsp_out", 2);
@@ -122,22 +151,39 @@ pub fn build(
     }
 
     let stage_chks: StageChecksums = Arc::new(Mutex::new([None; 5]));
+    let [rp_lsp, rp_lpc, rp_acb, rp_icb, rp_post] = replays;
 
     // LSP estimation.
     {
         let rx = ch_in.clone();
         let tx = ch_lsp.clone();
         let chks = Arc::clone(&stage_chks);
-        model.spawn(sim, STAGE_NAMES[0], mapping.lsp, move |ctx| {
-            let mut chk = G::raw(0_i32);
-            for _ in 0..nframes {
-                let mut msg = rx.read(ctx);
-                let speech = GArr::from_slice(&msg.speech);
-                msg.lpc = stages::lsp_annotated(&speech, &mut chk).into_vec();
-                tx.write(ctx, msg);
+        match rp_lsp {
+            Some(trace) => {
+                model.spawn_replay(sim, STAGE_NAMES[0], mapping.lsp, trace, move |ctx| {
+                    let mut chk = 0_i32;
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        msg.lpc = stages::lsp_plain(&msg.speech);
+                        chk = checksum_acc(chk, &msg.lpc);
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[0] = Some(chk);
+                });
             }
-            chks.lock()[0] = Some(chk.get());
-        });
+            None => {
+                model.spawn(sim, STAGE_NAMES[0], mapping.lsp, move |ctx| {
+                    let mut chk = G::raw(0_i32);
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        let speech = GArr::from_slice(&msg.speech);
+                        msg.lpc = stages::lsp_annotated(&speech, &mut chk).into_vec();
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[0] = Some(chk.get());
+                });
+            }
+        }
     }
 
     // LPC interpolation.
@@ -145,17 +191,34 @@ pub fn build(
         let rx = ch_lsp.clone();
         let tx = ch_lpc.clone();
         let chks = Arc::clone(&stage_chks);
-        model.spawn(sim, STAGE_NAMES[1], mapping.lpc_int, move |ctx| {
-            let mut prev = GArr::<i32>::zeroed(ORDER);
-            let mut chk = G::raw(0_i32);
-            for _ in 0..nframes {
-                let mut msg = rx.read(ctx);
-                let lpc = GArr::from_slice(&msg.lpc);
-                msg.aq = stages::lpcint_annotated(&mut prev, &lpc, &mut chk).into_vec();
-                tx.write(ctx, msg);
+        match rp_lpc {
+            Some(trace) => {
+                model.spawn_replay(sim, STAGE_NAMES[1], mapping.lpc_int, trace, move |ctx| {
+                    let mut state = stages::LpcIntState::new();
+                    let mut chk = 0_i32;
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        msg.aq = stages::lpcint_plain(&mut state, &msg.lpc);
+                        chk = checksum_acc(chk, &msg.aq);
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[1] = Some(chk);
+                });
             }
-            chks.lock()[1] = Some(chk.get());
-        });
+            None => {
+                model.spawn(sim, STAGE_NAMES[1], mapping.lpc_int, move |ctx| {
+                    let mut prev = GArr::<i32>::zeroed(ORDER);
+                    let mut chk = G::raw(0_i32);
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        let lpc = GArr::from_slice(&msg.lpc);
+                        msg.aq = stages::lpcint_annotated(&mut prev, &lpc, &mut chk).into_vec();
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[1] = Some(chk.get());
+                });
+            }
+        }
     }
 
     // Adaptive-codebook search.
@@ -163,21 +226,41 @@ pub fn build(
         let rx = ch_lpc.clone();
         let tx = ch_acb.clone();
         let chks = Arc::clone(&stage_chks);
-        model.spawn(sim, STAGE_NAMES[2], mapping.acb, move |ctx| {
-            let mut hist = GArr::<i32>::zeroed(MAX_LAG);
-            let mut chk = G::raw(0_i32);
-            for _ in 0..nframes {
-                let mut msg = rx.read(ctx);
-                let speech = GArr::from_slice(&msg.speech);
-                let aq = GArr::from_slice(&msg.aq);
-                let (res, acb, _lags, _gains) =
-                    stages::acb_annotated(&mut hist, &speech, &aq, &mut chk);
-                msg.res = res.into_vec();
-                msg.acb = acb.into_vec();
-                tx.write(ctx, msg);
+        match rp_acb {
+            Some(trace) => {
+                model.spawn_replay(sim, STAGE_NAMES[2], mapping.acb, trace, move |ctx| {
+                    let mut state = stages::AcbState::new();
+                    let mut chk = 0_i32;
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        let (res, acb, lags, gains) =
+                            stages::acb_plain(&mut state, &msg.speech, &msg.aq);
+                        msg.res = res;
+                        msg.acb = acb;
+                        chk = checksum_acc(checksum_acc(chk, &lags), &gains);
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[2] = Some(chk);
+                });
             }
-            chks.lock()[2] = Some(chk.get());
-        });
+            None => {
+                model.spawn(sim, STAGE_NAMES[2], mapping.acb, move |ctx| {
+                    let mut hist = GArr::<i32>::zeroed(MAX_LAG);
+                    let mut chk = G::raw(0_i32);
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        let speech = GArr::from_slice(&msg.speech);
+                        let aq = GArr::from_slice(&msg.aq);
+                        let (res, acb, _lags, _gains) =
+                            stages::acb_annotated(&mut hist, &speech, &aq, &mut chk);
+                        msg.res = res.into_vec();
+                        msg.acb = acb.into_vec();
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[2] = Some(chk.get());
+                });
+            }
+        }
     }
 
     // Innovative-codebook search.
@@ -185,17 +268,33 @@ pub fn build(
         let rx = ch_acb.clone();
         let tx = ch_icb.clone();
         let chks = Arc::clone(&stage_chks);
-        model.spawn(sim, STAGE_NAMES[3], mapping.icb, move |ctx| {
-            let mut chk = G::raw(0_i32);
-            for _ in 0..nframes {
-                let mut msg = rx.read(ctx);
-                let res = GArr::from_slice(&msg.res);
-                let acb = GArr::from_slice(&msg.acb);
-                msg.exc = stages::icb_annotated(&res, &acb, &mut chk).into_vec();
-                tx.write(ctx, msg);
+        match rp_icb {
+            Some(trace) => {
+                model.spawn_replay(sim, STAGE_NAMES[3], mapping.icb, trace, move |ctx| {
+                    let mut chk = 0_i32;
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        msg.exc = stages::icb_plain(&msg.res, &msg.acb);
+                        chk = checksum_acc(chk, &msg.exc);
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[3] = Some(chk);
+                });
             }
-            chks.lock()[3] = Some(chk.get());
-        });
+            None => {
+                model.spawn(sim, STAGE_NAMES[3], mapping.icb, move |ctx| {
+                    let mut chk = G::raw(0_i32);
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        let res = GArr::from_slice(&msg.res);
+                        let acb = GArr::from_slice(&msg.acb);
+                        msg.exc = stages::icb_annotated(&res, &acb, &mut chk).into_vec();
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[3] = Some(chk.get());
+                });
+            }
+        }
     }
 
     // Post-processing.
@@ -203,20 +302,43 @@ pub fn build(
         let rx = ch_icb.clone();
         let tx = ch_out.clone();
         let chks = Arc::clone(&stage_chks);
-        model.spawn(sim, STAGE_NAMES[4], mapping.post, move |ctx| {
-            let mut synth_hist = GArr::<i32>::zeroed(ORDER);
-            let mut deemph = G::raw(0_i32);
-            let mut chk = G::raw(0_i32);
-            for _ in 0..nframes {
-                let mut msg = rx.read(ctx);
-                let aq = GArr::from_slice(&msg.aq);
-                let exc = GArr::from_slice(&msg.exc);
-                msg.out = stages::post_annotated(&mut synth_hist, &mut deemph, &aq, &exc, &mut chk)
-                    .into_vec();
-                tx.write(ctx, msg);
+        match rp_post {
+            Some(trace) => {
+                model.spawn_replay(sim, STAGE_NAMES[4], mapping.post, trace, move |ctx| {
+                    let mut state = stages::PostState::new();
+                    let mut chk = 0_i32;
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        msg.out = stages::post_plain(&mut state, &msg.aq, &msg.exc);
+                        chk = checksum_acc(chk, &msg.out);
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[4] = Some(chk);
+                });
             }
-            chks.lock()[4] = Some(chk.get());
-        });
+            None => {
+                model.spawn(sim, STAGE_NAMES[4], mapping.post, move |ctx| {
+                    let mut synth_hist = GArr::<i32>::zeroed(ORDER);
+                    let mut deemph = G::raw(0_i32);
+                    let mut chk = G::raw(0_i32);
+                    for _ in 0..nframes {
+                        let mut msg = rx.read(ctx);
+                        let aq = GArr::from_slice(&msg.aq);
+                        let exc = GArr::from_slice(&msg.exc);
+                        msg.out = stages::post_annotated(
+                            &mut synth_hist,
+                            &mut deemph,
+                            &aq,
+                            &exc,
+                            &mut chk,
+                        )
+                        .into_vec();
+                        tx.write(ctx, msg);
+                    }
+                    chks.lock()[4] = Some(chk.get());
+                });
+            }
+        }
     }
 
     // Environment sink: accumulates the output checksum.
@@ -408,6 +530,62 @@ mod tests {
             out
         };
         assert_eq!(run(Mode::EstimateOnly), run(Mode::StrictTimed));
+    }
+
+    #[test]
+    fn hybrid_replay_matches_live_run_bit_exactly() {
+        let nframes = 3;
+        let reference = crate::vocoder::run_reference(nframes);
+        let build_platform = || {
+            let mut platform = Platform::new();
+            let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 100.0);
+            (platform, cpu)
+        };
+
+        // Live run with trace recording on.
+        let (platform, cpu) = build_platform();
+        let mut sim = Simulator::new();
+        let model = PerfModel::new(platform, Mode::StrictTimed);
+        model.record_segment_costs();
+        let live = build(&mut sim, &model, VocoderMapping::all_on(cpu), nframes);
+        let live_end = sim.run().unwrap().end_time;
+        let live_report = model.report();
+        let traces: Vec<Arc<Vec<f64>>> = STAGE_NAMES
+            .iter()
+            .map(|n| Arc::new(model.segment_cost_trace(n).unwrap()))
+            .collect();
+        // One trace entry per read node + write node per frame, plus exit.
+        assert!(traces.iter().all(|t| t.len() == 2 * nframes + 1));
+
+        // Replay run: all five stages replayed from the recorded traces.
+        let (platform, cpu) = build_platform();
+        let mut sim = Simulator::new();
+        let model = PerfModel::new(platform, Mode::StrictTimed);
+        let replays: [StageTrace; 5] = std::array::from_fn(|i| Some(Arc::clone(&traces[i])));
+        let replayed = build_hybrid(
+            &mut sim,
+            &model,
+            VocoderMapping::all_on(cpu),
+            nframes,
+            replays,
+        );
+        let replay_end = sim.run().unwrap().end_time;
+
+        assert_eq!(replay_end, live_end, "replay must be bit-identical");
+        assert_eq!(*replayed.stages.lock(), *live.stages.lock());
+        assert_eq!(
+            replayed.output.lock().unwrap(),
+            reference.checksums[4],
+            "replayed pipeline must still produce correct data"
+        );
+        let replay_report = model.report();
+        for name in STAGE_NAMES {
+            assert_eq!(
+                replay_report.process(name).unwrap().total_cycles,
+                live_report.process(name).unwrap().total_cycles,
+                "{name} cycles differ under replay"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`hls`] | `scperf-hls` | behavioral-synthesis scheduling baseline (ASAP/ALAP/list, area model) |
 //! | [`workloads`] | `scperf-workloads` | the paper's benchmarks in three matched forms, incl. the GSM-like vocoder |
 //! | [`obs`] | `scperf-obs` | observability layer: compact tracing, metrics snapshots, host-time profiling, Chrome-trace export |
+//! | [`dse`] | `scperf-dse` | parallel design-space exploration: mapping sweeps, segment-cost memoization, Pareto frontiers |
 //!
 //! The experiment harness (`scperf-bench`) regenerates every table and
 //! figure of the paper's evaluation; see the repository README and
@@ -47,8 +48,15 @@
 #![warn(missing_docs)]
 
 pub use scperf_core as core;
+pub use scperf_dse as dse;
 pub use scperf_hls as hls;
 pub use scperf_iss as iss;
 pub use scperf_kernel as kernel;
 pub use scperf_obs as obs;
 pub use scperf_workloads as workloads;
+
+/// Compiles every Rust fragment of the repository README as a doctest,
+/// so the documented examples can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
