@@ -131,8 +131,19 @@ impl Dfg {
 /// `T = T_min + (T_max − T_min) · k`, with `k ∈ [0, 1]`.
 ///
 /// `k = 0` assumes the performance-optimal implementation (critical path),
-/// `k = 1` the cost-optimal one (single ALU).
+/// `k = 1` the cost-optimal one (single ALU). Out-of-range `k` is clamped
+/// to `[0, 1]` so the estimate never extrapolates past either bound.
+///
+/// # Panics
+///
+/// Panics if `k` is NaN — there is no meaningful interpolation point and
+/// silently propagating NaN would poison every downstream cost figure.
 pub fn weighted_hw_cycles(t_min: f64, t_max: f64, k: f64) -> f64 {
+    assert!(
+        !k.is_nan(),
+        "weighted_hw_cycles: interpolation weight k is NaN"
+    );
+    let k = k.clamp(0.0, 1.0);
     let t_max = t_max.max(t_min);
     t_min + (t_max - t_min) * k
 }
@@ -192,6 +203,22 @@ mod tests {
         assert_eq!(weighted_hw_cycles(5.0, 9.0, 0.5), 7.0);
         // Degenerate: t_max below t_min is clamped.
         assert_eq!(weighted_hw_cycles(5.0, 3.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn weighted_interpolation_clamps_out_of_range_k() {
+        // k past either bound sticks to the corresponding endpoint rather
+        // than extrapolating beyond the [T_min, T_max] envelope.
+        assert_eq!(weighted_hw_cycles(5.0, 9.0, 2.0), 9.0);
+        assert_eq!(weighted_hw_cycles(5.0, 9.0, -0.5), 5.0);
+        assert_eq!(weighted_hw_cycles(5.0, 9.0, f64::INFINITY), 9.0);
+        assert_eq!(weighted_hw_cycles(5.0, 9.0, f64::NEG_INFINITY), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interpolation weight k is NaN")]
+    fn weighted_interpolation_rejects_nan_k() {
+        let _ = weighted_hw_cycles(5.0, 9.0, f64::NAN);
     }
 
     #[test]

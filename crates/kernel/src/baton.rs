@@ -1,10 +1,13 @@
-//! The run-baton used to hand execution back and forth between the
-//! scheduler thread and a process thread.
+//! The original mutex+condvar run-baton, kept as the debugging fallback
+//! behind [`crate::HandoffKind::CondvarBaton`] (and as the default when
+//! the `condvar-baton` cargo feature is enabled).
 //!
 //! Exactly one of {scheduler, some process} runs at any instant, which is
 //! what makes the kernel's cooperative semantics identical to SystemC's
 //! coroutine-based processes even though each process lives on its own OS
-//! thread.
+//! thread. The hot-path replacement — a lock-free direct handoff on
+//! `std::thread::park`/`unpark` — lives in [`crate::handoff`]; this module
+//! also hosts the kill-unwind machinery both protocols share.
 
 use std::cell::Cell;
 use std::sync::Once;
@@ -28,14 +31,14 @@ pub(crate) enum RunState {
 /// One baton per process; both the scheduler and the process thread hold an
 /// `Arc` to it.
 #[derive(Debug)]
-pub(crate) struct Baton {
+pub(crate) struct CondvarBaton {
     state: Mutex<RunState>,
     cv: Condvar,
 }
 
-impl Baton {
-    pub(crate) fn new() -> Baton {
-        Baton {
+impl CondvarBaton {
+    pub(crate) fn new() -> CondvarBaton {
+        CondvarBaton {
             state: Mutex::new(RunState::Waiting),
             cv: Condvar::new(),
         }
@@ -104,7 +107,7 @@ impl Baton {
             match **st {
                 RunState::Running => return,
                 RunState::Kill => {
-                    drop_guard_and_unwind();
+                    kill_unwind();
                 }
                 _ => self.cv.wait(st),
             }
@@ -137,9 +140,10 @@ pub(crate) fn install_silent_kill_hook() {
     });
 }
 
-fn drop_guard_and_unwind() -> ! {
+/// Unwinds the calling process thread with a [`KillToken`], suppressing
+/// the default panic report. Any lock guards are released by the unwind.
+pub(crate) fn kill_unwind() -> ! {
     SUPPRESS_PANIC_HOOK.with(|c| c.set(true));
-    // The MutexGuard on the baton state is dropped by unwinding.
     std::panic::panic_any(KillToken);
 }
 
@@ -168,7 +172,7 @@ mod tests {
 
     #[test]
     fn baton_round_trip() {
-        let baton = Arc::new(Baton::new());
+        let baton = Arc::new(CondvarBaton::new());
         let b2 = Arc::clone(&baton);
         let t = thread::spawn(move || {
             assert!(b2.wait_first_dispatch());
@@ -182,7 +186,7 @@ mod tests {
 
     #[test]
     fn kill_before_first_dispatch() {
-        let baton = Arc::new(Baton::new());
+        let baton = Arc::new(CondvarBaton::new());
         let b2 = Arc::clone(&baton);
         let t = thread::spawn(move || b2.wait_first_dispatch());
         baton.kill();

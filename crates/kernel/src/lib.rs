@@ -57,16 +57,19 @@
 mod baton;
 mod channel;
 mod event;
+mod handoff;
 mod process;
 mod sim;
 mod state;
 mod time;
 pub mod trace;
 pub mod vcd;
+mod wheel;
 
 pub use channel::{Fifo, Rendezvous, Signal, SimMutex, SimSemaphore};
 pub use event::Event;
+pub use handoff::HandoffKind;
 pub use process::{ProcCtx, ProcId};
 pub use sim::{SimError, SimSummary, Simulator, StopReason};
-pub use time::Time;
+pub use time::{Time, TimeFromFloatError};
 pub use trace::TraceRecord;

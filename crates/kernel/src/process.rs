@@ -3,8 +3,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::baton::Baton;
 use crate::event::Event;
+use crate::handoff::Baton;
 use crate::state::{Shared, TimedAction};
 use crate::time::Time;
 

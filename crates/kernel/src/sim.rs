@@ -9,9 +9,10 @@ use std::thread::JoinHandle;
 use scperf_obs::{MemorySink, MetricsSnapshot, TraceSink, TraceTable};
 
 use crate::baton::{
-    clear_panic_suppression, install_silent_kill_hook, panic_message, Baton, KillToken, RunState,
+    clear_panic_suppression, install_silent_kill_hook, panic_message, KillToken, RunState,
 };
 use crate::event::Event;
+use crate::handoff::{Baton, HandoffKind};
 use crate::process::{ProcCtx, ProcId};
 use crate::state::{AdvanceOutcome, ProcMeta, Shared};
 use crate::time::Time;
@@ -104,17 +105,40 @@ pub struct Simulator {
     shared: Arc<Shared>,
     procs: Vec<ProcHandle>,
     errored: bool,
+    handoff: HandoffKind,
+    /// Accumulated process→scheduler resume latency (direct handoff
+    /// only), exported through [`Simulator::metrics`].
+    handoff_resume_nanos: u64,
+    handoff_resumes: u64,
 }
 
 impl Simulator {
-    /// Creates an empty simulator.
+    /// Creates an empty simulator using the default handoff protocol
+    /// ([`HandoffKind::default_kind`]).
     pub fn new() -> Simulator {
+        Simulator::with_handoff(HandoffKind::default_kind())
+    }
+
+    /// Creates an empty simulator with an explicit scheduler↔process
+    /// handoff protocol. [`HandoffKind::Direct`] is the fast path;
+    /// [`HandoffKind::CondvarBaton`] is the original mutex+condvar
+    /// protocol, kept for debugging and as the A/B baseline of the
+    /// kernel microbenches. Both produce bit-identical traces.
+    pub fn with_handoff(kind: HandoffKind) -> Simulator {
         install_silent_kill_hook();
         Simulator {
             shared: Shared::new(),
             procs: Vec::new(),
             errored: false,
+            handoff: kind,
+            handoff_resume_nanos: 0,
+            handoff_resumes: 0,
         }
+    }
+
+    /// The handoff protocol this simulator dispatches processes with.
+    pub fn handoff_kind(&self) -> HandoffKind {
+        self.handoff
     }
 
     /// Spawns a process (the analogue of `SC_THREAD`). The body runs when
@@ -139,7 +163,7 @@ impl Simulator {
             });
             st.procs.len() - 1
         });
-        let baton = Arc::new(Baton::new());
+        let baton = Arc::new(Baton::new(self.handoff));
         let mut ctx = ProcCtx {
             pid,
             shared: Arc::clone(&self.shared),
@@ -162,6 +186,7 @@ impl Simulator {
                 thread_baton.finish(msg);
             })
             .expect("failed to spawn process thread");
+        baton.set_proc_thread(thread.thread().clone());
         self.procs.push(ProcHandle {
             baton,
             thread: Some(thread),
@@ -239,8 +264,22 @@ impl Simulator {
     /// Snapshots the kernel's metrics (delta cycles, context switches,
     /// notification counts, per-channel access counts, …). Available at
     /// any point, with or without tracing.
+    ///
+    /// On the direct-handoff scheduler this includes the accumulated
+    /// process→scheduler resume latency (`kernel.handoff.*`): the host
+    /// time from a process releasing the baton to the scheduler
+    /// observing it.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.with_state(|st| st.metrics_snapshot())
+        let mut m = self.shared.with_state(|st| st.metrics_snapshot());
+        m.set_counter("kernel.handoff.resumes", self.handoff_resumes);
+        m.set_counter("kernel.handoff.resume_nanos", self.handoff_resume_nanos);
+        if self.handoff_resumes > 0 {
+            m.set_gauge(
+                "kernel.handoff.mean_resume_ns",
+                self.handoff_resume_nanos as f64 / self.handoff_resumes as f64,
+            );
+        }
+        m
     }
 
     /// Current simulation time.
@@ -277,6 +316,13 @@ impl Simulator {
     /// Returns [`SimError::ProcessPanic`] if any process body panics.
     pub fn run_until(&mut self, limit: Time) -> Result<SimSummary, SimError> {
         assert!(!self.errored, "simulator is poisoned by an earlier error");
+        // Register this thread as the unpark target for process yields.
+        // Every process is parked (or not yet started) here, so the
+        // direct-handoff cells are safe to write.
+        let scheduler = std::thread::current();
+        for proc in &self.procs {
+            proc.baton.set_scheduler(&scheduler);
+        }
         self.shared.with_state(|st| {
             if !st.started {
                 st.started = true;
@@ -334,7 +380,11 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, pid: usize) -> Result<(), SimError> {
-        let outcome = self.procs[pid].baton.dispatch();
+        let (outcome, latency) = self.procs[pid].baton.dispatch();
+        if let Some(lat) = latency {
+            self.handoff_resume_nanos += lat.as_nanos() as u64;
+            self.handoff_resumes += 1;
+        }
         self.shared.with_state(|st| st.activations += 1);
         match outcome {
             RunState::Waiting => Ok(()),

@@ -4,8 +4,7 @@
 //! [`crate::Simulator`], [`crate::ProcCtx`], [`crate::Event`] and the
 //! channels.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -13,6 +12,7 @@ use scperf_obs::{Interner, MetricsSnapshot, Payload, Sym, TraceEvent, TraceSink}
 use scperf_sync::Mutex;
 
 use crate::time::Time;
+use crate::wheel::{TimerWheel, WheelPop};
 
 /// A channel that participates in the update phase (e.g. signals, FIFOs).
 ///
@@ -104,8 +104,8 @@ pub(crate) struct KernelState {
     pub(crate) runnable: BTreeSet<usize>,
     /// Processes woken for the next delta cycle.
     pub(crate) next_runnable: BTreeSet<usize>,
-    /// Timed notifications, ordered by (time, sequence number).
-    pub(crate) timed: BinaryHeap<Reverse<(Time, u64, TimedAction)>>,
+    /// Timed notifications, fired in (time, sequence number) order.
+    pub(crate) timed: TimerWheel,
     seq: u64,
     pub(crate) events: Vec<EventState>,
     pub(crate) procs: Vec<ProcMeta>,
@@ -136,7 +136,7 @@ impl KernelState {
             delta: 0,
             runnable: BTreeSet::new(),
             next_runnable: BTreeSet::new(),
-            timed: BinaryHeap::new(),
+            timed: TimerWheel::new(),
             seq: 0,
             events: Vec::new(),
             procs: Vec::new(),
@@ -184,7 +184,7 @@ impl KernelState {
         let at = self.now.saturating_add(delay);
         self.seq += 1;
         self.metrics.timed_scheduled += 1;
-        self.timed.push(Reverse((at, self.seq, action)));
+        self.timed.push(at.as_ps(), self.seq, action);
     }
 
     /// Immediate notification: wakes waiters into the *current* evaluate
@@ -237,21 +237,19 @@ impl KernelState {
     /// Outcome of [`KernelState::advance_time`].
     pub(crate) fn advance_time(&mut self, limit: Time) -> AdvanceOutcome {
         loop {
-            let Some(&Reverse((t, _, _))) = self.timed.peek() else {
-                return AdvanceOutcome::Exhausted;
+            // Fire everything scheduled for the earliest pending instant.
+            let (t, actions) = match self.timed.pop_next(limit.as_ps()) {
+                WheelPop::Empty => return AdvanceOutcome::Exhausted,
+                WheelPop::Beyond => {
+                    self.now = limit;
+                    self.timed.fast_forward(limit.as_ps());
+                    return AdvanceOutcome::LimitReached;
+                }
+                WheelPop::Fired { time, actions } => (Time::ps(time), actions),
             };
-            if t > limit {
-                self.now = limit;
-                return AdvanceOutcome::LimitReached;
-            }
             self.now = t;
             self.delta += 1;
-            // Fire everything scheduled for exactly this instant.
-            while let Some(&Reverse((t2, _, _))) = self.timed.peek() {
-                if t2 != t {
-                    break;
-                }
-                let Reverse((_, _, action)) = self.timed.pop().expect("peeked entry");
+            for (_, action) in actions {
                 self.metrics.timed_fired += 1;
                 match action {
                     TimedAction::WakeProc(pid) => {
@@ -348,6 +346,13 @@ impl KernelState {
         m.set_counter("kernel.timed.scheduled", self.metrics.timed_scheduled);
         m.set_counter("kernel.timed.fired", self.metrics.timed_fired);
         m.set_counter("kernel.timed.moot_wakes", self.metrics.moot_wakes);
+        m.set_counter("kernel.wheel.pushes", self.timed.stats.pushes);
+        m.set_counter(
+            "kernel.wheel.overflow_pushes",
+            self.timed.stats.overflow_pushes,
+        );
+        m.set_counter("kernel.wheel.scan_steps", self.timed.stats.scan_steps);
+        m.set_gauge("kernel.timed.pending", self.timed.len() as f64);
         m.set_counter("kernel.update_phases", self.metrics.update_phases);
         m.set_counter("kernel.ready_queue.peak", self.metrics.ready_peak as u64);
         m.set_counter("kernel.trace.events_recorded", self.metrics.events_recorded);

@@ -43,63 +43,118 @@ impl Time {
     ///
     /// # Panics
     ///
-    /// Panics if the value overflows the picosecond representation.
+    /// Panics if the value overflows the picosecond representation. The
+    /// check is explicit (`checked_mul`), so it fires in release builds
+    /// too — the seed implementation used an unchecked multiply that
+    /// silently wrapped with `overflow-checks` off.
     #[inline]
     pub const fn ns(ns: u64) -> Time {
-        Time(ns * 1_000)
+        match ns.checked_mul(1_000) {
+            Some(ps) => Time(ps),
+            None => panic!("Time::ns overflows the picosecond representation"),
+        }
     }
 
     /// Creates a time of `us` microseconds.
     ///
     /// # Panics
     ///
-    /// Panics if the value overflows the picosecond representation.
+    /// Panics if the value overflows the picosecond representation
+    /// (explicitly checked, also in release builds).
     #[inline]
     pub const fn us(us: u64) -> Time {
-        Time(us * 1_000_000)
+        match us.checked_mul(1_000_000) {
+            Some(ps) => Time(ps),
+            None => panic!("Time::us overflows the picosecond representation"),
+        }
     }
 
     /// Creates a time of `ms` milliseconds.
     ///
     /// # Panics
     ///
-    /// Panics if the value overflows the picosecond representation.
+    /// Panics if the value overflows the picosecond representation
+    /// (explicitly checked, also in release builds).
     #[inline]
     pub const fn ms(ms: u64) -> Time {
-        Time(ms * 1_000_000_000)
+        match ms.checked_mul(1_000_000_000) {
+            Some(ps) => Time(ps),
+            None => panic!("Time::ms overflows the picosecond representation"),
+        }
     }
 
     /// Creates a time of `s` seconds.
     ///
     /// # Panics
     ///
-    /// Panics if the value overflows the picosecond representation.
+    /// Panics if the value overflows the picosecond representation
+    /// (explicitly checked, also in release builds).
     #[inline]
     pub const fn s(s: u64) -> Time {
-        Time(s * 1_000_000_000_000)
+        match s.checked_mul(1_000_000_000_000) {
+            Some(ps) => Time(ps),
+            None => panic!("Time::s overflows the picosecond representation"),
+        }
     }
 
     /// Creates a time from a fractional nanosecond count, rounding to the
-    /// nearest picosecond. Negative or non-finite inputs saturate to zero.
+    /// nearest picosecond. Values beyond the representable range saturate
+    /// to [`Time::MAX`].
     ///
     /// This is the conversion used when back-annotating estimated delays
     /// (which are fractional cycle counts) onto the strict-timed axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative input — a NaN or negative estimated
+    /// delay is always an upstream modelling bug, and the seed behaviour
+    /// of silently clamping it to zero let such bugs poison whole
+    /// reports. Use [`Time::try_from_ns_f64`] for a checked conversion.
     #[inline]
     pub fn from_ns_f64(ns: f64) -> Time {
-        Time::from_ps_f64(ns * 1_000.0)
+        match Time::try_from_ns_f64(ns) {
+            Ok(t) => t,
+            Err(e) => panic!("Time::from_ns_f64({ns}): {e}"),
+        }
     }
 
     /// Creates a time from a fractional picosecond count, rounding to the
-    /// nearest picosecond. Negative or non-finite inputs saturate to zero;
-    /// values beyond the representable range saturate to [`Time::MAX`].
+    /// nearest picosecond. Values beyond the representable range saturate
+    /// to [`Time::MAX`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative input (see [`Time::from_ns_f64`]). Use
+    /// [`Time::try_from_ps_f64`] for a checked conversion.
     #[inline]
     pub fn from_ps_f64(ps: f64) -> Time {
-        if ps.is_nan() || ps <= 0.0 {
-            Time::ZERO
+        match Time::try_from_ps_f64(ps) {
+            Ok(t) => t,
+            Err(e) => panic!("Time::from_ps_f64({ps}): {e}"),
+        }
+    }
+
+    /// Checked version of [`Time::from_ns_f64`]: `Err` on NaN or
+    /// negative input instead of panicking.
+    #[inline]
+    pub fn try_from_ns_f64(ns: f64) -> Result<Time, TimeFromFloatError> {
+        Time::try_from_ps_f64(ns * 1_000.0)
+    }
+
+    /// Checked version of [`Time::from_ps_f64`]: `Err` on NaN or
+    /// negative input instead of panicking. `+inf` and finite values
+    /// beyond the representable range saturate to [`Time::MAX`]
+    /// ("longer than any simulation").
+    #[inline]
+    pub fn try_from_ps_f64(ps: f64) -> Result<Time, TimeFromFloatError> {
+        if ps.is_nan() {
+            Err(TimeFromFloatError::Nan)
+        } else if ps < 0.0 {
+            Err(TimeFromFloatError::Negative)
         } else if ps >= u64::MAX as f64 {
-            Time::MAX
+            Ok(Time::MAX)
         } else {
-            Time(ps.round() as u64)
+            Ok(Time(ps.round() as u64))
         }
     }
 
@@ -171,6 +226,28 @@ impl Time {
         }
     }
 }
+
+/// Why a float→[`Time`] conversion was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeFromFloatError {
+    /// The input was NaN.
+    Nan,
+    /// The input was negative (simulated time is an unsigned axis).
+    Negative,
+}
+
+impl fmt::Display for TimeFromFloatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeFromFloatError::Nan => write!(f, "NaN is not a simulated time"),
+            TimeFromFloatError::Negative => {
+                write!(f, "negative values are not simulated times")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeFromFloatError {}
 
 impl Add for Time {
     type Output = Time;
@@ -273,12 +350,84 @@ mod tests {
     }
 
     #[test]
-    fn from_f64_rounds_and_saturates() {
+    fn from_f64_rounds_and_saturates_above() {
         assert_eq!(Time::from_ns_f64(1.4999).as_ps(), 1_500);
-        assert_eq!(Time::from_ns_f64(-3.0), Time::ZERO);
-        assert_eq!(Time::from_ns_f64(f64::NAN), Time::ZERO);
+        assert_eq!(Time::from_ps_f64(0.0), Time::ZERO);
+        assert_eq!(Time::from_ps_f64(-0.0), Time::ZERO);
         assert_eq!(Time::from_ps_f64(f64::INFINITY), Time::MAX);
         assert_eq!(Time::from_ps_f64(1e30), Time::MAX);
+    }
+
+    #[test]
+    fn try_from_f64_rejects_nan_and_negative() {
+        assert_eq!(
+            Time::try_from_ps_f64(f64::NAN),
+            Err(TimeFromFloatError::Nan)
+        );
+        assert_eq!(
+            Time::try_from_ps_f64(-1.0),
+            Err(TimeFromFloatError::Negative)
+        );
+        assert_eq!(
+            Time::try_from_ns_f64(-0.001),
+            Err(TimeFromFloatError::Negative)
+        );
+        assert_eq!(Time::try_from_ns_f64(2.5), Ok(Time::ps(2_500)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN is not a simulated time")]
+    fn from_f64_panics_on_nan() {
+        let _ = Time::from_ns_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative values are not simulated times")]
+    fn from_f64_panics_on_negative() {
+        let _ = Time::from_ns_f64(-3.0);
+    }
+
+    #[test]
+    fn constructors_accept_the_largest_representable_value() {
+        // Exactly at the boundary: the largest input whose picosecond
+        // count still fits in u64.
+        assert_eq!(Time::ns(u64::MAX / 1_000).as_ps(), u64::MAX / 1_000 * 1_000);
+        assert_eq!(
+            Time::us(u64::MAX / 1_000_000).as_ps(),
+            u64::MAX / 1_000_000 * 1_000_000
+        );
+        assert_eq!(
+            Time::ms(u64::MAX / 1_000_000_000).as_ps(),
+            u64::MAX / 1_000_000_000 * 1_000_000_000
+        );
+        assert_eq!(
+            Time::s(u64::MAX / 1_000_000_000_000).as_ps(),
+            u64::MAX / 1_000_000_000_000 * 1_000_000_000_000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Time::ns overflows")]
+    fn ns_overflow_panics_at_the_boundary() {
+        let _ = Time::ns(u64::MAX / 1_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Time::us overflows")]
+    fn us_overflow_panics_at_the_boundary() {
+        let _ = Time::us(u64::MAX / 1_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Time::ms overflows")]
+    fn ms_overflow_panics_at_the_boundary() {
+        let _ = Time::ms(u64::MAX / 1_000_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Time::s overflows")]
+    fn s_overflow_panics_at_the_boundary() {
+        let _ = Time::s(u64::MAX / 1_000_000_000_000 + 1);
     }
 
     #[test]

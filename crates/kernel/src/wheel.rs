@@ -1,0 +1,468 @@
+//! Hierarchical time wheel backing the kernel's timed-notification queue.
+//!
+//! The seed kernel kept timed notifications in a
+//! `BinaryHeap<Reverse<(Time, u64, TimedAction)>>`: every `schedule` and
+//! every pop paid an `O(log n)` sift over a single comparison-heavy heap.
+//! This module replaces it with the classic discrete-event structure for
+//! the job — a hierarchical timing wheel over the picosecond [`Time`]
+//! axis — while preserving the kernel's observable semantics exactly:
+//! actions fire in `(time, sequence)` order, so traces are bit-identical
+//! to the heap-based queue.
+//!
+//! # Structure
+//!
+//! * [`LEVELS`] wheel levels of 64 slots each. Level `l` has a slot
+//!   granularity of `64^l` ps; an entry scheduled `delta` ps ahead of the
+//!   wheel's `base` is filed at level `floor(log64(delta))`, in the slot
+//!   `(time >> 6l) & 63`. Push is O(1).
+//! * Entries farther than `64^LEVELS` ps (≈ 68.7 ms of simulated time)
+//!   ahead go to an **overflow level**, an ordered `BTreeMap` keyed by
+//!   absolute time. Far-future timers are rare in the paper's workloads,
+//!   so the map stays tiny.
+//!
+//! # Why no cascades?
+//!
+//! Tick-driven wheels (the Linux timer wheel) re-file every higher-level
+//! slot into lower levels as the cursor passes it — the "cascade". This
+//! kernel never ticks: [`crate::state::KernelState::advance_time`] jumps
+//! straight to the earliest pending instant. The wheel therefore leaves
+//! entries at their insertion level forever and instead *scans lazily* at
+//! pop time: per level, a 64-bit occupancy bitmap rotated by the cursor
+//! position finds the earliest non-empty slot in a couple of machine
+//! instructions. Two invariants make the scan exact:
+//!
+//! 1. `base` never passes a stored entry (it only advances to popped
+//!    times), so every level-`l` entry keeps `0 <= time - base <
+//!    64^(l+1)` — less than one full wheel revolution. Slot order by
+//!    rotation distance from the cursor is therefore time order.
+//! 2. The only aliasing a revolution allows is an entry one full wrap
+//!    ahead landing in the *cursor's own slot*, so that slot's minimum is
+//!    always checked explicitly alongside the rotation scan.
+//!
+//! The per-pop scan work is surfaced as `scan_steps` in
+//! [`WheelStats`] (the observability counterpart of a tick wheel's
+//! cascade count).
+
+use std::collections::BTreeMap;
+
+use crate::state::TimedAction;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; beyond `64^LEVELS` ps relative, entries
+/// overflow to the BTreeMap.
+const LEVELS: usize = 6;
+/// Relative horizon covered by the wheel levels, in picoseconds.
+const SPAN: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: u64,
+    seq: u64,
+    action: TimedAction,
+}
+
+#[derive(Debug)]
+struct Level {
+    /// Bit `s` set ⇔ `slots[s]` is non-empty.
+    occupied: u64,
+    slots: Vec<Vec<Entry>>,
+}
+
+impl Level {
+    fn new() -> Level {
+        Level {
+            occupied: 0,
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// Always-on counters describing the wheel's work, exported through the
+/// kernel metrics snapshot.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WheelStats {
+    /// Entries filed into a wheel level.
+    pub(crate) pushes: u64,
+    /// Entries filed into the overflow BTreeMap (beyond the wheel span).
+    pub(crate) overflow_pushes: u64,
+    /// Slots inspected while locating earliest entries — the lazy-scan
+    /// analogue of a tick wheel's cascade work.
+    pub(crate) scan_steps: u64,
+}
+
+/// Result of [`TimerWheel::pop_next`].
+#[derive(Debug)]
+pub(crate) enum WheelPop {
+    /// All actions scheduled for the earliest pending instant, in
+    /// sequence (FIFO) order.
+    Fired { time: u64, actions: Vec<Entry2> },
+    /// The earliest pending instant lies beyond the caller's limit.
+    Beyond,
+    /// The queue is empty.
+    Empty,
+}
+
+/// A fired `(seq, action)` pair. Public-in-crate alias kept small so
+/// `WheelPop` stays copy-friendly to destructure.
+pub(crate) type Entry2 = (u64, TimedAction);
+
+/// The timed-notification queue: hierarchical wheel plus overflow map.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    /// Lower bound on every stored time; advanced on every pop.
+    base: u64,
+    levels: Vec<Level>,
+    overflow: BTreeMap<u64, Vec<Entry2>>,
+    len: usize,
+    pub(crate) stats: WheelStats,
+}
+
+impl TimerWheel {
+    pub(crate) fn new() -> TimerWheel {
+        TimerWheel {
+            base: 0,
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            overflow: BTreeMap::new(),
+            len: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    /// Number of pending entries.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Files an action at absolute time `at` with FIFO tie-break `seq`.
+    ///
+    /// `at` must not lie in the past (`at >= base`); the kernel only
+    /// schedules at `now + delay` and `base` trails `now`.
+    pub(crate) fn push(&mut self, at: u64, seq: u64, action: TimedAction) {
+        debug_assert!(at >= self.base, "timed action scheduled in the past");
+        let delta = at - self.base;
+        if delta >= SPAN {
+            self.stats.overflow_pushes += 1;
+            self.overflow.entry(at).or_default().push((seq, action));
+        } else {
+            self.stats.pushes += 1;
+            let level = level_for(delta);
+            let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            let lvl = &mut self.levels[level];
+            lvl.slots[slot].push(Entry {
+                time: at,
+                seq,
+                action,
+            });
+            lvl.occupied |= 1 << slot;
+        }
+        self.len += 1;
+    }
+
+    /// The earliest pending time, if any.
+    pub(crate) fn next_time(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for level in 0..LEVELS {
+            if let Some(t) = self.level_min(level) {
+                best = Some(best.map_or(t, |b: u64| b.min(t)));
+            }
+        }
+        if let Some((&t, _)) = self.overflow.first_key_value() {
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        best
+    }
+
+    /// Pops every action scheduled for the earliest pending instant, in
+    /// sequence order, provided that instant is `<= limit`. Advances
+    /// `base` to the popped instant.
+    pub(crate) fn pop_next(&mut self, limit: u64) -> WheelPop {
+        let Some(t) = self.next_time() else {
+            return WheelPop::Empty;
+        };
+        if t > limit {
+            return WheelPop::Beyond;
+        }
+        let mut out: Vec<Entry2> = Vec::new();
+        // An entry at time `t` can only live in the level-l slot
+        // addressed by `t` (for any level) or in the overflow map.
+        for level in 0..LEVELS {
+            let slot = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            let lvl = &mut self.levels[level];
+            if lvl.occupied & (1 << slot) == 0 {
+                continue;
+            }
+            let v = &mut lvl.slots[slot];
+            let mut i = 0;
+            while i < v.len() {
+                if v[i].time == t {
+                    let e = v.swap_remove(i);
+                    out.push((e.seq, e.action));
+                } else {
+                    i += 1;
+                }
+            }
+            if v.is_empty() {
+                lvl.occupied &= !(1 << slot);
+            }
+        }
+        if let Some(v) = self.overflow.remove(&t) {
+            out.extend(v);
+        }
+        debug_assert!(!out.is_empty(), "next_time pointed at an empty instant");
+        self.len -= out.len();
+        out.sort_unstable_by_key(|&(seq, _)| seq);
+        self.base = t;
+        WheelPop::Fired {
+            time: t,
+            actions: out,
+        }
+    }
+
+    /// Advances `base` to `t` without firing anything. Callable only when
+    /// every pending entry lies strictly beyond `t` (e.g. after a
+    /// `run_until` limit was reached); keeps subsequent pushes filing at
+    /// the tightest possible level.
+    pub(crate) fn fast_forward(&mut self, t: u64) {
+        if t > self.base {
+            debug_assert!(self.next_time().is_none_or(|n| n > t));
+            self.base = t;
+        }
+    }
+
+    /// Minimum pending time within one level, or `None` if the level is
+    /// empty.
+    fn level_min(&mut self, level: usize) -> Option<u64> {
+        let shift = SLOT_BITS * level as u32;
+        let lvl = &self.levels[level];
+        if lvl.occupied == 0 {
+            return None;
+        }
+        let cursor = ((self.base >> shift) & (SLOTS as u64 - 1)) as u32;
+        let mut best: Option<u64> = None;
+        // The cursor's own slot may mix entries from the current block
+        // with entries one full revolution ahead, so it is always
+        // inspected explicitly.
+        if lvl.occupied & (1 << cursor) != 0 {
+            self.stats.scan_steps += 1;
+            best = self.levels[level].slots[cursor as usize]
+                .iter()
+                .map(|e| e.time)
+                .min();
+        }
+        // All other slots are alias-free: the first non-empty one in
+        // rotation order from the cursor holds the earliest block.
+        let rest = self.levels[level].occupied & !(1 << cursor);
+        if rest != 0 {
+            self.stats.scan_steps += 1;
+            let pos = rest.rotate_right(cursor).trailing_zeros();
+            let slot = ((cursor + pos) & (SLOTS as u32 - 1)) as usize;
+            let m = self.levels[level].slots[slot].iter().map(|e| e.time).min();
+            best = match (best, m) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        best
+    }
+}
+
+/// The wheel level covering a relative offset of `delta` ps:
+/// `floor(log64(delta))`, with `delta == 0` on level 0.
+#[inline]
+fn level_for(delta: u64) -> usize {
+    if delta < SLOTS as u64 {
+        0
+    } else {
+        (63 - delta.leading_zeros() as usize) / SLOT_BITS as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn wake(pid: usize) -> TimedAction {
+        TimedAction::WakeProc(pid)
+    }
+
+    fn drain(w: &mut TimerWheel) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        loop {
+            match w.pop_next(u64::MAX) {
+                WheelPop::Fired { time, actions } => {
+                    for (seq, _) in actions {
+                        out.push((time, seq));
+                    }
+                }
+                WheelPop::Empty => return out,
+                WheelPop::Beyond => unreachable!("no limit"),
+            }
+        }
+    }
+
+    #[test]
+    fn levels_are_assigned_by_magnitude() {
+        assert_eq!(level_for(0), 0);
+        assert_eq!(level_for(63), 0);
+        assert_eq!(level_for(64), 1);
+        assert_eq!(level_for(4095), 1);
+        assert_eq!(level_for(4096), 2);
+        assert_eq!(level_for(SPAN - 1), LEVELS - 1);
+    }
+
+    #[test]
+    fn fires_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(5_000, 1, wake(0));
+        w.push(1_000, 2, wake(1));
+        w.push(1_000, 3, wake(2));
+        w.push(0, 4, wake(3));
+        assert_eq!(
+            drain(&mut w),
+            vec![(0, 4), (1_000, 2), (1_000, 3), (5_000, 1)]
+        );
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn respects_limit() {
+        let mut w = TimerWheel::new();
+        w.push(10_000, 1, wake(0));
+        assert!(matches!(w.pop_next(5_000), WheelPop::Beyond));
+        assert!(matches!(w.pop_next(10_000), WheelPop::Fired { .. }));
+    }
+
+    #[test]
+    fn overflow_entries_fire_and_interleave_with_wheel() {
+        let mut w = TimerWheel::new();
+        // Far beyond the wheel span: goes to the overflow map.
+        let far = SPAN * 3 + 17;
+        w.push(far, 1, wake(0));
+        assert_eq!(w.stats.overflow_pushes, 1);
+        // Near entry fires first.
+        w.push(500, 2, wake(1));
+        assert_eq!(drain(&mut w), vec![(500, 2), (far, 1)]);
+    }
+
+    #[test]
+    fn same_time_in_wheel_and_overflow_merges_by_seq() {
+        let mut w = TimerWheel::new();
+        let t = SPAN + 100;
+        w.push(t, 1, wake(0)); // overflow (delta >= SPAN)
+        w.push(100, 2, wake(1));
+        // Fire the near entry; base advances to 100, so t is now within
+        // the wheel span and files into a level.
+        assert!(matches!(w.pop_next(u64::MAX), WheelPop::Fired { .. }));
+        w.push(t, 3, wake(2)); // wheel level, same instant as the overflow entry
+        match w.pop_next(u64::MAX) {
+            WheelPop::Fired { time, actions } => {
+                assert_eq!(time, t);
+                let seqs: Vec<u64> = actions.iter().map(|&(s, _)| s).collect();
+                assert_eq!(seqs, vec![1, 3], "seq order across wheel and overflow");
+            }
+            other => panic!("expected fire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cursor_slot_aliasing_does_not_mask_nearer_entries() {
+        // Regression shape for the one aliasing a revolution allows: an
+        // entry almost a full level-1 revolution ahead lands in the
+        // cursor's own slot and must not shadow a nearer entry in a
+        // later slot.
+        let mut w = TimerWheel::new();
+        // Advance base to 90 via a fired entry.
+        w.push(90, 1, wake(0));
+        assert!(matches!(w.pop_next(u64::MAX), WheelPop::Fired { .. }));
+        // base = 90; level-1 cursor slot is (90 >> 6) & 63 = 1.
+        // `far` files at level 1 into slot (4160 >> 6) & 63 = 1 (cursor),
+        // `near` at level 1 into slot (200 >> 6) & 63 = 3.
+        w.push(4_160, 2, wake(1));
+        w.push(200, 3, wake(2));
+        assert_eq!(drain(&mut w), vec![(200, 3), (4_160, 2)]);
+    }
+
+    #[test]
+    fn matches_binary_heap_oracle_on_random_workloads() {
+        // Deterministic xorshift; no external RNG crates offline.
+        let mut s: u64 = 0x9E3779B97F4A7C15;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for round in 0..50 {
+            let mut wheel = TimerWheel::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64, TimedAction)>> = BinaryHeap::new();
+            let mut now = 0_u64;
+            let mut seq = 0_u64;
+            let mut fired_wheel = Vec::new();
+            let mut fired_heap = Vec::new();
+            for _ in 0..200 {
+                // Schedule a burst at the current instant.
+                let burst = 1 + (rng() % 4);
+                for _ in 0..burst {
+                    let delta = match rng() % 5 {
+                        0 => rng() % 64,                // level 0
+                        1 => rng() % 4_096,             // level <= 1
+                        2 => rng() % 1_000_000,         // level <= 3
+                        3 => rng() % SPAN,              // any level
+                        _ => SPAN + rng() % (SPAN * 4), // overflow
+                    };
+                    seq += 1;
+                    let action = wake((seq % 7) as usize);
+                    wheel.push(now + delta, seq, action);
+                    heap.push(Reverse((now + delta, seq, action)));
+                }
+                // Pop one instant from both.
+                let limit = if round % 3 == 0 {
+                    now + rng() % (2 * SPAN)
+                } else {
+                    u64::MAX
+                };
+                match wheel.pop_next(limit) {
+                    WheelPop::Fired { time, actions } => {
+                        for (sq, a) in actions {
+                            fired_wheel.push((time, sq, a));
+                        }
+                        now = time;
+                    }
+                    WheelPop::Beyond | WheelPop::Empty => {}
+                }
+                // Heap oracle pops every entry at its earliest instant.
+                if let Some(&Reverse((t, _, _))) = heap.peek() {
+                    if t <= limit {
+                        while let Some(&Reverse((t2, sq, a))) = heap.peek() {
+                            if t2 != t {
+                                break;
+                            }
+                            heap.pop();
+                            fired_heap.push((t2, sq, a));
+                        }
+                    }
+                }
+                assert_eq!(fired_wheel, fired_heap, "divergence in round {round}");
+            }
+            // Drain both completely.
+            for (t, sq) in drain(&mut wheel) {
+                fired_wheel.push((t, sq, wake(0)));
+            }
+            while let Some(Reverse((t, sq, _))) = heap.pop() {
+                fired_heap.push((t, sq, wake(0)));
+            }
+            let strip = |v: &[(u64, u64, TimedAction)]| {
+                v.iter().map(|&(t, s, _)| (t, s)).collect::<Vec<_>>()
+            };
+            assert_eq!(strip(&fired_wheel), strip(&fired_heap));
+        }
+    }
+}
