@@ -28,7 +28,7 @@
 
 use std::time::{Duration, Instant};
 
-use scperf_kernel::{HandoffKind, SimSummary, Simulator, Time};
+use scperf_kernel::{HandoffKind, SimOptions, SimSummary, Time};
 use scperf_obs::json::JsonWriter;
 
 struct Args {
@@ -62,7 +62,7 @@ fn parse_args() -> Args {
 /// sides, so the activation count — and therefore the handoff count — is
 /// proportional to `iters`.
 fn pingpong(kind: HandoffKind, iters: u64) -> (SimSummary, Duration) {
-    let mut sim = Simulator::with_handoff(kind);
+    let mut sim = SimOptions::new().handoff(kind).build();
     let ch = sim.rendezvous::<u64>("pingpong");
     let tx = ch.clone();
     sim.spawn("ping", move |ctx| {
@@ -86,7 +86,7 @@ fn pingpong(kind: HandoffKind, iters: u64) -> (SimSummary, Duration) {
 /// One notifier delta-fires an event `rounds` times; `procs` waiters all
 /// wake each round.
 fn fanout(kind: HandoffKind, procs: usize, rounds: u64) -> (SimSummary, Duration) {
-    let mut sim = Simulator::with_handoff(kind);
+    let mut sim = SimOptions::new().handoff(kind).build();
     let ev = sim.event("broadcast");
     for p in 0..procs {
         let ev = ev.clone();
@@ -113,7 +113,7 @@ fn fanout(kind: HandoffKind, procs: usize, rounds: u64) -> (SimSummary, Duration
 /// xorshift-derived deadlines, plus one far-future wait past the time
 /// wheel's ~68.7 ms span to exercise the overflow path.
 fn timer_storm(kind: HandoffKind, procs: usize, waits: u64) -> (SimSummary, Duration) {
-    let mut sim = Simulator::with_handoff(kind);
+    let mut sim = SimOptions::new().handoff(kind).build();
     for p in 0..procs {
         sim.spawn(format!("timer{p}"), move |ctx| {
             let mut x = p as u64 + 1;

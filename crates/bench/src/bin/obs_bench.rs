@@ -11,8 +11,8 @@
 //! Output paths are relative to the working directory; set
 //! `SCPERF_OBS_DIR` to redirect.
 
-use scperf_core::{Mode, PerfModel};
-use scperf_kernel::Simulator;
+use scperf_core::{Mode, SimConfig};
+use scperf_kernel::TraceMode;
 use scperf_obs::chrome::ChromeTrace;
 use scperf_obs::profile;
 use scperf_workloads::vocoder;
@@ -29,19 +29,24 @@ fn main() {
     profile::reset();
     profile::set_enabled(true);
 
-    let mut sim = Simulator::new();
-    sim.enable_tracing();
-    let model = PerfModel::new(platform, Mode::StrictTimed);
-    model.record_instantaneous();
-    let handles = vocoder::pipeline::build(
-        &mut sim,
-        &model,
-        vocoder::pipeline::VocoderMapping::all_on(cpu),
-        nframes,
-    );
+    let mut session = SimConfig::new()
+        .platform(platform)
+        .mode(Mode::StrictTimed)
+        .tracing(TraceMode::Unbounded)
+        .record_instantaneous()
+        .build();
+    let handles = {
+        let (sim, model) = session.parts_mut();
+        vocoder::pipeline::build(
+            sim,
+            model,
+            vocoder::pipeline::VocoderMapping::all_on(cpu),
+            nframes,
+        )
+    };
     let summary = {
         let _span = profile::span("vocoder.run");
-        sim.run().expect("vocoder runs")
+        session.run().expect("vocoder runs")
     };
     profile::set_enabled(false);
 
@@ -52,8 +57,7 @@ fn main() {
     );
 
     // Metrics: kernel internals + estimator internals, one snapshot.
-    let mut metrics = sim.metrics();
-    metrics.merge(model.metrics_snapshot());
+    let metrics = session.metrics();
     let metrics_path = format!("{dir}/BENCH_obs.json");
     std::fs::write(&metrics_path, metrics.to_json()).expect("write metrics json");
     println!("\n{metrics}");
@@ -61,9 +65,9 @@ fn main() {
 
     // Chrome trace: kernel events (instants per process track) merged
     // with the estimator's per-segment spans.
-    let table = sim.take_events();
+    let table = session.take_events();
     let mut chrome = ChromeTrace::from_table(&table);
-    chrome.merge(model.chrome_trace());
+    chrome.merge(session.model().chrome_trace());
     let trace_path = format!("{dir}/vocoder_trace.json");
     chrome.write_to(&trace_path).expect("write chrome trace");
     println!(

@@ -100,7 +100,7 @@ pub(crate) struct ProcRecord {
     pub(crate) dfgs: BTreeMap<(u32, u32), Dfg>,
     /// Per-execution cycle trace in segment-execution order, recorded
     /// when [`EstInner::record_segment_costs`] is on. Feeds the replay
-    /// path ([`crate::PerfModel::spawn_replay`]).
+    /// path ([`crate::PerfModel::spawn_replaying`]).
     pub(crate) cost_trace: Vec<f64>,
 }
 

@@ -80,8 +80,10 @@ pub mod hw;
 mod macros;
 mod model;
 pub mod rate;
+mod recorder;
 mod report;
 mod resource;
+mod session;
 mod tls;
 
 pub use capture::{CaptureEvent, CaptureList, CapturePoint};
@@ -93,6 +95,8 @@ pub use gval::{
 };
 pub use hw::{weighted_hw_cycles, Dfg, DfgNode, NO_NODE};
 pub use model::{timed_wait, timed_wait_labeled, PFifo, PRendezvous, PSignal, PerfModel};
+pub use recorder::{Recorder, Replay};
 pub use report::{ProcessGraph, ProcessReport, Report, ResourceReport, SegmentReport};
 pub use resource::{Platform, Resource, ResourceId, ResourceKind};
+pub use session::{Session, SimConfig};
 pub use tls::{charge_branch, charge_call, charge_op};

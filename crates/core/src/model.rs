@@ -16,6 +16,7 @@ use crate::capture::{CaptureList, CapturePoint};
 use crate::cost::OpCounts;
 use crate::estimator::{end_segment, EstimatorShared, Mode, NODE_WAIT};
 use crate::hw::Dfg;
+use crate::recorder::{Recorder, Replay};
 use crate::report::Report;
 use crate::resource::{Platform, ResourceId};
 use crate::tls;
@@ -81,21 +82,35 @@ impl PerfModel {
         self.est.inner.lock().record_dfgs = true;
     }
 
-    /// Record every segment execution's estimated cycles, per process,
-    /// in execution order (one `Vec::push` per segment boundary). The
-    /// recorded trace can be fetched with
-    /// [`PerfModel::segment_cost_trace`] after the run and replayed in a
-    /// later simulation with [`PerfModel::spawn_replay`] — the
-    /// memoization that lets a design-space exploration skip
+    /// Attaches a [`Recorder`]: every segment execution's estimated
+    /// cycles are captured per process, in execution order (one
+    /// `Vec::push` per segment boundary). After the run the recorder
+    /// hands each process's trace back as a [`crate::Replay`] for
+    /// [`PerfModel::spawn_replaying`] — the memoization that lets a
+    /// design-space exploration or a simulation service skip
     /// re-estimating segments whose annotation cannot differ between
-    /// design points. Off by default.
-    pub fn record_segment_costs(&self) {
-        self.est.inner.lock().record_segment_costs = true;
+    /// runs. Off unless a recorder is attached.
+    pub fn recorder(&self) -> Recorder {
+        Recorder::attach(&self.est)
     }
 
-    /// The recorded per-segment cycle trace of `process` (requires
-    /// [`PerfModel::record_segment_costs`] before the run). `None` when
-    /// the process is unknown; empty when recording was off.
+    /// Deprecated shim: switches segment-cost recording on without
+    /// handing back the [`Recorder`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `PerfModel::recorder()` (or `SimConfig::record_costs()`) \
+                and keep the returned `Recorder`"
+    )]
+    pub fn record_segment_costs(&self) {
+        let _ = self.recorder();
+    }
+
+    /// Deprecated shim: the recorded per-segment cycle trace of
+    /// `process`, as a bare vector.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `Recorder::replay(process)`, which returns a `Replay` handle"
+    )]
     pub fn segment_cost_trace(&self, process: &str) -> Option<Vec<f64>> {
         let inner = self.est.inner.lock();
         inner
@@ -124,28 +139,41 @@ impl PerfModel {
 
     /// Spawns a process mapped to `resource` that **replays** a
     /// previously recorded per-segment cycle trace instead of estimating
-    /// live (see [`PerfModel::record_segment_costs`]).
+    /// live (see [`PerfModel::recorder`]).
     ///
     /// The body should execute the *plain* (un-annotated) form of the
     /// workload: operator charging is disabled, and every segment
-    /// boundary pops the next entry of `trace` as the segment's cycles.
+    /// boundary pops the next entry of `replay` as the segment's cycles.
     /// Back-annotation, resource arbitration and RTOS accounting behave
     /// exactly as in a live run, so the strict-timed schedule is
     /// bit-identical — provided the body performs the same sequence of
-    /// channel accesses and waits as the recorded run.
-    ///
-    /// Replay is sound when the recorded process's charging is
-    /// deterministic in (code, input data, cost table) — the
-    /// single-source methodology's data-independence assumption. It is
-    /// the caller's responsibility to key cached traces on everything
-    /// the annotation depends on (process identity, workload size,
-    /// resource kind, clock, cost table, `k`, RTOS overhead).
+    /// channel accesses and waits as the recorded run. See
+    /// [`crate::Replay`] for the soundness conditions.
     ///
     /// # Panics
     ///
     /// The spawned process panics (surfacing as
     /// [`scperf_kernel::SimError::ProcessPanic`]) if it reaches more
-    /// segment boundaries than `trace` holds.
+    /// segment boundaries than `replay` holds.
+    pub fn spawn_replaying<F>(
+        &self,
+        sim: &mut Simulator,
+        name: impl Into<String>,
+        resource: ResourceId,
+        replay: Replay,
+        body: F,
+    ) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        self.spawn_inner(sim, name.into(), resource, Some(replay.into_arc()), body)
+    }
+
+    /// Deprecated shim forwarding to [`PerfModel::spawn_replaying`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `PerfModel::spawn_replaying` with a `Replay` handle"
+    )]
     pub fn spawn_replay<F>(
         &self,
         sim: &mut Simulator,

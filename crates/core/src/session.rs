@@ -1,0 +1,454 @@
+//! The redesigned front door: a [`SimConfig`] builder describing *one
+//! simulation* — kernel options, platform, mode, recording — and the
+//! [`Session`] handle that owns that simulation's whole lifecycle.
+//!
+//! Historically every consumer hand-assembled a
+//! [`Simulator`], a [`PerfModel`], trace sinks and replay plumbing
+//! through scattered constructors. A `SimConfig` collects all of it in
+//! one declarative value:
+//!
+//! ```
+//! use scperf_core::{g_i64, CostTable, Mode, Platform, SimConfig};
+//! use scperf_kernel::Time;
+//!
+//! let mut platform = Platform::new();
+//! let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 100.0);
+//!
+//! let mut session = SimConfig::new()
+//!     .platform(platform)
+//!     .mode(Mode::StrictTimed)
+//!     .build();
+//! session.spawn("worker", cpu, |_ctx| {
+//!     let mut acc = g_i64(0);
+//!     for i in 0..10 {
+//!         acc = acc + g_i64(i);
+//!     }
+//! });
+//! let summary = session.run()?;
+//! assert!(summary.end_time > Time::ZERO);
+//! let report = session.report();
+//! assert!(report.process("worker").unwrap().total_cycles > 0.0);
+//! # Ok::<(), scperf_kernel::SimError>(())
+//! ```
+//!
+//! The session is the unit a simulation *service* schedules: the
+//! `scperf-serve` crate builds one `SimConfig` per accepted request,
+//! runs the session on a pooled worker (stepping it to enforce the
+//! request's deadline) and turns the summary, report and metrics into
+//! the response.
+
+use scperf_kernel::{
+    HandoffKind, ProcCtx, ProcId, SimError, SimOptions, SimSummary, Simulator, Time, TraceMode,
+};
+use scperf_obs::{MetricsSnapshot, TraceSink, TraceTable};
+
+use crate::capture::{CaptureList, CapturePoint};
+use crate::estimator::Mode;
+use crate::model::{PFifo, PRendezvous, PSignal, PerfModel};
+use crate::recorder::{Recorder, Replay};
+use crate::report::Report;
+use crate::resource::{Platform, ResourceId};
+
+/// Declarative configuration of one simulation: the kernel half
+/// (handoff protocol, trace sink) plus the estimation half (platform,
+/// mode, recording options). [`SimConfig::build`] turns it into a
+/// [`Session`].
+///
+/// Defaults: empty platform, [`Mode::StrictTimed`], default handoff
+/// ([`HandoffKind::default_kind`]), no tracing, no recording.
+#[derive(Debug)]
+pub struct SimConfig {
+    options: SimOptions,
+    platform: Platform,
+    mode: Mode,
+    record_instantaneous: bool,
+    record_dfgs: bool,
+    record_costs: bool,
+    run_limit: Option<Time>,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::new()
+    }
+}
+
+impl SimConfig {
+    /// The default configuration (see the type-level docs).
+    pub fn new() -> SimConfig {
+        SimConfig {
+            options: SimOptions::new(),
+            platform: Platform::new(),
+            mode: Mode::StrictTimed,
+            record_instantaneous: false,
+            record_dfgs: false,
+            record_costs: false,
+            run_limit: None,
+        }
+    }
+
+    /// Sets the platform (resources + cost tables) the model maps onto.
+    pub fn platform(mut self, platform: Platform) -> SimConfig {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the estimation mode (default [`Mode::StrictTimed`]).
+    pub fn mode(mut self, mode: Mode) -> SimConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the scheduler↔process handoff protocol (replaces the
+    /// deprecated `Simulator::with_handoff`).
+    pub fn handoff(mut self, kind: HandoffKind) -> SimConfig {
+        self.options = self.options.handoff(kind);
+        self
+    }
+
+    /// Selects the kernel trace recording mode (replaces
+    /// `Simulator::enable_tracing` / `enable_tracing_ring`).
+    pub fn tracing(mut self, mode: TraceMode) -> SimConfig {
+        self.options = self.options.tracing(mode);
+        self
+    }
+
+    /// Installs a custom kernel [`TraceSink`] (replaces
+    /// `Simulator::set_trace_sink` wiring at elaboration time).
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> SimConfig {
+        self.options = self.options.trace_sink(sink);
+        self
+    }
+
+    /// Records one `(time, cycles)` sample per segment execution (the
+    /// paper's "instantaneous estimated parameters").
+    pub fn record_instantaneous(mut self) -> SimConfig {
+        self.record_instantaneous = true;
+        self
+    }
+
+    /// Records the dataflow graph of each hardware segment's first
+    /// execution, for export to the HLS scheduler.
+    pub fn record_dfgs(mut self) -> SimConfig {
+        self.record_dfgs = true;
+        self
+    }
+
+    /// Attaches a segment-cost [`Recorder`] to the session at build
+    /// time; fetch it afterwards with [`Session::recorder`]. The replay
+    /// source side of the pair is per-process:
+    /// [`Session::spawn_replaying`].
+    pub fn record_costs(mut self) -> SimConfig {
+        self.record_costs = true;
+        self
+    }
+
+    /// Caps simulation time: [`Session::run`] stops at `limit` (with
+    /// [`scperf_kernel::StopReason::TimeLimit`]) instead of running to
+    /// event exhaustion.
+    pub fn run_limit(mut self, limit: Time) -> SimConfig {
+        self.run_limit = Some(limit);
+        self
+    }
+
+    /// Builds the [`Session`]: simulator plus estimation model, wired
+    /// per this configuration.
+    pub fn build(self) -> Session {
+        let sim = Simulator::with_options(self.options);
+        let model = PerfModel::new(self.platform, self.mode);
+        if self.record_instantaneous {
+            model.record_instantaneous();
+        }
+        if self.record_dfgs {
+            model.record_dfgs();
+        }
+        let recorder = self.record_costs.then(|| model.recorder());
+        Session {
+            sim,
+            model,
+            recorder,
+            run_limit: self.run_limit,
+        }
+    }
+}
+
+/// One simulation's lifecycle, owned end to end: elaboration (spawning
+/// processes, creating channels), execution, and result extraction
+/// (summary, report, metrics, captured traces).
+///
+/// Built by [`SimConfig::build`]. The underlying [`Simulator`] and
+/// [`PerfModel`] remain reachable ([`Session::sim`],
+/// [`Session::model`]) for testbench-level pieces such as raw kernel
+/// channels and events.
+#[derive(Debug)]
+pub struct Session {
+    sim: Simulator,
+    model: PerfModel,
+    recorder: Option<Recorder>,
+    run_limit: Option<Time>,
+}
+
+impl Session {
+    /// Spawns an analyzed process mapped to `resource`
+    /// (see [`PerfModel::spawn`]).
+    pub fn spawn<F>(&mut self, name: impl Into<String>, resource: ResourceId, body: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        self.model.spawn(&mut self.sim, name, resource, body)
+    }
+
+    /// Spawns a process that replays a recorded segment-cost trace
+    /// instead of estimating live (see [`PerfModel::spawn_replaying`]).
+    pub fn spawn_replaying<F>(
+        &mut self,
+        name: impl Into<String>,
+        resource: ResourceId,
+        replay: Replay,
+        body: F,
+    ) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        self.model
+            .spawn_replaying(&mut self.sim, name, resource, replay, body)
+    }
+
+    /// Spawns an un-analyzed (environment/testbench) process directly on
+    /// the kernel: no resource mapping, no charging.
+    pub fn spawn_untimed<F>(&mut self, name: impl Into<String>, body: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        self.sim.spawn(name, body)
+    }
+
+    /// Creates an instrumented FIFO channel (both endpoints are segment
+    /// boundaries for analyzed processes).
+    pub fn fifo<T: Send + std::fmt::Debug + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+    ) -> PFifo<T> {
+        self.model.fifo(&mut self.sim, name, capacity)
+    }
+
+    /// Creates an instrumented signal.
+    pub fn signal<T>(&mut self, name: impl Into<String>, initial: T) -> PSignal<T>
+    where
+        T: Send + Clone + PartialEq + std::fmt::Debug + 'static,
+    {
+        self.model.signal(&mut self.sim, name, initial)
+    }
+
+    /// Creates an instrumented rendezvous channel.
+    pub fn rendezvous<T: Send + std::fmt::Debug + 'static>(
+        &mut self,
+        name: impl Into<String>,
+    ) -> PRendezvous<T> {
+        self.model.rendezvous(&mut self.sim, name)
+    }
+
+    /// Registers a capture point (§4 of the paper).
+    pub fn capture_point(&mut self, name: impl Into<String>) -> CapturePoint {
+        self.model.capture_point(name)
+    }
+
+    /// The session's segment-cost [`Recorder`]. Attaches one on first
+    /// call if [`SimConfig::record_costs`] was not set (recording only
+    /// captures segments executed *after* the recorder is attached, so
+    /// call this before [`Session::run`]).
+    pub fn recorder(&mut self) -> Recorder {
+        self.recorder
+            .get_or_insert_with(|| self.model.recorder())
+            .clone()
+    }
+
+    /// Runs the simulation to event exhaustion, or to the configured
+    /// [`SimConfig::run_limit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProcessPanic`] if any process body panics.
+    pub fn run(&mut self) -> Result<SimSummary, SimError> {
+        match self.run_limit {
+            Some(limit) => self.sim.run_until(limit),
+            None => self.sim.run(),
+        }
+    }
+
+    /// Runs until no events remain or simulation time would exceed
+    /// `limit`; can be called repeatedly with growing limits to *step*
+    /// a simulation (the mechanism `scperf-serve` uses to check request
+    /// deadlines mid-run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProcessPanic`] if any process body panics.
+    pub fn run_until(&mut self, limit: Time) -> Result<SimSummary, SimError> {
+        self.sim.run_until(limit)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// Builds the performance report (call after [`Session::run`]).
+    pub fn report(&self) -> Report {
+        self.model.report()
+    }
+
+    /// The recorded capture lists (call after [`Session::run`]).
+    pub fn captures(&self) -> Vec<CaptureList> {
+        self.model.captures()
+    }
+
+    /// One merged metrics snapshot: kernel counters (deltas, context
+    /// switches, channel accesses, handoff latency) plus estimator
+    /// counters (segments, annotated ops, busy/RTOS time).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self.sim.metrics();
+        m.merge(self.model.metrics_snapshot());
+        m
+    }
+
+    /// Takes the recorded kernel trace as a detached
+    /// [`TraceTable`]; tracing stays enabled with a fresh buffer.
+    pub fn take_events(&mut self) -> TraceTable {
+        self.sim.take_events()
+    }
+
+    /// The underlying kernel simulator, for testbench-level pieces
+    /// (raw channels, events, custom stepping).
+    pub fn sim(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The underlying estimation model (reports, DFGs, Chrome traces).
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+
+    /// Simulator and model together — the shape workload elaboration
+    /// helpers such as `scperf_workloads::vocoder::pipeline::build`
+    /// take.
+    pub fn parts_mut(&mut self) -> (&mut Simulator, &PerfModel) {
+        (&mut self.sim, &self.model)
+    }
+
+    /// Decomposes the session into its parts.
+    pub fn into_parts(self) -> (Simulator, PerfModel) {
+        (self.sim, self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostTable;
+    use crate::gval::g_i64;
+
+    fn one_cpu() -> (Platform, ResourceId) {
+        let mut p = Platform::new();
+        let cpu = p.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 50.0);
+        (p, cpu)
+    }
+
+    #[test]
+    fn session_runs_and_reports() {
+        let (platform, cpu) = one_cpu();
+        let mut session = SimConfig::new().platform(platform).build();
+        let ch = session.fifo::<i64>("out", 2);
+        let tx = ch.clone();
+        session.spawn("worker", cpu, move |ctx| {
+            let mut acc = g_i64(0);
+            for i in 0..5 {
+                acc = acc + g_i64(i);
+            }
+            tx.write(ctx, acc.get());
+        });
+        session.spawn_untimed("sink", move |ctx| {
+            assert_eq!(ch.read(ctx), 10);
+        });
+        let summary = session.run().unwrap();
+        assert!(summary.end_time > Time::ZERO);
+        assert!(session.report().process("worker").unwrap().total_cycles > 0.0);
+        let metrics = session.metrics();
+        assert!(metrics.counter("kernel.delta_cycles").is_some());
+        assert_eq!(metrics.counter("est.processes"), Some(1));
+    }
+
+    #[test]
+    fn run_limit_caps_the_run() {
+        let (platform, cpu) = one_cpu();
+        let mut session = SimConfig::new()
+            .platform(platform)
+            .run_limit(Time::ns(7))
+            .build();
+        session.spawn("p", cpu, |ctx| {
+            crate::model::timed_wait(ctx, Time::us(1));
+        });
+        let summary = session.run().unwrap();
+        assert_eq!(summary.end_time, Time::ns(7));
+        assert_eq!(summary.reason, scperf_kernel::StopReason::TimeLimit);
+    }
+
+    #[test]
+    fn record_and_replay_round_trip_is_bit_identical() {
+        let (platform, cpu) = one_cpu();
+        let mut session = SimConfig::new()
+            .platform(platform.clone())
+            .record_costs()
+            .build();
+        session.spawn("w", cpu, |_ctx| {
+            let mut acc = g_i64(0);
+            for i in 0..32 {
+                acc = acc + g_i64(i) * g_i64(3);
+            }
+        });
+        let live = session.run().unwrap();
+        let replay = session.recorder().replay("w").unwrap();
+        assert!(!replay.is_empty());
+
+        let mut session = SimConfig::new().platform(platform).build();
+        session.spawn_replaying("w", cpu, replay, |_ctx| {
+            // Plain body: no annotation, same channel/wait sequence.
+        });
+        let replayed = session.run().unwrap();
+        assert_eq!(replayed.end_time, live.end_time);
+    }
+
+    #[test]
+    fn estimate_only_mode_stays_untimed() {
+        let (platform, cpu) = one_cpu();
+        let mut session = SimConfig::new()
+            .platform(platform)
+            .mode(Mode::EstimateOnly)
+            .build();
+        session.spawn("w", cpu, |_ctx| {
+            let mut acc = g_i64(0);
+            for i in 0..4 {
+                acc = acc + g_i64(i);
+            }
+        });
+        let summary = session.run().unwrap();
+        assert_eq!(summary.end_time, Time::ZERO);
+        assert!(session.report().process("w").unwrap().total_cycles > 0.0);
+    }
+
+    #[test]
+    fn tracing_mode_threads_through_to_the_kernel() {
+        let (platform, cpu) = one_cpu();
+        let mut session = SimConfig::new()
+            .platform(platform)
+            .tracing(TraceMode::Unbounded)
+            .build();
+        session.spawn("w", cpu, |ctx| {
+            ctx.emit_trace("mark", "1");
+        });
+        session.run().unwrap();
+        let table = session.take_events();
+        assert!(!table.events.is_empty());
+    }
+}

@@ -9,12 +9,10 @@
 //! * the `thread_local!` estimation context is installed on the *process*
 //!   threads the kernel spawns (fresh per simulation), never on the
 //!   worker thread driving `Simulator::run`;
-//! * segment-cost replay ([`PerfModel::spawn_replay`]) reproduces a live
-//!   run's strict-timed schedule bit-exactly.
+//! * segment-cost replay ([`PerfModel::spawn_replaying`]) reproduces a
+//!   live run's strict-timed schedule bit-exactly.
 
-use std::sync::Arc;
-
-use scperf_core::{charge_op, timed_wait, CostTable, Mode, Op, PerfModel, Platform};
+use scperf_core::{charge_op, timed_wait, CostTable, Mode, Op, PerfModel, Platform, Replay};
 use scperf_kernel::{Simulator, Time};
 
 /// Charges exactly `n` unit-cost Adds into the running segment.
@@ -99,13 +97,13 @@ fn nested_simulation_on_a_process_thread_is_isolated() {
 
 /// Runs the pipeline once while recording per-segment cycle traces,
 /// returning (end_time, per-process traces).
-fn record_traces(seed: u64) -> (Time, Vec<f64>, Vec<f64>) {
+fn record_traces(seed: u64) -> (Time, Replay, Replay) {
     let table = CostTable::from_pairs([(Op::Add, 1.0)]);
     let mut platform = Platform::new();
     let cpu = platform.sequential("cpu", Time::ns(10), table, 25.0);
     let mut sim = Simulator::new();
     let model = PerfModel::new(platform, Mode::StrictTimed);
-    model.record_segment_costs();
+    let recorder = model.recorder();
     let fifo = model.fifo::<u64>(&mut sim, "frames", 2);
 
     let tx = fifo.clone();
@@ -125,8 +123,8 @@ fn record_traces(seed: u64) -> (Time, Vec<f64>, Vec<f64>) {
     let stats = sim.run().unwrap();
     (
         stats.end_time,
-        model.segment_cost_trace("producer").unwrap(),
-        model.segment_cost_trace("consumer").unwrap(),
+        recorder.replay("producer").unwrap(),
+        recorder.replay("consumer").unwrap(),
     )
 }
 
@@ -146,35 +144,23 @@ fn replayed_run_matches_live_run_bit_exactly() {
     let fifo = model.fifo::<u64>(&mut sim, "frames", 2);
 
     let tx = fifo.clone();
-    model.spawn_replay(
-        &mut sim,
-        "producer",
-        cpu,
-        Arc::new(prod_trace.clone()),
-        move |ctx| {
-            for i in 0..4_u64 {
-                // plain body: no charging at all
-                tx.write(ctx, i);
-            }
-        },
-    );
-    model.spawn_replay(
-        &mut sim,
-        "consumer",
-        cpu,
-        Arc::new(cons_trace.clone()),
-        move |ctx| {
-            for _ in 0..4 {
-                let _ = fifo.read(ctx);
-                timed_wait(ctx, Time::ns(30));
-            }
-        },
-    );
+    model.spawn_replaying(&mut sim, "producer", cpu, prod_trace.clone(), move |ctx| {
+        for i in 0..4_u64 {
+            // plain body: no charging at all
+            tx.write(ctx, i);
+        }
+    });
+    model.spawn_replaying(&mut sim, "consumer", cpu, cons_trace, move |ctx| {
+        for _ in 0..4 {
+            let _ = fifo.read(ctx);
+            timed_wait(ctx, Time::ns(30));
+        }
+    });
 
     let stats = sim.run().unwrap();
     assert_eq!(stats.end_time, live_end, "replay must be bit-identical");
     let report = model.report();
-    let live_total: f64 = prod_trace.iter().sum();
+    let live_total: f64 = prod_trace.cycles().iter().sum();
     assert_eq!(report.process("producer").unwrap().total_cycles, live_total);
 }
 
@@ -188,7 +174,7 @@ fn replay_with_charging_body_still_uses_trace() {
     let cpu = platform.sequential("cpu", Time::ns(10), table, 0.0);
     let mut sim = Simulator::new();
     let model = PerfModel::new(platform, Mode::StrictTimed);
-    model.spawn_replay(&mut sim, "p", cpu, Arc::new(vec![40.0]), |_ctx| {
+    model.spawn_replaying(&mut sim, "p", cpu, Replay::new(vec![40.0]), |_ctx| {
         burn(1_000_000); // ignored
     });
     let stats = sim.run().unwrap();

@@ -7,10 +7,11 @@
 //! depend on where the other four stages are mapped, because inter-stage
 //! coupling happens only through the scheduler (when segments run), not
 //! through what each segment costs. Recording the trace once per
-//! `(stage, resource fingerprint, workload size)` and replaying it via
-//! [`scperf_core::PerfModel::spawn_replay`] therefore reproduces every
-//! later evaluation bit-exactly while skipping all operator-overloading
-//! work.
+//! `(stage, resource fingerprint, workload size)` with a
+//! [`scperf_core::Recorder`] and replaying it via
+//! [`scperf_core::PerfModel::spawn_replaying`] therefore reproduces
+//! every later evaluation bit-exactly while skipping all
+//! operator-overloading work.
 //!
 //! The fingerprint hashes everything the annotation depends on: resource
 //! kind, clock period, the dense per-operation cost table (bit pattern),
@@ -20,9 +21,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-use scperf_core::{Resource, ResourceKind};
+use scperf_core::{Replay, Resource, ResourceKind};
 use scperf_obs::MetricsSnapshot;
 use scperf_sync::RwLock;
 
@@ -33,10 +33,12 @@ type StageIndex = usize;
 type CacheKey = (StageIndex, u64);
 
 /// A concurrent map from `(stage, resource fingerprint)` to the recorded
-/// per-segment cycle trace. Shared by all sweep workers behind an `Arc`.
+/// per-segment cycle trace (a cheap-to-clone [`Replay`]). Shared by all
+/// sweep workers — and by the `scperf-serve` request engine — behind an
+/// `Arc`.
 #[derive(Debug, Default)]
 pub struct SegmentCostCache {
-    map: RwLock<HashMap<CacheKey, Arc<Vec<f64>>>>,
+    map: RwLock<HashMap<CacheKey, Replay>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -106,7 +108,7 @@ impl SegmentCostCache {
 
     /// Looks up the trace for `(stage, fingerprint)`, counting a hit or
     /// a miss.
-    pub fn get(&self, stage: StageIndex, fingerprint: u64) -> Option<Arc<Vec<f64>>> {
+    pub fn get(&self, stage: StageIndex, fingerprint: u64) -> Option<Replay> {
         let found = self.map.read().get(&(stage, fingerprint)).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -118,7 +120,7 @@ impl SegmentCostCache {
     /// Stores a recorded trace. Racing inserts of the same key are
     /// benign: both workers recorded the same deterministic trace, so
     /// either copy is correct; the first one wins.
-    pub fn insert(&self, stage: StageIndex, fingerprint: u64, trace: Arc<Vec<f64>>) {
+    pub fn insert(&self, stage: StageIndex, fingerprint: u64, trace: Replay) {
         self.map
             .write()
             .entry((stage, fingerprint))
@@ -165,8 +167,8 @@ mod tests {
         let cache = SegmentCostCache::new();
         let fp = 42;
         assert!(cache.get(0, fp).is_none());
-        cache.insert(0, fp, Arc::new(vec![1.0, 2.0]));
-        assert_eq!(cache.get(0, fp).as_deref(), Some(&vec![1.0, 2.0]));
+        cache.insert(0, fp, Replay::new(vec![1.0, 2.0]));
+        assert_eq!(cache.get(0, fp), Some(Replay::new(vec![1.0, 2.0])));
         assert!(cache.get(1, fp).is_none(), "stage is part of the key");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
@@ -176,7 +178,7 @@ mod tests {
     #[test]
     fn metrics_mirror_stats() {
         let cache = SegmentCostCache::new();
-        cache.insert(0, 7, Arc::new(vec![3.0]));
+        cache.insert(0, 7, Replay::new(vec![3.0]));
         let _ = cache.get(0, 7);
         let _ = cache.get(0, 8);
         let m = cache.metrics();
@@ -219,9 +221,9 @@ mod tests {
     #[test]
     fn racing_inserts_first_wins() {
         let cache = SegmentCostCache::new();
-        cache.insert(0, 1, Arc::new(vec![1.0]));
-        cache.insert(0, 1, Arc::new(vec![9.9]));
-        assert_eq!(cache.get(0, 1).as_deref(), Some(&vec![1.0]));
+        cache.insert(0, 1, Replay::new(vec![1.0]));
+        cache.insert(0, 1, Replay::new(vec![9.9]));
+        assert_eq!(cache.get(0, 1), Some(Replay::new(vec![1.0])));
         assert_eq!(cache.stats().entries, 1);
     }
 }

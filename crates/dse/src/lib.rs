@@ -57,5 +57,5 @@ pub use point::{
     all_mappings, build_platform, platform_cost, resolve_mapping, DesignPoint, Target, CLOCK, HW_K,
     RTOS_CYCLES,
 };
-pub use pool::{run_indexed, PoolStats};
+pub use pool::{run_indexed, PoolStats, WorkerPool};
 pub use sweep::{evaluate, format_summary, sweep, SweepConfig, SweepResult};

@@ -1,10 +1,7 @@
 //! The sweep orchestrator: evaluate every mapping, in parallel, with
 //! memoized segment costs, and extract the Pareto frontier.
 
-use std::sync::Arc;
-
-use scperf_core::{CostTable, Mode, PerfModel};
-use scperf_kernel::Simulator;
+use scperf_core::{CostTable, SimConfig};
 use scperf_obs::MetricsSnapshot;
 use scperf_workloads::vocoder::pipeline::{self, StageTrace, STAGE_NAMES};
 
@@ -105,20 +102,18 @@ pub fn evaluate(
     }
     let missing: Vec<usize> = (0..5).filter(|&s| replays[s].is_none()).collect();
 
-    let mut sim = Simulator::new();
-    let model = PerfModel::new(platform, Mode::StrictTimed);
-    if cache.is_some() && !missing.is_empty() {
-        model.record_segment_costs();
-    }
-    let handles = pipeline::build_hybrid(&mut sim, &model, vm, nframes, replays);
-    let summary = sim.run().expect("mapping simulates");
+    let mut session = SimConfig::new().platform(platform).build();
+    let recorder = (cache.is_some() && !missing.is_empty()).then(|| session.recorder());
+    let (sim, model) = session.parts_mut();
+    let handles = pipeline::build_hybrid(sim, model, vm, nframes, replays);
+    let summary = session.run().expect("mapping simulates");
 
-    if let Some(cache) = cache {
+    if let (Some(cache), Some(recorder)) = (cache, recorder) {
         for &stage in &missing {
-            let trace = model
-                .segment_cost_trace(STAGE_NAMES[stage])
+            let trace = recorder
+                .replay(STAGE_NAMES[stage])
                 .expect("trace recorded for live stage");
-            cache.insert(stage, fingerprints[stage], Arc::new(trace));
+            cache.insert(stage, fingerprints[stage], trace);
         }
     }
 

@@ -1,0 +1,166 @@
+//! Kernel-side simulator configuration: the [`SimOptions`] builder.
+//!
+//! Historically the knobs of a [`Simulator`](crate::Simulator) were
+//! scattered over dedicated constructors and setters
+//! (`Simulator::with_handoff`, `enable_tracing`, `enable_tracing_ring`,
+//! `set_trace_sink`). `SimOptions` folds them into one value that can be
+//! built up, passed around and handed to
+//! [`Simulator::with_options`](crate::Simulator::with_options) — it is
+//! also the kernel half of the full-stack `scperf_core::SimConfig`
+//! builder, which threads an options value through to the kernel when a
+//! session is built.
+
+use scperf_obs::TraceSink;
+
+use crate::handoff::HandoffKind;
+use crate::sim::Simulator;
+
+/// How the kernel records trace events.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No event recording (the default; fastest).
+    #[default]
+    Off,
+    /// Record every event into an unbounded in-memory buffer.
+    Unbounded,
+    /// Record into a ring buffer keeping roughly the last `n` events —
+    /// bounded memory for long simulations.
+    Ring(usize),
+}
+
+/// Kernel-level simulator options.
+///
+/// Collects the scheduler↔process handoff protocol and the trace-sink
+/// wiring in one builder. Construct with [`SimOptions::new`], chain the
+/// setters, and either call [`SimOptions::build`] or pass the value to
+/// [`Simulator::with_options`].
+///
+/// # Examples
+///
+/// ```
+/// use scperf_kernel::{HandoffKind, SimOptions, TraceMode};
+///
+/// let mut sim = SimOptions::new()
+///     .handoff(HandoffKind::Direct)
+///     .tracing(TraceMode::Ring(1024))
+///     .build();
+/// sim.spawn("p", |ctx| ctx.wait(scperf_kernel::Time::ns(1)));
+/// sim.run()?;
+/// # Ok::<(), scperf_kernel::SimError>(())
+/// ```
+pub struct SimOptions {
+    pub(crate) handoff: HandoffKind,
+    pub(crate) trace: TraceMode,
+    pub(crate) sink: Option<Box<dyn TraceSink>>,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions::new()
+    }
+}
+
+impl SimOptions {
+    /// Default options: the default handoff protocol
+    /// ([`HandoffKind::default_kind`], which honours the
+    /// `SCPERF_HANDOFF` environment variable and the `condvar-baton`
+    /// feature) and no tracing.
+    pub fn new() -> SimOptions {
+        SimOptions {
+            handoff: HandoffKind::default_kind(),
+            trace: TraceMode::Off,
+            sink: None,
+        }
+    }
+
+    /// Selects the scheduler↔process handoff protocol.
+    /// [`HandoffKind::Direct`] is the fast path;
+    /// [`HandoffKind::CondvarBaton`] is the original mutex+condvar
+    /// protocol kept for debugging and A/B benchmarking. Both produce
+    /// bit-identical traces.
+    pub fn handoff(mut self, kind: HandoffKind) -> SimOptions {
+        self.handoff = kind;
+        self
+    }
+
+    /// Selects the trace recording mode (ignored when a custom sink is
+    /// installed with [`SimOptions::trace_sink`]).
+    pub fn tracing(mut self, mode: TraceMode) -> SimOptions {
+        self.trace = mode;
+        self
+    }
+
+    /// Installs a custom [`TraceSink`] (streaming writer, aggregator,
+    /// …), replacing the built-in memory sinks of
+    /// [`SimOptions::tracing`].
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> SimOptions {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Builds the simulator (equivalent to
+    /// [`Simulator::with_options`]).
+    pub fn build(self) -> Simulator {
+        Simulator::with_options(self)
+    }
+}
+
+impl std::fmt::Debug for SimOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimOptions")
+            .field("handoff", &self.handoff)
+            .field("trace", &self.trace)
+            .field("sink", &self.sink.as_ref().map(|_| "custom"))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    #[test]
+    fn options_thread_handoff_and_tracing_into_the_simulator() {
+        let mut sim = SimOptions::new()
+            .handoff(HandoffKind::CondvarBaton)
+            .tracing(TraceMode::Unbounded)
+            .build();
+        assert_eq!(sim.handoff_kind(), HandoffKind::CondvarBaton);
+        sim.spawn("p", |ctx| {
+            ctx.wait(Time::ns(1));
+            ctx.emit_trace("mark", "x");
+        });
+        sim.run().unwrap();
+        let trace = sim.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].label, "mark");
+    }
+
+    #[test]
+    fn ring_mode_bounds_the_buffer() {
+        let mut sim = SimOptions::new().tracing(TraceMode::Ring(4)).build();
+        sim.spawn("p", |ctx| {
+            for i in 0..64 {
+                ctx.emit_trace("tick", i.to_string());
+            }
+        });
+        sim.run().unwrap();
+        let table = sim.take_events();
+        assert!(table.events.len() <= 8, "ring must bound the buffer");
+        assert!(table.dropped > 0);
+    }
+
+    #[test]
+    fn default_options_match_plain_new() {
+        let sim = SimOptions::new().build();
+        assert_eq!(sim.handoff_kind(), HandoffKind::default_kind());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_handoff_still_forwards() {
+        let sim = Simulator::with_handoff(HandoffKind::CondvarBaton);
+        assert_eq!(sim.handoff_kind(), HandoffKind::CondvarBaton);
+    }
+}

@@ -52,7 +52,7 @@ use scperf_sync::Mutex;
 use crate::baton::{kill_unwind, CondvarBaton, RunState};
 
 /// Which scheduler ↔ process handoff protocol a [`crate::Simulator`]
-/// uses. See [`crate::Simulator::with_handoff`].
+/// uses. See [`crate::SimOptions::handoff`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HandoffKind {
     /// Lock-free direct handoff built on `std::thread::park`/`unpark`

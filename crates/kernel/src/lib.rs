@@ -56,6 +56,7 @@
 
 mod baton;
 mod channel;
+mod config;
 mod event;
 mod handoff;
 mod process;
@@ -67,6 +68,7 @@ pub mod vcd;
 mod wheel;
 
 pub use channel::{Fifo, Rendezvous, Signal, SimMutex, SimSemaphore};
+pub use config::{SimOptions, TraceMode};
 pub use event::Event;
 pub use handoff::HandoffKind;
 pub use process::{ProcCtx, ProcId};

@@ -11,6 +11,7 @@ use scperf_obs::{MemorySink, MetricsSnapshot, TraceSink, TraceTable};
 use crate::baton::{
     clear_panic_suppression, install_silent_kill_hook, panic_message, KillToken, RunState,
 };
+use crate::config::{SimOptions, TraceMode};
 use crate::event::Event;
 use crate::handoff::{Baton, HandoffKind};
 use crate::process::{ProcCtx, ProcId};
@@ -116,7 +117,24 @@ impl Simulator {
     /// Creates an empty simulator using the default handoff protocol
     /// ([`HandoffKind::default_kind`]).
     pub fn new() -> Simulator {
-        Simulator::with_handoff(HandoffKind::default_kind())
+        Simulator::new_with_handoff(HandoffKind::default_kind())
+    }
+
+    /// Creates an empty simulator from a [`SimOptions`] value: the
+    /// handoff protocol plus the trace-sink wiring, in one place. This
+    /// is the constructor the `scperf_core::SimConfig` session builder
+    /// threads its kernel half through.
+    pub fn with_options(options: SimOptions) -> Simulator {
+        let mut sim = Simulator::new_with_handoff(options.handoff);
+        match options.sink {
+            Some(sink) => sim.set_trace_sink(sink),
+            None => match options.trace {
+                TraceMode::Off => {}
+                TraceMode::Unbounded => sim.enable_tracing(),
+                TraceMode::Ring(n) => sim.enable_tracing_ring(n),
+            },
+        }
+        sim
     }
 
     /// Creates an empty simulator with an explicit scheduler↔process
@@ -124,7 +142,16 @@ impl Simulator {
     /// [`HandoffKind::CondvarBaton`] is the original mutex+condvar
     /// protocol, kept for debugging and as the A/B baseline of the
     /// kernel microbenches. Both produce bit-identical traces.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `SimOptions::new().handoff(kind).build()` (or the \
+                `scperf_core::SimConfig` session builder)"
+    )]
     pub fn with_handoff(kind: HandoffKind) -> Simulator {
+        Simulator::new_with_handoff(kind)
+    }
+
+    fn new_with_handoff(kind: HandoffKind) -> Simulator {
         install_silent_kill_hook();
         Simulator {
             shared: Shared::new(),

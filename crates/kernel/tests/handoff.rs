@@ -9,7 +9,7 @@
 //! handoff protocols so the condvar fallback stays honest too.
 
 use scperf_kernel::trace::functional_projection;
-use scperf_kernel::{HandoffKind, Simulator, Time};
+use scperf_kernel::{HandoffKind, SimOptions, Time};
 
 const KINDS: [HandoffKind; 2] = [HandoffKind::Direct, HandoffKind::CondvarBaton];
 
@@ -19,7 +19,7 @@ const KINDS: [HandoffKind; 2] = [HandoffKind::Direct, HandoffKind::CondvarBaton]
 #[test]
 fn fifo_read_wakes_blocked_consumer() {
     for kind in KINDS {
-        let mut sim = Simulator::with_handoff(kind);
+        let mut sim = SimOptions::new().handoff(kind).build();
         let ch = sim.fifo::<u32>("ch", 1);
         let tx = ch.clone();
         sim.spawn("producer", move |ctx| {
@@ -46,7 +46,7 @@ fn fifo_read_wakes_blocked_consumer() {
 #[test]
 fn fifo_write_wakes_blocked_producer() {
     for kind in KINDS {
-        let mut sim = Simulator::with_handoff(kind);
+        let mut sim = SimOptions::new().handoff(kind).build();
         let ch = sim.fifo::<u32>("narrow", 1);
         let tx = ch.clone();
         sim.spawn("producer", move |ctx| {
@@ -70,7 +70,7 @@ fn fifo_write_wakes_blocked_producer() {
 #[test]
 fn try_read_polls_without_losing_items() {
     for kind in KINDS {
-        let mut sim = Simulator::with_handoff(kind);
+        let mut sim = SimOptions::new().handoff(kind).build();
         let ch = sim.fifo::<u32>("polled", 2);
         let tx = ch.clone();
         sim.spawn("producer", move |ctx| {
@@ -102,7 +102,7 @@ fn try_read_polls_without_losing_items() {
 #[test]
 fn event_notification_wakes_waiter() {
     for kind in KINDS {
-        let mut sim = Simulator::with_handoff(kind);
+        let mut sim = SimOptions::new().handoff(kind).build();
         let ping = sim.event("ping");
         let pong = sim.event("pong");
         let (p1, g1) = (ping.clone(), pong.clone());
@@ -131,7 +131,7 @@ fn event_notification_wakes_waiter() {
 #[test]
 fn far_future_wait_crosses_wheel_span() {
     for kind in KINDS {
-        let mut sim = Simulator::with_handoff(kind);
+        let mut sim = SimOptions::new().handoff(kind).build();
         sim.enable_tracing();
         sim.spawn("near", |ctx| {
             for i in 0..4 {
@@ -164,7 +164,7 @@ fn far_future_wait_crosses_wheel_span() {
 #[test]
 fn run_until_stepping_preserves_pending_wakeups() {
     for kind in KINDS {
-        let mut sim = Simulator::with_handoff(kind);
+        let mut sim = SimOptions::new().handoff(kind).build();
         let ch = sim.fifo::<u32>("ch", 4);
         let tx = ch.clone();
         sim.spawn("producer", move |ctx| {
@@ -197,7 +197,7 @@ fn run_until_stepping_preserves_pending_wakeups() {
 #[test]
 fn handoff_protocols_produce_identical_traces() {
     fn run(kind: HandoffKind) -> (scperf_kernel::SimSummary, Vec<(String, String, String)>) {
-        let mut sim = Simulator::with_handoff(kind);
+        let mut sim = SimOptions::new().handoff(kind).build();
         sim.enable_tracing();
         let ch = sim.fifo::<u64>("ch", 2);
         let done = sim.event("done");

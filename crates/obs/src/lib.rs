@@ -36,10 +36,12 @@ pub mod json;
 mod metrics;
 pub mod profile;
 mod sink;
+pub mod stats;
 mod value;
 
 pub use event::{TraceEvent, TraceTable, NO_PROCESS};
 pub use intern::{Interner, Sym};
 pub use metrics::{MetricValue, MetricsSnapshot};
 pub use sink::{MemorySink, TraceSink};
+pub use stats::{LatencySamples, LatencySummary};
 pub use value::Payload;

@@ -1,0 +1,171 @@
+//! Latency statistics for request-serving layers.
+//!
+//! [`LatencySamples`] accumulates per-request durations (in
+//! microseconds) and summarizes them as the percentiles a service
+//! report needs — p50/p90/p99 plus min/max/mean. The serve layer keeps
+//! one instance per run and folds the summary into its
+//! [`crate::MetricsSnapshot`] under a caller-chosen
+//! prefix (`serve.latency.*`).
+
+use crate::MetricsSnapshot;
+
+/// A bag of latency samples in microseconds.
+///
+/// Samples are kept raw (8 bytes each) and sorted once at summary
+/// time; for the request volumes a simulation service sees this is
+/// both exact and cheap, with none of a histogram's bucketing error.
+#[derive(Debug, Default, Clone)]
+pub struct LatencySamples {
+    samples: Vec<f64>,
+}
+
+impl LatencySamples {
+    /// An empty bag.
+    pub fn new() -> LatencySamples {
+        LatencySamples::default()
+    }
+
+    /// Records one duration in microseconds. Non-finite values are
+    /// ignored (they would poison every percentile).
+    pub fn record_us(&mut self, us: f64) {
+        if us.is_finite() {
+            self.samples.push(us);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summarizes the samples; `None` when empty.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let sum: f64 = sorted.iter().sum();
+        Some(LatencySummary {
+            count: sorted.len(),
+            min_us: sorted[0],
+            max_us: *sorted.last().expect("non-empty"),
+            mean_us: sum / sorted.len() as f64,
+            p50_us: percentile(&sorted, 50.0),
+            p90_us: percentile(&sorted, 90.0),
+            p99_us: percentile(&sorted, 99.0),
+        })
+    }
+}
+
+/// Percentile summary of a latency distribution, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min_us: f64,
+    /// Largest sample.
+    pub max_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+}
+
+impl LatencySummary {
+    /// Writes the summary into `metrics` as gauges named
+    /// `<prefix>.{p50,p90,p99,mean,min,max}_us` plus a
+    /// `<prefix>.count` counter.
+    pub fn export(&self, metrics: &mut MetricsSnapshot, prefix: &str) {
+        metrics.set_counter(format!("{prefix}.count"), self.count as u64);
+        metrics.set_gauge(format!("{prefix}.min_us"), self.min_us);
+        metrics.set_gauge(format!("{prefix}.max_us"), self.max_us);
+        metrics.set_gauge(format!("{prefix}.mean_us"), self.mean_us);
+        metrics.set_gauge(format!("{prefix}.p50_us"), self.p50_us);
+        metrics.set_gauge(format!("{prefix}.p90_us"), self.p90_us);
+        metrics.set_gauge(format!("{prefix}.p99_us"), self.p99_us);
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+///
+/// `p` is in percent (`50.0` = median) and is clamped to `[0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&sorted, 0.0), 10.0);
+        assert_eq!(percentile(&sorted, 100.0), 40.0);
+        assert_eq!(percentile(&sorted, 50.0), 25.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn summary_covers_the_distribution() {
+        let mut lat = LatencySamples::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            lat.record_us(v);
+        }
+        lat.record_us(f64::NAN); // ignored
+        let s = lat.summary().expect("non-empty");
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min_us, 1.0);
+        assert_eq!(s.max_us, 5.0);
+        assert_eq!(s.mean_us, 3.0);
+        assert_eq!(s.p50_us, 3.0);
+        assert!(s.p99_us > s.p50_us);
+    }
+
+    #[test]
+    fn summary_exports_named_metrics() {
+        let mut lat = LatencySamples::new();
+        lat.record_us(10.0);
+        lat.record_us(30.0);
+        let mut m = MetricsSnapshot::new();
+        lat.summary()
+            .expect("non-empty")
+            .export(&mut m, "serve.latency");
+        assert_eq!(m.counter("serve.latency.count"), Some(2));
+        assert_eq!(m.gauge("serve.latency.p50_us"), Some(20.0));
+        assert_eq!(m.gauge("serve.latency.max_us"), Some(30.0));
+    }
+
+    #[test]
+    fn empty_bag_has_no_summary() {
+        assert!(LatencySamples::new().summary().is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! Scenario execution: one validated request → one simulation run.
+//!
+//! The engine is the bridge between the protocol and the simulation
+//! stack: it builds the requested platform, wires the vocoder pipeline
+//! through [`scperf_core::SimConfig`]/[`Session`], reuses segment-cost
+//! traces from a shared [`SegmentCostCache`] (recording on miss,
+//! replaying bit-identically on hit), and — when the request carries a
+//! deadline — steps the simulation in growing simulated-time chunks so
+//! an expired wall-clock budget cancels the run *mid-simulation*
+//! instead of after it.
+
+use std::time::{Duration, Instant};
+
+use scperf_core::{CostTable, Platform, Report, Session, SimConfig};
+use scperf_dse::point::{platform_cost, resolve_mapping};
+use scperf_dse::SegmentCostCache;
+use scperf_kernel::{SimSummary, StopReason, Time};
+use scperf_obs::MetricsSnapshot;
+use scperf_workloads::vocoder::pipeline::{self, StageTrace, STAGE_NAMES};
+
+use crate::protocol::{ErrorCode, RequestError, Scenario};
+
+/// Everything one successful scenario run produced.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Kernel summary (end time, deltas, activations).
+    pub summary: SimSummary,
+    /// Platform cost proxy of the mapping.
+    pub cost: f64,
+    /// Decoded-output checksum (mapping- and replay-invariant).
+    pub checksum: i32,
+    /// Stages that replayed a cached trace instead of running annotated.
+    pub replayed_stages: usize,
+    /// Per-process report, when the request asked for one.
+    pub report: Option<Report>,
+    /// Kernel + estimator metrics, when the request asked for them.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Host time spent simulating.
+    pub elapsed: Duration,
+}
+
+/// Builds the request's platform — two sequential processors sharing
+/// the software cost table plus one accelerator, all on the requested
+/// clock — and returns the resource ids in
+/// [`Target::ALL`](scperf_dse::point::Target::ALL) order.
+fn build_platform(sc: &Scenario) -> (Platform, [scperf_core::ResourceId; 3]) {
+    let clock = Time::from_ns_f64(sc.params.clock_ns);
+    let table = CostTable::risc_sw();
+    let mut platform = Platform::new();
+    let cpu0 = platform.sequential("cpu0", clock, table.clone(), sc.params.rtos_cycles);
+    let cpu1 = platform.sequential("cpu1", clock, table, sc.params.rtos_cycles);
+    let hw = platform.parallel("hw", clock, CostTable::asic_hw(), sc.params.hw_k);
+    (platform, [cpu0, cpu1, hw])
+}
+
+/// First simulated-time chunk of a deadline-stepped run; doubled on
+/// every resume. Small enough that the first host-clock check happens
+/// almost immediately, large enough that a full run costs only a few
+/// dozen resumes.
+const FIRST_CHUNK: Time = Time::us(1);
+
+/// Runs one scenario to completion (or deadline) against the shared
+/// trace cache.
+///
+/// # Errors
+///
+/// [`ErrorCode::DeadlineExceeded`] when `deadline` passes before the
+/// simulation finishes, [`ErrorCode::Sim`] when the simulation itself
+/// fails.
+pub fn execute(
+    sc: &Scenario,
+    cache: Option<&SegmentCostCache>,
+    deadline: Option<Instant>,
+) -> Result<Outcome, RequestError> {
+    let started = Instant::now();
+    if let Some(dl) = deadline {
+        if started >= dl {
+            return Err(RequestError {
+                code: ErrorCode::DeadlineExceeded,
+                field: None,
+                message: "deadline expired while queued".into(),
+            });
+        }
+    }
+
+    let (platform, ids) = build_platform(sc);
+    let vm = resolve_mapping(sc.mapping, ids);
+    let stage_resources = [vm.lsp, vm.lpc_int, vm.acb, vm.icb, vm.post];
+
+    let mut replays: [StageTrace; 5] = [None, None, None, None, None];
+    let mut fingerprints = [0_u64; 5];
+    if let Some(cache) = cache {
+        for (stage, &rid) in stage_resources.iter().enumerate() {
+            let fp = SegmentCostCache::fingerprint(platform.resource(rid), sc.nframes);
+            fingerprints[stage] = fp;
+            replays[stage] = cache.get(stage, fp);
+        }
+    }
+    let missing: Vec<usize> = (0..5).filter(|&s| replays[s].is_none()).collect();
+    let replayed_stages = 5 - missing.len();
+
+    let mut session = SimConfig::new().platform(platform).build();
+    let recorder = (cache.is_some() && !missing.is_empty()).then(|| session.recorder());
+    let (sim, model) = session.parts_mut();
+    let handles = pipeline::build_hybrid(sim, model, vm, sc.nframes, replays);
+
+    let summary = run_with_deadline(&mut session, deadline)?;
+
+    if let (Some(cache), Some(recorder)) = (cache, recorder) {
+        for &stage in &missing {
+            let trace = recorder
+                .replay(STAGE_NAMES[stage])
+                .expect("trace recorded for live stage");
+            cache.insert(stage, fingerprints[stage], trace);
+        }
+    }
+
+    let checksum = handles.output.lock().ok_or_else(|| RequestError {
+        code: ErrorCode::Sim,
+        field: None,
+        message: "pipeline finished without producing output".into(),
+    })?;
+
+    Ok(Outcome {
+        summary,
+        cost: platform_cost(&sc.mapping),
+        checksum,
+        replayed_stages,
+        report: sc.want_report.then(|| session.report()),
+        metrics: sc.want_metrics.then(|| session.metrics()),
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Runs the session to completion; with a deadline, steps it in
+/// doubling simulated-time chunks and checks the host clock between
+/// chunks, abandoning the run the moment the budget is spent.
+fn run_with_deadline(
+    session: &mut Session,
+    deadline: Option<Instant>,
+) -> Result<SimSummary, RequestError> {
+    let sim_error = |e: scperf_kernel::SimError| RequestError {
+        code: ErrorCode::Sim,
+        field: None,
+        message: format!("simulation failed: {e:?}"),
+    };
+    let Some(dl) = deadline else {
+        return session.run().map_err(sim_error);
+    };
+    let mut limit = FIRST_CHUNK;
+    loop {
+        let summary = session.run_until(limit).map_err(sim_error)?;
+        if summary.reason != StopReason::TimeLimit {
+            return Ok(summary);
+        }
+        if Instant::now() >= dl {
+            // Abandoning the session here is safe: dropping the
+            // simulator kills and joins the parked process threads.
+            return Err(RequestError {
+                code: ErrorCode::DeadlineExceeded,
+                field: None,
+                message: format!(
+                    "deadline expired mid-run at simulated time {}",
+                    summary.end_time
+                ),
+            });
+        }
+        limit = limit + limit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::PlatformParams;
+    use scperf_dse::point::Target;
+
+    fn scenario(mapping: [Target; 5], nframes: usize) -> Scenario {
+        Scenario {
+            mapping,
+            nframes,
+            params: PlatformParams::default(),
+            deadline_ms: None,
+            want_report: false,
+            want_metrics: false,
+            want_timing: false,
+        }
+    }
+
+    #[test]
+    fn matches_the_dse_evaluator_bit_for_bit() {
+        // Same defaults, same workload: the serving path and the sweep
+        // path must agree exactly.
+        let mapping = [
+            Target::Cpu0,
+            Target::Cpu1,
+            Target::Hw,
+            Target::Cpu0,
+            Target::Cpu0,
+        ];
+        let reference = scperf_dse::evaluate(&CostTable::risc_sw(), mapping, 2, None);
+        let got = execute(&scenario(mapping, 2), None, None).expect("runs");
+        assert_eq!(got.summary.end_time, reference.latency);
+        assert_eq!(got.cost, reference.cost);
+        assert_eq!(got.checksum, reference.checksum);
+    }
+
+    #[test]
+    fn cache_hits_replay_bit_identically() {
+        let cache = SegmentCostCache::new();
+        let sc = scenario([Target::Cpu0; 5], 1);
+        let live = execute(&sc, Some(&cache), None).expect("records");
+        assert_eq!(live.replayed_stages, 0);
+        let replayed = execute(&sc, Some(&cache), None).expect("replays");
+        assert_eq!(replayed.replayed_stages, 5);
+        assert_eq!(replayed.summary.end_time, live.summary.end_time);
+        assert_eq!(replayed.checksum, live.checksum);
+    }
+
+    #[test]
+    fn custom_parameters_change_the_estimate() {
+        let sc = scenario([Target::Cpu0; 5], 1);
+        let base = execute(&sc, None, None).expect("runs");
+        let mut slow = sc.clone();
+        slow.params.clock_ns = 20.0;
+        let slowed = execute(&slow, None, None).expect("runs");
+        assert!(slowed.summary.end_time > base.summary.end_time);
+        assert_eq!(slowed.checksum, base.checksum, "data must not change");
+    }
+
+    #[test]
+    fn an_already_expired_deadline_is_caught_before_running() {
+        let sc = scenario([Target::Cpu0; 5], 1);
+        let err = execute(&sc, None, Some(Instant::now())).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert!(err.message.contains("queued"));
+    }
+
+    #[test]
+    fn a_deadline_expires_mid_run() {
+        // Big enough that the run takes well over a millisecond.
+        let sc = scenario([Target::Cpu0; 5], 64);
+        let dl = Instant::now() + Duration::from_millis(1);
+        let err = execute(&sc, None, Some(dl)).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert!(
+            err.message.contains("mid-run"),
+            "expected a mid-run expiry, got: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn report_and_metrics_are_opt_in() {
+        let mut sc = scenario([Target::Cpu0; 5], 1);
+        let bare = execute(&sc, None, None).expect("runs");
+        assert!(bare.report.is_none() && bare.metrics.is_none());
+        sc.want_report = true;
+        sc.want_metrics = true;
+        let full = execute(&sc, None, None).expect("runs");
+        let report = full.report.expect("report requested");
+        assert_eq!(report.processes.len(), 5);
+        let metrics = full.metrics.expect("metrics requested");
+        assert!(metrics.counter("kernel.delta_cycles").is_some());
+    }
+}

@@ -1,0 +1,266 @@
+//! Response rendering: one JSON object per line, built with the
+//! workspace's [`JsonWriter`].
+//!
+//! Response payloads are deterministic by construction — host-timing
+//! fields (`elapsed_us`, `replayed_stages`) appear only when the
+//! request opted in with `"timing": true` — so the same scenario batch
+//! renders bitwise-identical lines whether the service ran it on one
+//! worker or eight.
+
+use scperf_obs::json::JsonWriter;
+use scperf_obs::MetricsSnapshot;
+
+use crate::engine::Outcome;
+use crate::protocol::{RequestError, Scenario};
+
+fn id_and_status(w: &mut JsonWriter, id: Option<&str>, status: &str) {
+    if let Some(id) = id {
+        w.key("id");
+        w.value_str(id);
+    }
+    w.key("status");
+    w.value_str(status);
+}
+
+/// Renders a successful single-scenario response.
+pub fn ok_sim(id: &str, sc: &Scenario, out: &Outcome) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    id_and_status(&mut w, Some(id), "ok");
+    sim_payload(&mut w, sc, out);
+    w.end_object();
+    w.finish()
+}
+
+/// Renders one element of a batch response's `results` array: the same
+/// payload as [`ok_sim`], keyed by `index` instead of `id`.
+pub fn batch_item_ok(index: usize, sc: &Scenario, out: &Outcome) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("index");
+    w.value_u64(index as u64);
+    w.key("status");
+    w.value_str("ok");
+    sim_payload(&mut w, sc, out);
+    w.end_object();
+    w.finish()
+}
+
+/// Renders one failed element of a batch response's `results` array.
+pub fn batch_item_err(index: usize, err: &RequestError) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("index");
+    w.value_u64(index as u64);
+    w.key("status");
+    w.value_str("error");
+    error_payload(&mut w, err, None);
+    w.end_object();
+    w.finish()
+}
+
+/// Wraps pre-rendered batch items (already index-ordered) into the
+/// batch response line.
+pub fn batch(id: &str, items: &[String]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    id_and_status(&mut w, Some(id), "ok");
+    w.key("results");
+    w.end_object();
+    let mut line = w.finish();
+    // Splice the pre-rendered items in as the value of "results"; every
+    // item is a complete JSON object, so plain concatenation stays
+    // valid JSON.
+    line.truncate(line.len() - 1); // drop '}'
+    line.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(item);
+    }
+    line.push_str("]}");
+    line
+}
+
+/// Renders an error response. `retry_after_ms` is set on backpressure
+/// rejections.
+pub fn error(id: Option<&str>, err: &RequestError, retry_after_ms: Option<u64>) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    id_and_status(&mut w, id, "error");
+    error_payload(&mut w, err, retry_after_ms);
+    w.end_object();
+    w.finish()
+}
+
+/// Renders the ping reply.
+pub fn pong(id: Option<&str>) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    id_and_status(&mut w, id, "ok");
+    w.key("op");
+    w.value_str("pong");
+    w.end_object();
+    w.finish()
+}
+
+/// Renders the stats reply around a metrics snapshot.
+pub fn stats(id: Option<&str>, metrics: &MetricsSnapshot) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    id_and_status(&mut w, id, "ok");
+    w.key("op");
+    w.value_str("stats");
+    w.key("metrics");
+    metrics.write_json(&mut w);
+    w.end_object();
+    w.finish()
+}
+
+/// Renders the shutdown acknowledgement (sent before the drain starts).
+pub fn shutdown_ack(id: Option<&str>) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    id_and_status(&mut w, id, "ok");
+    w.key("op");
+    w.value_str("shutdown");
+    w.key("draining");
+    w.value_bool(true);
+    w.end_object();
+    w.finish()
+}
+
+fn error_payload(w: &mut JsonWriter, err: &RequestError, retry_after_ms: Option<u64>) {
+    w.key("code");
+    w.value_str(err.code.as_str());
+    if let Some(field) = &err.field {
+        w.key("field");
+        w.value_str(field);
+    }
+    w.key("message");
+    w.value_str(&err.message);
+    if let Some(ms) = retry_after_ms {
+        w.key("retry_after_ms");
+        w.value_u64(ms);
+    }
+}
+
+fn sim_payload(w: &mut JsonWriter, sc: &Scenario, out: &Outcome) {
+    w.key("end_time_ps");
+    w.value_u64(out.summary.end_time.as_ps());
+    w.key("end_time");
+    w.value_str(&out.summary.end_time.to_string());
+    w.key("deltas");
+    w.value_u64(out.summary.deltas);
+    w.key("activations");
+    w.value_u64(out.summary.activations);
+    w.key("cost");
+    w.value_f64(out.cost);
+    w.key("checksum");
+    w.value_i64(out.checksum as i64);
+    if sc.want_timing {
+        w.key("elapsed_us");
+        w.value_f64(out.elapsed.as_secs_f64() * 1e6);
+        w.key("replayed_stages");
+        w.value_u64(out.replayed_stages as u64);
+    }
+    if let Some(report) = &out.report {
+        w.key("report");
+        w.begin_object();
+        w.key("total_estimated_time_ps");
+        w.value_u64(report.total_estimated_time().as_ps());
+        w.key("processes");
+        w.begin_array();
+        for p in &report.processes {
+            w.begin_object();
+            w.key("name");
+            w.value_str(&p.name);
+            w.key("resource");
+            w.value_str(&p.resource_name);
+            w.key("total_cycles");
+            w.value_f64(p.total_cycles);
+            w.key("total_time_ps");
+            w.value_u64(p.total_time.as_ps());
+            w.key("rtos_time_ps");
+            w.value_u64(p.rtos_time.as_ps());
+            w.key("segment_executions");
+            w.value_u64(p.segment_executions);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("resources");
+        w.begin_array();
+        for r in &report.resources {
+            w.begin_object();
+            w.key("name");
+            w.value_str(&r.name);
+            w.key("busy_time_ps");
+            w.value_u64(r.busy_time.as_ps());
+            w.key("rtos_time_ps");
+            w.value_u64(r.rtos_time.as_ps());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    if let Some(metrics) = &out.metrics {
+        w.key("metrics");
+        metrics.write_json(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::protocol::ErrorCode;
+
+    #[test]
+    fn error_lines_parse_back() {
+        let err = RequestError::invalid("hw_k", "must lie in [0, 1]");
+        let line = error(Some("r1"), &err, None);
+        let v = parse(&line).expect("valid JSON");
+        assert_eq!(v.get("id").unwrap().as_str(), Some("r1"));
+        assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("invalid_request"));
+        assert_eq!(v.get("field").unwrap().as_str(), Some("hw_k"));
+    }
+
+    #[test]
+    fn backpressure_rejections_carry_retry_after() {
+        let err = RequestError {
+            code: ErrorCode::QueueFull,
+            field: None,
+            message: "queue full".into(),
+        };
+        let v = parse(&error(Some("r"), &err, Some(50))).unwrap();
+        assert_eq!(v.get("retry_after_ms"), Some(&Json::Num(50.0)));
+    }
+
+    #[test]
+    fn batch_splicing_stays_valid_json() {
+        let items = vec![
+            batch_item_err(0, &RequestError::invalid("nframes", "missing")),
+            batch_item_err(1, &RequestError::invalid("mapping", "bad")),
+        ];
+        let v = parse(&batch("b1", &items)).expect("valid JSON");
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].get("index"), Some(&Json::Num(1.0)));
+    }
+
+    #[test]
+    fn control_replies_parse_back() {
+        assert!(parse(&pong(None)).unwrap().get("id").is_none());
+        let v = parse(&shutdown_ack(Some("s"))).unwrap();
+        assert_eq!(v.get("draining").unwrap().as_bool(), Some(true));
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("serve.requests", 3);
+        let v = parse(&stats(None, &m)).unwrap();
+        assert_eq!(
+            v.get("metrics").unwrap().get("serve.requests"),
+            Some(&Json::Num(3.0))
+        );
+    }
+}

@@ -1,0 +1,507 @@
+//! The service: admission control and concurrent execution.
+//!
+//! [`Service`] layers policy on top of the raw
+//! [`scperf_dse::WorkerPool`]:
+//!
+//! * **Bounded queue + backpressure** — at most `queue_capacity` jobs
+//!   may be pending (queued or running); requests beyond that are
+//!   rejected immediately with a `queue_full` error carrying
+//!   `retry_after_ms`, instead of building an unbounded backlog.
+//! * **Deadlines** — a request's `deadline_ms` is measured from
+//!   admission; expiry is detected both in the queue and mid-run (the
+//!   engine steps the simulation and checks the host clock between
+//!   chunks).
+//! * **Batching** — a batch request fans its scenarios out over the
+//!   pool; the response assembles per-scenario results in request
+//!   order, so it is bitwise identical for any worker count.
+//! * **Graceful shutdown** — [`Service::drain`] stops admission and
+//!   blocks until every accepted job has run and its response has been
+//!   delivered.
+//!
+//! Execution results are memoized through a shared
+//! [`SegmentCostCache`]: the first run of a `(stage, resource, nframes)`
+//! combination records per-segment cycle traces, later runs replay them
+//! bit-identically at a fraction of the host cost.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use scperf_dse::{SegmentCostCache, WorkerPool};
+use scperf_obs::{LatencySamples, MetricsSnapshot};
+use scperf_sync::Mutex;
+
+use crate::engine;
+use crate::json;
+use crate::protocol::{ErrorCode, Request, RequestError, Scenario};
+use crate::render;
+
+/// Tuning knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing simulations (and TCP connections).
+    pub workers: usize,
+    /// Maximum pending (queued + running) jobs before requests are
+    /// rejected with `queue_full`.
+    pub queue_capacity: usize,
+    /// The `retry_after_ms` hint attached to `queue_full` rejections.
+    pub retry_after_ms: u64,
+    /// Whether to memoize segment-cost traces across requests.
+    pub use_cache: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            retry_after_ms: 50,
+            use_cache: true,
+        }
+    }
+}
+
+/// Where response lines go. Cloneable so pooled jobs can answer
+/// out-of-order while the frontend keeps reading.
+#[derive(Clone)]
+pub struct Responder {
+    send_fn: Arc<dyn Fn(&str) + Send + Sync>,
+}
+
+impl Responder {
+    /// A responder calling `f` with each complete response line
+    /// (without trailing newline).
+    pub fn new(f: impl Fn(&str) + Send + Sync + 'static) -> Responder {
+        Responder {
+            send_fn: Arc::new(f),
+        }
+    }
+
+    /// A responder appending `line + "\n"` to `w` (one `write_all` +
+    /// flush per line, serialized by an internal lock).
+    pub fn from_writer<W: Write + Send + 'static>(w: W) -> Responder {
+        let w = Mutex::new(w);
+        Responder::new(move |line| {
+            let mut w = w.lock();
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(b"\n");
+            let _ = w.flush();
+        })
+    }
+
+    /// A responder collecting lines into a shared vector — for tests
+    /// and benches.
+    pub fn collector() -> (Responder, Arc<Mutex<Vec<String>>>) {
+        let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&lines);
+        (
+            Responder::new(move |line| sink.lock().push(line.to_string())),
+            lines,
+        )
+    }
+
+    /// Delivers one response line.
+    pub fn send(&self, line: &str) {
+        (self.send_fn)(line);
+    }
+}
+
+impl std::fmt::Debug for Responder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Responder").finish_non_exhaustive()
+    }
+}
+
+/// What the frontend should do after a line was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Keep reading.
+    Continue,
+    /// A shutdown was requested: stop reading and drain.
+    Shutdown,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    received: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    invalid: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    batches: AtomicU64,
+}
+
+struct ServiceShared {
+    cache: Option<SegmentCostCache>,
+    draining: AtomicBool,
+    counters: Counters,
+    latency: Mutex<LatencySamples>,
+}
+
+/// The simulation service. See the [module docs](self).
+pub struct Service {
+    pool: WorkerPool,
+    shared: Arc<ServiceShared>,
+    queue_capacity: usize,
+    retry_after_ms: u64,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("pool", &self.pool)
+            .field("queue_capacity", &self.queue_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Starts a service with `config.workers` worker threads.
+    pub fn new(config: ServiceConfig) -> Service {
+        Service {
+            pool: WorkerPool::new("serve", config.workers),
+            shared: Arc::new(ServiceShared {
+                cache: config.use_cache.then(SegmentCostCache::new),
+                draining: AtomicBool::new(false),
+                counters: Counters::default(),
+                latency: Mutex::new(LatencySamples::new()),
+            }),
+            queue_capacity: config.queue_capacity.max(1),
+            retry_after_ms: config.retry_after_ms,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Jobs accepted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.pool.pending()
+    }
+
+    /// Handles one request line asynchronously: control ops are
+    /// answered inline, simulation work is enqueued on the pool and
+    /// answered through `responder` when it completes (possibly out of
+    /// request order — responses carry the request id).
+    pub fn handle_line(&self, line: &str, responder: &Responder) -> Disposition {
+        let (request, disposition) = match self.parse_line(line, responder) {
+            Some(pair) => pair,
+            None => return Disposition::Continue,
+        };
+        if let Some(d) = disposition {
+            return d;
+        }
+        match request {
+            Request::Sim { id, scenario } => {
+                if let Err((err, retry)) = self.admit(1) {
+                    responder.send(&render::error(Some(&id), &err, retry));
+                    return Disposition::Continue;
+                }
+                let shared = Arc::clone(&self.shared);
+                let responder = responder.clone();
+                let admitted = Instant::now();
+                let submitted = self.pool.submit(move || {
+                    let line = match run_scenario(&shared, &scenario, admitted) {
+                        Ok(out) => render::ok_sim(&id, &scenario, &out),
+                        Err(err) => render::error(Some(&id), &err, None),
+                    };
+                    responder.send(&line);
+                });
+                debug_assert!(submitted, "pool outlives the service");
+            }
+            Request::Batch { id, scenarios } => {
+                let runnable = scenarios.iter().filter(|s| s.is_ok()).count();
+                if let Err((err, retry)) = self.admit(runnable) {
+                    responder.send(&render::error(Some(&id), &err, retry));
+                    return Disposition::Continue;
+                }
+                self.shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+                self.submit_batch(id, scenarios, runnable, responder);
+            }
+            Request::Ping { .. } | Request::Stats { .. } | Request::Shutdown { .. } => {
+                unreachable!("control ops are answered by parse_line")
+            }
+        }
+        Disposition::Continue
+    }
+
+    /// Handles one request line synchronously on the calling thread:
+    /// same protocol, but simulation work runs inline instead of being
+    /// enqueued, and the response line is returned. Used by the TCP
+    /// frontend, whose *connections* are pool jobs — executing inline
+    /// keeps one connection from occupying two pool slots (and from
+    /// deadlocking a single-worker service).
+    pub fn handle_line_sync(&self, line: &str) -> (Option<String>, Disposition) {
+        let (responder, collected) = Responder::collector();
+        let (request, disposition) = match self.parse_line(line, &responder) {
+            Some(pair) => pair,
+            None => return (collected.lock().first().cloned(), Disposition::Continue),
+        };
+        if let Some(d) = disposition {
+            return (collected.lock().first().cloned(), d);
+        }
+        let admitted = Instant::now();
+        let line = match request {
+            Request::Sim { id, scenario } => {
+                match run_scenario(&self.shared, &scenario, admitted) {
+                    Ok(out) => render::ok_sim(&id, &scenario, &out),
+                    Err(err) => render::error(Some(&id), &err, None),
+                }
+            }
+            Request::Batch { id, scenarios } => {
+                self.shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+                let items: Vec<String> = scenarios
+                    .iter()
+                    .enumerate()
+                    .map(|(i, sc)| match sc {
+                        Ok(sc) => match run_scenario(&self.shared, sc, admitted) {
+                            Ok(out) => render::batch_item_ok(i, sc, &out),
+                            Err(err) => render::batch_item_err(i, &err),
+                        },
+                        Err(err) => render::batch_item_err(i, err),
+                    })
+                    .collect();
+                render::batch(&id, &items)
+            }
+            Request::Ping { .. } | Request::Stats { .. } | Request::Shutdown { .. } => {
+                unreachable!("control ops are answered by parse_line")
+            }
+        };
+        (Some(line), Disposition::Continue)
+    }
+
+    /// Shared front half of both handle paths: parse, validate, count,
+    /// and answer control ops. Returns `None` when the line was empty,
+    /// a malformed/invalid line was already answered, `Some((req,
+    /// Some(d)))` when a control op was answered with disposition `d`,
+    /// and `Some((req, None))` when simulation work remains to be done.
+    #[allow(clippy::type_complexity)]
+    fn parse_line(
+        &self,
+        line: &str,
+        responder: &Responder,
+    ) -> Option<(Request, Option<Disposition>)> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let counters = &self.shared.counters;
+        counters.received.fetch_add(1, Ordering::Relaxed);
+        let value = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                counters.invalid.fetch_add(1, Ordering::Relaxed);
+                let err = RequestError {
+                    code: ErrorCode::Parse,
+                    field: None,
+                    message: e.to_string(),
+                };
+                responder.send(&render::error(None, &err, None));
+                return None;
+            }
+        };
+        let request = match Request::from_json(&value) {
+            Ok(r) => r,
+            Err(err) => {
+                counters.invalid.fetch_add(1, Ordering::Relaxed);
+                let id = crate::protocol::salvage_id(&value);
+                responder.send(&render::error(id.as_deref(), &err, None));
+                return None;
+            }
+        };
+        match &request {
+            Request::Ping { id } => {
+                responder.send(&render::pong(id.as_deref()));
+                Some((request, Some(Disposition::Continue)))
+            }
+            Request::Stats { id } => {
+                responder.send(&render::stats(id.as_deref(), &self.metrics()));
+                Some((request, Some(Disposition::Continue)))
+            }
+            Request::Shutdown { id } => {
+                responder.send(&render::shutdown_ack(id.as_deref()));
+                Some((request, Some(Disposition::Shutdown)))
+            }
+            _ => Some((request, None)),
+        }
+    }
+
+    /// Enqueues an arbitrary job (the TCP frontend's connection
+    /// handlers). The caller is responsible for admission.
+    pub(crate) fn submit_job(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        self.pool.submit(job)
+    }
+
+    /// Admission control: room for `njobs` more, unless draining or
+    /// saturated.
+    pub(crate) fn admit(&self, njobs: usize) -> Result<(), (RequestError, Option<u64>)> {
+        let counters = &self.shared.counters;
+        if self.shared.draining.load(Ordering::SeqCst) {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err((
+                RequestError {
+                    code: ErrorCode::ShuttingDown,
+                    field: None,
+                    message: "service is draining".into(),
+                },
+                None,
+            ));
+        }
+        if self.pool.pending() + njobs > self.queue_capacity {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err((
+                RequestError {
+                    code: ErrorCode::QueueFull,
+                    field: None,
+                    message: format!(
+                        "queue is full ({} pending, capacity {})",
+                        self.pool.pending(),
+                        self.queue_capacity
+                    ),
+                },
+                Some(self.retry_after_ms),
+            ));
+        }
+        counters.accepted.fetch_add(njobs as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn submit_batch(
+        &self,
+        id: String,
+        scenarios: Vec<Result<Scenario, RequestError>>,
+        runnable: usize,
+        responder: &Responder,
+    ) {
+        // Pre-render validation failures; their slots are final.
+        let slots: Vec<Option<String>> = scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| match sc {
+                Ok(_) => None,
+                Err(err) => Some(render::batch_item_err(i, err)),
+            })
+            .collect();
+        if runnable == 0 {
+            let items: Vec<String> = slots.into_iter().map(|s| s.expect("all final")).collect();
+            responder.send(&render::batch(&id, &items));
+            return;
+        }
+        struct BatchState {
+            id: String,
+            slots: Mutex<Vec<Option<String>>>,
+            remaining: AtomicUsize,
+            responder: Responder,
+        }
+        let state = Arc::new(BatchState {
+            id,
+            slots: Mutex::new(slots),
+            remaining: AtomicUsize::new(runnable),
+            responder: responder.clone(),
+        });
+        let admitted = Instant::now();
+        for (i, sc) in scenarios.into_iter().enumerate() {
+            let Ok(scenario) = sc else { continue };
+            let shared = Arc::clone(&self.shared);
+            let state = Arc::clone(&state);
+            let submitted = self.pool.submit(move || {
+                let item = match run_scenario(&shared, &scenario, admitted) {
+                    Ok(out) => render::batch_item_ok(i, &scenario, &out),
+                    Err(err) => render::batch_item_err(i, &err),
+                };
+                state.slots.lock()[i] = Some(item);
+                if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let items: Vec<String> = state
+                        .slots
+                        .lock()
+                        .iter()
+                        .cloned()
+                        .map(|s| s.expect("every slot filled"))
+                        .collect();
+                    state.responder.send(&render::batch(&state.id, &items));
+                }
+            });
+            debug_assert!(submitted, "pool outlives the service");
+        }
+    }
+
+    /// The service's observability snapshot: `serve.*` counters,
+    /// latency percentiles, queue depth, and cache statistics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let c = &self.shared.counters;
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("serve.requests", c.received.load(Ordering::Relaxed));
+        m.set_counter("serve.accepted", c.accepted.load(Ordering::Relaxed));
+        m.set_counter("serve.rejected", c.rejected.load(Ordering::Relaxed));
+        m.set_counter("serve.invalid", c.invalid.load(Ordering::Relaxed));
+        m.set_counter("serve.completed", c.completed.load(Ordering::Relaxed));
+        m.set_counter("serve.failed", c.failed.load(Ordering::Relaxed));
+        m.set_counter(
+            "serve.deadline_exceeded",
+            c.deadline_exceeded.load(Ordering::Relaxed),
+        );
+        m.set_counter("serve.batches", c.batches.load(Ordering::Relaxed));
+        m.set_counter("serve.workers", self.pool.workers() as u64);
+        m.set_counter("serve.queue.pending", self.pool.pending() as u64);
+        m.set_counter("serve.queue.capacity", self.queue_capacity as u64);
+        if let Some(cache) = &self.shared.cache {
+            let stats = cache.stats();
+            m.set_counter("serve.cache.hits", stats.hits);
+            m.set_counter("serve.cache.misses", stats.misses);
+            m.set_counter("serve.cache.entries", stats.entries as u64);
+            m.set_gauge("serve.cache.hit_rate", stats.hit_rate());
+        }
+        if let Some(summary) = self.shared.latency.lock().summary() {
+            summary.export(&mut m, "serve.latency");
+        }
+        m
+    }
+
+    /// Graceful shutdown: stops admitting new requests and blocks until
+    /// every accepted job has finished and answered. The worker threads
+    /// are joined when the `Service` is dropped.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.pool.wait_idle();
+    }
+
+    /// Whether [`Service::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Executes one scenario and maintains the shared counters and latency
+/// samples. Shared by the pooled (stdio) and inline (TCP) paths.
+fn run_scenario(
+    shared: &ServiceShared,
+    scenario: &Scenario,
+    admitted: Instant,
+) -> Result<engine::Outcome, RequestError> {
+    let deadline = scenario
+        .deadline_ms
+        .map(|ms| admitted + Duration::from_millis(ms));
+    let result = engine::execute(scenario, shared.cache.as_ref(), deadline);
+    let c = &shared.counters;
+    match &result {
+        Ok(_) => {
+            c.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(err) if err.code == ErrorCode::DeadlineExceeded => {
+            c.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            c.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    shared
+        .latency
+        .lock()
+        .record_us(admitted.elapsed().as_secs_f64() * 1e6);
+    result
+}

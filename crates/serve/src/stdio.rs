@@ -1,0 +1,29 @@
+//! The stdio frontend: JSON-lines requests on stdin, JSON-lines
+//! responses on stdout.
+//!
+//! Requests fan out onto the service's worker pool, so responses may
+//! arrive out of request order — they carry the request `id` for
+//! correlation. The loop ends on stdin EOF or a `shutdown` op; either
+//! way the service drains every accepted request before returning.
+
+use std::io::BufRead;
+
+use crate::service::{Disposition, Responder, Service};
+
+/// Reads request lines from `reader`, answering through `responder`,
+/// until EOF or a `shutdown` op; then drains the service.
+pub fn serve_reader<R: BufRead>(service: &Service, reader: R, responder: &Responder) {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if service.handle_line(&line, responder) == Disposition::Shutdown {
+            break;
+        }
+    }
+    service.drain();
+}
+
+/// Serves stdin/stdout until EOF or a `shutdown` op, then drains.
+pub fn run_stdio(service: &Service) {
+    let responder = Responder::from_writer(std::io::stdout());
+    serve_reader(service, std::io::stdin().lock(), &responder);
+}

@@ -1,0 +1,285 @@
+//! Service-level behaviour: backpressure, deadlines, graceful drain,
+//! determinism across worker counts, and both frontends end to end.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use scperf_serve::json::{parse, Json};
+use scperf_serve::{Disposition, Responder, Service, ServiceConfig, TcpServer};
+
+fn service(workers: usize, queue: usize) -> Service {
+    Service::new(ServiceConfig {
+        workers,
+        queue_capacity: queue,
+        retry_after_ms: 25,
+        use_cache: true,
+    })
+}
+
+fn sim_line(id: &str, mapping: &str, nframes: usize, extra: &str) -> String {
+    format!(r#"{{"id":"{id}","mapping":[{mapping}],"nframes":{nframes}{extra}}}"#)
+}
+
+const ALL_CPU0: &str = r#""cpu0","cpu0","cpu0","cpu0","cpu0""#;
+const MIXED: &str = r#""cpu0","cpu1","hw","cpu0","cpu1""#;
+
+fn wait_for_lines(lines: &Arc<scperf_sync::Mutex<Vec<String>>>, n: usize) -> Vec<String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        {
+            let got = lines.lock();
+            if got.len() >= n {
+                return got.clone();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {n} responses"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn field<'j>(v: &'j Json, key: &str) -> &'j Json {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing {key:?} in {v:?}"))
+}
+
+#[test]
+fn requests_complete_and_responses_carry_ids() {
+    let svc = service(2, 8);
+    let (responder, lines) = Responder::collector();
+    for i in 0..3 {
+        let d = svc.handle_line(&sim_line(&format!("r{i}"), ALL_CPU0, 1, ""), &responder);
+        assert_eq!(d, Disposition::Continue);
+    }
+    let got = wait_for_lines(&lines, 3);
+    let mut ids: Vec<String> = got
+        .iter()
+        .map(|l| {
+            let v = parse(l).expect("valid response JSON");
+            assert_eq!(field(&v, "status").as_str(), Some("ok"));
+            assert!(field(&v, "end_time_ps").as_u64().unwrap() > 0);
+            field(&v, "id").as_str().unwrap().to_string()
+        })
+        .collect();
+    ids.sort();
+    assert_eq!(ids, ["r0", "r1", "r2"]);
+    svc.drain();
+}
+
+#[test]
+fn queue_saturation_rejects_with_retry_after() {
+    // One worker, queue of one: the second concurrent request must be
+    // rejected while the first still runs.
+    let svc = service(1, 1);
+    let (responder, lines) = Responder::collector();
+    svc.handle_line(&sim_line("slow", ALL_CPU0, 64, ""), &responder);
+    let mut rejected = 0;
+    for i in 0..8 {
+        svc.handle_line(&sim_line(&format!("r{i}"), ALL_CPU0, 1, ""), &responder);
+        let got = lines.lock().clone();
+        rejected = got.iter().filter(|l| l.contains("\"queue_full\"")).count();
+        if rejected > 0 {
+            break;
+        }
+    }
+    assert!(rejected > 0, "no request was rejected at capacity 1");
+    let got = lines.lock().clone();
+    let reject = got
+        .iter()
+        .find(|l| l.contains("\"queue_full\""))
+        .expect("rejection present");
+    let v = parse(reject).unwrap();
+    assert_eq!(field(&v, "status").as_str(), Some("error"));
+    assert_eq!(field(&v, "retry_after_ms").as_u64(), Some(25));
+    svc.drain();
+    let m = svc.metrics();
+    assert!(m.counter("serve.rejected").unwrap() > 0);
+}
+
+#[test]
+fn deadlines_expire_mid_run_and_in_queue() {
+    let svc = service(1, 8);
+    let (responder, lines) = Responder::collector();
+    // Long scenario, 1ms budget: expires mid-run.
+    svc.handle_line(
+        &sim_line("dl", ALL_CPU0, 128, r#","deadline_ms":1"#),
+        &responder,
+    );
+    // Queued behind it with a budget shorter than the head-of-line
+    // run: expires before it even starts.
+    svc.handle_line(
+        &sim_line("q", ALL_CPU0, 128, r#","deadline_ms":1"#),
+        &responder,
+    );
+    let got = wait_for_lines(&lines, 2);
+    let by_id = |id: &str| {
+        let line = got
+            .iter()
+            .find(|l| parse(l).unwrap().get("id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no response for {id}"));
+        parse(line).unwrap()
+    };
+    let dl = by_id("dl");
+    assert_eq!(field(&dl, "code").as_str(), Some("deadline_exceeded"));
+    assert!(field(&dl, "message").as_str().unwrap().contains("mid-run"));
+    let q = by_id("q");
+    assert_eq!(field(&q, "code").as_str(), Some("deadline_exceeded"));
+    svc.drain();
+    assert_eq!(svc.metrics().counter("serve.deadline_exceeded"), Some(2));
+}
+
+#[test]
+fn drain_finishes_every_accepted_request() {
+    let svc = service(2, 16);
+    let (responder, lines) = Responder::collector();
+    for i in 0..6 {
+        svc.handle_line(&sim_line(&format!("r{i}"), MIXED, 2, ""), &responder);
+    }
+    // Drain immediately: all six must still be answered, successfully.
+    svc.drain();
+    let got = lines.lock().clone();
+    assert_eq!(got.len(), 6);
+    for l in &got {
+        assert_eq!(field(&parse(l).unwrap(), "status").as_str(), Some("ok"));
+    }
+    // And new work is refused while draining.
+    svc.handle_line(&sim_line("late", ALL_CPU0, 1, ""), &responder);
+    let last = lines.lock().last().cloned().unwrap();
+    assert!(last.contains("\"shutting_down\""), "got: {last}");
+}
+
+#[test]
+fn batches_are_bitwise_identical_across_worker_counts() {
+    // The same batch — mixed mappings, parameters, one invalid entry —
+    // must render the same bytes from a 1-worker and an 8-worker
+    // service: results are index-ordered and payloads carry no host
+    // timing.
+    let batch = r#"{"id":"b","op":"batch","scenarios":[
+        {"mapping":["cpu0","cpu0","cpu0","cpu0","cpu0"],"nframes":2},
+        {"mapping":["cpu0","cpu1","hw","cpu0","cpu1"],"nframes":2},
+        {"mapping":["hw","hw","hw","hw","hw"],"nframes":1,"hw_k":0.25},
+        {"mapping":["cpu0","cpu0","cpu0","cpu0","cpu0"],"nframes":0},
+        {"mapping":["cpu1","cpu1","cpu1","cpu1","cpu1"],"nframes":3,"clock_ns":20,"report":true}
+    ]}"#
+    .replace('\n', "");
+    let mut outputs = Vec::new();
+    for workers in [1, 8] {
+        let svc = service(workers, 16);
+        let (responder, lines) = Responder::collector();
+        assert_eq!(svc.handle_line(&batch, &responder), Disposition::Continue);
+        let got = wait_for_lines(&lines, 1);
+        outputs.push(got[0].clone());
+        svc.drain();
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "batch responses differ between 1 and 8 workers"
+    );
+    let v = parse(&outputs[0]).unwrap();
+    let results = field(&v, "results").as_arr().unwrap();
+    assert_eq!(results.len(), 5);
+    assert_eq!(field(&results[3], "status").as_str(), Some("error"));
+    assert_eq!(field(&results[3], "field").as_str(), Some("nframes"));
+    assert_eq!(field(&results[4], "status").as_str(), Some("ok"));
+    assert!(results[4].get("report").is_some());
+}
+
+#[test]
+fn repeated_scenarios_hit_the_cache_without_changing_results() {
+    let svc = service(2, 8);
+    let (responder, lines) = Responder::collector();
+    for i in 0..4 {
+        svc.handle_line(&sim_line(&format!("r{i}"), MIXED, 2, ""), &responder);
+    }
+    svc.drain();
+    let got = lines.lock().clone();
+    let times: Vec<u64> = got
+        .iter()
+        .map(|l| field(&parse(l).unwrap(), "end_time_ps").as_u64().unwrap())
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] == w[1]), "times: {times:?}");
+    let m = svc.metrics();
+    assert!(m.counter("serve.cache.hits").unwrap() > 0, "{m}");
+    assert!(m.counter("serve.latency.count").is_some());
+}
+
+#[test]
+fn stdio_frontend_round_trips_and_shuts_down() {
+    let svc = service(2, 8);
+    let input = format!(
+        "{}\n{}\nnot json\n{}\n",
+        r#"{"op":"ping"}"#,
+        sim_line("s1", MIXED, 1, ""),
+        r#"{"op":"shutdown","id":"bye"}"#
+    );
+    let (responder, lines) = Responder::collector();
+    scperf_serve::stdio::serve_reader(&svc, BufReader::new(input.as_bytes()), &responder);
+    // serve_reader returns only after the drain: every line answered.
+    let got = lines.lock().clone();
+    assert_eq!(got.len(), 4);
+    assert!(got.iter().any(|l| l.contains("\"pong\"")));
+    assert!(got.iter().any(|l| l.contains("\"parse_error\"")));
+    assert!(got.iter().any(|l| l.contains("\"s1\"")));
+    assert!(got.iter().any(|l| l.contains("\"draining\":true")));
+}
+
+#[test]
+fn tcp_frontend_serves_concurrent_connections() {
+    let svc = Arc::new(service(2, 8));
+    let server = TcpServer::bind("127.0.0.1:0", Arc::clone(&svc)).expect("bind");
+    let addr = server.local_addr();
+    let stop = server.stop_handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let request_on = |mapping: &'static str, id: &'static str| {
+        std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            writeln!(conn, "{}", sim_line(id, mapping, 1, "")).unwrap();
+            let mut reply = String::new();
+            BufReader::new(conn).read_line(&mut reply).unwrap();
+            reply
+        })
+    };
+    let a = request_on(ALL_CPU0, "a");
+    let b = request_on(MIXED, "b");
+    let ra = parse(&a.join().unwrap()).unwrap();
+    let rb = parse(&b.join().unwrap()).unwrap();
+    assert_eq!(field(&ra, "status").as_str(), Some("ok"));
+    assert_eq!(field(&rb, "status").as_str(), Some("ok"));
+    assert_eq!(field(&ra, "id").as_str(), Some("a"));
+
+    // Stats over TCP reflects the served requests.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    writeln!(conn, r#"{{"op":"stats"}}"#).unwrap();
+    let mut reply = String::new();
+    BufReader::new(conn.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    let v = parse(&reply).unwrap();
+    let metrics = field(&v, "metrics");
+    assert!(field(metrics, "serve.completed").as_u64().unwrap() >= 2);
+
+    stop.stop();
+    server_thread.join().expect("server thread");
+}
+
+#[test]
+fn tcp_shutdown_op_stops_the_server() {
+    let svc = Arc::new(service(1, 4));
+    let server = TcpServer::bind("127.0.0.1:0", Arc::clone(&svc)).expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    writeln!(conn, r#"{{"op":"shutdown"}}"#).unwrap();
+    let mut reply = String::new();
+    BufReader::new(conn).read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"draining\":true"), "got: {reply}");
+    // run() returns only after the drain completes.
+    server_thread.join().expect("server thread");
+    assert!(svc.is_draining());
+}

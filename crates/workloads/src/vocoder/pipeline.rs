@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use scperf_core::{GArr, PerfModel, ResourceId, G};
+use scperf_core::{GArr, PerfModel, Replay, ResourceId, G};
 use scperf_kernel::Simulator;
 use scperf_sync::Mutex;
 
@@ -89,9 +89,9 @@ pub const STAGE_NAMES: [&str; 5] = [
 ];
 
 /// An optional recorded per-segment cycle trace for one stage, as
-/// produced by [`scperf_core::PerfModel::segment_cost_trace`] after a run
-/// with [`scperf_core::PerfModel::record_segment_costs`] enabled.
-pub type StageTrace = Option<Arc<Vec<f64>>>;
+/// handed out by a [`scperf_core::Recorder`] after a run with
+/// segment-cost recording enabled.
+pub type StageTrace = Option<Replay>;
 
 /// Elaborates the full vocoder model into `sim`/`model`: an environment
 /// source feeding `nframes` frames, the five analyzed stage processes
@@ -160,7 +160,7 @@ pub fn build_hybrid(
         let chks = Arc::clone(&stage_chks);
         match rp_lsp {
             Some(trace) => {
-                model.spawn_replay(sim, STAGE_NAMES[0], mapping.lsp, trace, move |ctx| {
+                model.spawn_replaying(sim, STAGE_NAMES[0], mapping.lsp, trace, move |ctx| {
                     let mut chk = 0_i32;
                     for _ in 0..nframes {
                         let mut msg = rx.read(ctx);
@@ -193,7 +193,7 @@ pub fn build_hybrid(
         let chks = Arc::clone(&stage_chks);
         match rp_lpc {
             Some(trace) => {
-                model.spawn_replay(sim, STAGE_NAMES[1], mapping.lpc_int, trace, move |ctx| {
+                model.spawn_replaying(sim, STAGE_NAMES[1], mapping.lpc_int, trace, move |ctx| {
                     let mut state = stages::LpcIntState::new();
                     let mut chk = 0_i32;
                     for _ in 0..nframes {
@@ -228,7 +228,7 @@ pub fn build_hybrid(
         let chks = Arc::clone(&stage_chks);
         match rp_acb {
             Some(trace) => {
-                model.spawn_replay(sim, STAGE_NAMES[2], mapping.acb, trace, move |ctx| {
+                model.spawn_replaying(sim, STAGE_NAMES[2], mapping.acb, trace, move |ctx| {
                     let mut state = stages::AcbState::new();
                     let mut chk = 0_i32;
                     for _ in 0..nframes {
@@ -270,7 +270,7 @@ pub fn build_hybrid(
         let chks = Arc::clone(&stage_chks);
         match rp_icb {
             Some(trace) => {
-                model.spawn_replay(sim, STAGE_NAMES[3], mapping.icb, trace, move |ctx| {
+                model.spawn_replaying(sim, STAGE_NAMES[3], mapping.icb, trace, move |ctx| {
                     let mut chk = 0_i32;
                     for _ in 0..nframes {
                         let mut msg = rx.read(ctx);
@@ -304,7 +304,7 @@ pub fn build_hybrid(
         let chks = Arc::clone(&stage_chks);
         match rp_post {
             Some(trace) => {
-                model.spawn_replay(sim, STAGE_NAMES[4], mapping.post, trace, move |ctx| {
+                model.spawn_replaying(sim, STAGE_NAMES[4], mapping.post, trace, move |ctx| {
                     let mut state = stages::PostState::new();
                     let mut chk = 0_i32;
                     for _ in 0..nframes {
@@ -546,13 +546,13 @@ mod tests {
         let (platform, cpu) = build_platform();
         let mut sim = Simulator::new();
         let model = PerfModel::new(platform, Mode::StrictTimed);
-        model.record_segment_costs();
+        let recorder = model.recorder();
         let live = build(&mut sim, &model, VocoderMapping::all_on(cpu), nframes);
         let live_end = sim.run().unwrap().end_time;
         let live_report = model.report();
-        let traces: Vec<Arc<Vec<f64>>> = STAGE_NAMES
+        let traces: Vec<Replay> = STAGE_NAMES
             .iter()
-            .map(|n| Arc::new(model.segment_cost_trace(n).unwrap()))
+            .map(|n| recorder.replay(n).unwrap())
             .collect();
         // One trace entry per read node + write node per frame, plus exit.
         assert!(traces.iter().all(|t| t.len() == 2 * nframes + 1));
@@ -561,7 +561,7 @@ mod tests {
         let (platform, cpu) = build_platform();
         let mut sim = Simulator::new();
         let model = PerfModel::new(platform, Mode::StrictTimed);
-        let replays: [StageTrace; 5] = std::array::from_fn(|i| Some(Arc::clone(&traces[i])));
+        let replays: [StageTrace; 5] = std::array::from_fn(|i| Some(traces[i].clone()));
         let replayed = build_hybrid(
             &mut sim,
             &model,

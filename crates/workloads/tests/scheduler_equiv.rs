@@ -5,14 +5,16 @@
 //! rewrite changed simulation semantics, not just host performance.
 
 use scperf_kernel::trace::functional_projection;
-use scperf_kernel::{HandoffKind, SimSummary, Simulator, Time};
+use scperf_kernel::{HandoffKind, SimOptions, SimSummary, Time, TraceMode};
 use scperf_workloads::vocoder::pipeline::build_plain;
 
 const NFRAMES: usize = 12;
 
 fn run_vocoder(kind: HandoffKind) -> (i32, SimSummary, Vec<(String, String, String)>) {
-    let mut sim = Simulator::with_handoff(kind);
-    sim.enable_tracing();
+    let mut sim = SimOptions::new()
+        .handoff(kind)
+        .tracing(TraceMode::Unbounded)
+        .build();
     let out = build_plain(&mut sim, NFRAMES);
     let summary = sim.run().expect("vocoder runs to completion");
     let chk = out.lock().expect("sink produced a checksum");
@@ -38,7 +40,7 @@ fn vocoder_trace_is_bit_identical_across_handoffs() {
 #[test]
 fn timed_pipeline_is_bit_identical_across_handoffs() {
     fn run(kind: HandoffKind) -> (SimSummary, Vec<(String, String, String)>) {
-        let mut sim = Simulator::with_handoff(kind);
+        let mut sim = SimOptions::new().handoff(kind).build();
         sim.enable_tracing();
         let ch = sim.fifo::<u64>("stage", 3);
         for p in 0..4u64 {

@@ -5,22 +5,22 @@
 //!
 //! Run with `cargo run --release --example hw_sw_tradeoff`.
 
-use scperf::core::{weighted_hw_cycles, CostTable, Mode, PerfModel, Platform};
-use scperf::hls;
-use scperf::kernel::{Simulator, Time};
-use scperf::workloads::fir;
+use scperf::prelude::workloads::fir;
+use scperf::prelude::*;
 
 const CLOCK: Time = Time::ns(10);
 
 /// Runs the one-sample FIR kernel on the given platform mapping and
 /// returns the simulated segment time.
-fn simulate(platform: Platform, hw: scperf::core::ResourceId) -> Time {
-    let mut sim = Simulator::new();
-    let model = PerfModel::new(platform, Mode::StrictTimed);
-    model.spawn(&mut sim, "fir", hw, |_ctx| {
+fn simulate(platform: Platform, hw: ResourceId) -> Time {
+    let mut session = SimConfig::new()
+        .platform(platform)
+        .mode(Mode::StrictTimed)
+        .build();
+    session.spawn("fir", hw, |_ctx| {
         let _ = fir::annotated_one_sample(7);
     });
-    sim.run().expect("simulation runs").end_time
+    session.run().expect("simulation runs").end_time
 }
 
 fn main() {
@@ -43,17 +43,20 @@ fn main() {
     // --- The scheduler's view of the same segment (Figure 4).
     let mut platform = Platform::new();
     let hw = platform.parallel("fir_asic", CLOCK, CostTable::asic_hw(), 0.0);
-    let mut sim = Simulator::new();
-    let model = PerfModel::new(platform, Mode::EstimateOnly);
-    model.record_dfgs();
-    model.spawn(&mut sim, "fir", hw, |_ctx| {
+    let mut session = SimConfig::new()
+        .platform(platform)
+        .mode(Mode::EstimateOnly)
+        .record_dfgs()
+        .build();
+    session.spawn("fir", hw, |_ctx| {
         let _ = fir::annotated_one_sample(7);
     });
-    sim.run().expect("recording run");
-    let report = model.report();
+    session.run().expect("recording run");
+    let report = session.report();
     let seg = &report.process("fir").expect("fir reported").segments[0];
     let (t_min, t_max) = (seg.stats.last_t_min, seg.stats.last_t_max);
-    let dfg = model
+    let dfg = session
+        .model()
         .dfgs("fir")
         .into_iter()
         .next()

@@ -4,8 +4,8 @@
 //! Demonstrates the full `scperf::obs` surface:
 //!
 //! 1. enable compact in-memory tracing (interned symbols, no `String`
-//!    per record) and read the trace back both as raw events and as the
-//!    legacy [`TraceRecord`](scperf::kernel::TraceRecord) view,
+//!    per record) through the `SimConfig` builder and read the trace
+//!    back as raw events,
 //! 2. snapshot kernel + estimator metrics at end of simulation,
 //! 3. profile host-time scheduler phases with `profile::span`,
 //! 4. export a Chrome `trace_event` JSON document loadable in Perfetto
@@ -14,31 +14,34 @@
 //! Run with `cargo run --release --example observability`. Writes
 //! `observability_trace.json` into the working directory.
 
-use scperf::core::{g_i64, CostTable, Mode, PerfModel, Platform, G};
-use scperf::kernel::{Simulator, Time};
-use scperf::obs::chrome::ChromeTrace;
-use scperf::obs::profile;
+use scperf::prelude::obs::chrome::ChromeTrace;
+use scperf::prelude::obs::profile;
+use scperf::prelude::*;
 
-fn main() -> Result<(), scperf::kernel::SimError> {
+fn main() -> Result<(), SimError> {
     let mut platform = Platform::new();
     let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 150.0);
 
-    let mut sim = Simulator::new();
     // 1. Tracing: a bounded ring keeps the most recent window, so a
-    //    long simulation cannot exhaust memory. Use `enable_tracing()`
-    //    for an unbounded buffer.
-    sim.enable_tracing_ring(10_000);
+    //    long simulation cannot exhaust memory. Use
+    //    `TraceMode::Unbounded` for a complete buffer. The config also
+    //    turns on per-segment samples, which feed the Chrome spans.
+    let mut session = SimConfig::new()
+        .platform(platform)
+        .mode(Mode::StrictTimed)
+        .tracing(TraceMode::Ring(10_000))
+        .record_instantaneous()
+        .build();
+
     // 3. Profiling: host-time spans around the scheduler phases (and
     //    any user code wrapped in `profile::span("...")`).
     profile::reset();
     profile::set_enabled(true);
 
-    let model = PerfModel::new(platform, Mode::StrictTimed);
-    model.record_instantaneous(); // per-segment samples feed the Chrome spans
-    let ch = model.fifo::<i64>(&mut sim, "dots", 4);
+    let ch = session.fifo::<i64>("dots", 4);
 
     let tx = ch.clone();
-    model.spawn(&mut sim, "producer", cpu, move |ctx| {
+    session.spawn("producer", cpu, move |ctx| {
         for v in 0..40i64 {
             let mut acc = g_i64(0);
             for i in 0..32i64 {
@@ -48,7 +51,7 @@ fn main() -> Result<(), scperf::kernel::SimError> {
         }
     });
     let rx = ch;
-    model.spawn(&mut sim, "consumer", cpu, move |ctx| {
+    session.spawn("consumer", cpu, move |ctx| {
         let mut total = g_i64(0);
         for _ in 0..40 {
             total.assign(total + g_i64(rx.read(ctx)));
@@ -56,7 +59,7 @@ fn main() -> Result<(), scperf::kernel::SimError> {
         ctx.emit_trace("total", total.get().to_string());
     });
 
-    let summary = sim.run()?;
+    let summary = session.run()?;
     profile::set_enabled(false);
     println!(
         "simulated end: {} ({} deltas)\n",
@@ -65,12 +68,11 @@ fn main() -> Result<(), scperf::kernel::SimError> {
 
     // 2. Metrics: kernel internals and estimator internals merge into
     //    one ordered snapshot (also JSON-renderable via `to_json()`).
-    let mut metrics = sim.metrics();
-    metrics.merge(model.metrics_snapshot());
+    let metrics = session.metrics();
     println!("metrics snapshot:\n{metrics}");
 
-    // 1b. The trace, three ways: compact events, legacy records, VCD.
-    let table = sim.take_events();
+    // 1b. The trace as compact events.
+    let table = session.take_events();
     println!(
         "trace: {} compact events, {} interned strings, {} dropped by the ring",
         table.len(),
@@ -91,7 +93,7 @@ fn main() -> Result<(), scperf::kernel::SimError> {
     // 4. Chrome trace export: kernel events as per-process instant
     //    tracks plus the estimator's per-segment spans.
     let mut chrome = ChromeTrace::from_table(&table);
-    chrome.merge(model.chrome_trace());
+    chrome.merge(session.model().chrome_trace());
     chrome
         .write_to("observability_trace.json")
         .expect("write trace json");

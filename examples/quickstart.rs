@@ -3,33 +3,33 @@
 //! Shows the complete workflow of the paper's methodology:
 //!
 //! 1. declare a platform (one CPU),
-//! 2. build the system-level model through a `PerfModel` (processes +
-//!    channels),
+//! 2. configure and build a simulation `Session` (processes + channels),
 //! 3. write the computation against the annotated `G` types,
 //! 4. run the strict-timed simulation and read the report.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use scperf::core::{g_for, g_i64, CostTable, Mode, PerfModel, Platform, ProcessGraph, G};
-use scperf::kernel::{Simulator, Time};
+use scperf::prelude::*;
 
-fn main() -> Result<(), scperf::kernel::SimError> {
+fn main() -> Result<(), SimError> {
     // 1. Platform: a 100 MHz processor with the default RISC cost table
     //    and 150 cycles of RTOS overhead per channel access.
     let mut platform = Platform::new();
     let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 150.0);
 
     // 2. The model: a producer computing dot products, a consumer
-    //    averaging them, connected by a FIFO.
-    let mut sim = Simulator::new();
-    let model = PerfModel::new(platform, Mode::StrictTimed);
-    let ch = model.fifo::<i64>(&mut sim, "dots", 4);
+    //    averaging them, connected by a FIFO — all owned by one session.
+    let mut session = SimConfig::new()
+        .platform(platform)
+        .mode(Mode::StrictTimed)
+        .build();
+    let ch = session.fifo::<i64>("dots", 4);
 
     const VECTORS: usize = 50;
     const DIM: usize = 64;
 
     let tx = ch.clone();
-    model.spawn(&mut sim, "producer", cpu, move |ctx| {
+    session.spawn("producer", cpu, move |ctx| {
         for v in 0..VECTORS {
             // 3. Annotated computation: every operator charges its cost.
             let mut acc = g_i64(0);
@@ -43,7 +43,7 @@ fn main() -> Result<(), scperf::kernel::SimError> {
     });
 
     let rx = ch.clone();
-    model.spawn(&mut sim, "consumer", cpu, move |ctx| {
+    session.spawn("consumer", cpu, move |ctx| {
         let mut total = g_i64(0);
         for _ in 0..VECTORS {
             let v = g_i64(rx.read(ctx));
@@ -54,11 +54,11 @@ fn main() -> Result<(), scperf::kernel::SimError> {
     });
 
     // 4. Run and report.
-    let summary = sim.run()?;
+    let summary = session.run()?;
     println!("simulated end-to-end time: {}", summary.end_time);
     println!();
 
-    let report = model.report();
+    let report = session.report();
     print!("{report}");
     println!();
 

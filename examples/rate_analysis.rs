@@ -6,11 +6,10 @@
 //!
 //! Run with `cargo run --release --example rate_analysis`.
 
-use scperf::core::{rate, Mode, PerfModel, Platform};
-use scperf::kernel::{Simulator, Time};
-use scperf::workloads::{calibration, vocoder};
+use scperf::prelude::workloads::{calibration, vocoder};
+use scperf::prelude::*;
 
-fn main() -> Result<(), scperf::kernel::SimError> {
+fn main() -> Result<(), SimError> {
     let nframes = 8;
     // Calibrate the cost table against the reference ISS (the automated
     // version of the paper's "weights obtained analyzing assembler code").
@@ -20,16 +19,21 @@ fn main() -> Result<(), scperf::kernel::SimError> {
     // Estimate the five stages' execution times on the target CPU.
     let mut platform = Platform::new();
     let cpu = platform.sequential("cpu0", Time::ns(10), cal.table, 150.0);
-    let mut sim = Simulator::new();
-    let model = PerfModel::new(platform, Mode::EstimateOnly);
-    let _ = vocoder::pipeline::build(
-        &mut sim,
-        &model,
-        vocoder::pipeline::VocoderMapping::all_on(cpu),
-        nframes,
-    );
-    sim.run()?;
-    let report = model.report();
+    let mut session = SimConfig::new()
+        .platform(platform)
+        .mode(Mode::EstimateOnly)
+        .build();
+    {
+        let (sim, model) = session.parts_mut();
+        let _ = vocoder::pipeline::build(
+            sim,
+            model,
+            vocoder::pipeline::VocoderMapping::all_on(cpu),
+            nframes,
+        );
+    }
+    session.run()?;
+    let report = session.report();
 
     // One GSM frame = 160 samples at 8 kHz = 20 ms.
     let frame_period = Time::ms(20);

@@ -9,8 +9,7 @@
 //!
 //! Run with `cargo run --release --example strict_timed`.
 
-use scperf::core::{determinism, timed_wait, CostTable, Mode, PerfModel, Platform, ResourceId, G};
-use scperf::kernel::{Simulator, Time};
+use scperf::prelude::*;
 
 const CLOCK: Time = Time::ns(10);
 
@@ -58,14 +57,19 @@ fn build(sim: &mut Simulator, model: &PerfModel, hw: ResourceId, cpu: ResourceId
     });
 }
 
-fn run(mode: Mode) -> Vec<scperf::kernel::TraceRecord> {
+fn run(mode: Mode) -> Vec<TraceRecord> {
     let (p, hw, cpu) = platform();
-    let mut sim = Simulator::new();
-    sim.enable_tracing();
-    let model = PerfModel::new(p, mode);
-    build(&mut sim, &model, hw, cpu);
-    sim.run().expect("model runs");
-    sim.take_trace()
+    let mut session = SimConfig::new()
+        .platform(p)
+        .mode(mode)
+        .tracing(TraceMode::Unbounded)
+        .build();
+    {
+        let (sim, model) = session.parts_mut();
+        build(sim, model, hw, cpu);
+    }
+    session.run().expect("model runs");
+    session.sim().take_trace()
 }
 
 fn main() {

@@ -4,11 +4,10 @@
 //!
 //! Run with `cargo run --release --example vocoder [nframes]`.
 
-use scperf::core::{CostTable, Mode, PerfModel, Platform};
-use scperf::kernel::{Simulator, Time};
-use scperf::workloads::vocoder;
+use scperf::prelude::workloads::vocoder;
+use scperf::prelude::*;
 
-fn main() -> Result<(), scperf::kernel::SimError> {
+fn main() -> Result<(), SimError> {
     let nframes: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
@@ -17,33 +16,37 @@ fn main() -> Result<(), scperf::kernel::SimError> {
     let mut platform = Platform::new();
     let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 150.0);
 
-    let mut sim = Simulator::new();
-    let model = PerfModel::new(platform, Mode::StrictTimed);
-    let handles = vocoder::pipeline::build(
-        &mut sim,
-        &model,
-        vocoder::pipeline::VocoderMapping::all_on(cpu),
-        nframes,
-    );
+    let mut session = SimConfig::new()
+        .platform(platform)
+        .mode(Mode::StrictTimed)
+        .build();
+    let handles = {
+        let (sim, model) = session.parts_mut();
+        vocoder::pipeline::build(
+            sim,
+            model,
+            vocoder::pipeline::VocoderMapping::all_on(cpu),
+            nframes,
+        )
+    };
 
     // A capture point on every decoded frame: its event list gives the
     // output frame rate (the paper's §4 "response times, throughputs,
     // input and output rates").
-    let frame_tick = model.capture_point("frame_out");
+    let frame_tick = session.capture_point("frame_out");
     // Hook it through a monitor process watching the output channel is not
     // needed — the sink is in build(); instead we capture from a light
     // observer on simulated time.
     let cp = frame_tick.clone();
-    sim.spawn("rate_probe", move |ctx| {
+    session.spawn_untimed("rate_probe", move |ctx| {
         // Sample simulated time once per millisecond of simulated time.
         for _ in 0..200 {
-            scperf::kernel::Time::ms(1); // constant; wait below advances time
             ctx.wait(Time::ms(1));
             cp.capture_value(ctx, ctx.now().as_us_f64());
         }
     });
 
-    let summary = sim.run()?;
+    let summary = session.run()?;
     let reference = vocoder::run_reference(nframes);
     let out = handles.output.lock().expect("sink finished");
     assert_eq!(
@@ -56,7 +59,7 @@ fn main() -> Result<(), scperf::kernel::SimError> {
         summary.end_time
     );
     println!();
-    let report = model.report();
+    let report = session.report();
     print!("{report}");
 
     println!();
@@ -72,7 +75,7 @@ fn main() -> Result<(), scperf::kernel::SimError> {
         );
     }
 
-    let captures = model.captures();
+    let captures = session.captures();
     let ticks = &captures[0];
     println!();
     println!(
@@ -82,7 +85,7 @@ fn main() -> Result<(), scperf::kernel::SimError> {
         ticks.mean_interval()
     );
     println!("Matlab export of the first events:");
-    let head = scperf::core::CaptureList {
+    let head = CaptureList {
         name: ticks.name.clone(),
         events: ticks.events.iter().take(8).copied().collect(),
     };

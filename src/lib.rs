@@ -17,35 +17,39 @@
 //! | [`workloads`] | `scperf-workloads` | the paper's benchmarks in three matched forms, incl. the GSM-like vocoder |
 //! | [`obs`] | `scperf-obs` | observability layer: compact tracing, metrics snapshots, host-time profiling, Chrome-trace export |
 //! | [`dse`] | `scperf-dse` | parallel design-space exploration: mapping sweeps, segment-cost memoization, Pareto frontiers |
+//! | [`serve`] | `scperf-serve` | concurrent simulation service: JSON-lines scenario evaluation over stdio/TCP with batching, deadlines, backpressure |
 //!
 //! The experiment harness (`scperf-bench`) regenerates every table and
 //! figure of the paper's evaluation; see the repository README and
 //! EXPERIMENTS.md.
 //!
+//! Downstream code imports from [`prelude`] — the blessed, snapshot-
+//! tested surface — rather than reaching into individual crates:
+//!
 //! # Example
 //!
 //! ```
-//! use scperf::core::{g_i32, CostTable, Mode, PerfModel, Platform};
-//! use scperf::kernel::{Simulator, Time};
+//! use scperf::prelude::*;
 //!
 //! let mut platform = Platform::new();
 //! let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 100.0);
 //!
-//! let mut sim = Simulator::new();
-//! let model = PerfModel::new(platform, Mode::StrictTimed);
-//! model.spawn(&mut sim, "worker", cpu, |_ctx| {
+//! let mut session = SimConfig::new().platform(platform).build();
+//! session.spawn("worker", cpu, |_ctx| {
 //!     let mut acc = g_i32(0);
 //!     for i in 0..100 {
-//!         acc = acc + scperf::core::G::raw(i);
+//!         acc = acc + G::raw(i);
 //!     }
 //!     assert_eq!(acc.get(), 4950);
 //! });
-//! let summary = sim.run()?;
+//! let summary = session.run()?;
 //! assert!(summary.end_time > Time::ZERO); // the model became timed
-//! # Ok::<(), scperf::kernel::SimError>(())
+//! # Ok::<(), SimError>(())
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod prelude;
 
 pub use scperf_core as core;
 pub use scperf_dse as dse;
@@ -53,6 +57,7 @@ pub use scperf_hls as hls;
 pub use scperf_iss as iss;
 pub use scperf_kernel as kernel;
 pub use scperf_obs as obs;
+pub use scperf_serve as serve;
 pub use scperf_workloads as workloads;
 
 /// Compiles every Rust fragment of the repository README as a doctest,

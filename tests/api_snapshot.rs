@@ -1,0 +1,121 @@
+//! Public-API snapshot: the `scperf::prelude` export list is the
+//! workspace's API contract. This test parses the `pub use` statements
+//! of `src/prelude.rs` and asserts the exported item names against the
+//! checked-in `tests/prelude_api.snapshot`, so an accidental surface
+//! change (a dropped re-export, a renamed type) fails CI instead of
+//! slipping into a release.
+//!
+//! Entirely offline and source-based: no cargo-semver-checks, no
+//! network, no rustdoc JSON — just the two files compiled into the
+//! test binary with `include_str!`.
+
+const PRELUDE_SRC: &str = include_str!("../src/prelude.rs");
+const SNAPSHOT: &str = include_str!("prelude_api.snapshot");
+
+/// Extracts the leaf name a `use` item binds: the alias after `as`, or
+/// the last path segment.
+fn leaf(item: &str) -> Option<String> {
+    let item = item.trim();
+    if item.is_empty() {
+        return None;
+    }
+    let name = match item.split(" as ").nth(1) {
+        Some(alias) => alias.trim(),
+        None => item.rsplit("::").next().unwrap_or(item).trim(),
+    };
+    Some(name.to_string())
+}
+
+/// Parses every `pub use …;` statement of the prelude source and
+/// returns the sorted list of names it exports.
+fn exported_names(src: &str) -> Vec<String> {
+    // Strip comments (doc and inline) so only code is scanned, then
+    // flatten so multi-line `pub use {…};` statements parse.
+    let code: String = src
+        .lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let mut names = Vec::new();
+    let mut rest = code.as_str();
+    while let Some(start) = rest.find("pub use ") {
+        let after = &rest[start + "pub use ".len()..];
+        let end = after
+            .find(';')
+            .expect("every `pub use` statement ends with `;`");
+        let stmt = &after[..end];
+        rest = &after[end + 1..];
+        match stmt.find('{') {
+            Some(brace) => {
+                let inner = stmt[brace + 1..].trim_end().trim_end_matches('}');
+                names.extend(inner.split(',').filter_map(leaf));
+            }
+            None => names.extend(leaf(stmt)),
+        }
+    }
+    names.sort();
+    names
+}
+
+fn snapshot_names(snapshot: &str) -> Vec<String> {
+    snapshot
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn prelude_exports_match_the_snapshot() {
+    let actual = exported_names(PRELUDE_SRC);
+    assert!(
+        !actual.is_empty(),
+        "parsed no exports from src/prelude.rs — parser broken?"
+    );
+    let expected = snapshot_names(SNAPSHOT);
+    let added: Vec<&String> = actual.iter().filter(|n| !expected.contains(n)).collect();
+    let removed: Vec<&String> = expected.iter().filter(|n| !actual.contains(n)).collect();
+    assert!(
+        added.is_empty() && removed.is_empty(),
+        "scperf::prelude drifted from tests/prelude_api.snapshot\n\
+         added (not in snapshot):   {added:?}\n\
+         removed (still in snapshot): {removed:?}\n\
+         If the change is intentional, update the snapshot to:\n{}",
+        actual.join("\n")
+    );
+    // Exact order too: the snapshot is kept sorted so diffs are stable.
+    assert_eq!(actual, expected, "snapshot entries must be sorted");
+}
+
+#[test]
+fn prelude_has_no_duplicate_exports() {
+    let names = exported_names(PRELUDE_SRC);
+    let mut deduped = names.clone();
+    deduped.dedup();
+    assert_eq!(names, deduped, "duplicate names exported from the prelude");
+}
+
+#[test]
+fn the_blessed_core_surface_is_present() {
+    // The contract of the 0.4.0 redesign: these names must stay
+    // importable from the prelude regardless of other churn.
+    let names = exported_names(PRELUDE_SRC);
+    for required in [
+        "SimConfig",
+        "Session",
+        "Time",
+        "PerfModel",
+        "Recorder",
+        "Replay",
+        "Report",
+        "ProcessReport",
+        "ResourceReport",
+        "SegmentReport",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "blessed name {required:?} missing from scperf::prelude"
+        );
+    }
+}
