@@ -157,6 +157,7 @@ fn ablation_dse_cache() {
         jobs: 1,
         use_cache: true,
         limit: Some(27),
+        legacy_charging: false,
     };
     let cached = sweep(&config);
     let uncached = sweep(&SweepConfig {

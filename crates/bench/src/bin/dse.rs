@@ -75,6 +75,7 @@ fn main() {
         jobs: args.jobs,
         use_cache: args.cache,
         limit: None,
+        legacy_charging: false,
     };
     let start = Instant::now();
     let result = sweep(&config);

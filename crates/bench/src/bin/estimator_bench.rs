@@ -1,0 +1,345 @@
+//! Estimator hot-path microbenchmarks: flat-TLS charging, segment-site
+//! memoization and the allocation-free DFG, measured against the legacy
+//! `RefCell` charging path.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p scperf-bench --release --bin estimator_bench -- [--reps N] [--quick]
+//! ```
+//!
+//! Four benches:
+//!
+//! * **charge** — one process charging a tight stream of `Op::Add`s;
+//!   the purest fast-path-vs-legacy comparison.
+//! * **plain_thread** — annotated `G` arithmetic on a thread with *no*
+//!   installed estimation context: the absent-context path must be
+//!   almost free (a single thread-local flag test per op).
+//! * **fir** — the 64-tap/256-sample FIR workload, run legacy, live
+//!   (fast path, no memoization) and memoized (segment sites replay).
+//! * **vocoder** — the five-stage vocoder pipeline on one CPU, same
+//!   three configurations.
+//!
+//! Every configuration must produce bit-identical simulated time and
+//! checksums — the bench asserts this — so the reported speedups are
+//! pure host-time ratios at identical estimates. Results go to
+//! `BENCH_estimator.json`.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use scperf_core::{charge_op, CostTable, MemoMode, Op, Platform, SimConfig, G};
+use scperf_kernel::Time;
+use scperf_obs::json::JsonWriter;
+use scperf_workloads::fir;
+use scperf_workloads::vocoder::pipeline::{self, VocoderMapping};
+
+struct Args {
+    reps: usize,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        reps: 5,
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .expect("--reps expects a positive integer");
+            }
+            "--quick" => args.quick = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// How one session is configured: the legacy `RefCell` path, the flat
+/// fast path with memoization off, or the fast path with segment-site
+/// replay (the default).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Config {
+    Legacy,
+    Live,
+    Memoized,
+}
+
+impl Config {
+    const ALL: [Config; 3] = [Config::Legacy, Config::Live, Config::Memoized];
+
+    fn apply(self, cfg: SimConfig) -> SimConfig {
+        match self {
+            Config::Legacy => cfg.legacy_charging(true).site_memo(MemoMode::Off),
+            Config::Live => cfg.site_memo(MemoMode::Off),
+            Config::Memoized => cfg.site_memo(MemoMode::Replay),
+        }
+    }
+}
+
+/// One measured run: the simulated end time and checksum (for the
+/// bit-identity assertions) plus the host time it took.
+struct Run {
+    end_time_ps: u64,
+    checksum: i64,
+    elapsed: Duration,
+    site_hits: u64,
+    fast_charges: u64,
+}
+
+fn sw_platform() -> (Platform, scperf_core::ResourceId) {
+    let mut platform = Platform::new();
+    let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 100.0);
+    (platform, cpu)
+}
+
+/// A tight stream of `ops` additions through the charging entry point.
+fn charge_stream(config: Config, ops: u64) -> Run {
+    let (platform, cpu) = sw_platform();
+    let mut session = config.apply(SimConfig::new().platform(platform)).build();
+    session.spawn("charger", cpu, move |_ctx| {
+        for _ in 0..ops {
+            charge_op(Op::Add);
+        }
+    });
+    let start = Instant::now();
+    let summary = session.run().expect("charge stream runs");
+    let hot = session.model().hot_stats();
+    Run {
+        end_time_ps: summary.end_time.as_ps(),
+        checksum: 0,
+        elapsed: start.elapsed(),
+        site_hits: hot.site_hits,
+        fast_charges: hot.fast_charges,
+    }
+}
+
+/// Annotated arithmetic on a thread with no installed context: every
+/// charge must reduce to one thread-local flag test.
+fn plain_thread(ops: u64) -> Duration {
+    std::thread::spawn(move || {
+        let mut x = G::raw(1_i64);
+        let one = G::raw(1_i64);
+        let start = Instant::now();
+        for _ in 0..ops {
+            x.assign(x + one);
+        }
+        std::hint::black_box(x.get());
+        start.elapsed()
+    })
+    .join()
+    .expect("plain thread")
+}
+
+/// `iters` full FIR passes in one process.
+fn fir_run(config: Config, iters: usize) -> Run {
+    let (platform, cpu) = sw_platform();
+    let mut session = config.apply(SimConfig::new().platform(platform)).build();
+    let out = Arc::new(Mutex::new(0_i64));
+    let sink = Arc::clone(&out);
+    session.spawn("fir", cpu, move |_ctx| {
+        let mut acc = 0_i64;
+        for _ in 0..iters {
+            acc = acc.wrapping_add(fir::annotated() as i64);
+        }
+        *sink.lock().expect("sink") = acc;
+    });
+    let start = Instant::now();
+    let summary = session.run().expect("fir runs");
+    let hot = session.model().hot_stats();
+    let checksum = *out.lock().expect("sink");
+    Run {
+        end_time_ps: summary.end_time.as_ps(),
+        checksum,
+        elapsed: start.elapsed(),
+        site_hits: hot.site_hits,
+        fast_charges: hot.fast_charges,
+    }
+}
+
+/// The five-stage pipeline, all stages on one CPU, `nframes` frames.
+fn vocoder_run(config: Config, nframes: usize) -> Run {
+    let (platform, cpu) = sw_platform();
+    let mut session = config.apply(SimConfig::new().platform(platform)).build();
+    let handles = {
+        let (sim, model) = session.parts_mut();
+        pipeline::build(sim, model, VocoderMapping::all_on(cpu), nframes)
+    };
+    let start = Instant::now();
+    let summary = session.run().expect("vocoder runs");
+    let hot = session.model().hot_stats();
+    let checksum = handles.output.lock().expect("pipeline finished") as i64;
+    Run {
+        end_time_ps: summary.end_time.as_ps(),
+        checksum,
+        elapsed: start.elapsed(),
+        site_hits: hot.site_hits,
+        fast_charges: hot.fast_charges,
+    }
+}
+
+/// Best-of-`reps` wall time per configuration (noise only adds time),
+/// with bit-identity asserted across configurations.
+fn bench(name: &'static str, reps: usize, run: impl Fn(Config) -> Run) -> BenchResult {
+    let mut best: [Option<Run>; 3] = [None, None, None];
+    for (i, config) in Config::ALL.into_iter().enumerate() {
+        for _ in 0..reps {
+            let r = run(config);
+            match &best[i] {
+                Some(b) if b.elapsed <= r.elapsed => {}
+                _ => best[i] = Some(r),
+            }
+        }
+    }
+    let [legacy, live, memo] = best.map(|r| r.expect("reps > 0"));
+    assert_eq!(
+        legacy.end_time_ps, live.end_time_ps,
+        "{name}: fast path changed the estimate"
+    );
+    assert_eq!(
+        legacy.end_time_ps, memo.end_time_ps,
+        "{name}: memoization changed the estimate"
+    );
+    assert_eq!(legacy.checksum, live.checksum, "{name}: data changed");
+    assert_eq!(legacy.checksum, memo.checksum, "{name}: data changed");
+    assert_eq!(legacy.fast_charges, 0, "{name}: legacy run used fast path");
+    let r = BenchResult {
+        name,
+        legacy,
+        live,
+        memo,
+    };
+    println!(
+        "{:>12}: legacy {:>9.2?}  live {:>9.2?} ({:>5.2}x)  memoized {:>9.2?} ({:>5.2}x, {} site hits)",
+        r.name,
+        r.legacy.elapsed,
+        r.live.elapsed,
+        r.live_speedup(),
+        r.memo.elapsed,
+        r.memo_speedup(),
+        r.memo.site_hits,
+    );
+    r
+}
+
+struct BenchResult {
+    name: &'static str,
+    legacy: Run,
+    live: Run,
+    memo: Run,
+}
+
+impl BenchResult {
+    fn live_speedup(&self) -> f64 {
+        self.legacy.elapsed.as_secs_f64() / self.live.elapsed.as_secs_f64()
+    }
+    fn memo_speedup(&self) -> f64 {
+        self.legacy.elapsed.as_secs_f64() / self.memo.elapsed.as_secs_f64()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = if args.quick { 10 } else { 1 };
+    let charge_ops = 4_000_000 / scale as u64;
+    let plain_ops = 20_000_000 / scale as u64;
+    let fir_iters = 20 / scale.min(10);
+    let voc_frames = 20 / scale.min(10);
+
+    println!(
+        "estimator hot-path microbench (best of {} reps{})",
+        args.reps,
+        if args.quick { ", quick" } else { "" }
+    );
+
+    // The absent-context case first: it needs no session at all.
+    let mut plain_best = Duration::MAX;
+    for _ in 0..args.reps {
+        plain_best = plain_best.min(plain_thread(plain_ops));
+    }
+    let plain_ns_per_op = plain_best.as_secs_f64() * 1e9 / plain_ops as f64;
+    println!(
+        "{:>12}: {:>9.2?} for {} ops ({:.2} ns/op, no context installed)",
+        "plain_thread", plain_best, plain_ops, plain_ns_per_op
+    );
+
+    let results = [
+        bench("charge", args.reps, |c| charge_stream(c, charge_ops)),
+        bench("fir", args.reps, |c| fir_run(c, fir_iters)),
+        bench("vocoder", args.reps, |c| vocoder_run(c, voc_frames)),
+    ];
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("reps");
+    w.value_u64(args.reps as u64);
+    w.key("quick");
+    w.value_bool(args.quick);
+    w.key("plain_thread");
+    w.begin_object();
+    w.key("ops");
+    w.value_u64(plain_ops);
+    w.key("seconds");
+    w.value_f64(plain_best.as_secs_f64());
+    w.key("ns_per_op");
+    w.value_f64(plain_ns_per_op);
+    w.end_object();
+    w.key("benches");
+    w.begin_array();
+    for r in &results {
+        w.begin_object();
+        w.key("name");
+        w.value_str(r.name);
+        w.key("end_time_ps");
+        w.value_u64(r.legacy.end_time_ps);
+        w.key("legacy_seconds");
+        w.value_f64(r.legacy.elapsed.as_secs_f64());
+        w.key("live_seconds");
+        w.value_f64(r.live.elapsed.as_secs_f64());
+        w.key("memoized_seconds");
+        w.value_f64(r.memo.elapsed.as_secs_f64());
+        w.key("live_speedup");
+        w.value_f64(r.live_speedup());
+        w.key("memoized_speedup");
+        w.value_f64(r.memo_speedup());
+        w.key("fast_charges");
+        w.value_u64(r.live.fast_charges);
+        w.key("site_hits");
+        w.value_u64(r.memo.site_hits);
+        w.key("estimates_identical");
+        w.value_bool(true);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    let dir = std::env::var("SCPERF_OBS_DIR").unwrap_or_else(|_| ".".into());
+    let path = format!("{dir}/BENCH_estimator.json");
+    std::fs::write(&path, w.finish()).expect("write BENCH_estimator.json");
+    println!("bench results -> {path}");
+
+    // Workloads with memoizable sites must replay something.
+    assert!(results[1].memo.site_hits > 0, "fir recorded no site hits");
+    assert!(
+        results[2].memo.site_hits > 0,
+        "vocoder recorded no site hits"
+    );
+    if !args.quick {
+        // Quick mode is a CI smoke run on loaded shared machines; the
+        // throughput floor is only meaningful at full problem sizes.
+        for r in &results[1..] {
+            assert!(
+                r.memo_speedup() >= 1.5,
+                "{}: memoized estimation must be >=1.5x over legacy (got {:.2}x)",
+                r.name,
+                r.memo_speedup()
+            );
+        }
+    }
+}

@@ -204,6 +204,20 @@ impl CostTable {
         ])
     }
 
+    /// `true` when every cost is a finite whole number of cycles.
+    ///
+    /// Integer-valued tables are special for the estimator: every partial
+    /// sum of costs is an exactly representable `f64` integer (below
+    /// 2⁵³), so segment-site memoization can replay a recorded cost
+    /// *delta* with one addition and still be bit-identical to per-op
+    /// charging. Fractional tables (e.g. [`CostTable::figure3`]'s 2.4
+    /// branch) disable memoization and always charge live.
+    pub fn is_integral(&self) -> bool {
+        self.cycles
+            .iter()
+            .all(|c| c.is_finite() && c.fract() == 0.0)
+    }
+
     /// The worked example of the paper's Figure 3: `=`:2, `+`:1, `<`:3,
     /// `[]`:5, `if`:2.4, call:18.
     pub fn figure3() -> CostTable {
@@ -293,6 +307,12 @@ impl OpCounts {
             self.counts[i] += other.counts[i];
         }
     }
+
+    /// Adds `n` to the counter at dense index `i` (fast-path drains).
+    #[inline]
+    pub(crate) fn add_index(&mut self, i: usize, n: u64) {
+        self.counts[i] += n;
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +367,15 @@ mod tests {
     #[should_panic(expected = "expected 13 costs")]
     fn from_dense_rejects_wrong_len() {
         let _ = CostTable::from_dense(&[1.0; 3]);
+    }
+
+    #[test]
+    fn integral_tables_are_detected() {
+        assert!(CostTable::risc_sw().is_integral());
+        assert!(CostTable::zero().is_integral());
+        assert!(!CostTable::figure3().is_integral(), "Branch is 2.4");
+        assert!(!CostTable::asic_hw().is_integral());
+        assert!(!CostTable::from_pairs([(Op::Add, f64::INFINITY)]).is_integral());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use scperf_sync::Mutex;
 use crate::cost::OpCounts;
 use crate::hw::{weighted_hw_cycles, Dfg};
 use crate::resource::{Platform, ResourceId, ResourceKind};
+use crate::site::MemoMode;
 
 /// How the library integrates with the simulation (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +123,36 @@ pub(crate) struct EstInner {
     /// Record every segment execution's cycles into
     /// [`ProcRecord::cost_trace`] (cheap: one `Vec::push` per segment).
     pub(crate) record_segment_costs: bool,
+    /// Route charging through the legacy `RefCell`-per-op path (the
+    /// measurable pre-fast-path baseline; see `estimator_bench`).
+    pub(crate) legacy_charging: bool,
+    /// Segment-site memoization policy handed to spawned processes.
+    pub(crate) memo_mode: MemoMode,
+    /// Operations charged through the flat fast path (`est.charge.fast`).
+    pub(crate) fast_charges: u64,
+    /// Site-memo regions replayed from cache (`est.site_cache.hit`).
+    pub(crate) site_hits: u64,
+    /// Site-memo regions recorded on first execution
+    /// (`est.site_cache.miss`).
+    pub(crate) site_misses: u64,
+    /// Segments whose DFG node buffer was recycled from the arena
+    /// (`est.dfg.arena_reuse`).
+    pub(crate) dfg_arena_reuse: u64,
     pub(crate) captures: Vec<crate::capture::CaptureList>,
+}
+
+/// Snapshot of the estimator hot-path counters (see
+/// [`crate::PerfModel::hot_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EstHotStats {
+    /// Operations charged through the flat thread-local fast path.
+    pub fast_charges: u64,
+    /// Segment-site regions satisfied by replaying a recorded delta.
+    pub site_hits: u64,
+    /// Segment-site regions that recorded a fresh delta.
+    pub site_misses: u64,
+    /// Segments whose DFG node buffer was recycled instead of allocated.
+    pub dfg_arena_reuse: u64,
 }
 
 /// Shared estimator state (one per [`crate::PerfModel`]).
@@ -145,6 +175,12 @@ impl EstimatorShared {
                 record_instantaneous: false,
                 record_dfgs: false,
                 record_segment_costs: false,
+                legacy_charging: false,
+                memo_mode: MemoMode::default(),
+                fast_charges: 0,
+                site_hits: 0,
+                site_misses: 0,
+                dfg_arena_reuse: 0,
                 captures: Vec::new(),
             }),
         })
@@ -194,42 +230,37 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
     let _span = scperf_obs::profile::span("est.end_segment");
     // Phase 1: drain the thread-local accumulator (or, in replay mode,
     // pop the next recorded segment cost).
-    let Some((
-        est,
-        pid,
-        resource,
-        kind,
-        k,
-        rtos_cycles,
-        from,
+    let Some((est, pid, resource, kind, k, rtos_cycles, from, take, replayed)) =
+        crate::tls::with(|t| {
+            let take = t.take_segment();
+            let from = t.current_node;
+            t.current_node = node;
+            let replayed = t.pop_replay();
+            (
+                Arc::clone(&t.est),
+                t.pid,
+                t.resource,
+                t.kind,
+                t.k,
+                t.rtos_cycles,
+                from,
+                take,
+                replayed,
+            )
+        })
+    else {
+        return Time::ZERO; // un-instrumented process
+    };
+    let crate::tls::SegmentTake {
         acc,
         max_ready,
         counts,
         dfg,
-        replayed,
-    )) = crate::tls::with(|t| {
-        let (acc, max_ready, counts, dfg) = t.take_segment();
-        let from = t.current_node;
-        t.current_node = node;
-        let replayed = t.pop_replay();
-        (
-            Arc::clone(&t.est),
-            t.pid,
-            t.resource,
-            t.kind,
-            t.k,
-            t.rtos_cycles,
-            from,
-            acc,
-            max_ready,
-            counts,
-            dfg,
-            replayed,
-        )
-    })
-    else {
-        return Time::ZERO; // un-instrumented process
-    };
+        fast_ops,
+        site_hits,
+        site_misses,
+        arena_reuse,
+    } = take;
 
     if kind == ResourceKind::Environment {
         return Time::ZERO;
@@ -249,7 +280,7 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
 
     // Phase 3: record statistics and convert to time.
     let now = ctx.now();
-    let (seg_time, rtos_time, mode) = {
+    let (seg_time, rtos_time, mode, spare_dfg) = {
         let mut inner = est.inner.lock();
         let res = inner.platform.resource(resource).clone();
         let seg_time = res.cycles_to_time(cycles);
@@ -294,14 +325,30 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
                 dur: seg_time + rtos_time,
             });
         }
-        if record_dfgs {
-            if let Some(dfg) = dfg {
-                rec.dfgs.entry((from, node)).or_insert(dfg);
+        let mut spare_dfg = None;
+        if let Some(dfg) = dfg {
+            use std::collections::btree_map::Entry;
+            match (record_dfgs, rec.dfgs.entry((from, node))) {
+                (true, Entry::Vacant(slot)) => {
+                    slot.insert(dfg);
+                }
+                // Repeat execution (or recording switched off): the graph
+                // is not kept — recycle its buffer into the thread arena.
+                _ => spare_dfg = Some(dfg),
             }
         }
         inner.rtos_total[resource.index()] += rtos_time;
-        (seg_time, rtos_time, mode)
+        // Hot-path counters, folded in under the lock already held for
+        // the segment statistics (zero cost on the charge path itself).
+        inner.fast_charges += fast_ops;
+        inner.site_hits += site_hits;
+        inner.site_misses += site_misses;
+        inner.dfg_arena_reuse += arena_reuse;
+        (seg_time, rtos_time, mode, spare_dfg)
     };
+    if let Some(dfg) = spare_dfg {
+        crate::tls::recycle_dfg(dfg);
+    }
 
     // Phase 4: back-annotation (§4).
     let total = seg_time + rtos_time;

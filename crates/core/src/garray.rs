@@ -69,8 +69,7 @@ impl<T: Copy> GArr<T> {
     #[inline]
     pub fn at<I: IndexValue>(&self, i: G<I>) -> G<T> {
         let (iv, iready, inode) = i.parts();
-        let (ready, node) = tls::with(|c| c.charge(Op::Index, iready, inode, 0.0, NO_NODE))
-            .unwrap_or((0.0, NO_NODE));
+        let (ready, node) = tls::charge(Op::Index, iready, inode, 0.0, NO_NODE);
         G::from_parts(self.data[iv.as_index()], ready, node)
     }
 
@@ -81,8 +80,7 @@ impl<T: Copy> GArr<T> {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn at_raw(&self, i: usize) -> G<T> {
-        let (ready, node) = tls::with(|c| c.charge(Op::Index, 0.0, NO_NODE, 0.0, NO_NODE))
-            .unwrap_or((0.0, NO_NODE));
+        let (ready, node) = tls::charge(Op::Index, 0.0, NO_NODE, 0.0, NO_NODE);
         G::from_parts(self.data[i], ready, node)
     }
 
@@ -95,16 +93,14 @@ impl<T: Copy> GArr<T> {
     pub fn set<I: IndexValue>(&mut self, i: G<I>, v: G<T>) {
         let (iv, iready, inode) = i.parts();
         let (vv, vready, vnode) = v.parts();
-        let _ = tls::with(|c| {
-            let (r1, n1) = c.charge(Op::Index, iready, inode, 0.0, NO_NODE);
-            c.charge(
-                Op::Assign,
-                vready.max(r1),
-                if vnode != NO_NODE { vnode } else { n1 },
-                r1,
-                n1,
-            )
-        });
+        let (r1, n1) = tls::charge(Op::Index, iready, inode, 0.0, NO_NODE);
+        let _ = tls::charge(
+            Op::Assign,
+            vready.max(r1),
+            if vnode != NO_NODE { vnode } else { n1 },
+            r1,
+            n1,
+        );
         self.data[iv.as_index()] = vv;
     }
 
@@ -116,10 +112,8 @@ impl<T: Copy> GArr<T> {
     #[inline]
     pub fn set_raw(&mut self, i: usize, v: G<T>) {
         let (vv, vready, vnode) = v.parts();
-        let _ = tls::with(|c| {
-            let (r1, n1) = c.charge(Op::Index, 0.0, NO_NODE, 0.0, NO_NODE);
-            c.charge(Op::Assign, vready.max(r1), vnode, r1, n1)
-        });
+        let (r1, n1) = tls::charge(Op::Index, 0.0, NO_NODE, 0.0, NO_NODE);
+        let _ = tls::charge(Op::Assign, vready.max(r1), vnode, r1, n1);
         self.data[i] = vv;
     }
 

@@ -14,6 +14,15 @@
 //! The estimation context computes both on the fly; when DFG recording is
 //! enabled, the full graph is kept so that a behavioral-synthesis scheduler
 //! can produce reference times for the same segment (Tables 2 and 4).
+//!
+//! Since operations have at most two operands, predecessors are stored
+//! inline as a `[u32; 2]` — recording a node never heap-allocates, and the
+//! node buffer itself is arena-recycled across segments by the estimation
+//! context. `critical_path`/`sequential_cycles` are computed once and
+//! cached on the graph (the estimator seals each recorded graph at the
+//! segment boundary), so report rendering never rescans the node list.
+
+use std::cell::Cell;
 
 use crate::cost::Op;
 
@@ -28,8 +37,19 @@ pub struct DfgNode {
     pub op: Op,
     /// Latency in whole clock cycles.
     pub latency: u64,
+    /// Inline predecessor slots; only the first `npreds` are meaningful
+    /// (unused slots hold [`NO_NODE`] so derived equality stays exact).
+    preds: [u32; 2],
+    /// Number of meaningful entries in `preds`.
+    npreds: u8,
+}
+
+impl DfgNode {
     /// Producer nodes of the operands (ids; [`NO_NODE`] entries omitted).
-    pub preds: Vec<u32>,
+    #[inline]
+    pub fn preds(&self) -> &[u32] {
+        &self.preds[..self.npreds as usize]
+    }
 }
 
 /// A dataflow graph recorded from one executed segment on a parallel
@@ -38,9 +58,35 @@ pub struct DfgNode {
 /// Node ids are 1-based ([`NO_NODE`] = 0 is reserved); `nodes[i]` has id
 /// `i + 1`. Edges always point from earlier to later nodes, so the graph is
 /// acyclic by construction.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Dfg {
     nodes: Vec<DfgNode>,
+    /// Cached `(critical_path, sequential_cycles)`; invalidated by `push`.
+    times: Cell<Option<(u64, u64)>>,
+}
+
+impl PartialEq for Dfg {
+    fn eq(&self, other: &Dfg) -> bool {
+        // The cache is derived state: graphs compare by nodes only.
+        self.nodes == other.nodes
+    }
+}
+
+impl Eq for Dfg {}
+
+thread_local! {
+    /// Counts actual time recomputations (not cache hits) on this thread;
+    /// exists so tests can assert that sealed graphs never rescan.
+    static TIME_COMPUTATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of `critical_path`/`sequential_cycles` *recomputations* (cache
+/// misses) performed on the calling thread since it started. Test
+/// instrumentation for the "report rendering does not rescan DFGs"
+/// regression; not a stable API.
+#[doc(hidden)]
+pub fn dfg_time_computations() -> u64 {
+    TIME_COMPUTATIONS.with(|c| c.get())
 }
 
 impl Dfg {
@@ -49,16 +95,40 @@ impl Dfg {
         Dfg::default()
     }
 
+    /// An empty graph reusing `buffer`'s allocation (arena recycling:
+    /// the buffer is cleared but keeps its capacity).
+    pub(crate) fn from_buffer(mut buffer: Vec<DfgNode>) -> Dfg {
+        buffer.clear();
+        Dfg {
+            nodes: buffer,
+            times: Cell::new(None),
+        }
+    }
+
+    /// Consumes the graph, returning its node buffer for recycling.
+    pub(crate) fn into_buffer(self) -> Vec<DfgNode> {
+        self.nodes
+    }
+
     /// Appends an operation node and returns its id.
     pub fn push(&mut self, op: Op, latency: u64, a: u32, b: u32) -> u32 {
-        let mut preds = Vec::new();
+        let mut preds = [NO_NODE; 2];
+        let mut npreds = 0u8;
         if a != NO_NODE {
-            preds.push(a);
+            preds[0] = a;
+            npreds = 1;
         }
         if b != NO_NODE && b != a {
-            preds.push(b);
+            preds[npreds as usize] = b;
+            npreds += 1;
         }
-        self.nodes.push(DfgNode { op, latency, preds });
+        self.nodes.push(DfgNode {
+            op,
+            latency,
+            preds,
+            npreds,
+        });
+        self.times.set(None);
         self.nodes.len() as u32
     }
 
@@ -83,31 +153,61 @@ impl Dfg {
     ///
     /// Panics if `id` is [`NO_NODE`] or out of range.
     pub fn preds(&self, id: u32) -> &[u32] {
-        &self.nodes[(id - 1) as usize].preds
+        self.nodes[(id - 1) as usize].preds()
     }
 
-    /// Critical-path length in cycles (ASAP finish time of the last node):
-    /// the `T_min` of §3.
-    pub fn critical_path(&self) -> u64 {
-        let mut finish = vec![0_u64; self.nodes.len() + 1];
+    /// Computes `(critical_path, sequential_cycles)` in one scan, using
+    /// `finish` as the ASAP finish-time scratch buffer.
+    fn compute_times(&self, finish: &mut Vec<u64>) -> (u64, u64) {
+        TIME_COMPUTATIONS.with(|c| c.set(c.get() + 1));
+        finish.clear();
+        finish.resize(self.nodes.len() + 1, 0);
         let mut best = 0;
+        let mut total = 0;
         for (i, n) in self.nodes.iter().enumerate() {
             let start = n
-                .preds
+                .preds()
                 .iter()
                 .map(|&p| finish[p as usize])
                 .max()
                 .unwrap_or(0);
             finish[i + 1] = start + n.latency;
             best = best.max(finish[i + 1]);
+            total += n.latency;
         }
-        best
+        (best, total)
+    }
+
+    /// Computes and caches both times, reusing the caller's scratch
+    /// buffer. Called by the estimation context at `take_segment` so
+    /// every recorded graph reaches the report layer pre-sealed.
+    pub(crate) fn seal(&mut self, scratch: &mut Vec<u64>) {
+        if self.times.get().is_none() {
+            let t = self.compute_times(scratch);
+            self.times.set(Some(t));
+        }
+    }
+
+    /// Cached times, computing (with a fresh scratch buffer) on miss.
+    fn times(&self) -> (u64, u64) {
+        if let Some(t) = self.times.get() {
+            return t;
+        }
+        let t = self.compute_times(&mut Vec::new());
+        self.times.set(Some(t));
+        t
+    }
+
+    /// Critical-path length in cycles (ASAP finish time of the last node):
+    /// the `T_min` of §3. Cached after the first call.
+    pub fn critical_path(&self) -> u64 {
+        self.times().0
     }
 
     /// Sum of all node latencies (single-ALU sequential execution): the
-    /// `T_max` of §3.
+    /// `T_max` of §3. Cached after the first call.
     pub fn sequential_cycles(&self) -> u64 {
-        self.nodes.iter().map(|n| n.latency).sum()
+        self.times().1
     }
 
     /// Renders the graph in Graphviz DOT format.
@@ -118,7 +218,7 @@ impl Dfg {
         let _ = writeln!(out, "  rankdir=TB;");
         for (i, n) in self.nodes.iter().enumerate() {
             let _ = writeln!(out, "  n{} [label=\"{} ({}cy)\"];", i + 1, n.op, n.latency);
-            for &p in &n.preds {
+            for &p in n.preds() {
                 let _ = writeln!(out, "  n{} -> n{};", p, i + 1);
             }
         }
@@ -194,6 +294,58 @@ mod tests {
         let a = g.push(Op::Add, 1, NO_NODE, NO_NODE);
         let b = g.push(Op::Mul, 1, a, a); // x * x
         assert_eq!(g.preds(b), &[a]);
+    }
+
+    #[test]
+    fn times_are_cached_until_the_next_push() {
+        let mut g = diamond();
+        let before = dfg_time_computations();
+        assert_eq!(g.critical_path(), 5);
+        assert_eq!(g.sequential_cycles(), 7);
+        assert_eq!(g.critical_path(), 5);
+        assert_eq!(
+            dfg_time_computations(),
+            before + 1,
+            "one scan serves every subsequent query"
+        );
+        // A push invalidates the cache; the next query rescans once.
+        g.push(Op::Add, 4, NO_NODE, NO_NODE);
+        assert_eq!(g.critical_path(), 5);
+        assert_eq!(g.sequential_cycles(), 11);
+        assert_eq!(dfg_time_computations(), before + 2);
+    }
+
+    #[test]
+    fn sealed_graphs_answer_without_rescanning() {
+        let mut g = diamond();
+        let mut scratch = Vec::new();
+        g.seal(&mut scratch);
+        let before = dfg_time_computations();
+        assert_eq!(g.critical_path(), 5);
+        assert_eq!(g.sequential_cycles(), 7);
+        assert_eq!(dfg_time_computations(), before);
+    }
+
+    #[test]
+    fn buffer_recycling_preserves_capacity_and_resets_nodes() {
+        let g = diamond();
+        let buf = g.into_buffer();
+        let cap = buf.capacity();
+        assert!(cap >= 4);
+        let g2 = Dfg::from_buffer(buf);
+        assert!(g2.is_empty());
+        assert_eq!(g2.critical_path(), 0);
+        assert!(g2.nodes.capacity() >= cap);
+    }
+
+    #[test]
+    fn clones_and_equality_ignore_the_cache() {
+        let g = diamond();
+        let mut h = g.clone();
+        let _ = g.critical_path(); // populate g's cache only
+        assert_eq!(g, h);
+        h.seal(&mut Vec::new());
+        assert_eq!(g, h);
     }
 
     #[test]

@@ -84,11 +84,12 @@ mod recorder;
 mod report;
 mod resource;
 mod session;
+mod site;
 mod tls;
 
 pub use capture::{CaptureEvent, CaptureList, CapturePoint};
 pub use cost::{CostTable, Op, OpCounts, ALL_OPS, OP_COUNT};
-pub use estimator::{InstSample, Mode, SegStats, NODE_ENTRY, NODE_EXIT, NODE_WAIT};
+pub use estimator::{EstHotStats, InstSample, Mode, SegStats, NODE_ENTRY, NODE_EXIT, NODE_WAIT};
 pub use garray::GArr;
 pub use gval::{
     g_f32, g_f64, g_i16, g_i32, g_i64, g_u16, g_u32, g_u64, g_u8, g_usize, IndexValue, G,
@@ -99,4 +100,5 @@ pub use recorder::{Recorder, Replay};
 pub use report::{ProcessGraph, ProcessReport, Report, ResourceReport, SegmentReport};
 pub use resource::{Platform, Resource, ResourceId, ResourceKind};
 pub use session::{Session, SimConfig};
+pub use site::{site_enter, MemoMode, SegmentSite, SiteGuard};
 pub use tls::{charge_branch, charge_call, charge_op};

@@ -92,6 +92,82 @@ macro_rules! g_for {
     };
 }
 
+/// A memoizable annotated counted loop: [`g_for!`] plus a per-iteration
+/// segment-site region, so on sequential resources with integer-valued
+/// cost tables every repeat of the body is satisfied from the site cache
+/// with one recorded-delta apply instead of per-op charging.
+///
+/// Charges exactly what [`g_for!`] charges — the loop bookkeeping
+/// ([`crate::Op::Assign`] + [`crate::Op::Add`] + [`crate::Op::Cmp`] +
+/// [`crate::Op::Branch`]) is inside the memoized region, so replayed
+/// iterations are bit-identical to live ones.
+///
+/// Use only when the body's charge stream does not depend on the data
+/// being processed (no data-dependent `g_if!` arms or trip counts). If
+/// the stream depends on a value you can name, fold it into a key with
+/// the keyed form; [`crate::MemoMode::Verify`] re-charges every hit live
+/// and asserts bit-equality, catching misuse.
+///
+/// ```
+/// use scperf_core::g_loop;
+///
+/// let mut sum = 0;
+/// g_loop!(i in 0..4 => {
+///     sum += i;
+/// });
+/// assert_eq!(sum, 6);
+/// ```
+#[macro_export]
+macro_rules! g_loop {
+    ($i:ident in $range:expr => $body:block) => {
+        $crate::g_loop!($i in $range, key = 0u64 => $body)
+    };
+    ($i:ident in $range:expr, key = $key:expr => $body:block) => {
+        for $i in $range {
+            static __SCPERF_SITE: $crate::SegmentSite = $crate::SegmentSite::new();
+            let __scperf_guard = $crate::site_enter(&__SCPERF_SITE, $key);
+            $crate::charge_op($crate::Op::Assign);
+            $crate::charge_op($crate::Op::Add);
+            $crate::charge_op($crate::Op::Cmp);
+            $crate::charge_branch();
+            $body
+            drop(__scperf_guard);
+        }
+    };
+}
+
+/// A memoizable straight-line region (block form of [`g_loop!`]): the
+/// first execution per key records the charge delta, repeats apply it in
+/// one step. Evaluates to the block's value. Charges nothing by itself.
+///
+/// The optional key distinguishes executions with different charge
+/// streams — e.g. a data-dependent trip count:
+///
+/// ```
+/// use scperf_core::{g_for, g_site};
+///
+/// let k = 3usize;
+/// let sum = g_site!((k as u64) {
+///     let mut s = 0;
+///     g_for!(i in 0..k => { s += i; });
+///     s
+/// });
+/// assert_eq!(sum, 3);
+/// ```
+#[macro_export]
+macro_rules! g_site {
+    (($key:expr) $body:block) => {{
+        static __SCPERF_SITE: $crate::SegmentSite = $crate::SegmentSite::new();
+        let __scperf_guard = $crate::site_enter(&__SCPERF_SITE, $key);
+        let __scperf_value = $body;
+        drop(__scperf_guard);
+        __scperf_value
+    }};
+    ($body:block) => {
+        $crate::g_site!((0u64) $body)
+    };
+}
+
 /// An annotated function call: charges one [`crate::Op::Call`] for the
 /// call/return overhead plus one [`crate::Op::Assign`] per argument (the
 /// argument copy into the callee's frame), before invoking the function
@@ -126,7 +202,8 @@ mod tests {
     use crate::cost::{CostTable, Op};
     use crate::gval::G;
     use crate::resource::ResourceKind;
-    use crate::tls::testutil::with_test_ctx;
+    use crate::site::MemoMode;
+    use crate::tls::testutil::{with_test_ctx, with_test_ctx_full};
 
     #[test]
     fn g_if_charges_branch_then_condition() {
@@ -185,6 +262,100 @@ mod tests {
         g_if!((true) { n += 1; });
         g_while!((n < 2) { n += 1; });
         g_for!(_i in 0..2 => { n += 1; });
-        assert_eq!(n, 4);
+        g_loop!(_i in 0..2 => { n += 1; });
+        let m = g_site!({ n + 1 });
+        assert_eq!(n, 6);
+        assert_eq!(m, 7);
+    }
+
+    #[test]
+    fn g_loop_charges_exactly_like_g_for() {
+        let table = CostTable::from_pairs([
+            (Op::Branch, 2.0),
+            (Op::Assign, 1.0),
+            (Op::Add, 1.0),
+            (Op::Cmp, 1.0),
+            (Op::Mul, 5.0),
+        ]);
+        let plain = with_test_ctx(ResourceKind::Sequential, table.clone(), false, || {
+            g_for!(_i in 0..6 => {
+                crate::charge_op(Op::Mul);
+            });
+        });
+        for memo in [MemoMode::Off, MemoMode::Replay, MemoMode::Verify] {
+            let looped = with_test_ctx_full(
+                ResourceKind::Sequential,
+                table.clone(),
+                false,
+                false,
+                memo,
+                || {
+                    g_loop!(_i in 0..6 => {
+                        crate::charge_op(Op::Mul);
+                    });
+                },
+            );
+            assert_eq!(plain.acc.to_bits(), looped.acc.to_bits(), "{memo:?}");
+            assert_eq!(plain.counts, looped.counts, "{memo:?}");
+        }
+    }
+
+    #[test]
+    fn g_site_keyed_form_distinguishes_trip_counts() {
+        let table = CostTable::from_pairs([
+            (Op::Branch, 1.0),
+            (Op::Assign, 1.0),
+            (Op::Add, 1.0),
+            (Op::Cmp, 1.0),
+        ]);
+        let run = |memo| {
+            with_test_ctx_full(
+                ResourceKind::Sequential,
+                table.clone(),
+                false,
+                false,
+                memo,
+                || {
+                    for trip in [2usize, 5, 2, 5, 5] {
+                        g_site!((trip as u64) {
+                            g_for!(_i in 0..trip => {});
+                        });
+                    }
+                },
+            )
+        };
+        let live = run(MemoMode::Off);
+        let memo = run(MemoMode::Replay);
+        assert_eq!(live.acc.to_bits(), memo.acc.to_bits());
+        assert_eq!(live.counts, memo.counts);
+        // (2+5+2+5+5) iterations x 4 bookkeeping ops.
+        assert_eq!(live.acc, 19.0 * 4.0);
+    }
+
+    #[test]
+    fn g_loop_body_break_and_continue_stay_safe() {
+        let table = CostTable::from_pairs([(Op::Branch, 1.0), (Op::Mul, 3.0)]);
+        let ctx = with_test_ctx_full(
+            ResourceKind::Sequential,
+            table,
+            false,
+            false,
+            MemoMode::Replay,
+            || {
+                g_loop!(i in 0..10 => {
+                    if i == 7 {
+                        break;
+                    }
+                    if i % 2 == 0 {
+                        continue;
+                    }
+                    crate::charge_op(Op::Mul);
+                });
+                // Charging must still be live after the early exits.
+                crate::charge_op(Op::Mul);
+            },
+        );
+        assert!(ctx.counts.get(Op::Mul) >= 1);
+        assert!(ctx.counts.get(Op::Branch) >= 7);
     }
 }

@@ -14,11 +14,12 @@ use scperf_kernel::{Fifo, ProcCtx, ProcId, Rendezvous, Signal, Simulator, Time};
 
 use crate::capture::{CaptureList, CapturePoint};
 use crate::cost::OpCounts;
-use crate::estimator::{end_segment, EstimatorShared, Mode, NODE_WAIT};
+use crate::estimator::{end_segment, EstHotStats, EstimatorShared, Mode, NODE_WAIT};
 use crate::hw::Dfg;
 use crate::recorder::{Recorder, Replay};
 use crate::report::Report;
 use crate::resource::{Platform, ResourceId};
+use crate::site::MemoMode;
 use crate::tls;
 
 /// The performance-analysis model: a [`Platform`], an architectural mapping
@@ -80,6 +81,34 @@ impl PerfModel {
     /// execution, for export to the HLS scheduler. Off by default.
     pub fn record_dfgs(&self) {
         self.est.inner.lock().record_dfgs = true;
+    }
+
+    /// Routes operator charging through the legacy `RefCell`-per-op path
+    /// instead of the flat thread-local fast path. Bit-identical results,
+    /// strictly slower — exists as the measurable baseline for
+    /// `estimator_bench` and as a diagnostic escape hatch.
+    pub fn legacy_charging(&self, enable: bool) {
+        self.est.inner.lock().legacy_charging = enable;
+    }
+
+    /// Sets the segment-site memoization policy for processes spawned
+    /// after this call (default: [`MemoMode::Replay`]). Memoization only
+    /// actually engages for live estimation on sequential resources with
+    /// integer-valued cost tables — see [`crate::g_loop!`].
+    pub fn site_memo(&self, mode: MemoMode) {
+        self.est.inner.lock().memo_mode = mode;
+    }
+
+    /// Snapshot of the hot-path counters: fast-path charges, site-cache
+    /// hits/misses and DFG arena reuses. Cheap (one lock, four loads).
+    pub fn hot_stats(&self) -> EstHotStats {
+        let inner = self.est.inner.lock();
+        EstHotStats {
+            fast_charges: inner.fast_charges,
+            site_hits: inner.site_hits,
+            site_misses: inner.site_misses,
+            dfg_arena_reuse: inner.dfg_arena_reuse,
+        }
     }
 
     /// Attaches a [`Recorder`]: every segment execution's estimated
@@ -202,14 +231,21 @@ impl PerfModel {
         let est = Arc::clone(&self.est);
         let reg_name = name.clone();
         let pid = sim.spawn(name, move |ctx| {
-            let (kind, costs, k, rtos_cycles) = {
+            let (kind, costs, k, rtos_cycles, legacy, memo, record_dfgs) = {
                 let inner = est.inner.lock();
                 let r = inner.platform.resource(resource);
-                (r.kind, tls::dense_costs(&r.costs), r.k, r.rtos_cycles)
+                (
+                    r.kind,
+                    tls::dense_costs(&r.costs),
+                    r.k,
+                    r.rtos_cycles,
+                    inner.legacy_charging,
+                    inner.memo_mode,
+                    inner.record_dfgs,
+                )
             };
-            let record_dfgs = replay.is_none()
-                && est.inner.lock().record_dfgs
-                && kind == crate::resource::ResourceKind::Parallel;
+            let record_dfgs =
+                replay.is_none() && record_dfgs && kind == crate::resource::ResourceKind::Parallel;
             tls::install(tls::ThreadCtx {
                 est: Arc::clone(&est),
                 pid: ctx.pid().index(),
@@ -224,6 +260,11 @@ impl PerfModel {
                 dfg: record_dfgs.then(Dfg::default),
                 current_node: crate::estimator::NODE_ENTRY,
                 replay: replay.map(|trace| tls::ReplayCursor { trace, next: 0 }),
+                legacy,
+                memo,
+                sites: std::collections::HashMap::new(),
+                dfg_spare: Vec::new(),
+                cp_scratch: Vec::new(),
             });
             body(ctx);
             // The process-exit statement is a node (§2): flush the final
@@ -338,6 +379,10 @@ impl PerfModel {
         m.set_gauge("est.total_cycles", cycles);
         m.set_gauge("est.total_time_ns", time.as_ns_f64());
         m.set_gauge("est.rtos_time_ns", rtos.as_ns_f64());
+        m.set_counter("est.charge.fast", inner.fast_charges);
+        m.set_counter("est.site_cache.hit", inner.site_hits);
+        m.set_counter("est.site_cache.miss", inner.site_misses);
+        m.set_counter("est.dfg.arena_reuse", inner.dfg_arena_reuse);
         for (id, r) in inner.platform.iter() {
             m.set_gauge(
                 format!("resource.{}.busy_ns", r.name),

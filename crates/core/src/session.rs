@@ -48,6 +48,7 @@ use crate::model::{PFifo, PRendezvous, PSignal, PerfModel};
 use crate::recorder::{Recorder, Replay};
 use crate::report::Report;
 use crate::resource::{Platform, ResourceId};
+use crate::site::MemoMode;
 
 /// Declarative configuration of one simulation: the kernel half
 /// (handoff protocol, trace sink) plus the estimation half (platform,
@@ -64,6 +65,8 @@ pub struct SimConfig {
     record_instantaneous: bool,
     record_dfgs: bool,
     record_costs: bool,
+    legacy_charging: bool,
+    site_memo: MemoMode,
     run_limit: Option<Time>,
 }
 
@@ -83,6 +86,8 @@ impl SimConfig {
             record_instantaneous: false,
             record_dfgs: false,
             record_costs: false,
+            legacy_charging: false,
+            site_memo: MemoMode::default(),
             run_limit: None,
         }
     }
@@ -143,6 +148,23 @@ impl SimConfig {
         self
     }
 
+    /// Routes operator charging through the legacy `RefCell`-per-op path
+    /// instead of the flat thread-local fast path. Bit-identical
+    /// results, strictly slower — the measurable baseline of
+    /// `estimator_bench` and a diagnostic escape hatch.
+    pub fn legacy_charging(mut self, enable: bool) -> SimConfig {
+        self.legacy_charging = enable;
+        self
+    }
+
+    /// Sets the segment-site memoization policy (default
+    /// [`MemoMode::Replay`]); see [`crate::g_loop!`] for what a site is
+    /// and when memoization engages.
+    pub fn site_memo(mut self, mode: MemoMode) -> SimConfig {
+        self.site_memo = mode;
+        self
+    }
+
     /// Caps simulation time: [`Session::run`] stops at `limit` (with
     /// [`scperf_kernel::StopReason::TimeLimit`]) instead of running to
     /// event exhaustion.
@@ -162,6 +184,8 @@ impl SimConfig {
         if self.record_dfgs {
             model.record_dfgs();
         }
+        model.legacy_charging(self.legacy_charging);
+        model.site_memo(self.site_memo);
         let recorder = self.record_costs.then(|| model.recorder());
         Session {
             sim,
@@ -377,6 +401,37 @@ mod tests {
         let metrics = session.metrics();
         assert!(metrics.counter("kernel.delta_cycles").is_some());
         assert_eq!(metrics.counter("est.processes"), Some(1));
+    }
+
+    #[test]
+    fn recorded_dfgs_are_sealed_before_reporting() {
+        let mut platform = Platform::new();
+        let hw = platform.parallel("hw", Time::ns(10), CostTable::asic_hw(), 0.5);
+        let mut session = SimConfig::new().platform(platform).record_dfgs().build();
+        session.spawn("w", hw, |_ctx| {
+            let mut acc = g_i64(0);
+            for i in 0..16 {
+                acc = acc + g_i64(i) * g_i64(2);
+            }
+            std::hint::black_box(acc.get());
+        });
+        session.run().unwrap();
+        let dfgs = session.model().dfgs("w");
+        assert!(!dfgs.is_empty(), "hw process records a graph");
+        // The graphs were sealed when their segments were taken:
+        // rendering reports and querying timings must not trigger a
+        // single critical-path rescan on this thread.
+        let before = crate::hw::dfg_time_computations();
+        let report = session.report();
+        assert!(report.process("w").unwrap().total_cycles > 0.0);
+        for (_, dfg) in &dfgs {
+            assert!(dfg.critical_path() <= dfg.sequential_cycles());
+        }
+        assert_eq!(
+            crate::hw::dfg_time_computations(),
+            before,
+            "report/query path recomputed a sealed DFG"
+        );
     }
 
     #[test]

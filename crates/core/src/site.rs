@@ -1,0 +1,511 @@
+//! Segment-site memoization: one-shot replay of straight-line regions.
+//!
+//! The single-source methodology (§2) makes a straight-line region's
+//! charge stream a pure function of (code, cost table): executing the
+//! same loop body again charges exactly the same operations in the same
+//! order. This module exploits that — the first execution of a marked
+//! region records the *delta* it added to the running segment (`Δacc`
+//! and per-op `Δcounts`); every repeat applies that delta with one
+//! addition per field instead of charging each operation live.
+//!
+//! A region is marked with [`g_loop!`](crate::g_loop) /
+//! [`g_site!`](crate::g_site), which expand to a `static`
+//! [`SegmentSite`] (the site id — one per *lexical* region) plus a
+//! caller-supplied `u64` key for data-dependent trip counts. Regions
+//! whose charge stream depends on the *values* being processed (e.g. a
+//! branch on input data inside the body) must either stay unmarked or
+//! fold the discriminating value into the key — a changed key is a
+//! cache miss and the region records afresh.
+//!
+//! # When replay is bit-exact
+//!
+//! The recorded delta is replayed as `acc += Δacc`. That is bit-identical
+//! to re-charging per-op only when every partial sum is exactly
+//! representable, which [`install`](crate::tls) guarantees by enabling
+//! memoization solely for *integer-valued* cost tables
+//! ([`CostTable::is_integral`](crate::CostTable::is_integral)) on
+//! *sequential* resources. Fractional tables, parallel resources
+//! (whose DFG node lineage spans iterations), replaying processes and
+//! the legacy charging path all leave the region charging live — marking
+//! a region is always sound, never mandatory.
+//!
+//! [`MemoMode::Verify`] re-charges every "hit" live anyway and asserts
+//! the recorded delta bit-equal — the debugging mode for validating new
+//! region annotations.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::cost::OP_COUNT;
+use crate::tls::{self, FAST, MEMO_OFF, MEMO_REPLAY, MEMO_VERIFY, S_PASSIVE, S_SEQ};
+
+/// Site-memoization policy for a session (see the module docs for when
+/// replay actually engages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum MemoMode {
+    /// Never memoize; every marked region charges live.
+    Off = 0,
+    /// Replay recorded deltas on repeat executions (the default).
+    #[default]
+    Replay = 1,
+    /// Replay *and* re-charge live, asserting the delta bit-equal —
+    /// slow, for validating region annotations.
+    Verify = 2,
+}
+
+/// The recorded first-execution delta of one `(site, key)` region.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SiteRecord {
+    /// Cycles the region added to the segment accumulator.
+    pub(crate) d_acc: f64,
+    /// Operations the region charged, by dense op index.
+    pub(crate) d_counts: [u64; OP_COUNT],
+}
+
+/// A lexical segment-site identity, declared `static` by the
+/// [`g_loop!`](crate::g_loop) / [`g_site!`](crate::g_site) macros.
+///
+/// The id is assigned lazily on first use from a global counter, so
+/// declaring sites is free and ids are dense.
+pub struct SegmentSite {
+    id: AtomicU32,
+}
+
+/// Global site-id allocator; 0 means "not yet assigned".
+static NEXT_SITE: AtomicU32 = AtomicU32::new(1);
+
+impl SegmentSite {
+    /// Creates an unassigned site (use in a `static`).
+    #[must_use]
+    pub const fn new() -> SegmentSite {
+        SegmentSite {
+            id: AtomicU32::new(0),
+        }
+    }
+
+    /// This site's process-global id, assigning it on first call.
+    fn id(&self) -> u32 {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = NEXT_SITE.fetch_add(1, Ordering::Relaxed);
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(won) => won,
+        }
+    }
+}
+
+impl Default for SegmentSite {
+    fn default() -> SegmentSite {
+        SegmentSite::new()
+    }
+}
+
+/// What the guard must do when the region ends.
+enum Action {
+    /// Memoization not engaged — nothing to do at exit.
+    Inactive,
+    /// First execution: record the delta between exit and the snapshot.
+    Record {
+        acc0: f64,
+        counts0: [u64; OP_COUNT],
+        gen0: u32,
+        site: u32,
+        key: u64,
+    },
+    /// Repeat execution: charging is parked at `S_PASSIVE`; apply the
+    /// recorded delta at exit.
+    Replay {
+        d_acc: f64,
+        d_counts: [u64; OP_COUNT],
+        gen0: u32,
+    },
+    /// Repeat execution in verify mode: charge live, then assert the
+    /// fresh delta bit-equal to the record.
+    Verify {
+        acc0: f64,
+        counts0: [u64; OP_COUNT],
+        gen0: u32,
+        site: u32,
+        key: u64,
+    },
+}
+
+/// RAII guard for one execution of a memoized region; the exit logic
+/// runs on drop, so `break` / `continue` / `?` / early `return` inside
+/// the region stay safe.
+pub struct SiteGuard {
+    action: Action,
+}
+
+/// Enters a memoized region at `site` with the caller's `key` (fold any
+/// value that changes the region's charge stream — trip counts,
+/// data-dependent branch selectors — into the key).
+///
+/// Returns a guard whose drop ends the region. Usually called via
+/// [`g_loop!`](crate::g_loop) / [`g_site!`](crate::g_site) rather than
+/// directly.
+#[must_use]
+pub fn site_enter(site: &SegmentSite, key: u64) -> SiteGuard {
+    let (memo, state, gen0, acc0) =
+        FAST.with(|f| (f.memo.get(), f.state.get(), f.seg_gen.get(), f.acc.get()));
+    // Engaged only for live sequential charging with memoization on:
+    // inside an outer replayed region `state` is `S_PASSIVE`, so nested
+    // regions are inert (the outer record already covers them).
+    if memo == MEMO_OFF || state != S_SEQ {
+        return SiteGuard {
+            action: Action::Inactive,
+        };
+    }
+    let site_id = site.id();
+    let hit = tls::with(|c| c.sites.get(&(site_id, key)).cloned()).flatten();
+    let action = match hit {
+        Some(rec) if memo == MEMO_REPLAY => {
+            // Park charging: every op in the region becomes a flag test.
+            FAST.with(|f| f.state.set(S_PASSIVE));
+            Action::Replay {
+                d_acc: rec.d_acc,
+                d_counts: rec.d_counts,
+                gen0,
+            }
+        }
+        Some(_) => {
+            debug_assert_eq!(memo, MEMO_VERIFY);
+            Action::Verify {
+                acc0,
+                counts0: snapshot_counts(),
+                gen0,
+                site: site_id,
+                key,
+            }
+        }
+        None => Action::Record {
+            acc0,
+            counts0: snapshot_counts(),
+            gen0,
+            site: site_id,
+            key,
+        },
+    };
+    SiteGuard { action }
+}
+
+fn snapshot_counts() -> [u64; OP_COUNT] {
+    FAST.with(|f| {
+        let mut out = [0u64; OP_COUNT];
+        for (o, c) in out.iter_mut().zip(f.counts.iter()) {
+            *o = c.get();
+        }
+        out
+    })
+}
+
+/// Computes the (Δacc, Δcounts) between the current fast slots and the
+/// entry snapshot. Returns `None` on counter underflow, which means a
+/// segment boundary drained the slots inside the region.
+fn delta_since(acc0: f64, counts0: &[u64; OP_COUNT]) -> Option<SiteRecord> {
+    FAST.with(|f| {
+        let d_acc = f.acc.get() - acc0;
+        let mut d_counts = [0u64; OP_COUNT];
+        for i in 0..OP_COUNT {
+            d_counts[i] = f.counts[i].get().checked_sub(counts0[i])?;
+        }
+        Some(SiteRecord { d_acc, d_counts })
+    })
+}
+
+impl Drop for SiteGuard {
+    fn drop(&mut self) {
+        match std::mem::replace(&mut self.action, Action::Inactive) {
+            Action::Inactive => {}
+            Action::Replay {
+                d_acc,
+                d_counts,
+                gen0,
+            } => FAST.with(|f| {
+                debug_assert_eq!(
+                    f.seg_gen.get(),
+                    gen0,
+                    "segment boundary inside a replayed site region: the \
+                     recorded delta was taken from a boundary-free execution"
+                );
+                f.state.set(S_SEQ);
+                f.acc.set(f.acc.get() + d_acc);
+                for (c, d) in f.counts.iter().zip(d_counts.iter()) {
+                    c.set(c.get() + d);
+                }
+                f.site_hits.set(f.site_hits.get() + 1);
+            }),
+            Action::Record {
+                acc0,
+                counts0,
+                gen0,
+                site,
+                key,
+            } => {
+                let boundary_free =
+                    FAST.with(|f| f.seg_gen.get() == gen0 && f.state.get() == S_SEQ);
+                if !boundary_free {
+                    // A wait/channel op fired inside the region (or the
+                    // context changed): the delta spans segments and must
+                    // not be cached. The region simply stays live.
+                    return;
+                }
+                if let Some(rec) = delta_since(acc0, &counts0) {
+                    let _ = tls::with(|c| c.sites.insert((site, key), rec));
+                    FAST.with(|f| f.site_misses.set(f.site_misses.get() + 1));
+                }
+            }
+            Action::Verify {
+                acc0,
+                counts0,
+                gen0,
+                site,
+                key,
+            } => {
+                let boundary_free =
+                    FAST.with(|f| f.seg_gen.get() == gen0 && f.state.get() == S_SEQ);
+                if !boundary_free {
+                    return;
+                }
+                let fresh = delta_since(acc0, &counts0);
+                let stored = tls::with(|c| c.sites.get(&(site, key)).cloned()).flatten();
+                if let (Some(fresh), Some(stored)) = (fresh, stored) {
+                    assert_eq!(
+                        fresh.d_acc.to_bits(),
+                        stored.d_acc.to_bits(),
+                        "site {site} key {key}: live re-charge disagrees with \
+                         the recorded Δacc — the region's charge stream is \
+                         data-dependent; fold the discriminating value into \
+                         the site key or leave the region unmarked"
+                    );
+                    assert_eq!(
+                        fresh.d_counts, stored.d_counts,
+                        "site {site} key {key}: live re-charge disagrees with \
+                         the recorded op counts — the region's charge stream \
+                         is data-dependent"
+                    );
+                    FAST.with(|f| f.site_hits.set(f.site_hits.get() + 1));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostTable, Op};
+    use crate::resource::ResourceKind;
+    use crate::tls::testutil::with_test_ctx_full;
+    use crate::tls::{charge_branch, charge_op};
+
+    fn int_table() -> CostTable {
+        CostTable::from_pairs([(Op::Add, 2.0), (Op::Mul, 5.0), (Op::Branch, 1.0)])
+    }
+
+    fn body() {
+        charge_op(Op::Add);
+        charge_op(Op::Mul);
+        charge_branch();
+    }
+
+    #[test]
+    fn replay_matches_live_bit_for_bit() {
+        let run = |memo| {
+            with_test_ctx_full(
+                ResourceKind::Sequential,
+                int_table(),
+                false,
+                false,
+                memo,
+                || {
+                    static SITE: SegmentSite = SegmentSite::new();
+                    for _ in 0..10 {
+                        let _g = site_enter(&SITE, 0);
+                        body();
+                    }
+                },
+            )
+        };
+        let live = run(MemoMode::Off);
+        let memo = run(MemoMode::Replay);
+        assert_eq!(live.acc.to_bits(), memo.acc.to_bits());
+        assert_eq!(live.counts, memo.counts);
+        assert_eq!(live.counts.get(Op::Add), 10);
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let ctx = with_test_ctx_full(
+            ResourceKind::Sequential,
+            int_table(),
+            false,
+            false,
+            MemoMode::Replay,
+            || {
+                static SITE: SegmentSite = SegmentSite::new();
+                let mut hits = 0;
+                let mut misses = 0;
+                for _ in 0..7 {
+                    let _g = site_enter(&SITE, 0);
+                    body();
+                }
+                crate::tls::FAST.with(|f| {
+                    hits = f.site_hits.get();
+                    misses = f.site_misses.get();
+                });
+                assert_eq!(misses, 1, "first execution records");
+                assert_eq!(hits, 6, "repeats replay");
+            },
+        );
+        assert_eq!(ctx.sites.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_miss_separately() {
+        let ctx = with_test_ctx_full(
+            ResourceKind::Sequential,
+            int_table(),
+            false,
+            false,
+            MemoMode::Replay,
+            || {
+                static SITE: SegmentSite = SegmentSite::new();
+                for trip in [3u64, 5, 3, 5, 3] {
+                    let _g = site_enter(&SITE, trip);
+                    for _ in 0..trip {
+                        charge_op(Op::Add);
+                    }
+                }
+            },
+        );
+        // 3+5+3+5+3 Adds regardless of which executions replayed.
+        assert_eq!(ctx.counts.get(Op::Add), 19);
+        assert_eq!(ctx.acc, 38.0);
+        assert_eq!(ctx.sites.len(), 2, "one record per key");
+    }
+
+    #[test]
+    fn fractional_tables_never_replay() {
+        let ctx = with_test_ctx_full(
+            ResourceKind::Sequential,
+            CostTable::figure3(), // Branch = 2.4
+            false,
+            false,
+            MemoMode::Replay,
+            || {
+                static SITE: SegmentSite = SegmentSite::new();
+                for _ in 0..4 {
+                    let _g = site_enter(&SITE, 0);
+                    charge_branch();
+                }
+            },
+        );
+        assert!(ctx.sites.is_empty(), "fractional table must stay live");
+        assert_eq!(ctx.counts.get(Op::Branch), 4);
+    }
+
+    #[test]
+    fn verify_mode_accepts_deterministic_regions() {
+        let ctx = with_test_ctx_full(
+            ResourceKind::Sequential,
+            int_table(),
+            false,
+            false,
+            MemoMode::Verify,
+            || {
+                static SITE: SegmentSite = SegmentSite::new();
+                for _ in 0..5 {
+                    let _g = site_enter(&SITE, 0);
+                    body();
+                }
+            },
+        );
+        assert_eq!(ctx.counts.get(Op::Add), 5);
+        assert_eq!(ctx.acc, 5.0 * 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data-dependent")]
+    fn verify_mode_catches_data_dependent_regions() {
+        let _ = with_test_ctx_full(
+            ResourceKind::Sequential,
+            int_table(),
+            false,
+            false,
+            MemoMode::Verify,
+            || {
+                static SITE: SegmentSite = SegmentSite::new();
+                for trip in [1u64, 2] {
+                    // Same key, different charge stream: verify must trip.
+                    let _g = site_enter(&SITE, 0);
+                    for _ in 0..trip {
+                        charge_op(Op::Add);
+                    }
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn nested_regions_stay_consistent() {
+        let run = |memo| {
+            with_test_ctx_full(
+                ResourceKind::Sequential,
+                int_table(),
+                false,
+                false,
+                memo,
+                || {
+                    static OUTER: SegmentSite = SegmentSite::new();
+                    static INNER: SegmentSite = SegmentSite::new();
+                    for _ in 0..3 {
+                        let _o = site_enter(&OUTER, 0);
+                        charge_op(Op::Mul);
+                        for _ in 0..4 {
+                            let _i = site_enter(&INNER, 0);
+                            charge_op(Op::Add);
+                        }
+                    }
+                },
+            )
+        };
+        let live = run(MemoMode::Off);
+        let memo = run(MemoMode::Replay);
+        assert_eq!(live.acc.to_bits(), memo.acc.to_bits());
+        assert_eq!(live.counts, memo.counts);
+        assert_eq!(live.counts.get(Op::Add), 12);
+    }
+
+    #[test]
+    fn early_exit_from_region_is_safe() {
+        let ctx = with_test_ctx_full(
+            ResourceKind::Sequential,
+            int_table(),
+            false,
+            false,
+            MemoMode::Replay,
+            || {
+                static SITE: SegmentSite = SegmentSite::new();
+                for i in 0..6 {
+                    let _g = site_enter(&SITE, 0);
+                    charge_op(Op::Add);
+                    if i % 2 == 0 {
+                        continue; // drops the guard mid-loop-body
+                    }
+                    charge_op(Op::Add);
+                }
+                // After all that, charging must still be live.
+                charge_op(Op::Mul);
+            },
+        );
+        assert_eq!(ctx.counts.get(Op::Mul), 1);
+        assert!(ctx.counts.get(Op::Add) >= 6);
+    }
+}

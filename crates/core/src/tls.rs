@@ -6,14 +6,111 @@
 //! exact analogue: [`crate::PerfModel::spawn`] installs the context before
 //! the process body runs, the annotated [`crate::G`] types charge into it,
 //! and the channel wrappers drain it at every segment boundary.
+//!
+//! # The two-tier layout
+//!
+//! Charging is the most-executed code in the whole system (§3: *every*
+//! elementary operation charges), so the context is split in two:
+//!
+//! * [`FastSlots`] — a flat thread-local of [`Cell`]s holding exactly the
+//!   state mutated per operation: a one-byte state discriminant, the
+//!   running accumulators (`acc`, `max_ready`), the dense cost table
+//!   (pre-ceiled for parallel resources) and the per-op counters.
+//!   [`charge`] reads the discriminant once and performs branch-predictable
+//!   arithmetic on the cells — no `RefCell` borrow, no `Option` unwrap.
+//!   On an un-instrumented thread the discriminant is [`S_ABSENT`] and the
+//!   whole call is a single flag test.
+//! * [`ThreadCtx`] — the full context behind the original
+//!   `RefCell<Option<…>>`, touched only at segment boundaries
+//!   (`take_segment`), at site-memo region edges, and by the preserved
+//!   legacy charging path used as the benchmark baseline.
+//!
+//! `install` seeds the fast slots from the `ThreadCtx`; `take_segment`
+//! drains both tiers (exactly one of them holds non-zero accumulators);
+//! `uninstall` folds any residual fast-slot state back into the returned
+//! `ThreadCtx` so tests and callers observe the same totals as before the
+//! split.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::cost::{CostTable, Op, OpCounts, OP_COUNT};
 use crate::estimator::EstimatorShared;
-use crate::hw::{Dfg, NO_NODE};
+use crate::hw::{Dfg, DfgNode, NO_NODE};
 use crate::resource::{ResourceId, ResourceKind};
+use crate::site::{MemoMode, SiteRecord};
+
+/// Fast-slot state: no context installed — charging is a no-op.
+pub(crate) const S_ABSENT: u8 = 0;
+/// Fast-slot state: context installed but charging is disabled
+/// (environment resource, trace replay, or inside a replayed site region).
+pub(crate) const S_PASSIVE: u8 = 1;
+/// Fast-slot state: live sequential charging (`acc += cost`).
+pub(crate) const S_SEQ: u8 = 2;
+/// Fast-slot state: live parallel charging (ceiled latency, ready times).
+pub(crate) const S_PAR: u8 = 3;
+/// Fast-slot state: parallel charging with DFG recording (outlined path —
+/// the node push needs the `RefCell` context).
+pub(crate) const S_PAR_DFG: u8 = 4;
+/// Fast-slot state: route every charge through the legacy
+/// [`ThreadCtx::charge`] `RefCell` path (benchmark baseline).
+pub(crate) const S_LEGACY: u8 = 5;
+
+/// Effective memo mode: off (mirrors `MemoMode::Off as u8`).
+pub(crate) const MEMO_OFF: u8 = MemoMode::Off as u8;
+/// Effective memo mode: replay recorded deltas.
+pub(crate) const MEMO_REPLAY: u8 = MemoMode::Replay as u8;
+/// Effective memo mode: replay + live re-charge with bit-equality asserts.
+pub(crate) const MEMO_VERIFY: u8 = MemoMode::Verify as u8;
+
+/// The flat per-op fast path: every field a [`Cell`], mutated without any
+/// `RefCell` borrow. One instance per thread; meaningful only while a
+/// [`ThreadCtx`] is installed.
+pub(crate) struct FastSlots {
+    /// One of the `S_*` discriminants.
+    pub(crate) state: Cell<u8>,
+    /// Effective site-memoization mode (a `MemoMode` as `u8`); `0` = off.
+    pub(crate) memo: Cell<u8>,
+    /// Bumped at every segment boundary; site regions use it to detect a
+    /// boundary firing inside the region.
+    pub(crate) seg_gen: Cell<u32>,
+    /// Sequential: accumulated fractional cycles. Parallel: accumulated
+    /// single-ALU cycles (`T_max`).
+    pub(crate) acc: Cell<f64>,
+    /// Parallel: critical-path frontier (`T_min`).
+    pub(crate) max_ready: Cell<f64>,
+    /// Dense cost snapshot; pre-ceiled (`ceil().max(0.0)`) for parallel
+    /// states so the hot path does no rounding.
+    pub(crate) costs: [Cell<f64>; OP_COUNT],
+    /// Per-op execution counters for the running segment.
+    pub(crate) counts: [Cell<u64>; OP_COUNT],
+    /// Site-memo regions satisfied from the cache this segment.
+    pub(crate) site_hits: Cell<u64>,
+    /// Site-memo regions recorded (first execution) this segment.
+    pub(crate) site_misses: Cell<u64>,
+}
+
+impl FastSlots {
+    const fn new() -> FastSlots {
+        FastSlots {
+            state: Cell::new(S_ABSENT),
+            memo: Cell::new(0),
+            seg_gen: Cell::new(0),
+            acc: Cell::new(0.0),
+            max_ready: Cell::new(0.0),
+            costs: [const { Cell::new(0.0) }; OP_COUNT],
+            counts: [const { Cell::new(0) }; OP_COUNT],
+            site_hits: Cell::new(0),
+            site_misses: Cell::new(0),
+        }
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+    pub(crate) static FAST: FastSlots = const { FastSlots::new() };
+}
 
 /// Cursor over a previously recorded per-segment cycle trace.
 ///
@@ -43,9 +140,11 @@ pub(crate) struct ThreadCtx {
     pub(crate) rtos_cycles: f64,
     /// Sequential resources: accumulated fractional cycles.
     /// Parallel resources: accumulated single-ALU cycles (T_max).
+    /// Only the legacy charging path accumulates here; the fast path uses
+    /// [`FastSlots::acc`]. `take_segment` and `uninstall` merge the two.
     pub(crate) acc: f64,
     pub(crate) counts: OpCounts,
-    /// Critical-path tracking for parallel resources.
+    /// Critical-path tracking for parallel resources (legacy path).
     pub(crate) max_ready: f64,
     /// Optional full dataflow-graph recording (for HLS export).
     pub(crate) dfg: Option<Dfg>,
@@ -53,14 +152,87 @@ pub(crate) struct ThreadCtx {
     pub(crate) current_node: u32,
     /// Replay mode: pop recorded segment costs instead of charging.
     pub(crate) replay: Option<ReplayCursor>,
+    /// Route charging through the legacy `RefCell` path (baseline).
+    pub(crate) legacy: bool,
+    /// Requested site-memoization mode; the effective mode additionally
+    /// requires a sequential resource, live estimation and an
+    /// integer-valued cost table (see [`CostTable::is_integral`]).
+    pub(crate) memo: MemoMode,
+    /// Memoized straight-line region deltas, keyed by
+    /// `(site id, caller key)`.
+    pub(crate) sites: HashMap<(u32, u64), SiteRecord>,
+    /// Recycled DFG node buffer (arena reuse across segments).
+    pub(crate) dfg_spare: Vec<DfgNode>,
+    /// Scratch finish-time buffer for sealing DFG critical paths.
+    pub(crate) cp_scratch: Vec<u64>,
 }
 
-thread_local! {
-    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+/// Everything one finished segment drained out of both context tiers.
+pub(crate) struct SegmentTake {
+    /// Accumulated cycles (sequential) / single-ALU cycles (parallel).
+    pub(crate) acc: f64,
+    /// Critical-path frontier (parallel).
+    pub(crate) max_ready: f64,
+    /// Merged per-op counts (fast + legacy).
+    pub(crate) counts: OpCounts,
+    /// The sealed DFG, when recording was on.
+    pub(crate) dfg: Option<Dfg>,
+    /// Operations charged through the fast path this segment.
+    pub(crate) fast_ops: u64,
+    /// Site-memo cache hits this segment.
+    pub(crate) site_hits: u64,
+    /// Site-memo cache misses (recordings) this segment.
+    pub(crate) site_misses: u64,
+    /// 1 when this segment's DFG node buffer was recycled from the arena.
+    pub(crate) arena_reuse: u64,
 }
 
-/// Installs the context for this process thread.
+/// Installs the context for this process thread and arms the fast slots.
 pub(crate) fn install(ctx: ThreadCtx) {
+    let state = if ctx.replay.is_some() || ctx.kind == ResourceKind::Environment {
+        S_PASSIVE
+    } else if ctx.legacy {
+        S_LEGACY
+    } else {
+        match ctx.kind {
+            ResourceKind::Sequential => S_SEQ,
+            ResourceKind::Parallel => {
+                if ctx.dfg.is_some() {
+                    S_PAR_DFG
+                } else {
+                    S_PAR
+                }
+            }
+            ResourceKind::Environment => unreachable!(),
+        }
+    };
+    // Memoized delta replay is bit-exact only when every cost is an
+    // integer-valued f64 (all partial sums are then exact); otherwise the
+    // site regions silently stay live.
+    let memo = if state == S_SEQ && integral(&ctx.costs) {
+        ctx.memo as u8
+    } else {
+        MemoMode::Off as u8
+    };
+    FAST.with(|f| {
+        debug_assert_eq!(
+            f.state.get(),
+            S_ABSENT,
+            "estimation context installed twice"
+        );
+        let par = matches!(state, S_PAR | S_PAR_DFG);
+        for i in 0..OP_COUNT {
+            let c = ctx.costs[i];
+            f.costs[i].set(if par { c.ceil().max(0.0) } else { c });
+            f.counts[i].set(0);
+        }
+        f.acc.set(0.0);
+        f.max_ready.set(0.0);
+        f.site_hits.set(0);
+        f.site_misses.set(0);
+        f.memo.set(memo);
+        f.state.set(state);
+    });
     CTX.with(|slot| {
         let mut slot = slot.borrow_mut();
         debug_assert!(slot.is_none(), "estimation context installed twice");
@@ -68,9 +240,30 @@ pub(crate) fn install(ctx: ThreadCtx) {
     });
 }
 
-/// Removes the context (at process-body exit).
+fn integral(costs: &[f64; OP_COUNT]) -> bool {
+    costs.iter().all(|c| c.is_finite() && c.fract() == 0.0)
+}
+
+/// Removes the context (at process-body exit), folding any residual
+/// fast-slot state back into the returned `ThreadCtx` so callers observe
+/// the same accumulators as before the fast-path split.
 pub(crate) fn uninstall() -> Option<ThreadCtx> {
-    CTX.with(|slot| slot.borrow_mut().take())
+    let mut ctx = CTX.with(|slot| slot.borrow_mut().take())?;
+    FAST.with(|f| {
+        ctx.acc += f.acc.replace(0.0);
+        let mr = f.max_ready.replace(0.0);
+        if mr > ctx.max_ready {
+            ctx.max_ready = mr;
+        }
+        for (i, c) in f.counts.iter().enumerate() {
+            ctx.counts.add_index(i, c.replace(0));
+        }
+        f.site_hits.set(0);
+        f.site_misses.set(0);
+        f.memo.set(MemoMode::Off as u8);
+        f.state.set(S_ABSENT);
+    });
+    Some(ctx)
 }
 
 /// Runs `f` with the installed context, if any. Returns `None` when the
@@ -81,9 +274,88 @@ pub(crate) fn with<R>(f: impl FnOnce(&mut ThreadCtx) -> R) -> Option<R> {
     CTX.with(|slot| slot.borrow_mut().as_mut().map(f))
 }
 
+/// Charges one operation with up to two data dependences through the flat
+/// fast path, returning the `(ready_time, dfg_node)` of the produced
+/// value.
+///
+/// * Sequential resources accumulate the raw fractional cost (§3: "total
+///   time is obtained by adding the partial times").
+/// * Parallel resources add the pre-ceiled latency (§3: "a multiple of
+///   the clock period") and track both the dataflow critical path
+///   (`T_min`) and the single-ALU sum (`T_max`).
+/// * Absent, environment and replaying contexts cost one flag test.
+///
+/// The arithmetic is bit-identical to the legacy [`ThreadCtx::charge`]
+/// path: same accumulation order, same rounding (done once at install).
+#[inline]
+pub(crate) fn charge(op: Op, a_ready: f64, a_node: u32, b_ready: f64, b_node: u32) -> (f64, u32) {
+    FAST.with(|f| {
+        let state = f.state.get();
+        if state <= S_PASSIVE {
+            return (0.0, NO_NODE);
+        }
+        if state == S_SEQ {
+            let i = op.index();
+            f.acc.set(f.acc.get() + f.costs[i].get());
+            f.counts[i].set(f.counts[i].get() + 1);
+            return (0.0, NO_NODE);
+        }
+        if state == S_PAR {
+            return (charge_par(f, op, a_ready, b_ready), NO_NODE);
+        }
+        charge_slow(f, state, op, a_ready, a_node, b_ready, b_node)
+    })
+}
+
+/// Parallel-resource arithmetic shared by the [`S_PAR`] and [`S_PAR_DFG`]
+/// states. `costs` holds pre-ceiled latencies.
+#[inline]
+fn charge_par(f: &FastSlots, op: Op, a_ready: f64, b_ready: f64) -> f64 {
+    let i = op.index();
+    let lat = f.costs[i].get();
+    let start = a_ready.max(b_ready);
+    let ready = start + lat;
+    f.acc.set(f.acc.get() + lat);
+    if ready > f.max_ready.get() {
+        f.max_ready.set(ready);
+    }
+    f.counts[i].set(f.counts[i].get() + 1);
+    ready
+}
+
+/// Outlined uncommon states: DFG recording (needs the `RefCell` context
+/// for the node push) and the legacy baseline path.
+#[cold]
+#[inline(never)]
+fn charge_slow(
+    f: &FastSlots,
+    state: u8,
+    op: Op,
+    a_ready: f64,
+    a_node: u32,
+    b_ready: f64,
+    b_node: u32,
+) -> (f64, u32) {
+    if state == S_PAR_DFG {
+        let ready = charge_par(f, op, a_ready, b_ready);
+        let lat = f.costs[op.index()].get() as u64;
+        let node = with(|c| match c.dfg.as_mut() {
+            Some(dfg) => dfg.push(op, lat, a_node, b_node),
+            None => NO_NODE,
+        })
+        .unwrap_or(NO_NODE);
+        (ready, node)
+    } else {
+        debug_assert_eq!(state, S_LEGACY);
+        with(|c| c.charge(op, a_ready, a_node, b_ready, b_node)).unwrap_or((0.0, NO_NODE))
+    }
+}
+
 impl ThreadCtx {
-    /// Charges one operation with up to two data dependences and returns
-    /// the `(ready_time, dfg_node)` of the produced value.
+    /// The original per-op charging path, preserved verbatim behind the
+    /// [`S_LEGACY`] state as the measurable pre-fast-path baseline (see
+    /// `estimator_bench`): a full thread-local + `RefCell` access per
+    /// operation.
     ///
     /// * Sequential resources accumulate the raw fractional cost (§3:
     ///   "total time is obtained by adding the partial times").
@@ -154,21 +426,72 @@ impl ThreadCtx {
         Some(v)
     }
 
-    /// Resets the per-segment accumulators, returning the finished
-    /// segment's `(acc, max_ready, counts, dfg)`.
-    pub(crate) fn take_segment(&mut self) -> (f64, f64, OpCounts, Option<Dfg>) {
-        let acc = std::mem::take(&mut self.acc);
-        let max_ready = std::mem::take(&mut self.max_ready);
-        let counts = std::mem::replace(&mut self.counts, OpCounts::new());
+    /// Drains the finished segment out of both context tiers (fast slots
+    /// and legacy fields — at most one holds non-zero accumulators),
+    /// resets them for the next segment, seals the recorded DFG (caching
+    /// its critical-path/sequential times) and hands the next segment a
+    /// recycled node buffer from the arena.
+    pub(crate) fn take_segment(&mut self) -> SegmentTake {
+        let mut acc = std::mem::take(&mut self.acc);
+        let mut max_ready = std::mem::take(&mut self.max_ready);
+        let mut counts = std::mem::replace(&mut self.counts, OpCounts::new());
+        let mut fast_ops = 0;
+        let mut site_hits = 0;
+        let mut site_misses = 0;
+        FAST.with(|f| {
+            acc += f.acc.replace(0.0);
+            let mr = f.max_ready.replace(0.0);
+            if mr > max_ready {
+                max_ready = mr;
+            }
+            for (i, c) in f.counts.iter().enumerate() {
+                let n = c.replace(0);
+                counts.add_index(i, n);
+                fast_ops += n;
+            }
+            site_hits = f.site_hits.replace(0);
+            site_misses = f.site_misses.replace(0);
+            f.seg_gen.set(f.seg_gen.get().wrapping_add(1));
+        });
+        let mut arena_reuse = 0;
         let dfg = match self.dfg.as_mut() {
             Some(d) => {
-                let taken = std::mem::take(d);
+                let spare = std::mem::take(&mut self.dfg_spare);
+                if spare.capacity() > 0 {
+                    arena_reuse = 1;
+                }
+                let mut taken = std::mem::replace(d, Dfg::from_buffer(spare));
+                taken.seal(&mut self.cp_scratch);
                 Some(taken)
             }
             None => None,
         };
-        (acc, max_ready, counts, dfg)
+        SegmentTake {
+            acc,
+            max_ready,
+            counts,
+            dfg,
+            fast_ops,
+            site_hits,
+            site_misses,
+            arena_reuse,
+        }
     }
+}
+
+/// Returns a no-longer-needed DFG's node buffer to the installed
+/// context's arena, to be reused by an upcoming segment. No-op on
+/// un-instrumented threads or for zero-capacity buffers.
+pub(crate) fn recycle_dfg(dfg: Dfg) {
+    let buf = dfg.into_buffer();
+    if buf.capacity() == 0 {
+        return;
+    }
+    let _ = with(|c| {
+        if c.dfg_spare.capacity() < buf.capacity() {
+            c.dfg_spare = buf;
+        }
+    });
 }
 
 /// Charges a standalone operation with no tracked operands (used by the
@@ -177,7 +500,7 @@ impl ThreadCtx {
 #[doc(hidden)]
 #[inline]
 pub fn charge_op(op: Op) {
-    let _ = with(|c| c.charge(op, 0.0, NO_NODE, 0.0, NO_NODE));
+    let _ = charge(op, 0.0, NO_NODE, 0.0, NO_NODE);
 }
 
 /// Charges a conditional-branch evaluation (`if` / loop condition).
@@ -205,11 +528,24 @@ pub(crate) mod testutil {
     use scperf_kernel::Time;
 
     /// Installs a context bound to a throwaway estimator and runs `f`,
-    /// returning the context state afterwards.
+    /// returning the context state afterwards (fast-slot accumulators
+    /// folded back in by `uninstall`).
     pub(crate) fn with_test_ctx(
         kind: ResourceKind,
         table: CostTable,
         record_dfg: bool,
+        f: impl FnOnce(),
+    ) -> ThreadCtx {
+        with_test_ctx_full(kind, table, record_dfg, false, MemoMode::Off, f)
+    }
+
+    /// [`with_test_ctx`] with explicit legacy-path and memo-mode knobs.
+    pub(crate) fn with_test_ctx_full(
+        kind: ResourceKind,
+        table: CostTable,
+        record_dfg: bool,
+        legacy: bool,
+        memo: MemoMode,
         f: impl FnOnce(),
     ) -> ThreadCtx {
         let mut platform = Platform::new();
@@ -235,6 +571,11 @@ pub(crate) mod testutil {
             dfg: record_dfg.then(Dfg::default),
             current_node: 0,
             replay: None,
+            legacy,
+            memo,
+            sites: HashMap::new(),
+            dfg_spare: Vec::new(),
+            cp_scratch: Vec::new(),
         });
         f();
         uninstall().expect("context present")
@@ -243,7 +584,7 @@ pub(crate) mod testutil {
 
 #[cfg(test)]
 mod tests {
-    use super::testutil::with_test_ctx;
+    use super::testutil::{with_test_ctx, with_test_ctx_full};
     use super::*;
 
     #[test]
@@ -288,6 +629,60 @@ mod tests {
     }
 
     #[test]
+    fn legacy_path_matches_fast_path_bit_for_bit() {
+        let table = CostTable::figure3(); // fractional Branch: 2.4
+        let run = |legacy| {
+            with_test_ctx_full(
+                ResourceKind::Sequential,
+                table.clone(),
+                false,
+                legacy,
+                MemoMode::Off,
+                || {
+                    for _ in 0..1000 {
+                        charge_branch();
+                        charge_op(Op::Assign);
+                        charge_op(Op::Index);
+                    }
+                },
+            )
+        };
+        let fast = run(false);
+        let legacy = run(true);
+        assert_eq!(fast.acc.to_bits(), legacy.acc.to_bits());
+        assert_eq!(fast.counts, legacy.counts);
+    }
+
+    #[test]
+    fn legacy_parallel_matches_fast_parallel() {
+        let table = CostTable::asic_hw();
+        let run = |legacy| {
+            with_test_ctx_full(
+                ResourceKind::Parallel,
+                table.clone(),
+                false,
+                legacy,
+                MemoMode::Off,
+                || {
+                    let mut ready = 0.0;
+                    let mut node = NO_NODE;
+                    for _ in 0..100 {
+                        let (r, n) = charge(Op::FMul, ready, node, 0.5, NO_NODE);
+                        ready = r;
+                        node = n;
+                        charge_op(Op::Add);
+                    }
+                },
+            )
+        };
+        let fast = run(false);
+        let legacy = run(true);
+        assert_eq!(fast.acc.to_bits(), legacy.acc.to_bits());
+        assert_eq!(fast.max_ready.to_bits(), legacy.max_ready.to_bits());
+        assert_eq!(fast.counts, legacy.counts);
+    }
+
+    #[test]
     fn replaying_context_ignores_charges_and_pops_trace() {
         let table = CostTable::from_pairs([(Op::Add, 2.0)]);
         let mut ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {});
@@ -316,10 +711,49 @@ mod tests {
         let mut ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {
             charge_op(Op::Add);
         });
-        let (acc, _, counts, _) = ctx.take_segment();
-        assert_eq!(acc, 2.0);
-        assert_eq!(counts.get(Op::Add), 1);
+        let take = ctx.take_segment();
+        assert_eq!(take.acc, 2.0);
+        assert_eq!(take.counts.get(Op::Add), 1);
         assert_eq!(ctx.acc, 0.0);
         assert_eq!(ctx.counts.total(), 0);
+    }
+
+    #[test]
+    fn take_segment_reports_fast_op_count() {
+        // take_segment drains the *live* fast slots when called with the
+        // context still installed; exercise that path via `with`.
+        let table = CostTable::from_pairs([(Op::Add, 1.0)]);
+        let _ = with_test_ctx(ResourceKind::Sequential, table, false, || {
+            charge_op(Op::Add);
+            charge_op(Op::Add);
+            let take = with(|c| c.take_segment()).expect("installed");
+            assert_eq!(take.fast_ops, 2);
+            assert_eq!(take.acc, 2.0);
+            // Slots were reset: a new segment starts from zero.
+            charge_op(Op::Add);
+            let take = with(|c| c.take_segment()).expect("installed");
+            assert_eq!(take.acc, 1.0);
+            assert_eq!(take.fast_ops, 1);
+        });
+    }
+
+    #[test]
+    fn legacy_charges_do_not_count_as_fast_ops() {
+        let table = CostTable::from_pairs([(Op::Add, 1.0)]);
+        let _ = with_test_ctx_full(
+            ResourceKind::Sequential,
+            table,
+            false,
+            true,
+            MemoMode::Off,
+            || {
+                charge_op(Op::Add);
+                charge_op(Op::Add);
+                let take = with(|c| c.take_segment()).expect("installed");
+                assert_eq!(take.fast_ops, 0, "legacy ops must not count as fast");
+                assert_eq!(take.acc, 2.0);
+                assert_eq!(take.counts.get(Op::Add), 2);
+            },
+        );
     }
 }

@@ -29,6 +29,10 @@ pub struct SweepConfig {
     /// order) instead of all 243 — for tests and doc examples. `None`
     /// sweeps everything.
     pub limit: Option<usize>,
+    /// Charge through the legacy `RefCell` context instead of the flat
+    /// thread-local fast path. Estimates are bit-identical either way;
+    /// this exists as an A/B switch for benchmarks and regression tests.
+    pub legacy_charging: bool,
 }
 
 impl Default for SweepConfig {
@@ -39,6 +43,7 @@ impl Default for SweepConfig {
             jobs: 1,
             use_cache: true,
             limit: None,
+            legacy_charging: false,
         }
     }
 }
@@ -87,6 +92,16 @@ pub fn evaluate(
     nframes: usize,
     cache: Option<&SegmentCostCache>,
 ) -> DesignPoint {
+    evaluate_with(table, mapping, nframes, cache, false)
+}
+
+fn evaluate_with(
+    table: &CostTable,
+    mapping: [Target; 5],
+    nframes: usize,
+    cache: Option<&SegmentCostCache>,
+    legacy_charging: bool,
+) -> DesignPoint {
     let (platform, ids) = build_platform(table);
     let vm = resolve_mapping(mapping, ids);
     let stage_resources = [vm.lsp, vm.lpc_int, vm.acb, vm.icb, vm.post];
@@ -102,7 +117,10 @@ pub fn evaluate(
     }
     let missing: Vec<usize> = (0..5).filter(|&s| replays[s].is_none()).collect();
 
-    let mut session = SimConfig::new().platform(platform).build();
+    let mut session = SimConfig::new()
+        .platform(platform)
+        .legacy_charging(legacy_charging)
+        .build();
     let recorder = (cache.is_some() && !missing.is_empty()).then(|| session.recorder());
     let (sim, model) = session.parts_mut();
     let handles = pipeline::build_hybrid(sim, model, vm, nframes, replays);
@@ -142,7 +160,13 @@ pub fn sweep(config: &SweepConfig) -> SweepResult {
     let cache = config.use_cache.then(SegmentCostCache::new);
     let (points, pool) = run_indexed(config.jobs, mappings.len(), |i| {
         let _span = scperf_obs::profile::span("dse.evaluate");
-        evaluate(&config.table, mappings[i], config.nframes, cache.as_ref())
+        evaluate_with(
+            &config.table,
+            mappings[i],
+            config.nframes,
+            cache.as_ref(),
+            config.legacy_charging,
+        )
     });
 
     // Every point — live or replayed — must have produced the same
@@ -317,5 +341,23 @@ mod tests {
             );
             assert_eq!(got.frontier, reference.frontier);
         }
+    }
+
+    #[test]
+    fn legacy_charging_is_bit_identical_to_the_fast_path() {
+        let base = SweepConfig {
+            nframes: 1,
+            jobs: 2,
+            use_cache: false,
+            limit: Some(8),
+            ..SweepConfig::default()
+        };
+        let fast = sweep(&base);
+        let legacy = sweep(&SweepConfig {
+            legacy_charging: true,
+            ..base
+        });
+        assert_eq!(legacy.points, fast.points);
+        assert_eq!(legacy.frontier, fast.frontier);
     }
 }

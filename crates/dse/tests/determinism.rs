@@ -25,6 +25,7 @@ proptest! {
             jobs: 1,
             use_cache: false,
             limit: Some(limit.min(14)),
+            legacy_charging: false,
         };
         let oracle = sweep(&base);
         for (jobs, use_cache) in [(2, true), (8, true), (2, false)] {
@@ -85,6 +86,7 @@ fn full_sweep_matches_sequential_oracle() {
         jobs: 1,
         use_cache: false,
         limit: None,
+        legacy_charging: false,
     };
     let oracle = sweep(&base);
     assert_eq!(oracle.points.len(), 243);

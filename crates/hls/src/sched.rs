@@ -30,7 +30,7 @@ impl Schedule {
             return Err("schedule length mismatch".into());
         }
         for (i, n) in nodes.iter().enumerate() {
-            for &p in &n.preds {
+            for &p in n.preds() {
                 let pi = (p - 1) as usize;
                 let p_finish = self.start[pi] + nodes[pi].latency;
                 if self.start[i] < p_finish {
@@ -86,7 +86,7 @@ pub fn schedule_asap(dfg: &Dfg) -> Schedule {
     let mut makespan = 0;
     for (i, n) in nodes.iter().enumerate() {
         let s = n
-            .preds
+            .preds()
             .iter()
             .map(|&p| finish[p as usize])
             .max()
@@ -120,7 +120,7 @@ pub fn schedule_alap(dfg: &Dfg, deadline: u64) -> Schedule {
     let mut latest_finish = vec![deadline; n];
     for (i, node) in nodes.iter().enumerate().rev() {
         let start_i = latest_finish[i] - node.latency;
-        for &p in &node.preds {
+        for &p in node.preds() {
             let pi = (p - 1) as usize;
             latest_finish[pi] = latest_finish[pi].min(start_i);
         }
@@ -145,10 +145,10 @@ pub fn schedule_list(dfg: &Dfg, alloc: &Allocation) -> Schedule {
     let nodes = dfg.nodes();
     let n = nodes.len();
     let priority = path_to_sink(dfg);
-    let mut remaining_preds: Vec<usize> = nodes.iter().map(|nd| nd.preds.len()).collect();
+    let mut remaining_preds: Vec<usize> = nodes.iter().map(|nd| nd.preds().len()).collect();
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, nd) in nodes.iter().enumerate() {
-        for &p in &nd.preds {
+        for &p in nd.preds() {
             succs[(p - 1) as usize].push(i);
         }
     }
@@ -236,7 +236,7 @@ pub fn chained_critical_path(dfg: &Dfg, costs: &scperf_core::CostTable) -> f64 {
     let mut best = 0.0_f64;
     for (i, n) in nodes.iter().enumerate() {
         let start = n
-            .preds
+            .preds()
             .iter()
             .map(|&p| finish[p as usize])
             .fold(0.0_f64, f64::max);
@@ -261,7 +261,7 @@ fn path_to_sink(dfg: &Dfg) -> Vec<u64> {
     let mut dist = vec![0_u64; n];
     for i in (0..n).rev() {
         dist[i] += nodes[i].latency;
-        for &p in &nodes[i].preds {
+        for &p in nodes[i].preds() {
             let pi = (p - 1) as usize;
             dist[pi] = dist[pi].max(dist[i]);
         }

@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use scperf_core::{CostTable, Platform, Report, Session, SimConfig};
+use scperf_core::{CostTable, EstHotStats, Platform, Report, Session, SimConfig};
 use scperf_dse::point::{platform_cost, resolve_mapping};
 use scperf_dse::SegmentCostCache;
 use scperf_kernel::{SimSummary, StopReason, Time};
@@ -35,6 +35,9 @@ pub struct Outcome {
     pub report: Option<Report>,
     /// Kernel + estimator metrics, when the request asked for them.
     pub metrics: Option<MetricsSnapshot>,
+    /// Estimator hot-path counters for this run (fast charges, site
+    /// cache hits/misses, DFG arena reuses).
+    pub hot: EstHotStats,
     /// Host time spent simulating.
     pub elapsed: Duration,
 }
@@ -128,6 +131,7 @@ pub fn execute(
         replayed_stages,
         report: sc.want_report.then(|| session.report()),
         metrics: sc.want_metrics.then(|| session.metrics()),
+        hot: session.model().hot_stats(),
         elapsed: started.elapsed(),
     })
 }
@@ -211,10 +215,13 @@ mod tests {
         let sc = scenario([Target::Cpu0; 5], 1);
         let live = execute(&sc, Some(&cache), None).expect("records");
         assert_eq!(live.replayed_stages, 0);
+        assert!(live.hot.fast_charges > 0, "live run charges via fast path");
+        assert!(live.hot.site_hits > 0, "vocoder loops hit their sites");
         let replayed = execute(&sc, Some(&cache), None).expect("replays");
         assert_eq!(replayed.replayed_stages, 5);
         assert_eq!(replayed.summary.end_time, live.summary.end_time);
         assert_eq!(replayed.checksum, live.checksum);
+        assert_eq!(replayed.hot.fast_charges, 0, "trace replay charges nothing");
     }
 
     #[test]

@@ -132,6 +132,10 @@ struct Counters {
     failed: AtomicU64,
     deadline_exceeded: AtomicU64,
     batches: AtomicU64,
+    est_fast_charges: AtomicU64,
+    est_site_hits: AtomicU64,
+    est_site_misses: AtomicU64,
+    est_dfg_arena_reuse: AtomicU64,
 }
 
 struct ServiceShared {
@@ -449,6 +453,22 @@ impl Service {
         m.set_counter("serve.workers", self.pool.workers() as u64);
         m.set_counter("serve.queue.pending", self.pool.pending() as u64);
         m.set_counter("serve.queue.capacity", self.queue_capacity as u64);
+        m.set_counter(
+            "est.charge.fast",
+            c.est_fast_charges.load(Ordering::Relaxed),
+        );
+        m.set_counter(
+            "est.site_cache.hit",
+            c.est_site_hits.load(Ordering::Relaxed),
+        );
+        m.set_counter(
+            "est.site_cache.miss",
+            c.est_site_misses.load(Ordering::Relaxed),
+        );
+        m.set_counter(
+            "est.dfg.arena_reuse",
+            c.est_dfg_arena_reuse.load(Ordering::Relaxed),
+        );
         if let Some(cache) = &self.shared.cache {
             let stats = cache.stats();
             m.set_counter("serve.cache.hits", stats.hits);
@@ -489,8 +509,16 @@ fn run_scenario(
     let result = engine::execute(scenario, shared.cache.as_ref(), deadline);
     let c = &shared.counters;
     match &result {
-        Ok(_) => {
+        Ok(out) => {
             c.completed.fetch_add(1, Ordering::Relaxed);
+            c.est_fast_charges
+                .fetch_add(out.hot.fast_charges, Ordering::Relaxed);
+            c.est_site_hits
+                .fetch_add(out.hot.site_hits, Ordering::Relaxed);
+            c.est_site_misses
+                .fetch_add(out.hot.site_misses, Ordering::Relaxed);
+            c.est_dfg_arena_reuse
+                .fetch_add(out.hot.dfg_arena_reuse, Ordering::Relaxed);
         }
         Err(err) if err.code == ErrorCode::DeadlineExceeded => {
             c.deadline_exceeded.fetch_add(1, Ordering::Relaxed);

@@ -262,6 +262,9 @@ fn tcp_frontend_serves_concurrent_connections() {
     let v = parse(&reply).unwrap();
     let metrics = field(&v, "metrics");
     assert!(field(metrics, "serve.completed").as_u64().unwrap() >= 2);
+    // The estimator hot-path counters accumulate across served runs.
+    assert!(field(metrics, "est.charge.fast").as_u64().unwrap() > 0);
+    assert!(field(metrics, "est.site_cache.hit").as_u64().unwrap() > 0);
 
     stop.stop();
     server_thread.join().expect("server thread");

@@ -3,7 +3,7 @@
 //! A 64-tap direct-form FIR over 256 samples in Q12 fixed point:
 //! `y[n] = (Σ_k h[k]·x[n+k]) >> 12`, checksum = Σ `y[n]` (wrapping).
 
-use scperf_core::{g_for, g_i32, GArr, G};
+use scperf_core::{g_for, g_i32, g_loop, GArr, G};
 
 use crate::data::{minic_initializer, signed_values};
 
@@ -44,7 +44,11 @@ pub fn annotated() -> i32 {
     let h = GArr::from_vec(coefficients());
     let mut checksum = g_i32(0); // checksum = 0;
     let mut acc = G::raw(0_i32);
-    g_for!(n in 0..SAMPLES => {
+    // The outer sample loop is fully straight-line (no data-dependent
+    // control flow), so it is a memoizable segment site: on sequential
+    // resources with integer cost tables only the first sample charges
+    // per-op; the remaining SAMPLES-1 replay the recorded delta.
+    g_loop!(n in 0..SAMPLES => {
         acc.assign(G::raw(0)); // acc = 0;
         g_for!(k in 0..TAPS => {
             // acc = acc + h[k] * x[n + k];
