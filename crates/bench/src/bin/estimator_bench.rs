@@ -100,9 +100,13 @@ fn sw_platform() -> (Platform, scperf_core::ResourceId) {
 }
 
 /// A tight stream of `ops` additions through the charging entry point.
-fn charge_stream(config: Config, ops: u64) -> Run {
+/// With `attribution` the arbitration point additionally accounts
+/// per-resource busy and contention time on every segment flush.
+fn charge_stream(config: Config, ops: u64, attribution: bool) -> Run {
     let (platform, cpu) = sw_platform();
-    let mut session = config.apply(SimConfig::new().platform(platform)).build();
+    let mut session = config
+        .apply(SimConfig::new().platform(platform).attribution(attribution))
+        .build();
     session.spawn("charger", cpu, move |_ctx| {
         for _ in 0..ops {
             charge_op(Op::Add);
@@ -270,10 +274,35 @@ fn main() {
     );
 
     let results = [
-        bench("charge", args.reps, |c| charge_stream(c, charge_ops)),
+        bench("charge", args.reps, |c| charge_stream(c, charge_ops, false)),
         bench("fir", args.reps, |c| fir_run(c, fir_iters)),
         bench("vocoder", args.reps, |c| vocoder_run(c, voc_frames)),
     ];
+
+    // Attribution overhead: busy/contention accounting on the memoized
+    // charge stream. The estimate must stay bit-identical and the
+    // host-time overhead ≤ 5%.
+    let mut attr_best: Option<Run> = None;
+    for _ in 0..args.reps {
+        let r = charge_stream(Config::Memoized, charge_ops, true);
+        match &attr_best {
+            Some(b) if b.elapsed <= r.elapsed => {}
+            _ => attr_best = Some(r),
+        }
+    }
+    let attr = attr_best.expect("reps > 0");
+    let base = &results[0].memo;
+    assert_eq!(
+        base.end_time_ps, attr.end_time_ps,
+        "charge: attribution changed the estimate"
+    );
+    let attr_overhead = attr.elapsed.as_secs_f64() / base.elapsed.as_secs_f64() - 1.0;
+    println!(
+        " attribution: off {:>9.2?}  on {:>9.2?}  overhead {:+.2}%",
+        base.elapsed,
+        attr.elapsed,
+        attr_overhead * 100.0
+    );
 
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -281,6 +310,19 @@ fn main() {
     w.value_u64(args.reps as u64);
     w.key("quick");
     w.value_bool(args.quick);
+    w.key("attribution");
+    w.begin_object();
+    w.key("bench");
+    w.value_str("charge/memoized");
+    w.key("off_seconds");
+    w.value_f64(base.elapsed.as_secs_f64());
+    w.key("on_seconds");
+    w.value_f64(attr.elapsed.as_secs_f64());
+    w.key("overhead_pct");
+    w.value_f64(attr_overhead * 100.0);
+    w.key("estimates_identical");
+    w.value_bool(true);
+    w.end_object();
     w.key("plain_thread");
     w.begin_object();
     w.key("ops");
@@ -341,5 +383,10 @@ fn main() {
                 r.memo_speedup()
             );
         }
+        assert!(
+            attr_overhead <= 0.05,
+            "attribution accounting must cost <=5% on the charge stream (got {:+.2}%)",
+            attr_overhead * 100.0
+        );
     }
 }

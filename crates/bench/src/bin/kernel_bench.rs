@@ -60,9 +60,14 @@ fn parse_args() -> Args {
 
 /// Two processes rendezvous `iters` times. Each transfer blocks both
 /// sides, so the activation count — and therefore the handoff count — is
-/// proportional to `iters`.
-fn pingpong(kind: HandoffKind, iters: u64) -> (SimSummary, Duration) {
-    let mut sim = SimOptions::new().handoff(kind).build();
+/// proportional to `iters`. With `attribution` the kernel additionally
+/// accounts per-process wait time and per-channel blocked time on every
+/// one of those transfers — the worst case for the accounting.
+fn pingpong(kind: HandoffKind, iters: u64, attribution: bool) -> (SimSummary, Duration) {
+    let mut sim = SimOptions::new()
+        .handoff(kind)
+        .attribution(attribution)
+        .build();
     let ch = sim.rendezvous::<u64>("pingpong");
     let tx = ch.clone();
     sim.spawn("ping", move |ctx| {
@@ -213,7 +218,9 @@ fn main() {
     );
 
     let results = [
-        bench("pingpong", args.reps, |k| pingpong(k, pingpong_iters)),
+        bench("pingpong", args.reps, |k| {
+            pingpong(k, pingpong_iters, false)
+        }),
         bench("fanout", args.reps, |k| {
             fanout(k, fanout_procs, fanout_rounds)
         }),
@@ -222,12 +229,47 @@ fn main() {
         }),
     ];
 
+    // Attribution overhead: the scheduling-state accounting rides the
+    // handoff-heaviest kernel (pingpong, direct handoff). The baseline
+    // is the attribution-off direct measurement above; the summaries
+    // must stay bit-identical and the host-time overhead ≤ 5%.
+    let (attr_sum, attr_time) = measure(
+        args.reps,
+        |k| pingpong(k, pingpong_iters, true),
+        HandoffKind::Direct,
+    );
+    let base = &results[0];
+    assert_eq!(
+        attr_sum, base.summary,
+        "pingpong: attribution changed simulated behaviour"
+    );
+    let attr_overhead = attr_time.as_secs_f64() / base.direct.as_secs_f64() - 1.0;
+    println!(
+        " attribution: off {:>9.2?}  on {:>9.2?}  overhead {:+.2}%",
+        base.direct,
+        attr_time,
+        attr_overhead * 100.0
+    );
+
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("reps");
     w.value_u64(args.reps as u64);
     w.key("quick");
     w.value_bool(args.quick);
+    w.key("attribution");
+    w.begin_object();
+    w.key("bench");
+    w.value_str("pingpong/direct");
+    w.key("off_seconds");
+    w.value_f64(base.direct.as_secs_f64());
+    w.key("on_seconds");
+    w.value_f64(attr_time.as_secs_f64());
+    w.key("overhead_pct");
+    w.value_f64(attr_overhead * 100.0);
+    w.key("summaries_identical");
+    w.value_bool(true);
+    w.end_object();
     w.key("benches");
     w.begin_array();
     for r in &results {
@@ -268,4 +310,13 @@ fn main() {
         "direct handoff should not be slower on pingpong (got {:.2}x)",
         pp.speedup()
     );
+    if !args.quick {
+        // Quick mode is a CI smoke run on loaded shared machines; the
+        // overhead bound is only meaningful at full problem sizes.
+        assert!(
+            attr_overhead <= 0.05,
+            "attribution accounting must cost <=5% on pingpong (got {:+.2}%)",
+            attr_overhead * 100.0
+        );
+    }
 }

@@ -1,12 +1,17 @@
 //! Observability dump: runs the strict-timed vocoder with tracing,
-//! metrics and profiling enabled and writes
+//! metrics, attribution and profiling enabled and writes
 //!
 //! * `BENCH_obs.json` — merged kernel + estimator metrics snapshot,
+//!   including the `kernel.sched.*` / `est.res.*` attribution counters
+//!   and a `obs.trace_gap.*` log-bucket histogram summary of the
+//!   inter-event gaps in the kernel trace,
 //! * `vocoder_trace.json` — Chrome `trace_event` document (open in
 //!   Perfetto / `chrome://tracing`): one instant-event track per process
-//!   from the kernel trace, plus one span track per analyzed process
-//!   from the estimator's instantaneous samples,
-//! * a host-time profile of the scheduler phases on stdout.
+//!   from the kernel trace, one span track per analyzed process from
+//!   the estimator's instantaneous samples, plus one counter track per
+//!   metric in the final snapshot,
+//! * the utilization report (bottleneck resource, busy%/contention%)
+//!   and a host-time profile of the scheduler phases on stdout.
 //!
 //! Output paths are relative to the working directory; set
 //! `SCPERF_OBS_DIR` to redirect.
@@ -15,6 +20,7 @@ use scperf_core::{Mode, SimConfig};
 use scperf_kernel::TraceMode;
 use scperf_obs::chrome::ChromeTrace;
 use scperf_obs::profile;
+use scperf_obs::LogHistogram;
 use scperf_workloads::vocoder;
 
 fn main() {
@@ -34,6 +40,7 @@ fn main() {
         .mode(Mode::StrictTimed)
         .tracing(TraceMode::Unbounded)
         .record_instantaneous()
+        .attribution(true)
         .build();
     let handles = {
         let (sim, model) = session.parts_mut();
@@ -56,18 +63,50 @@ fn main() {
         summary.end_time, summary.deltas, summary.activations
     );
 
-    // Metrics: kernel internals + estimator internals, one snapshot.
-    let metrics = session.metrics();
+    // Utilization attribution: who is busy, who queues behind whom.
+    let report = session.report();
+    if let Some(util) = &report.utilization {
+        println!("\nutilization ({} total):", util.total_time);
+        for r in &util.resources {
+            println!(
+                "  {:<10} busy {:>5.1}%  contention {:>5.1}%  ({} waits)",
+                r.name, r.busy_pct, r.contention_pct, r.waits
+            );
+        }
+        if let Some(b) = util.bottleneck() {
+            println!(
+                "  bottleneck: {} ({:.1}% busy, {:.1}% contended)",
+                b.name, b.busy_pct, b.contention_pct
+            );
+        }
+    }
+
+    // Metrics: kernel internals + estimator internals (now including
+    // the kernel.sched.* / est.res.* attribution counters), one
+    // snapshot, plus a log-bucket histogram of the gaps between
+    // consecutive kernel trace events.
+    let mut metrics = session.metrics();
+    let table = session.take_events();
+    let mut gaps = LogHistogram::new();
+    let mut last_ps = 0u64;
+    for ev in &table.events {
+        gaps.record(ev.time_ps.saturating_sub(last_ps) / 1_000);
+        last_ps = ev.time_ps;
+    }
+    if let Some(summary) = gaps.summary() {
+        summary.export(&mut metrics, "obs.trace_gap");
+    }
     let metrics_path = format!("{dir}/BENCH_obs.json");
     std::fs::write(&metrics_path, metrics.to_json()).expect("write metrics json");
     println!("\n{metrics}");
     println!("metrics -> {metrics_path}");
 
     // Chrome trace: kernel events (instants per process track) merged
-    // with the estimator's per-segment spans.
-    let table = session.take_events();
+    // with the estimator's per-segment spans and one counter track per
+    // metric, stamped at the end of the run.
     let mut chrome = ChromeTrace::from_table(&table);
     chrome.merge(session.model().chrome_trace());
+    chrome.counters_from_metrics(summary.end_time.as_ps() as f64 / 1e6, &metrics);
     let trace_path = format!("{dir}/vocoder_trace.json");
     chrome.write_to(&trace_path).expect("write chrome trace");
     println!(

@@ -48,7 +48,7 @@ fn service(workers: usize) -> Service {
         workers,
         queue_capacity: 256,
         retry_after_ms: 50,
-        use_cache: true,
+        ..ServiceConfig::default()
     })
 }
 

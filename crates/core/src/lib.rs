@@ -97,7 +97,10 @@ pub use gval::{
 pub use hw::{weighted_hw_cycles, Dfg, DfgNode, NO_NODE};
 pub use model::{timed_wait, timed_wait_labeled, PFifo, PRendezvous, PSignal, PerfModel};
 pub use recorder::{Recorder, Replay};
-pub use report::{ProcessGraph, ProcessReport, Report, ResourceReport, SegmentReport};
+pub use report::{
+    ChannelUtilization, ProcessContention, ProcessGraph, ProcessReport, Report, ResourceReport,
+    ResourceUtilization, SegmentReport, UtilizationReport,
+};
 pub use resource::{Platform, Resource, ResourceId, ResourceKind};
 pub use session::{Session, SimConfig};
 pub use site::{site_enter, MemoMode, SegmentSite, SiteGuard};

@@ -83,6 +83,15 @@ impl PerfModel {
         self.est.inner.lock().record_dfgs = true;
     }
 
+    /// Enables/disables resource-contention attribution: per-resource
+    /// arbitration-wait accounting (`est.res.*` metrics and the
+    /// [`crate::UtilizationReport`]). Measurement-only — estimates and
+    /// the strict-timed schedule are bit-identical either way. Off by
+    /// default.
+    pub fn attribution(&self, enable: bool) {
+        self.est.inner.lock().attribution = enable;
+    }
+
     /// Routes operator charging through the legacy `RefCell`-per-op path
     /// instead of the flat thread-local fast path. Bit-identical results,
     /// strictly slower — exists as the measurable baseline for
@@ -347,6 +356,18 @@ impl PerfModel {
         Report::build(&self.est.inner.lock())
     }
 
+    /// Builds the utilization & contention attribution for a run whose
+    /// total simulated time is `total_time` (usually `sim.now()` after
+    /// the run). Returns `None` when attribution was not enabled. The
+    /// channel section is left empty here — `Session::report` fills it
+    /// from the kernel's channel accounting.
+    pub fn utilization_report(&self, total_time: Time) -> Option<crate::UtilizationReport> {
+        let inner = self.est.inner.lock();
+        inner
+            .attribution
+            .then(|| Report::build_utilization(&inner, total_time))
+    }
+
     /// Snapshots the estimator's internals as metrics: segments closed,
     /// annotated operation totals (overall and per class), estimated
     /// cycles/time and per-resource busy/RTOS time. Complements
@@ -392,6 +413,21 @@ impl PerfModel {
                 format!("resource.{}.rtos_ns", r.name),
                 inner.rtos_total[id.index()].as_ns_f64(),
             );
+            if inner.attribution {
+                // Counter (integer ns) variants so multi-run folds sum.
+                m.set_counter(
+                    format!("est.res.{}.busy_ns", r.name),
+                    inner.busy_total[id.index()].as_ps() / 1_000,
+                );
+                m.set_counter(
+                    format!("est.res.{}.contention_ns", r.name),
+                    inner.contention_total[id.index()].as_ps() / 1_000,
+                );
+                m.set_counter(
+                    format!("est.res.{}.waits", r.name),
+                    inner.arbitration_waits[id.index()],
+                );
+            }
         }
         m
     }

@@ -62,6 +62,118 @@ pub struct ResourceReport {
     pub rtos_time: Time,
 }
 
+/// Per-resource utilization and contention entry of a
+/// [`UtilizationReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceUtilization {
+    /// Resource name.
+    pub name: String,
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// Simulated time the resource executed segments (including RTOS).
+    pub busy: Time,
+    /// Busy time as a percentage of the run's total simulated time.
+    pub busy_pct: f64,
+    /// Simulated time processes spent waiting behind this resource in
+    /// the §4 arbitration loop (sequential resources only).
+    pub contention: Time,
+    /// Contention time as a percentage of the run's total simulated
+    /// time.
+    pub contention_pct: f64,
+    /// Number of non-zero arbitration waits.
+    pub waits: u64,
+}
+
+/// Per-process contention entry of a [`UtilizationReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessContention {
+    /// Process name.
+    pub name: String,
+    /// The resource the process is mapped to.
+    pub resource: String,
+    /// Simulated time this process spent waiting behind its resource.
+    pub wait: Time,
+    /// Number of non-zero arbitration waits.
+    pub waits: u64,
+}
+
+/// Per-channel utilization entry of a [`UtilizationReport`], from the
+/// kernel's channel accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelUtilization {
+    /// Channel name.
+    pub name: String,
+    /// High-water mark of the buffered element count (FIFOs).
+    pub max_depth: u64,
+    /// Times a process blocked on this channel.
+    pub blocks: u64,
+    /// Total simulated time processes spent blocked on this channel.
+    pub blocked: Time,
+}
+
+/// Resource utilization & contention attribution for one run: which
+/// resources were busiest, how long processes queued behind them, and
+/// how deep the channels ran. Only populated when attribution was
+/// enabled (`SimConfig::attribution` / [`crate::PerfModel::attribution`]);
+/// attribution is measurement-only, so enabling it never changes the
+/// simulated results themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    /// Total simulated time of the run (the denominator of the
+    /// percentage fields).
+    pub total_time: Time,
+    /// Per-resource entries, sorted by busy time descending — the head
+    /// of the list is the utilization bottleneck.
+    pub resources: Vec<ResourceUtilization>,
+    /// Per-process contention entries, in spawn order.
+    pub processes: Vec<ProcessContention>,
+    /// Per-channel entries, in creation order (filled from the kernel's
+    /// channel accounting by `Session::report`; empty when built from a
+    /// bare [`crate::PerfModel`]).
+    pub channels: Vec<ChannelUtilization>,
+}
+
+impl UtilizationReport {
+    /// The bottleneck *sequential* resource: the busiest one that
+    /// processes can actually queue behind. `None` when the platform
+    /// has no sequential resource.
+    pub fn bottleneck(&self) -> Option<&ResourceUtilization> {
+        self.resources
+            .iter()
+            .find(|r| r.kind == ResourceKind::Sequential)
+    }
+
+    /// The top `n` resources by busy time.
+    pub fn top_resources(&self, n: usize) -> &[ResourceUtilization] {
+        &self.resources[..n.min(self.resources.len())]
+    }
+}
+
+impl fmt::Display for UtilizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- utilization (total {}) --", self.total_time)?;
+        for r in &self.resources {
+            writeln!(
+                f,
+                "{:<16} {:<12} busy {:>6.1}%  contention {:>6.1}%  waits {:>6}",
+                r.name,
+                format!("{:?}", r.kind),
+                r.busy_pct,
+                r.contention_pct,
+                r.waits
+            )?;
+        }
+        for c in &self.channels {
+            writeln!(
+                f,
+                "{:<16} channel      depth≤{:<4} blocks {:>5}  blocked {}",
+                c.name, c.max_depth, c.blocks, c.blocked
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// The complete performance report of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -71,6 +183,10 @@ pub struct Report {
     pub processes: Vec<ProcessReport>,
     /// Per-resource results, in declaration order.
     pub resources: Vec<ResourceReport>,
+    /// Utilization & contention attribution (`None` unless attribution
+    /// was enabled and the report was built through `Session::report`
+    /// or [`crate::PerfModel::utilization_report`]).
+    pub utilization: Option<UtilizationReport>,
 }
 
 impl Report {
@@ -117,6 +233,47 @@ impl Report {
             mode: inner.mode,
             processes,
             resources,
+            utilization: None,
+        }
+    }
+
+    pub(crate) fn build_utilization(inner: &EstInner, total_time: Time) -> UtilizationReport {
+        let pct = |t: Time| {
+            if total_time.is_zero() {
+                0.0
+            } else {
+                t.as_ps() as f64 / total_time.as_ps() as f64 * 100.0
+            }
+        };
+        let mut resources: Vec<ResourceUtilization> = inner
+            .platform
+            .iter()
+            .map(|(id, r)| ResourceUtilization {
+                name: r.name.clone(),
+                kind: r.kind,
+                busy: inner.busy_total[id.index()],
+                busy_pct: pct(inner.busy_total[id.index()]),
+                contention: inner.contention_total[id.index()],
+                contention_pct: pct(inner.contention_total[id.index()]),
+                waits: inner.arbitration_waits[id.index()],
+            })
+            .collect();
+        resources.sort_by(|a, b| b.busy.cmp(&a.busy).then_with(|| a.name.cmp(&b.name)));
+        let processes = inner
+            .procs
+            .values()
+            .map(|rec| ProcessContention {
+                name: rec.name.clone(),
+                resource: inner.platform.resource(rec.resource).name.clone(),
+                wait: rec.resource_wait,
+                waits: rec.resource_waits,
+            })
+            .collect();
+        UtilizationReport {
+            total_time,
+            resources,
+            processes,
+            channels: Vec::new(),
         }
     }
 
@@ -221,6 +378,9 @@ impl fmt::Display for Report {
                 r.busy_time.to_string(),
                 r.rtos_time.to_string()
             )?;
+        }
+        if let Some(u) = &self.utilization {
+            write!(f, "{u}")?;
         }
         Ok(())
     }
@@ -350,6 +510,7 @@ mod tests {
                 busy_time: Time::us(1),
                 rtos_time: Time::ns(50),
             }],
+            utilization: None,
         };
         let s = report.to_string();
         assert!(s.contains("scperf report"));

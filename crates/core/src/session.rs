@@ -68,6 +68,7 @@ pub struct SimConfig {
     legacy_charging: bool,
     site_memo: MemoMode,
     run_limit: Option<Time>,
+    attribution: bool,
 }
 
 impl Default for SimConfig {
@@ -89,7 +90,19 @@ impl SimConfig {
             legacy_charging: false,
             site_memo: MemoMode::default(),
             run_limit: None,
+            attribution: false,
         }
+    }
+
+    /// Enables utilization & contention attribution: kernel scheduling
+    /// accounting (`kernel.sched.*`, per-channel depth/blocked time)
+    /// plus estimator resource-arbitration accounting (`est.res.*`, the
+    /// [`crate::UtilizationReport`] section of [`Session::report`]).
+    /// Measurement-only — simulated results are bit-identical whether
+    /// attribution is on or off. Off by default.
+    pub fn attribution(mut self, enable: bool) -> SimConfig {
+        self.attribution = enable;
+        self
     }
 
     /// Sets the platform (resources + cost tables) the model maps onto.
@@ -176,8 +189,9 @@ impl SimConfig {
     /// Builds the [`Session`]: simulator plus estimation model, wired
     /// per this configuration.
     pub fn build(self) -> Session {
-        let sim = Simulator::with_options(self.options);
+        let sim = Simulator::with_options(self.options.attribution(self.attribution));
         let model = PerfModel::new(self.platform, self.mode);
+        model.attribution(self.attribution);
         if self.record_instantaneous {
             model.record_instantaneous();
         }
@@ -319,8 +333,28 @@ impl Session {
     }
 
     /// Builds the performance report (call after [`Session::run`]).
+    /// When attribution is on ([`SimConfig::attribution`]) the report
+    /// carries a [`crate::UtilizationReport`]: per-resource busy% and
+    /// contention%, per-process arbitration waits, and the kernel's
+    /// per-channel queue-depth/blocked-time accounting.
     pub fn report(&self) -> Report {
-        self.model.report()
+        let mut report = self.model.report();
+        report.utilization = self.model.utilization_report(self.sim.now()).map(|mut u| {
+            u.channels = self
+                .sim
+                .sched_stats()
+                .channels
+                .into_iter()
+                .map(|c| crate::ChannelUtilization {
+                    name: c.name,
+                    max_depth: c.max_depth,
+                    blocks: c.blocks,
+                    blocked: c.blocked,
+                })
+                .collect();
+            u
+        });
+        report
     }
 
     /// The recorded capture lists (call after [`Session::run`]).
@@ -490,6 +524,75 @@ mod tests {
         let summary = session.run().unwrap();
         assert_eq!(summary.end_time, Time::ZERO);
         assert!(session.report().process("w").unwrap().total_cycles > 0.0);
+    }
+
+    #[test]
+    fn attribution_surfaces_utilization_and_stays_bit_identical() {
+        let run = |attr: bool| {
+            let (platform, cpu) = one_cpu();
+            let mut session = SimConfig::new()
+                .platform(platform)
+                .attribution(attr)
+                .build();
+            let ch = session.fifo::<i64>("link", 1);
+            let tx = ch.clone();
+            // Two workers sharing cpu0: the second queues behind the
+            // first at every segment boundary.
+            session.spawn("wa", cpu, move |ctx| {
+                for i in 0..6 {
+                    let mut acc = g_i64(0);
+                    for j in 0..8 {
+                        acc = acc + g_i64(i * j);
+                    }
+                    tx.write(ctx, acc.get());
+                }
+            });
+            session.spawn("wb", cpu, move |ctx| {
+                for _ in 0..6 {
+                    let _ = ch.read(ctx);
+                }
+            });
+            let summary = session.run().unwrap();
+            (summary, session.report())
+        };
+        let (s_on, r_on) = run(true);
+        let (s_off, r_off) = run(false);
+        assert_eq!(s_on, s_off, "attribution must not change the schedule");
+        assert_eq!(r_off.utilization, None);
+
+        // Everything except the utilization section matches the
+        // attribution-off report bit for bit.
+        let mut stripped = r_on.clone();
+        stripped.utilization = None;
+        assert_eq!(stripped, r_off);
+
+        let u = r_on.utilization.expect("attribution report present");
+        assert_eq!(u.total_time, s_on.end_time);
+        let bottleneck = u.bottleneck().expect("sequential resource");
+        assert_eq!(bottleneck.name, "cpu0");
+        assert!(bottleneck.busy_pct > 0.0);
+        assert!(
+            bottleneck.contention_pct > 0.0,
+            "two processes on one cpu must contend: {bottleneck:?}"
+        );
+        assert!(u.processes.iter().any(|p| p.wait > Time::ZERO));
+        let link = u.channels.iter().find(|c| c.name == "link").unwrap();
+        assert_eq!(link.max_depth, 1);
+
+        // The metrics surface gains est.res.* counters only when on.
+        let (platform, cpu) = one_cpu();
+        let mut session = SimConfig::new()
+            .platform(platform)
+            .attribution(true)
+            .build();
+        session.spawn("w", cpu, |_ctx| {
+            let _ = g_i64(1) + g_i64(2);
+        });
+        session.run().unwrap();
+        let m = session.metrics();
+        assert!(m.counter("est.res.cpu0.busy_ns").is_some());
+        assert!(m.counter("est.res.cpu0.contention_ns").is_some());
+        assert!(m.counter("kernel.sched.w.activations").is_some());
     }
 
     #[test]

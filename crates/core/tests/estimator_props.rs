@@ -88,6 +88,43 @@ fn run_keyed(memo: MemoMode, values: Vec<i32>) -> (Report, EstHotStats) {
     (session.report(), session.model().hot_stats())
 }
 
+/// Runs two processes contending for one sequential resource through a
+/// FIFO, with attribution toggled. Returns the summary and report.
+fn run_contended(
+    attribution: bool,
+    table: CostTable,
+    trips: usize,
+    frames: usize,
+) -> (scperf_kernel::SimSummary, Report) {
+    let mut platform = Platform::new();
+    let cpu = platform.sequential("cpu0", Time::ns(10), table, 25.0);
+    let mut session = SimConfig::new()
+        .platform(platform)
+        .attribution(attribution)
+        .build();
+    let ch = session.fifo::<i64>("link", 2);
+    let tx = ch.clone();
+    session.spawn("prod", cpu, move |ctx| {
+        for f in 0..frames {
+            let mut acc = G::raw(0_i64);
+            g_loop!(i in 0..trips => {
+                acc.assign(acc + G::raw((f + i) as i64));
+            });
+            tx.write(ctx, acc.get());
+        }
+    });
+    session.spawn("cons", cpu, move |ctx| {
+        let mut sum = G::raw(0_i64);
+        for _ in 0..frames {
+            let v = ch.read(ctx);
+            sum.assign(sum + G::raw(v));
+        }
+        std::hint::black_box(sum.get());
+    });
+    let summary = session.run().expect("session runs");
+    (summary, session.report())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -150,6 +187,31 @@ proptest! {
         prop_assert_eq!(&memoized, &live);
         prop_assert_eq!(hot.site_hits, 0, "fractional table must stay live");
         prop_assert_eq!(hot.site_misses, 0);
+    }
+
+    /// Attribution accounting is measurement-only: a contended
+    /// two-process model produces a bit-identical summary and report
+    /// (modulo the utilization section itself) whether attribution is
+    /// on or off, and the utilization section names the shared
+    /// sequential resource with real contention.
+    #[test]
+    fn attribution_on_and_off_are_bit_identical(
+        costs in vec(0_u32..=15, OP_COUNT..=OP_COUNT),
+        trips in 1_usize..32,
+        frames in 1_usize..8,
+    ) {
+        let table = table_from(&costs, None);
+        let (s_on, r_on) = run_contended(true, table.clone(), trips, frames);
+        let (s_off, r_off) = run_contended(false, table, trips, frames);
+        prop_assert_eq!(s_on, s_off, "attribution changed the schedule");
+        prop_assert!(r_off.utilization.is_none());
+        let mut stripped = r_on.clone();
+        stripped.utilization = None;
+        prop_assert_eq!(&stripped, &r_off, "attribution changed the report");
+        let u = r_on.utilization.expect("utilization section present");
+        prop_assert_eq!(u.total_time, s_on.end_time);
+        let bottleneck = u.bottleneck().expect("cpu0 is sequential");
+        prop_assert_eq!(&bottleneck.name, "cpu0");
     }
 
     /// Data-dependent control flow, keyed correctly: each distinct key

@@ -169,7 +169,17 @@ impl<T: Send + std::fmt::Debug + 'static> Fifo<T> {
                 }
                 None => {
                     self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
-                    ctx.wait_event(&self.inner.data_ev)
+                    // Attribution: measure the blocked span in simulated
+                    // time (lock-free gate; off = no extra kernel calls).
+                    let t0 = ctx.shared.attribution_fast().then(|| ctx.now());
+                    ctx.wait_event(&self.inner.data_ev);
+                    if let Some(t0) = t0 {
+                        let span = ctx.now().saturating_sub(t0).as_ps();
+                        self.inner
+                            .stats
+                            .blocked_ps
+                            .fetch_add(span, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -189,6 +199,12 @@ impl<T: Send + std::fmt::Debug + 'static> Fifo<T> {
                     let payload = ctx.shared.tracing_fast().then(|| Payload::capture(&v));
                     buf.q.push_back(v);
                     buf.written += 1;
+                    if ctx.shared.attribution_fast() {
+                        self.inner
+                            .stats
+                            .max_depth
+                            .fetch_max(buf.q.len() as u64, Ordering::Relaxed);
+                    }
                     Some(payload)
                 } else {
                     None
@@ -209,7 +225,15 @@ impl<T: Send + std::fmt::Debug + 'static> Fifo<T> {
                 }
                 None => {
                     self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
-                    ctx.wait_event(&self.inner.space_ev)
+                    let t0 = ctx.shared.attribution_fast().then(|| ctx.now());
+                    ctx.wait_event(&self.inner.space_ev);
+                    if let Some(t0) = t0 {
+                        let span = ctx.now().saturating_sub(t0).as_ps();
+                        self.inner
+                            .stats
+                            .blocked_ps
+                            .fetch_add(span, Ordering::Relaxed);
+                    }
                 }
             }
         }

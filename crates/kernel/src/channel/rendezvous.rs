@@ -106,14 +106,14 @@ impl<T: Send + std::fmt::Debug + 'static> Rendezvous<T> {
                 }
                 None => {
                     self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
-                    ctx.wait_event(&self.inner.consumed_ev)
+                    self.timed_wait(ctx, &self.inner.consumed_ev);
                 }
             }
         }
         // Block until the reader takes the value (the rendezvous itself).
         while self.inner.slot.lock().is_some() {
             self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
-            ctx.wait_event(&self.inner.consumed_ev);
+            self.timed_wait(ctx, &self.inner.consumed_ev);
         }
     }
 
@@ -138,9 +138,23 @@ impl<T: Send + std::fmt::Debug + 'static> Rendezvous<T> {
                 }
                 None => {
                     self.inner.stats.blocks.fetch_add(1, Ordering::Relaxed);
-                    ctx.wait_event(&self.inner.data_ev)
+                    self.timed_wait(ctx, &self.inner.data_ev);
                 }
             }
+        }
+    }
+
+    /// Waits on `ev`, charging the blocked span (in simulated time) to
+    /// this channel when attribution is on.
+    fn timed_wait(&self, ctx: &mut ProcCtx, ev: &Event) {
+        let t0 = ctx.shared.attribution_fast().then(|| ctx.now());
+        ctx.wait_event(ev);
+        if let Some(t0) = t0 {
+            let span = ctx.now().saturating_sub(t0).as_ps();
+            self.inner
+                .stats
+                .blocked_ps
+                .fetch_add(span, Ordering::Relaxed);
         }
     }
 }

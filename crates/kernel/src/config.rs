@@ -52,6 +52,7 @@ pub struct SimOptions {
     pub(crate) handoff: HandoffKind,
     pub(crate) trace: TraceMode,
     pub(crate) sink: Option<Box<dyn TraceSink>>,
+    pub(crate) attribution: bool,
 }
 
 impl Default for SimOptions {
@@ -70,6 +71,7 @@ impl SimOptions {
             handoff: HandoffKind::default_kind(),
             trace: TraceMode::Off,
             sink: None,
+            attribution: false,
         }
     }
 
@@ -87,6 +89,17 @@ impl SimOptions {
     /// installed with [`SimOptions::trace_sink`]).
     pub fn tracing(mut self, mode: TraceMode) -> SimOptions {
         self.trace = mode;
+        self
+    }
+
+    /// Enables scheduling-state attribution: per-process waiting-time
+    /// accounting and per-channel queue-depth/blocked-time counters in
+    /// *simulated* time, surfaced through
+    /// [`Simulator::sched_stats`](crate::Simulator::sched_stats) and
+    /// the `kernel.sched.*` metrics. Attribution is measurement-only:
+    /// simulated behaviour is bit-identical whether it is on or off.
+    pub fn attribution(mut self, enable: bool) -> SimOptions {
+        self.attribution = enable;
         self
     }
 
@@ -111,6 +124,7 @@ impl std::fmt::Debug for SimOptions {
             .field("handoff", &self.handoff)
             .field("trace", &self.trace)
             .field("sink", &self.sink.as_ref().map(|_| "custom"))
+            .field("attribution", &self.attribution)
             .finish()
     }
 }

@@ -73,5 +73,6 @@ pub use event::Event;
 pub use handoff::HandoffKind;
 pub use process::{ProcCtx, ProcId};
 pub use sim::{SimError, SimSummary, Simulator, StopReason};
+pub use state::{ChannelSchedStats, ProcSchedStats, SchedSnapshot};
 pub use time::{Time, TimeFromFloatError};
 pub use trace::TraceRecord;

@@ -15,7 +15,7 @@ use crate::config::{SimOptions, TraceMode};
 use crate::event::Event;
 use crate::handoff::{Baton, HandoffKind};
 use crate::process::{ProcCtx, ProcId};
-use crate::state::{AdvanceOutcome, ProcMeta, Shared};
+use crate::state::{AdvanceOutcome, ProcMeta, SchedSnapshot, Shared};
 use crate::time::Time;
 use crate::trace::TraceRecord;
 
@@ -126,6 +126,9 @@ impl Simulator {
     /// threads its kernel half through.
     pub fn with_options(options: SimOptions) -> Simulator {
         let mut sim = Simulator::new_with_handoff(options.handoff);
+        if options.attribution {
+            sim.set_attribution(true);
+        }
         match options.sink {
             Some(sink) => sim.set_trace_sink(sink),
             None => match options.trace {
@@ -184,10 +187,7 @@ impl Simulator {
                 !st.started,
                 "processes must be spawned before the simulation starts"
             );
-            st.procs.push(ProcMeta {
-                name: name.clone(),
-                alive: true,
-            });
+            st.procs.push(ProcMeta::new(name.clone()));
             st.procs.len() - 1
         });
         let baton = Arc::new(Baton::new(self.handoff));
@@ -309,6 +309,26 @@ impl Simulator {
         m
     }
 
+    /// Enables/disables scheduling-state attribution: per-process
+    /// waiting-time accounting and per-channel queue-depth/blocked-time
+    /// counters, all in *simulated* time. Attribution is
+    /// measurement-only — simulated behaviour is bit-identical whether
+    /// it is on or off. Usually set through
+    /// [`SimOptions::attribution`]; call before `run`.
+    pub fn set_attribution(&mut self, enable: bool) {
+        self.shared.set_attribution(enable);
+    }
+
+    /// Snapshots the scheduling attribution: per-process activation and
+    /// wait accounting plus per-channel access/contention counters.
+    /// The time-valued fields are only populated when attribution was
+    /// enabled ([`SimOptions::attribution`] /
+    /// [`Simulator::set_attribution`]); the snapshot's `enabled` flag
+    /// records which.
+    pub fn sched_stats(&self) -> SchedSnapshot {
+        self.shared.with_state(|st| st.sched_snapshot())
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> Time {
         self.shared.with_state(|st| st.now)
@@ -412,7 +432,19 @@ impl Simulator {
             self.handoff_resume_nanos += lat.as_nanos() as u64;
             self.handoff_resumes += 1;
         }
-        self.shared.with_state(|st| st.activations += 1);
+        let waiting = matches!(outcome, RunState::Waiting);
+        self.shared.with_state(|st| {
+            st.activations += 1;
+            if st.attribution {
+                let now = st.now;
+                let p = &mut st.procs[pid];
+                p.activations += 1;
+                if waiting {
+                    // The wake paths in `KernelState` close the span.
+                    p.wait_since = Some(now);
+                }
+            }
+        });
         match outcome {
             RunState::Waiting => Ok(()),
             RunState::Done(None) => {
@@ -643,6 +675,101 @@ mod tests {
         let s = sim.run().unwrap();
         // initial dispatch + 2 wakes = 3 activations
         assert_eq!(s.activations, 3);
+    }
+
+    #[test]
+    fn attribution_accounts_waits_in_simulated_time() {
+        let mut sim = crate::SimOptions::new().attribution(true).build();
+        let ev = sim.event("go");
+        let ev2 = ev.clone();
+        sim.spawn("waiter", move |ctx| {
+            ctx.wait_event(&ev);
+        });
+        sim.spawn("notifier", move |ctx| {
+            ctx.wait(Time::ns(42));
+            ev2.notify_delta();
+        });
+        sim.run().unwrap();
+        let stats = sim.sched_stats();
+        assert!(stats.enabled);
+        let waiter = &stats.processes[0];
+        assert_eq!(waiter.name, "waiter");
+        assert_eq!(waiter.waits, 1);
+        assert_eq!(waiter.wait, Time::ns(42));
+        assert_eq!(waiter.activations, 2);
+        // Timed waits are wait episodes too: the notifier slept 42ns.
+        let notifier = &stats.processes[1];
+        assert_eq!(notifier.waits, 1);
+        assert_eq!(notifier.wait, Time::ns(42));
+    }
+
+    #[test]
+    fn attribution_tracks_channel_depth_and_blocked_time() {
+        let mut sim = crate::SimOptions::new().attribution(true).build();
+        let f = sim.fifo::<u32>("ch", 2);
+        let (w, r) = (f.clone(), f);
+        sim.spawn("w", move |ctx| {
+            for i in 0..4 {
+                w.write(ctx, i); // fills to depth 2, then blocks
+            }
+        });
+        sim.spawn("r", move |ctx| {
+            ctx.wait(Time::ns(10));
+            for _ in 0..4 {
+                let _ = r.read(ctx);
+            }
+        });
+        sim.run().unwrap();
+        let stats = sim.sched_stats();
+        let ch = &stats.channels[0];
+        assert_eq!(ch.name, "ch");
+        assert_eq!(ch.writes, 4);
+        assert_eq!(ch.reads, 4);
+        assert_eq!(ch.max_depth, 2);
+        assert!(ch.blocks > 0);
+        // The writer blocked on a full FIFO until the reader started
+        // draining at 10ns.
+        assert!(ch.blocked >= Time::ns(10), "blocked = {:?}", ch.blocked);
+        let m = sim.metrics();
+        assert!(m.counter("kernel.sched.w.wait_ns").unwrap() >= 10);
+        assert!(m.counter("channel.ch.max_depth").unwrap() == 2);
+        assert!(m.counter("channel.ch.blocked_ns").unwrap() >= 10);
+    }
+
+    #[test]
+    fn attribution_is_bit_identical_and_off_stays_zero() {
+        let run = |attr: bool| {
+            let mut sim = crate::SimOptions::new().attribution(attr).build();
+            let f = sim.fifo::<u32>("ch", 1);
+            let (w, r) = (f.clone(), f);
+            sim.spawn("w", move |ctx| {
+                for i in 0..8 {
+                    w.write(ctx, i);
+                    ctx.wait(Time::ns(3));
+                }
+            });
+            sim.spawn("r", move |ctx| {
+                for _ in 0..8 {
+                    let _ = r.read(ctx);
+                    ctx.wait(Time::ns(5));
+                }
+            });
+            let summary = sim.run().unwrap();
+            (summary, sim.sched_stats())
+        };
+        let (s_on, st_on) = run(true);
+        let (s_off, st_off) = run(false);
+        assert_eq!(s_on, s_off, "attribution must not change simulated results");
+        assert!(st_on.enabled && !st_off.enabled);
+        assert!(st_on.processes.iter().any(|p| p.waits > 0));
+        assert!(st_off
+            .processes
+            .iter()
+            .all(|p| p.waits == 0 && p.wait == Time::ZERO && p.activations == 0));
+        assert!(st_off
+            .channels
+            .iter()
+            .all(|c| c.max_depth == 0 && c.blocked == Time::ZERO));
     }
 
     #[test]

@@ -42,6 +42,29 @@ pub(crate) struct EventState {
 pub(crate) struct ProcMeta {
     pub(crate) name: String,
     pub(crate) alive: bool,
+    /// Attribution: simulated instant this process last blocked, when
+    /// it is currently waiting. `None` while runnable/running (or when
+    /// attribution is off — the fields below then stay zero).
+    pub(crate) wait_since: Option<Time>,
+    /// Attribution: total simulated time spent blocked.
+    pub(crate) wait_total: Time,
+    /// Attribution: number of completed wait episodes.
+    pub(crate) waits: u64,
+    /// Attribution: number of times this process was dispatched.
+    pub(crate) activations: u64,
+}
+
+impl ProcMeta {
+    pub(crate) fn new(name: String) -> ProcMeta {
+        ProcMeta {
+            name,
+            alive: true,
+            wait_since: None,
+            wait_total: Time::ZERO,
+            waits: 0,
+            activations: 0,
+        }
+    }
 }
 
 /// Always-on per-channel access counters. Channels bump these with
@@ -52,6 +75,12 @@ pub(crate) struct ChanStats {
     pub(crate) reads: AtomicU64,
     pub(crate) writes: AtomicU64,
     pub(crate) blocks: AtomicU64,
+    /// Attribution: high-water mark of the buffered element count
+    /// (FIFOs only; stays 0 elsewhere and when attribution is off).
+    pub(crate) max_depth: AtomicU64,
+    /// Attribution: total simulated picoseconds processes spent blocked
+    /// on this channel (0 when attribution is off).
+    pub(crate) blocked_ps: AtomicU64,
 }
 
 pub(crate) struct ChanStatsEntry {
@@ -125,6 +154,9 @@ pub(crate) struct KernelState {
     pub(crate) chan_stats: Vec<ChanStatsEntry>,
     pub(crate) activations: u64,
     pub(crate) started: bool,
+    /// Attribution accounting toggle (mirrored lock-free in
+    /// [`Shared::attribution_fast`] for channel hot paths).
+    pub(crate) attribution: bool,
 }
 
 impl KernelState {
@@ -150,6 +182,18 @@ impl KernelState {
             chan_stats: Vec::new(),
             activations: 0,
             started: false,
+            attribution: false,
+        }
+    }
+
+    /// Closes an attribution wait episode for `pid` at the current
+    /// simulated time. Cheap no-op when the process was not blocked
+    /// (attribution off, or a spurious wake).
+    fn end_wait(&mut self, pid: usize) {
+        if let Some(since) = self.procs[pid].wait_since.take() {
+            let p = &mut self.procs[pid];
+            p.wait_total = p.wait_total.saturating_add(self.now.saturating_sub(since));
+            p.waits += 1;
         }
     }
 
@@ -195,6 +239,7 @@ impl KernelState {
         for pid in waiters {
             if self.procs[pid].alive {
                 self.runnable.insert(pid);
+                self.end_wait(pid);
             }
         }
         self.note_ready_depth();
@@ -208,6 +253,9 @@ impl KernelState {
         for pid in waiters {
             if self.procs[pid].alive {
                 self.next_runnable.insert(pid);
+                // Delta wakes land at the same simulated instant, so
+                // this contributes zero time but counts the episode.
+                self.end_wait(pid);
             }
         }
     }
@@ -255,6 +303,8 @@ impl KernelState {
                     TimedAction::WakeProc(pid) => {
                         if self.procs[pid].alive {
                             self.runnable.insert(pid);
+                            // `self.now` is already the wake instant.
+                            self.end_wait(pid);
                         } else {
                             self.metrics.moot_wakes += 1;
                         }
@@ -371,9 +421,107 @@ impl KernelState {
                 format!("{base}.blocks"),
                 entry.stats.blocks.load(Ordering::Relaxed),
             );
+            if self.attribution {
+                m.set_counter(
+                    format!("{base}.max_depth"),
+                    entry.stats.max_depth.load(Ordering::Relaxed),
+                );
+                m.set_counter(
+                    format!("{base}.blocked_ns"),
+                    entry.stats.blocked_ps.load(Ordering::Relaxed) / 1_000,
+                );
+            }
+        }
+        if self.attribution {
+            for p in &self.procs {
+                let base = format!("kernel.sched.{}", p.name);
+                m.set_counter(format!("{base}.wait_ns"), p.wait_total.as_ps() / 1_000);
+                m.set_counter(format!("{base}.waits"), p.waits);
+                m.set_counter(format!("{base}.activations"), p.activations);
+            }
         }
         m
     }
+
+    /// Builds the structured attribution snapshot surfaced through
+    /// [`crate::Simulator::sched_stats`].
+    pub(crate) fn sched_snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            enabled: self.attribution,
+            processes: self
+                .procs
+                .iter()
+                .map(|p| ProcSchedStats {
+                    name: p.name.clone(),
+                    activations: p.activations,
+                    waits: p.waits,
+                    wait: p.wait_total,
+                })
+                .collect(),
+            channels: self
+                .chan_stats
+                .iter()
+                .map(|e| ChannelSchedStats {
+                    name: e.name.clone(),
+                    reads: e.stats.reads.load(Ordering::Relaxed),
+                    writes: e.stats.writes.load(Ordering::Relaxed),
+                    blocks: e.stats.blocks.load(Ordering::Relaxed),
+                    max_depth: e.stats.max_depth.load(Ordering::Relaxed),
+                    blocked: Time::ps(e.stats.blocked_ps.load(Ordering::Relaxed)),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-process scheduling attribution, in *simulated* time. Part of a
+/// [`SchedSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcSchedStats {
+    /// Process name as given to `spawn`.
+    pub name: String,
+    /// Number of times the scheduler dispatched this process.
+    pub activations: u64,
+    /// Number of completed wait episodes (a process still blocked at
+    /// the end of the run is not counted).
+    pub waits: u64,
+    /// Total simulated time spent blocked across those episodes.
+    pub wait: Time,
+}
+
+/// Per-channel access and contention counters. Part of a
+/// [`SchedSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSchedStats {
+    /// Channel name.
+    pub name: String,
+    /// Completed read operations.
+    pub reads: u64,
+    /// Completed write operations.
+    pub writes: u64,
+    /// Times a process blocked on this channel (full/empty/absent peer).
+    pub blocks: u64,
+    /// High-water mark of the buffered element count (FIFOs; 0 for
+    /// unbuffered channels or when attribution is off).
+    pub max_depth: u64,
+    /// Total simulated time processes spent blocked on this channel
+    /// (zero when attribution is off).
+    pub blocked: Time,
+}
+
+/// Snapshot of the kernel's scheduling attribution: who waited, for how
+/// long, and on which channels. Obtained from
+/// [`crate::Simulator::sched_stats`]. The time-valued fields are only
+/// populated when [`crate::SimOptions::attribution`] was enabled;
+/// `enabled` records which.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchedSnapshot {
+    /// Whether attribution accounting was on for this run.
+    pub enabled: bool,
+    /// Per-process stats, in spawn order.
+    pub processes: Vec<ProcSchedStats>,
+    /// Per-channel stats, in registration order.
+    pub channels: Vec<ChannelSchedStats>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -395,6 +543,10 @@ pub(crate) struct Shared {
     /// kernel lock so channels can skip payload capture entirely when
     /// tracing is off (the zero-allocation disabled path).
     tracing: AtomicBool,
+    /// Mirror of `KernelState::attribution`, readable without the
+    /// kernel lock so channels can skip wait-span timestamping and
+    /// depth tracking entirely when attribution is off.
+    attribution: AtomicBool,
 }
 
 impl Shared {
@@ -402,6 +554,7 @@ impl Shared {
         Arc::new(Shared {
             state: Mutex::new(KernelState::new()),
             tracing: AtomicBool::new(false),
+            attribution: AtomicBool::new(false),
         })
     }
 
@@ -412,6 +565,20 @@ impl Shared {
     /// Lock-free check used by channels before capturing payloads.
     pub(crate) fn tracing_fast(&self) -> bool {
         self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Lock-free check used by channels before attribution accounting.
+    pub(crate) fn attribution_fast(&self) -> bool {
+        self.attribution.load(Ordering::Relaxed)
+    }
+
+    /// Enables/disables attribution accounting, keeping the lock-free
+    /// mirror flag in sync.
+    pub(crate) fn set_attribution(&self, enable: bool) {
+        self.with_state(|st| {
+            self.attribution.store(enable, Ordering::Relaxed);
+            st.attribution = enable;
+        });
     }
 
     /// Installs (or removes) the trace sink, keeping the lock-free
@@ -440,10 +607,7 @@ mod tests {
     fn state_with_procs(n: usize) -> KernelState {
         let mut st = KernelState::new();
         for i in 0..n {
-            st.procs.push(ProcMeta {
-                name: format!("p{i}"),
-                alive: true,
-            });
+            st.procs.push(ProcMeta::new(format!("p{i}")));
         }
         st
     }

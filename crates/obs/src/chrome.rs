@@ -193,6 +193,22 @@ impl ChromeTrace {
         self.push(ev)
     }
 
+    /// Adds one counter (`"C"`) sample per metric in `metrics` at
+    /// `ts_us`, so `kernel.*`/`est.*`/`serve.*` utilization shows up as
+    /// counter tracks next to the span events in `chrome://tracing`.
+    /// Counter order follows the snapshot's sorted names.
+    pub fn counters_from_metrics(&mut self, ts_us: f64, metrics: &crate::metrics::MetricsSnapshot) {
+        for (name, value) in metrics.iter() {
+            let v = match value {
+                crate::metrics::MetricValue::Counter(c) => *c as f64,
+                crate::metrics::MetricValue::Gauge(g) => *g,
+            };
+            if v.is_finite() {
+                self.counter(name, ts_us, v);
+            }
+        }
+    }
+
     /// Appends all events of `other`.
     pub fn merge(&mut self, other: ChromeTrace) {
         self.events.extend(other.events);
@@ -331,6 +347,22 @@ mod tests {
         // Balanced brackets (cheap structural sanity check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn counters_from_metrics_plot_every_entry() {
+        let mut m = crate::metrics::MetricsSnapshot::new();
+        m.set_counter("kernel.delta_cycles", 12);
+        m.set_gauge("est.res.cpu0.busy_ns", 340.5);
+        m.set_gauge("skipped", f64::NAN);
+        let mut t = ChromeTrace::new();
+        t.counters_from_metrics(5.0, &m);
+        assert_eq!(t.len(), 2, "the NaN gauge is dropped");
+        let json = t.to_json();
+        assert!(json.contains("\"name\":\"kernel.delta_cycles\""));
+        assert!(json.contains("\"est.res.cpu0.busy_ns\":340.5"));
+        assert!(json.contains("\"ts\":5.0"));
+        assert!(!json.contains("skipped"));
     }
 
     #[test]

@@ -18,10 +18,15 @@
 //!   answering "where does wall-clock go" (scheduling vs. estimation
 //!   vs. channel ops), the Figure-4 overhead question for our own
 //!   kernel.
-//! * **Exporters** ([`chrome`], [`json`]) — Chrome `trace_event` JSON
-//!   loadable in Perfetto / `chrome://tracing` with one track per
-//!   process or resource, plus a tiny JSON writer for machine-readable
-//!   metric dumps (`BENCH_obs.json`).
+//! * **Latency distributions** ([`stats`], [`histogram`]) — exact
+//!   sample bags for short runs and the bounded, mergeable
+//!   [`LogHistogram`] (fixed ~11 KB footprint, <1% relative quantile
+//!   error) for long-running services.
+//! * **Exporters** ([`chrome`], [`json`], [`prom`]) — Chrome
+//!   `trace_event` JSON loadable in Perfetto / `chrome://tracing` with
+//!   one track per process or resource, metric counter tracks, a tiny
+//!   JSON writer for machine-readable metric dumps (`BENCH_obs.json`),
+//!   and Prometheus text exposition for live telemetry.
 //!
 //! The crate is dependency-free and usable by every layer of the
 //! workspace (kernel, estimator, benches).
@@ -31,15 +36,18 @@
 
 pub mod chrome;
 mod event;
+pub mod histogram;
 mod intern;
 pub mod json;
 mod metrics;
 pub mod profile;
+pub mod prom;
 mod sink;
 pub mod stats;
 mod value;
 
 pub use event::{TraceEvent, TraceTable, NO_PROCESS};
+pub use histogram::LogHistogram;
 pub use intern::{Interner, Sym};
 pub use metrics::{MetricValue, MetricsSnapshot};
 pub use sink::{MemorySink, TraceSink};

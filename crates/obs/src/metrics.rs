@@ -76,9 +76,26 @@ impl MetricsSnapshot {
         self.entries.is_empty()
     }
 
-    /// Absorbs all entries of `other` (later wins on name clashes).
+    /// Absorbs all entries of `other`. On name clashes, counters
+    /// **sum** (saturating) and gauges are **last-write-wins** — the
+    /// semantics a multi-worker fold needs: per-worker event counts
+    /// accumulate, while point-in-time measurements keep the most
+    /// recent observation. A counter/gauge kind clash is resolved
+    /// last-write-wins (the entry from `other` replaces the old one).
     pub fn merge(&mut self, other: MetricsSnapshot) {
-        self.entries.extend(other.entries);
+        for (name, value) in other.entries {
+            match (self.entries.get_mut(&name), value) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => {
+                    *a = a.saturating_add(b);
+                }
+                (slot, value) => match slot {
+                    Some(v) => *v = value,
+                    None => {
+                        self.entries.insert(name, value);
+                    }
+                },
+            }
+        }
     }
 
     /// Renders the snapshot as a JSON object (`{"name": value, ...}`).
@@ -140,15 +157,66 @@ mod tests {
     }
 
     #[test]
-    fn merge_overwrites_on_clash() {
+    fn merge_sums_counters() {
         let mut a = MetricsSnapshot::new();
         a.set_counter("x", 1);
         let mut b = MetricsSnapshot::new();
         b.set_counter("x", 9);
         b.set_counter("y", 2);
         a.merge(b);
-        assert_eq!(a.counter("x"), Some(9));
+        assert_eq!(a.counter("x"), Some(10));
         assert_eq!(a.counter("y"), Some(2));
+    }
+
+    #[test]
+    fn merge_overwrites_gauges_last_write_wins() {
+        let mut a = MetricsSnapshot::new();
+        a.set_gauge("g", 1.0);
+        let mut b = MetricsSnapshot::new();
+        b.set_gauge("g", 7.5);
+        a.merge(b);
+        assert_eq!(a.gauge("g"), Some(7.5));
+    }
+
+    #[test]
+    fn merge_kind_clash_takes_the_newer_entry() {
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("m", 3);
+        let mut b = MetricsSnapshot::new();
+        b.set_gauge("m", 0.5);
+        a.merge(b);
+        assert_eq!(a.counter("m"), None);
+        assert_eq!(a.gauge("m"), Some(0.5));
+    }
+
+    #[test]
+    fn merge_is_associative_over_counters() {
+        let snap = |v: u64| {
+            let mut m = MetricsSnapshot::new();
+            m.set_counter("worker.completed", v);
+            m.set_gauge("worker.depth", v as f64);
+            m
+        };
+        let mut left = snap(1);
+        left.merge(snap(2));
+        left.merge(snap(4));
+        let mut right_inner = snap(2);
+        right_inner.merge(snap(4));
+        let mut right = snap(1);
+        right.merge(right_inner);
+        assert_eq!(left, right);
+        assert_eq!(left.counter("worker.completed"), Some(7));
+        assert_eq!(left.gauge("worker.depth"), Some(4.0));
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("x", u64::MAX - 1);
+        let mut b = MetricsSnapshot::new();
+        b.set_counter("x", 5);
+        a.merge(b);
+        assert_eq!(a.counter("x"), Some(u64::MAX));
     }
 
     #[test]

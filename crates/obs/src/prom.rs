@@ -1,0 +1,171 @@
+//! Prometheus text-exposition rendering of a [`MetricsSnapshot`].
+//!
+//! [`render`] turns a snapshot into the Prometheus text format
+//! (version 0.0.4): one `# TYPE` line per family followed by its
+//! samples. Metric names are sanitized (`.` and any other character
+//! outside `[a-zA-Z0-9_:]` become `_`), counters render as `counter`
+//! families and gauges as `gauge` families — except the
+//! `p50_us`/`p90_us`/`p99_us` gauge triples that
+//! [`LatencySummary::export`](crate::stats::LatencySummary::export)
+//! writes, which fold into one `summary` family with `quantile`
+//! labels:
+//!
+//! ```text
+//! # TYPE serve_latency_us summary
+//! serve_latency_us{quantile="0.5"} 104.2
+//! serve_latency_us{quantile="0.9"} 181.7
+//! serve_latency_us{quantile="0.99"} 240.1
+//! ```
+//!
+//! The output is deterministic: families appear in the snapshot's
+//! (sorted) name order, quantiles ascending.
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+
+/// Quantile-suffix → label pairs, in ascending quantile order.
+const QUANTILES: [(&str, &str); 3] = [(".p50_us", "0.5"), (".p90_us", "0.9"), (".p99_us", "0.99")];
+
+/// Rewrites a metric name into the Prometheus charset: characters
+/// outside `[a-zA-Z0-9_:]` become `_`, and a leading digit is escaped
+/// with `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Splits `name` into its summary base when it is one of the quantile
+/// gauges written by `LatencySummary::export`.
+fn quantile_base(name: &str) -> Option<&str> {
+    QUANTILES
+        .iter()
+        .find_map(|(suffix, _)| name.strip_suffix(suffix))
+}
+
+/// Renders `metrics` as Prometheus text exposition (content type
+/// `text/plain; version=0.0.4`).
+pub fn render(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.iter() {
+        match value {
+            MetricValue::Counter(v) => {
+                let san = sanitize(name);
+                out.push_str(&format!("# TYPE {san} counter\n{san} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                if let Some(base) = quantile_base(name) {
+                    // Emit the whole summary family at its first
+                    // *present* member (usually p50); skip the later
+                    // ones.
+                    let first = QUANTILES
+                        .iter()
+                        .find(|(s, _)| metrics.gauge(&format!("{base}{s}")).is_some());
+                    if first.map(|(s, _)| !name.ends_with(s)).unwrap_or(true) {
+                        continue;
+                    }
+                    let san = format!("{}_us", sanitize(base));
+                    out.push_str(&format!("# TYPE {san} summary\n"));
+                    for (suffix, q) in QUANTILES {
+                        let full = format!("{base}{suffix}");
+                        if let Some(qv) = metrics.gauge(&full) {
+                            out.push_str(&format!("{san}{{quantile=\"{q}\"}} {}\n", fmt_value(qv)));
+                        }
+                    }
+                } else {
+                    let san = sanitize(name);
+                    out.push_str(&format!("# TYPE {san} gauge\n{san} {}\n", fmt_value(*v)));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_rewrites_everything_prometheus_rejects() {
+        assert_eq!(
+            sanitize("kernel.sched.p0.wait_ns"),
+            "kernel_sched_p0_wait_ns"
+        );
+        assert_eq!(sanitize("est.res.cpu-0.busy%"), "est_res_cpu_0_busy_");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a:b_c"), "a:b_c");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_type_lines() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("kernel.delta_cycles", 42);
+        m.set_gauge("kernel.sim_time_ns", 1500.5);
+        let text = render(&m);
+        assert_eq!(
+            text,
+            "# TYPE kernel_delta_cycles counter\nkernel_delta_cycles 42\n\
+             # TYPE kernel_sim_time_ns gauge\nkernel_sim_time_ns 1500.5\n"
+        );
+    }
+
+    #[test]
+    fn quantile_triples_fold_into_a_summary_family() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("serve.latency.count", 3);
+        m.set_gauge("serve.latency.p50_us", 10.0);
+        m.set_gauge("serve.latency.p90_us", 20.0);
+        m.set_gauge("serve.latency.p99_us", 30.0);
+        let text = render(&m);
+        assert!(text.contains("# TYPE serve_latency_us summary\n"));
+        assert!(text.contains("serve_latency_us{quantile=\"0.5\"} 10\n"));
+        assert!(text.contains("serve_latency_us{quantile=\"0.9\"} 20\n"));
+        assert!(text.contains("serve_latency_us{quantile=\"0.99\"} 30\n"));
+        // The triple renders exactly once, at its first member.
+        assert_eq!(text.matches("summary").count(), 1);
+        // The count stays its own counter family.
+        assert!(text.contains("# TYPE serve_latency_count counter\n"));
+    }
+
+    #[test]
+    fn special_floats_use_prometheus_spellings() {
+        let mut m = MetricsSnapshot::new();
+        m.set_gauge("a", f64::INFINITY);
+        m.set_gauge("b", f64::NEG_INFINITY);
+        m.set_gauge("c", f64::NAN);
+        let text = render(&m);
+        assert!(text.contains("a +Inf\n"));
+        assert!(text.contains("b -Inf\n"));
+        assert!(text.contains("c NaN\n"));
+    }
+
+    #[test]
+    fn output_is_deterministic_and_sorted() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("z.last", 1);
+        m.set_counter("a.first", 2);
+        let text = render(&m);
+        let a = text.find("a_first").unwrap();
+        let z = text.find("z_last").unwrap();
+        assert!(a < z);
+        assert_eq!(render(&m), text);
+    }
+}

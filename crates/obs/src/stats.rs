@@ -168,4 +168,42 @@ mod tests {
     fn empty_bag_has_no_summary() {
         assert!(LatencySamples::new().summary().is_none());
     }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut lat = LatencySamples::new();
+        lat.record_us(42.0);
+        let s = lat.summary().expect("one sample");
+        assert_eq!(s.count, 1);
+        for v in [s.min_us, s.max_us, s.mean_us, s.p50_us, s.p90_us, s.p99_us] {
+            assert_eq!(v, 42.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_samples_collapse_percentiles() {
+        let mut lat = LatencySamples::new();
+        for _ in 0..100 {
+            lat.record_us(7.0);
+        }
+        let s = lat.summary().expect("non-empty");
+        assert_eq!(s.count, 100);
+        assert_eq!((s.p50_us, s.p90_us, s.p99_us), (7.0, 7.0, 7.0));
+        assert_eq!(s.mean_us, 7.0);
+    }
+
+    #[test]
+    fn signed_zeros_sort_stably() {
+        // total_cmp orders -0.0 before 0.0; the summary must neither
+        // panic nor produce a nonsensical ordering.
+        let mut lat = LatencySamples::new();
+        lat.record_us(0.0);
+        lat.record_us(-0.0);
+        lat.record_us(1.0);
+        let s = lat.summary().expect("non-empty");
+        assert_eq!(s.min_us, 0.0); // -0.0 == 0.0 numerically…
+        assert!(s.min_us.is_sign_negative(), "…but -0.0 sorts first");
+        assert_eq!(s.max_us, 1.0);
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us);
+    }
 }

@@ -1,0 +1,94 @@
+//! Property tests pinning the [`LogHistogram`] contract against an
+//! exact sorted oracle: the quantile estimate stays within the
+//! documented <1% relative error, and merging is associative and
+//! equivalent to recording into one histogram.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scperf_obs::LogHistogram;
+
+/// Exact q-quantile of a sorted sample set, using the same
+/// nearest-rank definition as the histogram.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantile estimates stay within 1% relative error of the exact
+    /// sorted oracle across seven decades of tick values.
+    #[test]
+    fn quantiles_match_the_sorted_oracle(
+        values in vec(0_u64..10_000_000_000, 1..500),
+        qs in vec(0_u32..=100, 1..8),
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in qs {
+            let q = q as f64 / 100.0;
+            let exact = exact_quantile(&sorted, q) as f64;
+            let est = h.quantile(q).expect("non-empty") as f64;
+            let err = (est - exact).abs() / exact.max(1.0);
+            prop_assert!(
+                err < 0.01,
+                "q={q}: estimate {est} vs exact {exact} (relative error {err})"
+            );
+        }
+    }
+
+    /// min/max/count/mean are exact — they are tracked out-of-band,
+    /// unbucketed.
+    #[test]
+    fn extremes_and_mean_are_exact(values in vec(0_u64..1_000_000, 1..200)) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), values.iter().copied().min());
+        prop_assert_eq!(h.max(), values.iter().copied().max());
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean().expect("non-empty") - mean).abs() < 1e-6);
+    }
+
+    /// Merging is associative and equivalent to recording everything
+    /// into one histogram, for every quantile.
+    #[test]
+    fn merge_is_associative_and_lossless(
+        a in vec(0_u64..100_000_000, 0..100),
+        b in vec(0_u64..100_000_000, 0..100),
+        c in vec(0_u64..100_000_000, 0..100),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        // a ∪ b ∪ c == one histogram over the concatenation
+        let whole: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let hw = hist_of(&whole);
+
+        prop_assert_eq!(left.count(), hw.count());
+        prop_assert_eq!(right.count(), hw.count());
+        prop_assert_eq!(left.min(), hw.min());
+        prop_assert_eq!(left.max(), hw.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), hw.quantile(q), "q={}", q);
+            prop_assert_eq!(right.quantile(q), hw.quantile(q), "q={}", q);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Golden-file test of the Prometheus text exposition: a fixed
+//! snapshot shaped like the serve `telemetry` op's output (kernel
+//! scheduler accounting, estimator resource attribution, serve latency
+//! summary) must render byte-for-byte as the committed golden file.
+
+use scperf_obs::{prom, MetricsSnapshot};
+
+fn telemetry_fixture() -> MetricsSnapshot {
+    let mut m = MetricsSnapshot::new();
+    // Kernel scheduler attribution.
+    m.set_counter("kernel.delta_cycles", 1024);
+    m.set_counter("kernel.sched.lsp.waits", 37);
+    m.set_counter("kernel.sched.lsp.wait_ns", 91_250);
+    m.set_gauge("kernel.sim_time_ns", 1_500_000.0);
+    // Estimator resource attribution.
+    m.set_counter("est.res.cpu0.busy_ns", 1_200_000);
+    m.set_counter("est.res.cpu0.contention_ns", 300_000);
+    m.set_counter("est.res.cpu0.waits", 18);
+    // Serve latency summary (quantile triple + count + extremes).
+    m.set_counter("serve.latency.count", 42);
+    m.set_gauge("serve.latency.min_us", 80.25);
+    m.set_gauge("serve.latency.max_us", 260.0);
+    m.set_gauge("serve.latency.mean_us", 120.5);
+    m.set_gauge("serve.latency.p50_us", 104.0);
+    m.set_gauge("serve.latency.p90_us", 181.5);
+    m.set_gauge("serve.latency.p99_us", 240.0);
+    m
+}
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    let rendered = prom::render(&telemetry_fixture());
+    let golden = include_str!("golden/telemetry.prom");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus exposition drifted from tests/golden/telemetry.prom"
+    );
+}
+
+#[test]
+fn exposition_is_structurally_valid() {
+    // Every non-comment line is `name[{labels}] value`; every family is
+    // introduced by exactly one `# TYPE` line before its samples.
+    let rendered = prom::render(&telemetry_fixture());
+    let mut typed: Vec<String> = Vec::new();
+    for line in rendered.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().expect("family name");
+            let kind = parts.next().expect("family kind");
+            assert!(matches!(kind, "counter" | "gauge" | "summary"), "{line}");
+            assert!(!typed.contains(&family.to_string()), "duplicate {family}");
+            typed.push(family.to_string());
+        } else {
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line");
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                typed.iter().any(|f| f == name),
+                "sample {name} has no preceding # TYPE line"
+            );
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "unsanitized name {name:?}"
+            );
+            value.parse::<f64>().expect("numeric sample value");
+        }
+    }
+    assert!(typed.len() >= 10);
+}

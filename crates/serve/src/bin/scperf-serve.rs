@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! scperf-serve [--workers N] [--queue N] [--retry-after-ms N]
-//!              [--no-cache] [--tcp ADDR] [--no-stdio]
+//!              [--no-cache] [--flight-recorder N] [--tcp ADDR]
+//!              [--no-stdio]
 //! ```
 //!
 //! With `--tcp` both frontends run concurrently over one shared worker
@@ -24,7 +25,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: scperf-serve [--workers N] [--queue N] [--retry-after-ms N] \
-         [--no-cache] [--tcp ADDR] [--no-stdio]"
+         [--no-cache] [--flight-recorder N] [--tcp ADDR] [--no-stdio]"
     );
     std::process::exit(2);
 }
@@ -56,6 +57,11 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage())
             }
             "--no-cache" => args.config.use_cache = false,
+            "--flight-recorder" => {
+                args.config.flight_recorder = value("--flight-recorder")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--tcp" => args.tcp = Some(value("--tcp")),
             "--no-stdio" => args.stdio = false,
             "--help" | "-h" => usage(),

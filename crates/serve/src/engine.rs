@@ -9,12 +9,13 @@
 //! an expired wall-clock budget cancels the run *mid-simulation*
 //! instead of after it.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use scperf_core::{CostTable, EstHotStats, Platform, Report, Session, SimConfig};
 use scperf_dse::point::{platform_cost, resolve_mapping};
 use scperf_dse::SegmentCostCache;
-use scperf_kernel::{SimSummary, StopReason, Time};
+use scperf_kernel::{SimSummary, StopReason, Time, TraceMode};
 use scperf_obs::MetricsSnapshot;
 use scperf_workloads::vocoder::pipeline::{self, StageTrace, STAGE_NAMES};
 
@@ -35,6 +36,10 @@ pub struct Outcome {
     pub report: Option<Report>,
     /// Kernel + estimator metrics, when the request asked for them.
     pub metrics: Option<MetricsSnapshot>,
+    /// The same kernel + estimator metrics, always collected — the
+    /// service folds these into its live telemetry (counters sum
+    /// across runs, so totals accumulate service-wide).
+    pub sim_metrics: MetricsSnapshot,
     /// Estimator hot-path counters for this run (fast charges, site
     /// cache hits/misses, DFG arena reuses).
     pub hot: EstHotStats,
@@ -65,15 +70,27 @@ const FIRST_CHUNK: Time = Time::us(1);
 /// Runs one scenario to completion (or deadline) against the shared
 /// trace cache.
 ///
+/// Attribution ([`SimConfig::attribution`]) is always on: it is
+/// measurement-only (simulated results are bit-identical either way —
+/// the `matches_the_dse_evaluator_bit_for_bit` test pins this against
+/// the attribution-free sweep evaluator) and it feeds the per-resource
+/// contention counters the service's telemetry reports.
+///
+/// `flight` > 0 arms the flight recorder: the kernel keeps roughly the
+/// last `flight` trace events in its ring sink, and they are dumped to
+/// stderr when the run is cancelled by its deadline or dies in a
+/// panic — the post-mortem for a run that never got to answer.
+///
 /// # Errors
 ///
 /// [`ErrorCode::DeadlineExceeded`] when `deadline` passes before the
 /// simulation finishes, [`ErrorCode::Sim`] when the simulation itself
-/// fails.
+/// fails (including a caught worker panic).
 pub fn execute(
     sc: &Scenario,
     cache: Option<&SegmentCostCache>,
     deadline: Option<Instant>,
+    flight: usize,
 ) -> Result<Outcome, RequestError> {
     let started = Instant::now();
     if let Some(dl) = deadline {
@@ -102,12 +119,42 @@ pub fn execute(
     let missing: Vec<usize> = (0..5).filter(|&s| replays[s].is_none()).collect();
     let replayed_stages = 5 - missing.len();
 
-    let mut session = SimConfig::new().platform(platform).build();
+    let mut config = SimConfig::new().platform(platform).attribution(true);
+    if flight > 0 {
+        config = config.tracing(TraceMode::Ring(flight));
+    }
+    let mut session = config.build();
     let recorder = (cache.is_some() && !missing.is_empty()).then(|| session.recorder());
     let (sim, model) = session.parts_mut();
     let handles = pipeline::build_hybrid(sim, model, vm, sc.nframes, replays);
 
-    let summary = run_with_deadline(&mut session, deadline)?;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_with_deadline(&mut session, deadline)
+    }));
+    let summary = match outcome {
+        Ok(Ok(summary)) => summary,
+        Ok(Err(err)) => {
+            if flight > 0 {
+                dump_flight(&mut session, &err.message);
+            }
+            return Err(err);
+        }
+        Err(panic) => {
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            if flight > 0 {
+                dump_flight(&mut session, &format!("worker panicked: {what}"));
+            }
+            return Err(RequestError {
+                code: ErrorCode::Sim,
+                field: None,
+                message: format!("worker panicked mid-run: {what}"),
+            });
+        }
+    };
 
     if let (Some(cache), Some(recorder)) = (cache, recorder) {
         for &stage in &missing {
@@ -124,16 +171,43 @@ pub fn execute(
         message: "pipeline finished without producing output".into(),
     })?;
 
+    let sim_metrics = session.metrics();
     Ok(Outcome {
         summary,
         cost: platform_cost(&sc.mapping),
         checksum,
         replayed_stages,
         report: sc.want_report.then(|| session.report()),
-        metrics: sc.want_metrics.then(|| session.metrics()),
+        metrics: sc.want_metrics.then(|| sim_metrics.clone()),
+        sim_metrics,
         hot: session.model().hot_stats(),
         elapsed: started.elapsed(),
     })
+}
+
+/// Dumps the flight-recorder ring — the last trace events the kernel
+/// kept — to stderr, tagged so operators can grep the post-mortem out
+/// of the service log.
+fn dump_flight(session: &mut Session, why: &str) {
+    let table = session.take_events();
+    eprintln!(
+        "[flight] {why}; last {} trace events ({} earlier events dropped by the ring):",
+        table.events.len(),
+        table.dropped
+    );
+    for ev in &table.events {
+        let chan = table.resolve(ev.chan);
+        eprintln!(
+            "[flight]   t={}ps delta={} proc={} {}{}{} {:?}",
+            ev.time_ps,
+            ev.delta,
+            table.process_name(ev),
+            table.resolve(ev.label),
+            if chan.is_empty() { "" } else { " " },
+            chan,
+            ev.payload,
+        );
+    }
 }
 
 /// Runs the session to completion; with a deadline, steps it in
@@ -203,7 +277,7 @@ mod tests {
             Target::Cpu0,
         ];
         let reference = scperf_dse::evaluate(&CostTable::risc_sw(), mapping, 2, None);
-        let got = execute(&scenario(mapping, 2), None, None).expect("runs");
+        let got = execute(&scenario(mapping, 2), None, None, 0).expect("runs");
         assert_eq!(got.summary.end_time, reference.latency);
         assert_eq!(got.cost, reference.cost);
         assert_eq!(got.checksum, reference.checksum);
@@ -213,11 +287,11 @@ mod tests {
     fn cache_hits_replay_bit_identically() {
         let cache = SegmentCostCache::new();
         let sc = scenario([Target::Cpu0; 5], 1);
-        let live = execute(&sc, Some(&cache), None).expect("records");
+        let live = execute(&sc, Some(&cache), None, 0).expect("records");
         assert_eq!(live.replayed_stages, 0);
         assert!(live.hot.fast_charges > 0, "live run charges via fast path");
         assert!(live.hot.site_hits > 0, "vocoder loops hit their sites");
-        let replayed = execute(&sc, Some(&cache), None).expect("replays");
+        let replayed = execute(&sc, Some(&cache), None, 0).expect("replays");
         assert_eq!(replayed.replayed_stages, 5);
         assert_eq!(replayed.summary.end_time, live.summary.end_time);
         assert_eq!(replayed.checksum, live.checksum);
@@ -227,10 +301,10 @@ mod tests {
     #[test]
     fn custom_parameters_change_the_estimate() {
         let sc = scenario([Target::Cpu0; 5], 1);
-        let base = execute(&sc, None, None).expect("runs");
+        let base = execute(&sc, None, None, 0).expect("runs");
         let mut slow = sc.clone();
         slow.params.clock_ns = 20.0;
-        let slowed = execute(&slow, None, None).expect("runs");
+        let slowed = execute(&slow, None, None, 0).expect("runs");
         assert!(slowed.summary.end_time > base.summary.end_time);
         assert_eq!(slowed.checksum, base.checksum, "data must not change");
     }
@@ -238,7 +312,7 @@ mod tests {
     #[test]
     fn an_already_expired_deadline_is_caught_before_running() {
         let sc = scenario([Target::Cpu0; 5], 1);
-        let err = execute(&sc, None, Some(Instant::now())).unwrap_err();
+        let err = execute(&sc, None, Some(Instant::now()), 0).unwrap_err();
         assert_eq!(err.code, ErrorCode::DeadlineExceeded);
         assert!(err.message.contains("queued"));
     }
@@ -248,7 +322,7 @@ mod tests {
         // Big enough that the run takes well over a millisecond.
         let sc = scenario([Target::Cpu0; 5], 64);
         let dl = Instant::now() + Duration::from_millis(1);
-        let err = execute(&sc, None, Some(dl)).unwrap_err();
+        let err = execute(&sc, None, Some(dl), 0).unwrap_err();
         assert_eq!(err.code, ErrorCode::DeadlineExceeded);
         assert!(
             err.message.contains("mid-run"),
@@ -260,14 +334,70 @@ mod tests {
     #[test]
     fn report_and_metrics_are_opt_in() {
         let mut sc = scenario([Target::Cpu0; 5], 1);
-        let bare = execute(&sc, None, None).expect("runs");
+        let bare = execute(&sc, None, None, 0).expect("runs");
         assert!(bare.report.is_none() && bare.metrics.is_none());
         sc.want_report = true;
         sc.want_metrics = true;
-        let full = execute(&sc, None, None).expect("runs");
+        let full = execute(&sc, None, None, 0).expect("runs");
         let report = full.report.expect("report requested");
         assert_eq!(report.processes.len(), 5);
         let metrics = full.metrics.expect("metrics requested");
         assert!(metrics.counter("kernel.delta_cycles").is_some());
+    }
+
+    #[test]
+    fn all_cpu0_mapping_names_cpu0_as_the_bottleneck() {
+        // Known mapping, known answer: five pipeline stages serialized
+        // on one sequential processor make cpu0 the top utilization
+        // entry, with real arbitration contention behind it.
+        let mut sc = scenario([Target::Cpu0; 5], 2);
+        sc.want_report = true;
+        let out = execute(&sc, None, None, 0).expect("runs");
+        let report = out.report.expect("report requested");
+        let u = report.utilization.expect("attribution is always on");
+        assert_eq!(u.total_time, out.summary.end_time);
+        let bottleneck = u.bottleneck().expect("cpu0 is sequential");
+        assert_eq!(bottleneck.name, "cpu0");
+        assert!(
+            bottleneck.busy_pct > 0.0,
+            "cpu0 must report busy time: {bottleneck:?}"
+        );
+        assert!(
+            bottleneck.contention_pct > 0.0,
+            "five stages on one cpu must contend: {bottleneck:?}"
+        );
+        assert!(bottleneck.waits > 0);
+        // And per-run telemetry carries the matching series.
+        assert!(out.sim_metrics.counter("est.res.cpu0.busy_ns").unwrap() > 0);
+        assert!(
+            out.sim_metrics
+                .counter("est.res.cpu0.contention_ns")
+                .unwrap()
+                > 0
+        );
+        assert!(out
+            .sim_metrics
+            .iter()
+            .any(|(name, _)| name.starts_with("kernel.sched.")));
+    }
+
+    #[test]
+    fn flight_recorder_does_not_change_results() {
+        let sc = scenario([Target::Cpu0; 5], 1);
+        let plain = execute(&sc, None, None, 0).expect("runs");
+        let armed = execute(&sc, None, None, 256).expect("runs");
+        assert_eq!(armed.summary.end_time, plain.summary.end_time);
+        assert_eq!(armed.checksum, plain.checksum);
+    }
+
+    #[test]
+    fn a_deadline_cancel_dumps_the_flight_recorder() {
+        // Only observable effect here is the error itself (the dump
+        // goes to stderr), but the path must not panic or alter the
+        // error classification.
+        let sc = scenario([Target::Cpu0; 5], 64);
+        let dl = Instant::now() + Duration::from_millis(1);
+        let err = execute(&sc, None, Some(dl), 64).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
     }
 }

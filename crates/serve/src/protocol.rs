@@ -10,6 +10,8 @@
 //! {"id":"b1","op":"batch","scenarios":[{"mapping":[...],"nframes":2},...]}
 //! {"op":"ping"}
 //! {"op":"stats"}
+//! {"op":"stats","reset":true}
+//! {"op":"telemetry"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -159,6 +161,16 @@ pub enum Request {
     Stats {
         /// Optional correlation id.
         id: Option<String>,
+        /// Reset the service's counters, latency histograms and uptime
+        /// clock *after* rendering the reply (read-and-reset).
+        reset: bool,
+    },
+    /// Prometheus text-exposition dump of the full telemetry state:
+    /// `serve.*` counters and latency quantiles plus the folded
+    /// per-run kernel/estimator metrics (`kernel.*`, `est.*`).
+    Telemetry {
+        /// Optional correlation id.
+        id: Option<String>,
     },
     /// Begin graceful shutdown: drain accepted work, then stop.
     Shutdown {
@@ -184,7 +196,11 @@ impl Request {
         };
         match op {
             "ping" => Ok(Request::Ping { id: opt_id(v)? }),
-            "stats" => Ok(Request::Stats { id: opt_id(v)? }),
+            "stats" => Ok(Request::Stats {
+                id: opt_id(v)?,
+                reset: bool_field(v, "reset")?,
+            }),
+            "telemetry" => Ok(Request::Telemetry { id: opt_id(v)? }),
             "shutdown" => Ok(Request::Shutdown { id: opt_id(v)? }),
             "sim" => Ok(Request::Sim {
                 id: required_id(v)?,
@@ -210,7 +226,9 @@ impl Request {
             }
             other => Err(RequestError::invalid(
                 "op",
-                format!("unknown op {other:?} (expected sim, batch, ping, stats or shutdown)"),
+                format!(
+                    "unknown op {other:?} (expected sim, batch, ping, stats, telemetry or shutdown)"
+                ),
             )),
         }
     }
@@ -470,8 +488,28 @@ mod tests {
         );
         assert!(matches!(
             req(r#"{"op":"stats"}"#).unwrap(),
-            Request::Stats { id: None }
+            Request::Stats {
+                id: None,
+                reset: false
+            }
         ));
+        assert!(matches!(
+            req(r#"{"op":"stats","reset":true}"#).unwrap(),
+            Request::Stats { reset: true, .. }
+        ));
+        assert_eq!(
+            req(r#"{"op":"telemetry","id":"t"}"#).unwrap(),
+            Request::Telemetry {
+                id: Some("t".into())
+            }
+        );
+        assert_eq!(
+            req(r#"{"op":"stats","reset":"yes"}"#)
+                .unwrap_err()
+                .field
+                .as_deref(),
+            Some("reset")
+        );
         assert_eq!(
             req(r#"{"op":"fly"}"#).unwrap_err().field.as_deref(),
             Some("op")

@@ -105,15 +105,38 @@ pub fn pong(id: Option<&str>) -> String {
     w.finish()
 }
 
-/// Renders the stats reply around a metrics snapshot.
-pub fn stats(id: Option<&str>, metrics: &MetricsSnapshot) -> String {
+/// Renders the stats reply around a metrics snapshot. `reset` echoes
+/// whether the request asked for a read-and-reset.
+pub fn stats(id: Option<&str>, uptime_s: f64, reset: bool, metrics: &MetricsSnapshot) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     id_and_status(&mut w, id, "ok");
     w.key("op");
     w.value_str("stats");
+    w.key("uptime_s");
+    w.value_f64(uptime_s);
+    if reset {
+        w.key("reset");
+        w.value_bool(true);
+    }
     w.key("metrics");
     metrics.write_json(&mut w);
+    w.end_object();
+    w.finish()
+}
+
+/// Renders the telemetry reply: the Prometheus text exposition of the
+/// service's full metric state, carried as one JSON string field.
+pub fn telemetry(id: Option<&str>, body: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    id_and_status(&mut w, id, "ok");
+    w.key("op");
+    w.value_str("telemetry");
+    w.key("content_type");
+    w.value_str("text/plain; version=0.0.4");
+    w.key("body");
+    w.value_str(body);
     w.end_object();
     w.finish()
 }
@@ -257,10 +280,25 @@ mod tests {
         assert_eq!(v.get("draining").unwrap().as_bool(), Some(true));
         let mut m = MetricsSnapshot::new();
         m.set_counter("serve.requests", 3);
-        let v = parse(&stats(None, &m)).unwrap();
+        let v = parse(&stats(None, 1.5, true, &m)).unwrap();
         assert_eq!(
             v.get("metrics").unwrap().get("serve.requests"),
             Some(&Json::Num(3.0))
         );
+        assert_eq!(v.get("uptime_s"), Some(&Json::Num(1.5)));
+        assert_eq!(v.get("reset").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn telemetry_reply_carries_the_exposition_body() {
+        let body = "# TYPE serve_requests counter\nserve_requests 3\n";
+        let v = parse(&telemetry(Some("t"), body)).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("t"));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("telemetry"));
+        assert_eq!(
+            v.get("content_type").unwrap().as_str(),
+            Some("text/plain; version=0.0.4")
+        );
+        assert_eq!(v.get("body").unwrap().as_str(), Some(body));
     }
 }

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use scperf_dse::{SegmentCostCache, WorkerPool};
-use scperf_obs::{LatencySamples, MetricsSnapshot};
+use scperf_obs::{prom, LogHistogram, MetricValue, MetricsSnapshot};
 use scperf_sync::Mutex;
 
 use crate::engine;
@@ -49,6 +49,11 @@ pub struct ServiceConfig {
     pub retry_after_ms: u64,
     /// Whether to memoize segment-cost traces across requests.
     pub use_cache: bool,
+    /// Flight-recorder depth: when non-zero, every run keeps roughly
+    /// the last this-many kernel trace events in a ring, dumped to
+    /// stderr if the run is cancelled by its deadline or panics.
+    /// Zero (the default) disables tracing entirely.
+    pub flight_recorder: usize,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +63,7 @@ impl Default for ServiceConfig {
             queue_capacity: 32,
             retry_after_ms: 50,
             use_cache: true,
+            flight_recorder: 0,
         }
     }
 }
@@ -132,17 +138,82 @@ struct Counters {
     failed: AtomicU64,
     deadline_exceeded: AtomicU64,
     batches: AtomicU64,
+    panics: AtomicU64,
+    flight_dumps: AtomicU64,
+    op_sim: AtomicU64,
+    op_batch: AtomicU64,
+    op_ping: AtomicU64,
+    op_stats: AtomicU64,
+    op_telemetry: AtomicU64,
+    op_shutdown: AtomicU64,
     est_fast_charges: AtomicU64,
     est_site_hits: AtomicU64,
     est_site_misses: AtomicU64,
     est_dfg_arena_reuse: AtomicU64,
 }
 
+impl Counters {
+    fn reset(&self) {
+        for c in [
+            &self.received,
+            &self.accepted,
+            &self.rejected,
+            &self.invalid,
+            &self.completed,
+            &self.failed,
+            &self.deadline_exceeded,
+            &self.batches,
+            &self.panics,
+            &self.flight_dumps,
+            &self.op_sim,
+            &self.op_batch,
+            &self.op_ping,
+            &self.op_stats,
+            &self.op_telemetry,
+            &self.op_shutdown,
+            &self.est_fast_charges,
+            &self.est_site_hits,
+            &self.est_site_misses,
+            &self.est_dfg_arena_reuse,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 struct ServiceShared {
     cache: Option<SegmentCostCache>,
     draining: AtomicBool,
     counters: Counters,
-    latency: Mutex<LatencySamples>,
+    flight_recorder: usize,
+    started: Mutex<Instant>,
+    /// Request latency (admission → response), in nanosecond ticks.
+    latency: Mutex<LogHistogram>,
+    /// Time spent queued before a worker picked the job up.
+    queue_wait: Mutex<LogHistogram>,
+    /// Session-run duration (engine execution only).
+    run_duration: Mutex<LogHistogram>,
+    /// Per-run kernel + estimator metrics, folded across every
+    /// completed run: counters sum, gauges keep the latest run's value.
+    sim_metrics: Mutex<MetricsSnapshot>,
+}
+
+impl ServiceShared {
+    /// Read-and-reset support for `{"op":"stats","reset":true}`:
+    /// zeroes the counters, forgets the histograms and folded sim
+    /// metrics, and restarts the uptime clock.
+    fn reset(&self) {
+        self.counters.reset();
+        self.latency.lock().clear();
+        self.queue_wait.lock().clear();
+        self.run_duration.lock().clear();
+        *self.sim_metrics.lock() = MetricsSnapshot::new();
+        *self.started.lock() = Instant::now();
+    }
+
+    fn uptime_s(&self) -> f64 {
+        self.started.lock().elapsed().as_secs_f64()
+    }
 }
 
 /// The simulation service. See the [module docs](self).
@@ -171,7 +242,12 @@ impl Service {
                 cache: config.use_cache.then(SegmentCostCache::new),
                 draining: AtomicBool::new(false),
                 counters: Counters::default(),
-                latency: Mutex::new(LatencySamples::new()),
+                flight_recorder: config.flight_recorder,
+                started: Mutex::new(Instant::now()),
+                latency: Mutex::new(LogHistogram::new()),
+                queue_wait: Mutex::new(LogHistogram::new()),
+                run_duration: Mutex::new(LogHistogram::new()),
+                sim_metrics: Mutex::new(MetricsSnapshot::new()),
             }),
             queue_capacity: config.queue_capacity.max(1),
             retry_after_ms: config.retry_after_ms,
@@ -227,7 +303,10 @@ impl Service {
                 self.shared.counters.batches.fetch_add(1, Ordering::Relaxed);
                 self.submit_batch(id, scenarios, runnable, responder);
             }
-            Request::Ping { .. } | Request::Stats { .. } | Request::Shutdown { .. } => {
+            Request::Ping { .. }
+            | Request::Stats { .. }
+            | Request::Telemetry { .. }
+            | Request::Shutdown { .. } => {
                 unreachable!("control ops are answered by parse_line")
             }
         }
@@ -272,7 +351,10 @@ impl Service {
                     .collect();
                 render::batch(&id, &items)
             }
-            Request::Ping { .. } | Request::Stats { .. } | Request::Shutdown { .. } => {
+            Request::Ping { .. }
+            | Request::Stats { .. }
+            | Request::Telemetry { .. }
+            | Request::Shutdown { .. } => {
                 unreachable!("control ops are answered by parse_line")
             }
         };
@@ -319,12 +401,36 @@ impl Service {
             }
         };
         match &request {
+            Request::Sim { .. } => &counters.op_sim,
+            Request::Batch { .. } => &counters.op_batch,
+            Request::Ping { .. } => &counters.op_ping,
+            Request::Stats { .. } => &counters.op_stats,
+            Request::Telemetry { .. } => &counters.op_telemetry,
+            Request::Shutdown { .. } => &counters.op_shutdown,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        match &request {
             Request::Ping { id } => {
                 responder.send(&render::pong(id.as_deref()));
                 Some((request, Some(Disposition::Continue)))
             }
-            Request::Stats { id } => {
-                responder.send(&render::stats(id.as_deref(), &self.metrics()));
+            Request::Stats { id, reset } => {
+                responder.send(&render::stats(
+                    id.as_deref(),
+                    self.shared.uptime_s(),
+                    *reset,
+                    &self.metrics(),
+                ));
+                // Read-and-reset: the reply above carries the final
+                // pre-reset snapshot.
+                if *reset {
+                    self.shared.reset();
+                }
+                Some((request, Some(Disposition::Continue)))
+            }
+            Request::Telemetry { id } => {
+                let body = prom::render(&self.telemetry());
+                responder.send(&render::telemetry(id.as_deref(), &body));
                 Some((request, Some(Disposition::Continue)))
             }
             Request::Shutdown { id } => {
@@ -450,6 +556,15 @@ impl Service {
             c.deadline_exceeded.load(Ordering::Relaxed),
         );
         m.set_counter("serve.batches", c.batches.load(Ordering::Relaxed));
+        m.set_counter("serve.panics", c.panics.load(Ordering::Relaxed));
+        m.set_counter("serve.flight_dumps", c.flight_dumps.load(Ordering::Relaxed));
+        m.set_counter("serve.op.sim", c.op_sim.load(Ordering::Relaxed));
+        m.set_counter("serve.op.batch", c.op_batch.load(Ordering::Relaxed));
+        m.set_counter("serve.op.ping", c.op_ping.load(Ordering::Relaxed));
+        m.set_counter("serve.op.stats", c.op_stats.load(Ordering::Relaxed));
+        m.set_counter("serve.op.telemetry", c.op_telemetry.load(Ordering::Relaxed));
+        m.set_counter("serve.op.shutdown", c.op_shutdown.load(Ordering::Relaxed));
+        m.set_gauge("serve.uptime_s", self.shared.uptime_s());
         m.set_counter("serve.workers", self.pool.workers() as u64);
         m.set_counter("serve.queue.pending", self.pool.pending() as u64);
         m.set_counter("serve.queue.capacity", self.queue_capacity as u64);
@@ -479,7 +594,35 @@ impl Service {
         if let Some(summary) = self.shared.latency.lock().summary() {
             summary.export(&mut m, "serve.latency");
         }
+        if let Some(summary) = self.shared.queue_wait.lock().summary() {
+            summary.export(&mut m, "serve.queue_wait");
+        }
+        if let Some(summary) = self.shared.run_duration.lock().summary() {
+            summary.export(&mut m, "serve.run");
+        }
         m
+    }
+
+    /// The full telemetry state behind the `telemetry` op: the folded
+    /// per-run kernel + estimator metrics (`kernel.*` including
+    /// `kernel.sched.*`, `est.*` including `est.res.*` — counters
+    /// summed across every completed run) plus every service-level
+    /// entry of [`Service::metrics`] whose name is not already claimed
+    /// by the fold (the estimator hot-path counters appear in both and
+    /// carry the same totals, so the fold's copy wins instead of
+    /// double-counting).
+    pub fn telemetry(&self) -> MetricsSnapshot {
+        let mut t = self.shared.sim_metrics.lock().clone();
+        for (name, value) in self.metrics().iter() {
+            if t.counter(name).is_some() || t.gauge(name).is_some() {
+                continue;
+            }
+            match value {
+                MetricValue::Counter(v) => t.set_counter(name, *v),
+                MetricValue::Gauge(v) => t.set_gauge(name, *v),
+            }
+        }
+        t
     }
 
     /// Graceful shutdown: stops admitting new requests and blocks until
@@ -496,17 +639,28 @@ impl Service {
     }
 }
 
-/// Executes one scenario and maintains the shared counters and latency
-/// samples. Shared by the pooled (stdio) and inline (TCP) paths.
+/// Executes one scenario and maintains the shared counters, latency
+/// histograms and folded telemetry. Shared by the pooled (stdio) and
+/// inline (TCP) paths.
 fn run_scenario(
     shared: &ServiceShared,
     scenario: &Scenario,
     admitted: Instant,
 ) -> Result<engine::Outcome, RequestError> {
+    shared
+        .queue_wait
+        .lock()
+        .record_us(admitted.elapsed().as_secs_f64() * 1e6);
     let deadline = scenario
         .deadline_ms
         .map(|ms| admitted + Duration::from_millis(ms));
-    let result = engine::execute(scenario, shared.cache.as_ref(), deadline);
+    let run_started = Instant::now();
+    let result = engine::execute(
+        scenario,
+        shared.cache.as_ref(),
+        deadline,
+        shared.flight_recorder,
+    );
     let c = &shared.counters;
     match &result {
         Ok(out) => {
@@ -519,14 +673,30 @@ fn run_scenario(
                 .fetch_add(out.hot.site_misses, Ordering::Relaxed);
             c.est_dfg_arena_reuse
                 .fetch_add(out.hot.dfg_arena_reuse, Ordering::Relaxed);
+            shared.sim_metrics.lock().merge(out.sim_metrics.clone());
         }
         Err(err) if err.code == ErrorCode::DeadlineExceeded => {
             c.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            if shared.flight_recorder > 0 {
+                c.flight_dumps.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        Err(_) => {
+        Err(err) => {
             c.failed.fetch_add(1, Ordering::Relaxed);
+            // The engine converts a caught panic into a Sim error with
+            // this message prefix (see `engine::execute`).
+            if err.message.starts_with("worker panicked") {
+                c.panics.fetch_add(1, Ordering::Relaxed);
+                if shared.flight_recorder > 0 {
+                    c.flight_dumps.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
+    shared
+        .run_duration
+        .lock()
+        .record_us(run_started.elapsed().as_secs_f64() * 1e6);
     shared
         .latency
         .lock()

@@ -14,7 +14,7 @@ fn service(workers: usize, queue: usize) -> Service {
         workers,
         queue_capacity: queue,
         retry_after_ms: 25,
-        use_cache: true,
+        ..ServiceConfig::default()
     })
 }
 
@@ -268,6 +268,181 @@ fn tcp_frontend_serves_concurrent_connections() {
 
     stop.stop();
     server_thread.join().expect("server thread");
+}
+
+/// Minimal structural validation of Prometheus text exposition: every
+/// line is either a `# TYPE <name> <kind>` comment or a
+/// `<name>[{labels}] <float>` sample.
+fn assert_valid_exposition(body: &str) {
+    assert!(!body.is_empty(), "empty exposition");
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("family name");
+            let kind = parts.next().expect("family kind");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad family name: {line}"
+            );
+            assert!(
+                ["counter", "gauge", "summary"].contains(&kind),
+                "bad family kind: {line}"
+            );
+        } else {
+            let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+                panic!("sample line without value: {line}");
+            });
+            assert!(!name.is_empty(), "empty sample name: {line}");
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "unparseable sample value: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_op_exposes_prometheus_text_with_attribution_series() {
+    let svc = service(2, 8);
+    let (responder, lines) = Responder::collector();
+    svc.handle_line(&sim_line("r1", ALL_CPU0, 2, ""), &responder);
+    svc.handle_line(&sim_line("r2", MIXED, 2, ""), &responder);
+    wait_for_lines(&lines, 2);
+    svc.handle_line(r#"{"op":"telemetry","id":"t"}"#, &responder);
+    let got = wait_for_lines(&lines, 3);
+    let reply = got
+        .iter()
+        .find(|l| l.contains("\"telemetry\""))
+        .expect("telemetry reply");
+    let v = parse(reply).unwrap();
+    assert_eq!(field(&v, "status").as_str(), Some("ok"));
+    assert_eq!(field(&v, "id").as_str(), Some("t"));
+    assert_eq!(
+        field(&v, "content_type").as_str(),
+        Some("text/plain; version=0.0.4")
+    );
+    let body = field(&v, "body").as_str().expect("body is a string");
+    assert_valid_exposition(body);
+    // The acceptance triple: kernel scheduling accounting, estimator
+    // per-resource contention, and a serve latency quantile series.
+    assert!(
+        body.lines().any(|l| l.starts_with("kernel_sched_")),
+        "no kernel.sched.* series in:\n{body}"
+    );
+    assert!(
+        body.contains("# TYPE est_res_cpu0_busy_ns counter"),
+        "no est.res.* series in:\n{body}"
+    );
+    assert!(
+        body.contains("est_res_cpu0_contention_ns"),
+        "no contention series in:\n{body}"
+    );
+    assert!(
+        body.contains("# TYPE serve_latency_us summary")
+            && body.contains("serve_latency_us{quantile=\"0.99\"}"),
+        "no serve latency quantile series in:\n{body}"
+    );
+    // Folded kernel counters are present and non-zero.
+    let deltas: f64 = body
+        .lines()
+        .find_map(|l| l.strip_prefix("kernel_delta_cycles "))
+        .expect("kernel_delta_cycles sample")
+        .parse()
+        .unwrap();
+    assert!(deltas > 0.0);
+    svc.drain();
+}
+
+#[test]
+fn multi_worker_runs_fold_into_one_telemetry_snapshot() {
+    // MetricsSnapshot::merge semantics end to end: with the trace
+    // cache off, every run of the same scenario is identical, so the
+    // 4-worker service's folded counters must be exactly 4x a
+    // single run's — counters sum across workers, they don't race or
+    // overwrite.
+    let config = |workers| ServiceConfig {
+        workers,
+        queue_capacity: 16,
+        use_cache: false,
+        ..ServiceConfig::default()
+    };
+    let one = Service::new(config(1));
+    let (responder, lines) = Responder::collector();
+    one.handle_line(&sim_line("solo", ALL_CPU0, 2, ""), &responder);
+    one.drain();
+    assert_eq!(wait_for_lines(&lines, 1).len(), 1);
+    let single_deltas = one.telemetry().counter("kernel.delta_cycles").unwrap();
+    assert!(single_deltas > 0);
+
+    let many = Service::new(config(4));
+    let (responder, lines) = Responder::collector();
+    for i in 0..4 {
+        many.handle_line(&sim_line(&format!("r{i}"), ALL_CPU0, 2, ""), &responder);
+    }
+    many.drain();
+    assert_eq!(wait_for_lines(&lines, 4).len(), 4);
+    let t = many.telemetry();
+    assert_eq!(t.counter("kernel.delta_cycles"), Some(4 * single_deltas));
+    assert_eq!(
+        t.counter("est.res.cpu0.busy_ns"),
+        one.telemetry()
+            .counter("est.res.cpu0.busy_ns")
+            .map(|v| 4 * v)
+    );
+    // Service-level series ride along un-doubled.
+    assert_eq!(t.counter("serve.completed"), Some(4));
+}
+
+#[test]
+fn stats_op_reports_uptime_and_per_op_counts_and_resets_via_stdio() {
+    let svc = service(2, 8);
+    let input = format!(
+        "{}\n{}\n{}\n",
+        r#"{"op":"ping"}"#,
+        sim_line("s1", ALL_CPU0, 1, ""),
+        r#"{"op":"stats","id":"st1"}"#
+    );
+    let (responder, lines) = Responder::collector();
+    scperf_serve::stdio::serve_reader(&svc, BufReader::new(input.as_bytes()), &responder);
+    // serve_reader returned, so the sim has drained; control ops are
+    // still answered while draining.
+    svc.handle_line(r#"{"op":"stats","id":"st2","reset":true}"#, &responder);
+    svc.handle_line(r#"{"op":"stats","id":"st3"}"#, &responder);
+    let got = lines.lock().clone();
+    assert_eq!(got.len(), 5);
+    let by_id = |id: &str| {
+        let line = got
+            .iter()
+            .find(|l| parse(l).unwrap().get("id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no response for {id}"));
+        parse(line).unwrap()
+    };
+    // Stats answers inline in request order, so st1 saw the ping and
+    // the sim admission even if the sim answer came later.
+    let st1 = by_id("st1");
+    assert!(field(&st1, "uptime_s").as_f64().unwrap() >= 0.0);
+    assert!(st1.get("reset").is_none());
+    let m1 = field(&st1, "metrics");
+    assert_eq!(field(m1, "serve.op.ping").as_u64(), Some(1));
+    assert_eq!(field(m1, "serve.op.sim").as_u64(), Some(1));
+    assert_eq!(field(m1, "serve.op.stats").as_u64(), Some(1));
+    // The read-and-reset reply carries the pre-reset state, sim run
+    // included...
+    let st2 = by_id("st2");
+    assert_eq!(field(&st2, "reset").as_bool(), Some(true));
+    let m2 = field(&st2, "metrics");
+    assert_eq!(field(m2, "serve.op.stats").as_u64(), Some(2));
+    assert_eq!(field(m2, "serve.completed").as_u64(), Some(1));
+    assert_eq!(field(m2, "serve.latency.count").as_u64(), Some(1));
+    // ...and the next stats sees zeroed history (only itself).
+    let st3 = by_id("st3");
+    let m3 = field(&st3, "metrics");
+    assert_eq!(field(m3, "serve.op.stats").as_u64(), Some(1));
+    assert_eq!(field(m3, "serve.op.ping").as_u64(), Some(0));
+    assert_eq!(field(m3, "serve.op.sim").as_u64(), Some(0));
+    assert_eq!(field(m3, "serve.completed").as_u64(), Some(0));
+    assert!(m3.get("serve.latency.count").is_none());
 }
 
 #[test]
