@@ -155,6 +155,7 @@ fn ablation_dse_cache() {
         table,
         nframes: 1,
         jobs: 1,
+        kernel_jobs: 1,
         use_cache: true,
         limit: Some(27),
         legacy_charging: false,

@@ -73,6 +73,7 @@ fn main() {
         table: cal.table,
         nframes: args.frames,
         jobs: args.jobs,
+        kernel_jobs: 1,
         use_cache: args.cache,
         limit: None,
         legacy_charging: false,

@@ -21,10 +21,19 @@
 //!   with colliding deadlines (plus a far-future tail beyond the time
 //!   wheel's span); stresses the timed queue, not the handoff.
 //!
-//! For every kernel the two protocols must produce the *same*
-//! [`SimSummary`] — the bench asserts this — so the reported speedup is
-//! a pure host-time ratio at identical simulated behaviour. Results go
-//! to `BENCH_kernel.json`.
+//! Two further scenarios sweep the parallel evaluate phase
+//! (`SimOptions::jobs`, see `docs/PARALLELISM.md`) at `jobs = 1` vs
+//! `jobs = 8`:
+//!
+//! * **par_pairs** — 8 independent FIFO producer/consumer pairs with
+//!   per-activation busy work; every delta is 16 processes wide.
+//! * **par_fanout** — an event broadcast to 32 computing waiters; the
+//!   waking delta is 32 processes wide.
+//!
+//! For every kernel the two protocols (and the two `jobs` values) must
+//! produce the *same* [`SimSummary`] — the bench asserts this — so the
+//! reported speedup is a pure host-time ratio at identical simulated
+//! behaviour. Results go to `BENCH_kernel.json`.
 
 use std::time::{Duration, Instant};
 
@@ -137,6 +146,75 @@ fn timer_storm(kind: HandoffKind, procs: usize, waits: u64) -> (SimSummary, Dura
     (summary, start.elapsed())
 }
 
+/// Busy-work standing in for a process body's computation: `rounds` of
+/// xorshift on `x`. This is what the parallel evaluate phase can overlap
+/// across workers.
+fn spin(mut x: u64, rounds: u64) -> u64 {
+    for _ in 0..rounds {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+/// `pairs` independent producer→FIFO→consumer pairs; every activation
+/// burns `work` xorshift rounds. All pairs are runnable in the same
+/// deltas, so the evaluate phase is `2 * pairs` wide — the shape the
+/// parallel kernel (`SimOptions::jobs`) is built for.
+fn par_pairs(jobs: usize, pairs: usize, iters: u64, work: u64) -> (SimSummary, Duration) {
+    let mut sim = SimOptions::new().jobs(jobs).build();
+    for p in 0..pairs {
+        let ch = sim.fifo::<u64>(format!("ch{p}"), 4);
+        let tx = ch.clone();
+        sim.spawn(format!("prod{p}"), move |ctx| {
+            for i in 0..iters {
+                tx.write(ctx, spin(i + p as u64 + 1, work));
+                ctx.wait(Time::ns(1));
+            }
+        });
+        let rx = ch;
+        sim.spawn(format!("cons{p}"), move |ctx| {
+            let mut acc = 0u64;
+            for _ in 0..iters {
+                acc = acc.wrapping_add(spin(rx.read(ctx), work));
+            }
+            std::hint::black_box(acc);
+        });
+    }
+    let start = Instant::now();
+    let summary = sim.run().expect("par_pairs runs");
+    (summary, start.elapsed())
+}
+
+/// Wide fanout with per-waiter computation: one notifier delta-fires an
+/// event `rounds` times and `procs` waiters each burn `work` xorshift
+/// rounds per wake. The waking delta is `procs` wide.
+fn par_fanout(jobs: usize, procs: usize, rounds: u64, work: u64) -> (SimSummary, Duration) {
+    let mut sim = SimOptions::new().jobs(jobs).build();
+    let ev = sim.event("broadcast");
+    for p in 0..procs {
+        let ev = ev.clone();
+        sim.spawn(format!("waiter{p}"), move |ctx| {
+            let mut acc = p as u64 + 1;
+            for _ in 0..rounds {
+                ctx.wait_event(&ev);
+                acc = spin(acc, work);
+            }
+            std::hint::black_box(acc);
+        });
+    }
+    sim.spawn("notifier", move |ctx| {
+        for _ in 0..rounds {
+            ev.notify_delta();
+            ctx.wait(Time::ns(1));
+        }
+    });
+    let start = Instant::now();
+    let summary = sim.run().expect("par_fanout runs");
+    (summary, start.elapsed())
+}
+
 /// Best-of-`reps` wall time (minimum is the standard microbench
 /// estimator: noise only ever adds time).
 fn measure(
@@ -153,6 +231,74 @@ fn measure(
         }
     }
     best.expect("reps > 0")
+}
+
+/// Best-of-`reps` for the jobs-parameterized parallel scenarios.
+fn measure_par(
+    reps: usize,
+    run: impl Fn(usize) -> (SimSummary, Duration),
+    jobs: usize,
+) -> (SimSummary, Duration) {
+    let mut best: Option<(SimSummary, Duration)> = None;
+    for _ in 0..reps {
+        let (summary, elapsed) = run(jobs);
+        match &best {
+            Some((_, b)) if *b <= elapsed => {}
+            _ => best = Some((summary, elapsed)),
+        }
+    }
+    best.expect("reps > 0")
+}
+
+struct ParResult {
+    name: &'static str,
+    summary: SimSummary,
+    jobs1: Duration,
+    jobs8: Duration,
+}
+
+impl ParResult {
+    fn speedup(&self) -> f64 {
+        self.jobs1.as_secs_f64() / self.jobs8.as_secs_f64()
+    }
+    fn activations_per_sec(&self, d: Duration) -> f64 {
+        self.summary.activations as f64 / d.as_secs_f64()
+    }
+}
+
+/// Runs a jobs-parameterized scenario at `jobs = 1` and `jobs = 8` and
+/// asserts the determinism contract (`docs/PARALLELISM.md`): the two
+/// summaries must be bit-identical, so the speedup is a pure host-time
+/// ratio at identical simulated behaviour.
+fn par_bench(
+    name: &'static str,
+    reps: usize,
+    run: impl Fn(usize) -> (SimSummary, Duration),
+) -> ParResult {
+    let (sum_1, jobs1) = measure_par(reps, &run, 1);
+    let (sum_8, jobs8) = measure_par(reps, &run, 8);
+    assert_eq!(
+        sum_1, sum_8,
+        "{name}: parallel evaluation changed simulated behaviour"
+    );
+    let r = ParResult {
+        name,
+        summary: sum_8,
+        jobs1,
+        jobs8,
+    };
+    println!(
+        "{:>12}: jobs=1  {:>9.2?}  jobs=8 {:>9.2?}  speedup {:>5.2}x  \
+         ({} activations, {:.0}/s -> {:.0}/s)",
+        r.name,
+        r.jobs1,
+        r.jobs8,
+        r.speedup(),
+        r.summary.activations,
+        r.activations_per_sec(r.jobs1),
+        r.activations_per_sec(r.jobs8),
+    );
+    r
 }
 
 struct BenchResult {
@@ -229,6 +375,19 @@ fn main() {
         }),
     ];
 
+    // Parallel-evaluate scenarios (SimOptions::jobs): wide deltas with
+    // real per-activation computation, jobs = 1 vs jobs = 8. Both runs
+    // must be bit-identical in simulated behaviour (asserted inside
+    // par_bench); the speedup is meaningful only on a multi-core host.
+    let par_results = [
+        par_bench("par_pairs", args.reps, |j| {
+            par_pairs(j, 8, 2_000 / scale, 2_000)
+        }),
+        par_bench("par_fanout", args.reps, |j| {
+            par_fanout(j, 32, 500 / scale, 4_000)
+        }),
+    ];
+
     // Attribution overhead: the scheduling-state accounting rides the
     // handoff-heaviest kernel (pingpong, direct handoff). The baseline
     // is the attribution-off direct measurement above; the summaries
@@ -296,6 +455,30 @@ fn main() {
         w.value_bool(true);
         w.end_object();
     }
+    for r in &par_results {
+        w.begin_object();
+        w.key("name");
+        w.value_str(r.name);
+        w.key("activations");
+        w.value_u64(r.summary.activations);
+        w.key("deltas");
+        w.value_u64(r.summary.deltas);
+        w.key("end_time_ps");
+        w.value_u64(r.summary.end_time.as_ps());
+        w.key("jobs1_seconds");
+        w.value_f64(r.jobs1.as_secs_f64());
+        w.key("jobs8_seconds");
+        w.value_f64(r.jobs8.as_secs_f64());
+        w.key("jobs1_activations_per_sec");
+        w.value_f64(r.activations_per_sec(r.jobs1));
+        w.key("jobs8_activations_per_sec");
+        w.value_f64(r.activations_per_sec(r.jobs8));
+        w.key("speedup");
+        w.value_f64(r.speedup());
+        w.key("summaries_identical");
+        w.value_bool(true);
+        w.end_object();
+    }
     w.end_array();
     w.end_object();
 
@@ -317,6 +500,29 @@ fn main() {
             attr_overhead <= 0.05,
             "attribution accounting must cost <=5% on pingpong (got {:+.2}%)",
             attr_overhead * 100.0
+        );
+    }
+
+    // The >=2x parallel-throughput bar only makes sense with real cores
+    // to spread the evaluate phase over; on a 1-core host jobs = 8 is
+    // pure overhead (the determinism assert above still ran).
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if !args.quick && cores >= 4 {
+        for r in &par_results {
+            assert!(
+                r.speedup() >= 2.0,
+                "{}: expected >=2x activation throughput at jobs=8 on a \
+                 {cores}-core host (got {:.2}x)",
+                r.name,
+                r.speedup()
+            );
+        }
+    } else {
+        println!(
+            " (parallel >=2x speedup bar skipped: {cores} core(s), quick={})",
+            args.quick
         );
     }
 }

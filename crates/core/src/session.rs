@@ -161,6 +161,19 @@ impl SimConfig {
         self
     }
 
+    /// Sets the parallelism of the kernel's evaluate phase (forwarded to
+    /// [`SimOptions::jobs`]); `1` (the default) is the plain sequential
+    /// kernel. Results are bit-identical for any value — see
+    /// `docs/PARALLELISM.md` for the determinism contract.
+    ///
+    /// [`SimConfig::legacy_charging`] forces `jobs = 1` at build time:
+    /// the legacy charging path mutates per-operator state in execution
+    /// order, which only the sequential kernel reproduces.
+    pub fn jobs(mut self, jobs: usize) -> SimConfig {
+        self.options = self.options.jobs(jobs);
+        self
+    }
+
     /// Routes operator charging through the legacy `RefCell`-per-op path
     /// instead of the flat thread-local fast path. Bit-identical
     /// results, strictly slower — the measurable baseline of
@@ -189,7 +202,13 @@ impl SimConfig {
     /// Builds the [`Session`]: simulator plus estimation model, wired
     /// per this configuration.
     pub fn build(self) -> Session {
-        let sim = Simulator::with_options(self.options.attribution(self.attribution));
+        let mut options = self.options.attribution(self.attribution);
+        if self.legacy_charging {
+            // Legacy charging is order-sensitive; only the sequential
+            // kernel reproduces its execution order.
+            options = options.jobs(1);
+        }
+        let sim = Simulator::with_options(options);
         let model = PerfModel::new(self.platform, self.mode);
         model.attribution(self.attribution);
         if self.record_instantaneous {

@@ -23,6 +23,13 @@ pub struct SweepConfig {
     /// Worker threads; `1` is the sequential oracle (no pool, no
     /// spawned threads).
     pub jobs: usize,
+    /// Evaluate-phase parallelism *inside* each point's simulation
+    /// (forwarded to `SimConfig::jobs`); `1` is the sequential kernel.
+    /// Composes with `jobs`: the sweep fans points over its pool while
+    /// each simulation spreads wide delta cycles over its own workers.
+    /// Results are bit-identical for any value — the contract is
+    /// documented in `docs/PARALLELISM.md`.
+    pub kernel_jobs: usize,
     /// Whether to memoize segment-cost traces across points.
     pub use_cache: bool,
     /// Evaluate only the first `limit` mappings (in canonical point
@@ -41,6 +48,7 @@ impl Default for SweepConfig {
             table: CostTable::risc_sw(),
             nframes: 1,
             jobs: 1,
+            kernel_jobs: 1,
             use_cache: true,
             limit: None,
             legacy_charging: false,
@@ -92,7 +100,7 @@ pub fn evaluate(
     nframes: usize,
     cache: Option<&SegmentCostCache>,
 ) -> DesignPoint {
-    evaluate_with(table, mapping, nframes, cache, false)
+    evaluate_with(table, mapping, nframes, cache, false, 1)
 }
 
 fn evaluate_with(
@@ -101,6 +109,7 @@ fn evaluate_with(
     nframes: usize,
     cache: Option<&SegmentCostCache>,
     legacy_charging: bool,
+    kernel_jobs: usize,
 ) -> DesignPoint {
     let (platform, ids) = build_platform(table);
     let vm = resolve_mapping(mapping, ids);
@@ -120,6 +129,7 @@ fn evaluate_with(
     let mut session = SimConfig::new()
         .platform(platform)
         .legacy_charging(legacy_charging)
+        .jobs(kernel_jobs)
         .build();
     let recorder = (cache.is_some() && !missing.is_empty()).then(|| session.recorder());
     let (sim, model) = session.parts_mut();
@@ -166,6 +176,7 @@ pub fn sweep(config: &SweepConfig) -> SweepResult {
             config.nframes,
             cache.as_ref(),
             config.legacy_charging,
+            config.kernel_jobs,
         )
     });
 

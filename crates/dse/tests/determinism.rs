@@ -23,6 +23,7 @@ proptest! {
             table: CostTable::risc_sw(),
             nframes: 1,
             jobs: 1,
+            kernel_jobs: 1,
             use_cache: false,
             limit: Some(limit.min(14)),
             legacy_charging: false,
@@ -34,6 +35,34 @@ proptest! {
                 "points differ at jobs={} cache={}", jobs, use_cache);
             prop_assert_eq!(&got.frontier, &oracle.frontier,
                 "frontier differs at jobs={} cache={}", jobs, use_cache);
+        }
+    }
+
+    /// Nested parallelism: the sweep pool (`jobs`) composed with the
+    /// kernel's parallel evaluate phase (`kernel_jobs`,
+    /// docs/PARALLELISM.md) still reproduces the sequential oracle
+    /// bit for bit.
+    #[test]
+    fn sweep_is_deterministic_across_kernel_jobs(
+        picks in vec(0_usize..243, 4..=6),
+    ) {
+        let limit = *picks.iter().max().unwrap() + 1;
+        let base = SweepConfig {
+            table: CostTable::risc_sw(),
+            nframes: 1,
+            jobs: 1,
+            kernel_jobs: 1,
+            use_cache: false,
+            limit: Some(limit.min(10)),
+            legacy_charging: false,
+        };
+        let oracle = sweep(&base);
+        for (jobs, kernel_jobs) in [(1, 2), (1, 8), (2, 8)] {
+            let got = sweep(&SweepConfig { jobs, kernel_jobs, ..base.clone() });
+            prop_assert_eq!(&got.points, &oracle.points,
+                "points differ at jobs={} kernel_jobs={}", jobs, kernel_jobs);
+            prop_assert_eq!(&got.frontier, &oracle.frontier,
+                "frontier differs at jobs={} kernel_jobs={}", jobs, kernel_jobs);
         }
     }
 
@@ -84,6 +113,7 @@ fn full_sweep_matches_sequential_oracle() {
         table: CostTable::risc_sw(),
         nframes: 1,
         jobs: 1,
+        kernel_jobs: 1,
         use_cache: false,
         limit: None,
         legacy_charging: false,
@@ -93,7 +123,7 @@ fn full_sweep_matches_sequential_oracle() {
     let parallel = sweep(&SweepConfig {
         jobs: 8,
         use_cache: true,
-        ..base
+        ..base.clone()
     });
     assert_eq!(parallel.points, oracle.points);
     assert_eq!(parallel.frontier, oracle.frontier);
@@ -102,4 +132,15 @@ fn full_sweep_matches_sequential_oracle() {
         stats > 0.9,
         "243 points × 5 stages should mostly hit: {stats}"
     );
+    // The jobs=8 run of the release determinism gate: the same full
+    // sweep with every point's *kernel* also evaluating in parallel
+    // (docs/PARALLELISM.md) must still match the oracle bit for bit.
+    let kernel_parallel = sweep(&SweepConfig {
+        jobs: 8,
+        kernel_jobs: 8,
+        use_cache: true,
+        ..base
+    });
+    assert_eq!(kernel_parallel.points, oracle.points);
+    assert_eq!(kernel_parallel.frontier, oracle.frontier);
 }

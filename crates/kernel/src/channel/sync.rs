@@ -86,6 +86,10 @@ impl SimMutex {
     /// it is not recursive).
     pub fn lock(&self, ctx: &mut ProcCtx) {
         loop {
+            // Lock state is immediately visible to other processes, so
+            // under parallel evaluation acquisition happens in
+            // canonical pid order (the documented hand-off order).
+            ctx.par_fence();
             {
                 let mut holder = self.inner.holder.lock();
                 match *holder {
@@ -108,6 +112,7 @@ impl SimMutex {
 
     /// Attempts to acquire without blocking; `true` on success.
     pub fn try_lock(&self, ctx: &mut ProcCtx) -> bool {
+        ctx.par_fence();
         let mut holder = self.inner.holder.lock();
         if holder.is_none() {
             *holder = Some(ctx.pid().index());
@@ -123,6 +128,7 @@ impl SimMutex {
     ///
     /// Panics if the calling process does not hold the mutex.
     pub fn unlock(&self, ctx: &mut ProcCtx) {
+        ctx.par_fence();
         {
             let mut holder = self.inner.holder.lock();
             assert_eq!(
@@ -195,6 +201,9 @@ impl SimSemaphore {
     /// (`sc_semaphore::wait`).
     pub fn acquire(&self, ctx: &mut ProcCtx) {
         loop {
+            // See `SimMutex::lock`: permits are handed out in pid order
+            // under parallel evaluation.
+            ctx.par_fence();
             {
                 let mut count = self.inner.count.lock();
                 if *count > 0 {
@@ -207,7 +216,8 @@ impl SimSemaphore {
     }
 
     /// Attempts to acquire without blocking (`sc_semaphore::trywait`).
-    pub fn try_acquire(&self, _ctx: &mut ProcCtx) -> bool {
+    pub fn try_acquire(&self, ctx: &mut ProcCtx) -> bool {
+        ctx.par_fence();
         let mut count = self.inner.count.lock();
         if *count > 0 {
             *count -= 1;
@@ -218,7 +228,8 @@ impl SimSemaphore {
     }
 
     /// Releases one permit and wakes waiters (`sc_semaphore::post`).
-    pub fn release(&self, _ctx: &mut ProcCtx) {
+    pub fn release(&self, ctx: &mut ProcCtx) {
+        ctx.par_fence();
         *self.inner.count.lock() += 1;
         self.inner.posted_ev.notify_delta();
     }

@@ -59,6 +59,7 @@ mod channel;
 mod config;
 mod event;
 mod handoff;
+mod parallel;
 mod process;
 mod sim;
 mod state;

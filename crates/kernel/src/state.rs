@@ -547,15 +547,32 @@ pub(crate) struct Shared {
     /// kernel lock so channels can skip wait-span timestamping and
     /// depth tracking entirely when attribution is off.
     attribution: AtomicBool,
+    /// Parallel-evaluate round state (effect logs, gate, counters).
+    pub(crate) par: crate::parallel::ParShared,
+    /// Copy of `KernelState::labels`, readable without the kernel lock
+    /// so parallel rounds can build buffered trace effects lock-free.
+    pub(crate) labels: KernelLabels,
 }
 
 impl Shared {
     pub(crate) fn new() -> Arc<Shared> {
+        let state = KernelState::new();
+        let labels = state.labels;
         Arc::new(Shared {
-            state: Mutex::new(KernelState::new()),
+            state: Mutex::new(state),
             tracing: AtomicBool::new(false),
             attribution: AtomicBool::new(false),
+            par: crate::parallel::ParShared::new(),
+            labels,
         })
+    }
+
+    /// Lock-free check: is a parallel evaluate round in flight? When
+    /// true, process-side kernel effects must be buffered via
+    /// [`Shared::par`] instead of mutating the kernel state.
+    #[inline]
+    pub(crate) fn par_active_fast(&self) -> bool {
+        self.par.active_fast()
     }
 
     pub(crate) fn with_state<R>(&self, f: impl FnOnce(&mut KernelState) -> R) -> R {

@@ -16,6 +16,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod pool;
+
+pub use pool::WorkerPool;
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;

@@ -11,8 +11,16 @@ use scperf_workloads::vocoder::pipeline::build_plain;
 const NFRAMES: usize = 12;
 
 fn run_vocoder(kind: HandoffKind) -> (i32, SimSummary, Vec<(String, String, String)>) {
+    run_vocoder_jobs(kind, 1)
+}
+
+fn run_vocoder_jobs(
+    kind: HandoffKind,
+    jobs: usize,
+) -> (i32, SimSummary, Vec<(String, String, String)>) {
     let mut sim = SimOptions::new()
         .handoff(kind)
+        .jobs(jobs)
         .tracing(TraceMode::Unbounded)
         .build();
     let out = build_plain(&mut sim, NFRAMES);
@@ -31,6 +39,21 @@ fn vocoder_trace_is_bit_identical_across_handoffs() {
     assert_eq!(chk_d, chk_c, "functional checksum diverged");
     assert_eq!(sum_d, sum_c, "summary diverged");
     assert_eq!(trace_d, trace_c, "functional trace diverged");
+}
+
+/// The same vocoder under parallel evaluation (`jobs ∈ {2, 8}`) must
+/// reproduce the sequential run exactly: same checksum, same summary,
+/// same functional trace. This is the paper-case-study instance of the
+/// determinism contract in `docs/PARALLELISM.md`.
+#[test]
+fn vocoder_trace_is_bit_identical_across_jobs() {
+    let (chk_1, sum_1, trace_1) = run_vocoder_jobs(HandoffKind::Direct, 1);
+    for jobs in [2usize, 8] {
+        let (chk_j, sum_j, trace_j) = run_vocoder_jobs(HandoffKind::Direct, jobs);
+        assert_eq!(chk_1, chk_j, "functional checksum diverged at jobs={jobs}");
+        assert_eq!(sum_1, sum_j, "summary diverged at jobs={jobs}");
+        assert_eq!(trace_1, trace_j, "functional trace diverged at jobs={jobs}");
+    }
 }
 
 /// A timed synthetic pipeline mixing wait(time) storms with blocking
