@@ -7,7 +7,7 @@
 //! cargo run -p scperf-bench --release --bin serve_bench -- [--quick]
 //! ```
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! * **compute** — a stream of distinct sim requests pushed through the
 //!   stdio path at each worker count: end-to-end seconds, requests/s
@@ -19,6 +19,12 @@
 //! * **determinism** — the same mixed batch rendered by a 1-worker and
 //!   an 8-worker service must produce *bitwise identical* response
 //!   payloads. Asserted, not just reported.
+//! * **sustained** — repeat-shape traffic with the session pool on vs
+//!   off (trace cache off for both, so the unpooled baseline is true
+//!   per-request construction). Pooled requests fork a warmed-up
+//!   snapshot instead of rebuilding and re-estimating the pipeline;
+//!   the requests/s ratio is asserted ≥ 2× and the per-request heap
+//!   allocation counts are reported alongside.
 //! * **slow_clients** — the concurrency measurement that does not
 //!   depend on core count: TCP clients that handshake (ping/pong),
 //!   think for a fixed delay while holding the connection, then send a
@@ -27,13 +33,37 @@
 //!   think times while 8 workers overlap them; the wall-clock ratio is
 //!   the service's genuine I/O-concurrency speedup and must be ≥ 3×.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use scperf_obs::json::JsonWriter;
 use scperf_serve::{Responder, Service, ServiceConfig, TcpServer};
+
+/// Counts every heap allocation so the sustained-load arm can report
+/// allocations per request with the pool on vs off — the pool's other
+/// dividend besides wall clock.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates entirely to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
 const MAPPINGS: [&str; 4] = [
@@ -130,6 +160,67 @@ fn determinism_check() -> usize {
     outputs[0].len()
 }
 
+struct SustainedRun {
+    workers: usize,
+    pooled_rps: f64,
+    unpooled_rps: f64,
+    pool_speedup: f64,
+    pooled_allocs_per_req: u64,
+    unpooled_allocs_per_req: u64,
+}
+
+/// One sustained-load arm: `requests` repeat-shape sim requests (after
+/// one warmup request that pays first-of-shape setup either way)
+/// through a service with the session pool on or off. The trace cache
+/// is off for both, so the unpooled side is true per-request
+/// construction — the setup cost the pool is meant to amortize.
+fn sustained_arm(workers: usize, pooled: bool, requests: usize, nframes: usize) -> (f64, u64) {
+    let svc = Service::new(ServiceConfig {
+        workers,
+        queue_capacity: 256,
+        retry_after_ms: 50,
+        use_cache: false,
+        pool_sessions: if pooled { None } else { Some(0) },
+        ..ServiceConfig::default()
+    });
+    let (responder, lines) = Responder::collector();
+    svc.handle_line(&sim_line("warm", MAPPINGS[1], nframes), &responder);
+    while lines.lock().is_empty() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for i in 0..requests {
+        svc.handle_line(
+            &sim_line(&format!("u{i}"), MAPPINGS[1], nframes),
+            &responder,
+        );
+    }
+    svc.drain();
+    let seconds = start.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let got = lines.lock().clone();
+    assert_eq!(got.len(), requests + 1, "every request must be answered");
+    for l in &got {
+        assert!(l.contains(r#""status":"ok""#), "unexpected response: {l}");
+    }
+    (requests as f64 / seconds, allocs / requests as u64)
+}
+
+/// Pool on vs pool off at one worker count, same repeat-shape traffic.
+fn sustained_run(workers: usize, requests: usize, nframes: usize) -> SustainedRun {
+    let (unpooled_rps, unpooled_allocs_per_req) = sustained_arm(workers, false, requests, nframes);
+    let (pooled_rps, pooled_allocs_per_req) = sustained_arm(workers, true, requests, nframes);
+    SustainedRun {
+        workers,
+        pooled_rps,
+        unpooled_rps,
+        pool_speedup: pooled_rps / unpooled_rps,
+        pooled_allocs_per_req,
+        unpooled_allocs_per_req,
+    }
+}
+
 struct SlowClientRun {
     workers: usize,
     seconds: f64,
@@ -221,6 +312,36 @@ fn main() {
     println!("  payloads bitwise identical ({payload_len} bytes)");
 
     println!(
+        "\nsustained: {requests} repeat-shape requests, nframes={nframes}, pool on vs off \
+         (trace cache off: the baseline is per-request construction)"
+    );
+    let sustained: Vec<SustainedRun> = [1, WORKER_COUNTS[2]]
+        .iter()
+        .map(|&w| {
+            let r = sustained_run(w, requests, nframes);
+            println!(
+                "  {w} worker(s): pooled {:>7.2} req/s ({} allocs/req)  unpooled {:>7.2} req/s \
+                 ({} allocs/req)  speedup {:.2}x",
+                r.pooled_rps,
+                r.pooled_allocs_per_req,
+                r.unpooled_rps,
+                r.unpooled_allocs_per_req,
+                r.pool_speedup
+            );
+            r
+        })
+        .collect();
+    // The pool's reason to exist: repeat-shape traffic must amortize
+    // session setup at least 2x over per-request construction. The
+    // 1-worker arm is the cleanest measurement (no scheduler noise).
+    assert!(
+        sustained[0].pool_speedup >= 2.0,
+        "pooled repeat-shape traffic must be at least 2x per-request construction \
+         (got {:.2}x)",
+        sustained[0].pool_speedup
+    );
+
+    println!(
         "\nslow_clients: {clients} clients, {}ms think time on an open connection (I/O-bound; scales with workers)",
         delay.as_millis()
     );
@@ -284,6 +405,51 @@ fn main() {
     w.key("payload_bytes");
     w.value_u64(payload_len as u64);
     w.end_object();
+    w.key("sustained");
+    w.begin_object();
+    w.key("requests");
+    w.value_u64(requests as u64);
+    w.key("nframes");
+    w.value_u64(nframes as u64);
+    w.key("note");
+    w.value_str(
+        "repeat-shape traffic, trace cache off: pooled forks a warmed snapshot, \
+         unpooled pays per-request construction",
+    );
+    w.key("per_workers");
+    w.begin_array();
+    for r in &sustained {
+        w.begin_object();
+        w.key("workers");
+        w.value_u64(r.workers as u64);
+        w.key("pooled_rps");
+        w.value_f64(r.pooled_rps);
+        w.key("unpooled_rps");
+        w.value_f64(r.unpooled_rps);
+        w.key("pool_speedup");
+        w.value_f64(r.pool_speedup);
+        w.key("pooled_allocs_per_req");
+        w.value_u64(r.pooled_allocs_per_req);
+        w.key("unpooled_allocs_per_req");
+        w.value_u64(r.unpooled_allocs_per_req);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("meets_2x");
+    w.value_bool(sustained[0].pool_speedup >= 2.0);
+    w.end_object();
+    // Scale-invariant ratios for bench_compare / the CI bench gate.
+    w.key("benches");
+    w.begin_array();
+    for r in &sustained {
+        w.begin_object();
+        w.key("name");
+        w.value_str(&format!("serve_sustained_w{}", r.workers));
+        w.key("pool_speedup");
+        w.value_f64(r.pool_speedup);
+        w.end_object();
+    }
+    w.end_array();
     w.key("slow_clients");
     w.begin_object();
     w.key("clients");

@@ -103,6 +103,10 @@ pub(crate) struct ProcRecord {
     /// when [`EstInner::record_segment_costs`] is on. Feeds the replay
     /// path ([`crate::PerfModel::spawn_replaying`]).
     pub(crate) cost_trace: Vec<f64>,
+    /// Per-execution op counts and HW extremes, parallel to
+    /// [`ProcRecord::cost_trace`]. Replaying them makes a replayed
+    /// run's report bit-identical to the live run's.
+    pub(crate) detail_trace: Vec<crate::recorder::SegDetail>,
     /// Attribution: simulated time this process spent waiting behind
     /// its sequential resource (the §4 arbitration loop).
     pub(crate) resource_wait: Time,
@@ -232,10 +236,44 @@ impl EstimatorShared {
                 instantaneous: Vec::new(),
                 dfgs: BTreeMap::new(),
                 cost_trace: Vec::new(),
+                detail_trace: Vec::new(),
                 resource_wait: Time::ZERO,
                 resource_waits: 0,
             },
         );
+    }
+
+    /// Returns the estimator to its just-constructed state over
+    /// `platform`, keeping the configuration knobs (mode, recording
+    /// flags, legacy charging, memo policy, attribution) and discarding
+    /// everything a finished run accumulated: process records, node
+    /// registrations beyond the implicit three, capture lists,
+    /// per-resource busy/RTOS/contention accounting and the hot-path
+    /// counters. The backbone of [`crate::Session::reset`].
+    pub(crate) fn reset(&self, platform: Platform) {
+        let n = platform.len();
+        let mut inner = self.inner.lock();
+        inner.platform = platform;
+        inner.nodes.clear();
+        inner
+            .nodes
+            .extend(["entry".into(), "exit".into(), "wait".into()]);
+        inner.procs.clear();
+        inner.busy_until.clear();
+        inner.busy_until.resize(n, Time::ZERO);
+        inner.busy_total.clear();
+        inner.busy_total.resize(n, Time::ZERO);
+        inner.rtos_total.clear();
+        inner.rtos_total.resize(n, Time::ZERO);
+        inner.fast_charges = 0;
+        inner.site_hits = 0;
+        inner.site_misses = 0;
+        inner.dfg_arena_reuse = 0;
+        inner.captures.clear();
+        inner.contention_total.clear();
+        inner.contention_total.resize(n, Time::ZERO);
+        inner.arbitration_waits.clear();
+        inner.arbitration_waits.resize(n, 0);
     }
 }
 
@@ -287,11 +325,20 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
     // Phase 2: compute the segment's annotated cycle count. A replayed
     // segment reuses the recorded value, which is bit-identical to what
     // live estimation of the same (code, data, cost table) produces.
-    let (cycles, t_min, t_max) = match replayed {
-        Some(cycles) => (cycles, 0.0, 0.0),
+    // Recorder-captured traces also carry the op counts and HW
+    // extremes, so the replayed report matches the live one bit for bit
+    // (bare cycle vectors replay timing only).
+    let (cycles, t_min, t_max, counts) = match replayed {
+        Some((cycles, Some(d))) => (cycles, d.t_min, d.t_max, d.counts),
+        Some((cycles, None)) => (cycles, 0.0, 0.0, counts),
         None => match kind {
-            ResourceKind::Sequential => (acc, 0.0, 0.0),
-            ResourceKind::Parallel => (weighted_hw_cycles(max_ready, acc, k), max_ready, acc),
+            ResourceKind::Sequential => (acc, 0.0, 0.0, counts),
+            ResourceKind::Parallel => (
+                weighted_hw_cycles(max_ready, acc, k),
+                max_ready,
+                acc,
+                counts,
+            ),
             ResourceKind::Environment => unreachable!(),
         },
     };
@@ -329,6 +376,11 @@ pub(crate) fn end_segment(ctx: &mut ProcCtx, node: u32) -> Time {
         seg.last_t_max = t_max;
         if record_costs {
             rec.cost_trace.push(cycles);
+            rec.detail_trace.push(crate::recorder::SegDetail {
+                counts,
+                t_min,
+                t_max,
+            });
         }
         rec.total_cycles += cycles;
         rec.total_time += seg_time;

@@ -79,6 +79,7 @@ mod gval;
 pub mod hw;
 mod macros;
 mod model;
+mod pool;
 pub mod rate;
 mod recorder;
 mod report;
@@ -96,6 +97,9 @@ pub use gval::{
 };
 pub use hw::{weighted_hw_cycles, Dfg, DfgNode, NO_NODE};
 pub use model::{timed_wait, timed_wait_labeled, PFifo, PRendezvous, PSignal, PerfModel};
+pub use pool::{
+    InstanceLimits, LimitExceeded, PoolExhausted, PoolStats, PooledSession, SessionPool, Snapshot,
+};
 pub use recorder::{Recorder, Replay};
 pub use report::{
     ChannelUtilization, ProcessContention, ProcessGraph, ProcessReport, Report, ResourceReport,

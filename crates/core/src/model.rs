@@ -108,6 +108,18 @@ impl PerfModel {
         self.est.inner.lock().memo_mode = mode;
     }
 
+    /// A clone of the model's platform (resources + cost tables).
+    pub fn platform(&self) -> crate::resource::Platform {
+        self.est.inner.lock().platform.clone()
+    }
+
+    /// Returns the estimator to its just-constructed state over
+    /// `platform`, keeping configuration knobs and discarding all run
+    /// state. Used by [`crate::Session::reset`].
+    pub(crate) fn reset_estimator(&self, platform: crate::resource::Platform) {
+        self.est.reset(platform);
+    }
+
     /// Snapshot of the hot-path counters: fast-path charges, site-cache
     /// hits/misses and DFG arena reuses. Cheap (one lock, four loads).
     pub fn hot_stats(&self) -> EstHotStats {
@@ -204,7 +216,7 @@ impl PerfModel {
     where
         F: FnOnce(&mut ProcCtx) + Send + 'static,
     {
-        self.spawn_inner(sim, name.into(), resource, Some(replay.into_arc()), body)
+        self.spawn_inner(sim, name.into(), resource, Some(replay), body)
     }
 
     /// Deprecated shim forwarding to [`PerfModel::spawn_replaying`].
@@ -223,7 +235,13 @@ impl PerfModel {
     where
         F: FnOnce(&mut ProcCtx) + Send + 'static,
     {
-        self.spawn_inner(sim, name.into(), resource, Some(trace), body)
+        self.spawn_inner(
+            sim,
+            name.into(),
+            resource,
+            Some(Replay::from_arc(trace)),
+            body,
+        )
     }
 
     fn spawn_inner<F>(
@@ -231,7 +249,7 @@ impl PerfModel {
         sim: &mut Simulator,
         name: String,
         resource: ResourceId,
-        replay: Option<Arc<Vec<f64>>>,
+        replay: Option<Replay>,
         body: F,
     ) -> ProcId
     where
@@ -268,7 +286,14 @@ impl PerfModel {
                 max_ready: 0.0,
                 dfg: record_dfgs.then(Dfg::default),
                 current_node: crate::estimator::NODE_ENTRY,
-                replay: replay.map(|trace| tls::ReplayCursor { trace, next: 0 }),
+                replay: replay.map(|r| {
+                    let (trace, detail) = r.into_cursor_parts();
+                    tls::ReplayCursor {
+                        trace,
+                        detail,
+                        next: 0,
+                    }
+                }),
                 legacy,
                 memo,
                 sites: std::collections::HashMap::new(),

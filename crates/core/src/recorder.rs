@@ -25,15 +25,35 @@
 
 use std::sync::Arc;
 
+use crate::cost::OpCounts;
 use crate::estimator::EstimatorShared;
+
+/// Per-segment bookkeeping captured alongside the cycle trace: the
+/// operation counts and (for parallel resources) the `T_min`/`T_max`
+/// extremes. Replaying it makes the replayed run's [`crate::Report`]
+/// bit-identical to the live run's, not just its timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SegDetail {
+    pub(crate) counts: OpCounts,
+    pub(crate) t_min: f64,
+    pub(crate) t_max: f64,
+}
 
 /// A captured per-segment cycle trace, ready to be replayed.
 ///
 /// Cheap to clone (the trace is shared behind an [`Arc`]); equality
 /// compares the recorded cycles bit-for-bit.
+///
+/// Traces captured by a [`Recorder`] also carry the per-segment
+/// operation counts and HW extremes, so a replayed run's
+/// [`crate::Report`] matches the live run's bit for bit. Traces built
+/// from bare cycle vectors ([`Replay::new`] / [`Replay::from_arc`])
+/// replay timing only: replayed segments then report empty operation
+/// counts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Replay {
     trace: Arc<Vec<f64>>,
+    detail: Option<Arc<Vec<SegDetail>>>,
 }
 
 impl Replay {
@@ -42,12 +62,31 @@ impl Replay {
     pub fn new(cycles: Vec<f64>) -> Replay {
         Replay {
             trace: Arc::new(cycles),
+            detail: None,
         }
     }
 
     /// Wraps an already-shared cycle trace without copying.
     pub fn from_arc(trace: Arc<Vec<f64>>) -> Replay {
-        Replay { trace }
+        Replay {
+            trace,
+            detail: None,
+        }
+    }
+
+    /// Builds a replay that also carries per-segment detail (op counts,
+    /// HW extremes), as captured by a [`Recorder`].
+    pub(crate) fn with_detail(trace: Arc<Vec<f64>>, detail: Arc<Vec<SegDetail>>) -> Replay {
+        debug_assert_eq!(trace.len(), detail.len());
+        Replay {
+            trace,
+            detail: Some(detail),
+        }
+    }
+
+    /// Splits the replay into its shared trace and optional detail.
+    pub(crate) fn into_cursor_parts(self) -> (Arc<Vec<f64>>, Option<Arc<Vec<SegDetail>>>) {
+        (self.trace, self.detail)
     }
 
     /// The recorded cycles, one entry per segment boundary.
@@ -134,11 +173,12 @@ impl Recorder {
     /// the process closed no segments.
     pub fn replay(&self, process: &str) -> Option<Replay> {
         let inner = self.est.inner.lock();
-        inner
-            .procs
-            .values()
-            .find(|p| p.name == process)
-            .map(|p| Replay::new(p.cost_trace.clone()))
+        inner.procs.values().find(|p| p.name == process).map(|p| {
+            Replay::with_detail(
+                Arc::new(p.cost_trace.clone()),
+                Arc::new(p.detail_trace.clone()),
+            )
+        })
     }
 
     /// All captured traces, as `(process name, replay)` pairs in
@@ -148,7 +188,15 @@ impl Recorder {
         inner
             .procs
             .values()
-            .map(|p| (p.name.clone(), Replay::new(p.cost_trace.clone())))
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    Replay::with_detail(
+                        Arc::new(p.cost_trace.clone()),
+                        Arc::new(p.detail_trace.clone()),
+                    ),
+                )
+            })
             .collect()
     }
 }

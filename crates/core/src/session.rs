@@ -69,6 +69,27 @@ pub struct SimConfig {
     site_memo: MemoMode,
     run_limit: Option<Time>,
     attribution: bool,
+    tracing_mode: TraceMode,
+}
+
+/// The plain (clonable) configuration knobs a built [`Session`] keeps,
+/// so [`Session::reset`] can restore them on a pooled slot and a
+/// [`crate::Snapshot`] can fork sessions with the same configuration.
+/// Custom trace sinks ([`SimConfig::trace_sink`]) are the one knob that
+/// cannot be retained: a reset drops the installed sink.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionKnobs {
+    pub(crate) mode: Mode,
+    pub(crate) attribution: bool,
+    pub(crate) legacy_charging: bool,
+    pub(crate) site_memo: MemoMode,
+    pub(crate) record_costs: bool,
+    pub(crate) record_instantaneous: bool,
+    pub(crate) record_dfgs: bool,
+    pub(crate) tracing: TraceMode,
+    pub(crate) jobs: usize,
+    pub(crate) handoff: HandoffKind,
+    pub(crate) run_limit: Option<Time>,
 }
 
 impl Default for SimConfig {
@@ -91,6 +112,7 @@ impl SimConfig {
             site_memo: MemoMode::default(),
             run_limit: None,
             attribution: false,
+            tracing_mode: TraceMode::Off,
         }
     }
 
@@ -127,6 +149,7 @@ impl SimConfig {
     /// Selects the kernel trace recording mode (replaces
     /// `Simulator::enable_tracing` / `enable_tracing_ring`).
     pub fn tracing(mut self, mode: TraceMode) -> SimConfig {
+        self.tracing_mode = mode;
         self.options = self.options.tracing(mode);
         self
     }
@@ -220,11 +243,25 @@ impl SimConfig {
         model.legacy_charging(self.legacy_charging);
         model.site_memo(self.site_memo);
         let recorder = self.record_costs.then(|| model.recorder());
+        let knobs = SessionKnobs {
+            mode: self.mode,
+            attribution: self.attribution,
+            legacy_charging: self.legacy_charging,
+            site_memo: self.site_memo,
+            record_costs: self.record_costs,
+            record_instantaneous: self.record_instantaneous,
+            record_dfgs: self.record_dfgs,
+            tracing: self.tracing_mode,
+            jobs: sim.jobs(),
+            handoff: sim.handoff_kind(),
+            run_limit: self.run_limit,
+        };
         Session {
             sim,
             model,
             recorder,
             run_limit: self.run_limit,
+            knobs,
         }
     }
 }
@@ -243,6 +280,7 @@ pub struct Session {
     model: PerfModel,
     recorder: Option<Recorder>,
     run_limit: Option<Time>,
+    knobs: SessionKnobs,
 }
 
 impl Session {
@@ -394,6 +432,56 @@ impl Session {
     /// [`TraceTable`]; tracing stays enabled with a fresh buffer.
     pub fn take_events(&mut self) -> TraceTable {
         self.sim.take_events()
+    }
+
+    /// Returns the session to its just-built state so a pooled slot can
+    /// be reused without rebuilding: process threads are joined, kernel
+    /// queues and the timer wheel are rebuilt, estimator records and
+    /// capture lists are cleared, and simulation time is back at zero.
+    /// Configuration (mode, jobs, handoff protocol, recording flags,
+    /// attribution, run limit, tracing mode) is retained; a custom
+    /// trace sink installed via [`SimConfig::trace_sink`] is the one
+    /// thing that cannot be restored and is dropped. Elaborate the next
+    /// scenario (spawn processes, create channels) and run again — a
+    /// reset session produces bit-identical results to a freshly built
+    /// one.
+    pub fn reset(&mut self) {
+        let platform = self.model.platform();
+        self.reset_with_platform(platform);
+    }
+
+    /// [`Session::reset`] that also stamps a new [`Platform`] into the
+    /// slot — the reuse path when the next scenario's resource
+    /// parameters (clock, cost tables, `k`, RTOS overhead) differ from
+    /// the previous one's.
+    pub fn reset_with_platform(&mut self, platform: Platform) {
+        self.sim.reset();
+        match self.knobs.tracing {
+            TraceMode::Off => {}
+            TraceMode::Unbounded => self.sim.enable_tracing(),
+            TraceMode::Ring(n) => self.sim.enable_tracing_ring(n),
+        }
+        self.model.reset_estimator(platform);
+    }
+
+    /// Captures a forkable image of this session after a recorded
+    /// warmup run: the platform, the configuration knobs and every
+    /// process's recorded segment-cost trace. Repeated requests for the
+    /// same scenario shape then [`crate::Snapshot::fork`] (or
+    /// [`crate::Snapshot::fork_into`] a pooled slot) and elaborate with
+    /// the captured [`Replay`]s, skipping live estimation entirely.
+    ///
+    /// The session must have run with recording enabled
+    /// ([`SimConfig::record_costs`], or [`Session::recorder`] called
+    /// before the run) — otherwise the captured traces are empty and
+    /// replaying them panics at the first segment boundary.
+    pub fn snapshot(&mut self) -> crate::pool::Snapshot {
+        crate::pool::Snapshot::capture(self)
+    }
+
+    /// The retained configuration knobs (for snapshot/fork).
+    pub(crate) fn knobs(&self) -> &SessionKnobs {
+        &self.knobs
     }
 
     /// The underlying kernel simulator, for testbench-level pieces

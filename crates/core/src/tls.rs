@@ -124,6 +124,9 @@ thread_local! {
 pub(crate) struct ReplayCursor {
     /// Recorded cycle counts, one per `end_segment` in execution order.
     pub(crate) trace: Arc<Vec<f64>>,
+    /// Per-segment op counts and HW extremes, parallel to `trace`;
+    /// `None` for bare cycle vectors (timing-only replay).
+    pub(crate) detail: Option<Arc<Vec<crate::recorder::SegDetail>>>,
     /// Index of the next segment to replay.
     pub(crate) next: usize,
 }
@@ -412,7 +415,7 @@ impl ThreadCtx {
     /// Panics when the recorded trace is exhausted — the replayed process
     /// executed more segments than the recording, i.e. the cached trace
     /// belongs to a different workload configuration (stale cache key).
-    pub(crate) fn pop_replay(&mut self) -> Option<f64> {
+    pub(crate) fn pop_replay(&mut self) -> Option<(f64, Option<crate::recorder::SegDetail>)> {
         let cursor = self.replay.as_mut()?;
         let v = cursor.trace.get(cursor.next).copied().unwrap_or_else(|| {
             panic!(
@@ -422,8 +425,12 @@ impl ThreadCtx {
                 cursor.next
             )
         });
+        let detail = cursor
+            .detail
+            .as_ref()
+            .and_then(|d| d.get(cursor.next).copied());
         cursor.next += 1;
-        Some(v)
+        Some((v, detail))
     }
 
     /// Drains the finished segment out of both context tiers (fast slots
@@ -688,14 +695,15 @@ mod tests {
         let mut ctx = with_test_ctx(ResourceKind::Sequential, table, false, || {});
         ctx.replay = Some(ReplayCursor {
             trace: Arc::new(vec![7.5, 3.25]),
+            detail: None,
             next: 0,
         });
         let (ready, node) = ctx.charge(Op::Add, 0.0, NO_NODE, 0.0, NO_NODE);
         assert_eq!((ready, node), (0.0, NO_NODE));
         assert_eq!(ctx.acc, 0.0, "replay must not accumulate");
         assert_eq!(ctx.counts.total(), 0);
-        assert_eq!(ctx.pop_replay(), Some(7.5));
-        assert_eq!(ctx.pop_replay(), Some(3.25));
+        assert_eq!(ctx.pop_replay(), Some((7.5, None)));
+        assert_eq!(ctx.pop_replay(), Some((3.25, None)));
     }
 
     #[test]

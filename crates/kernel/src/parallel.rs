@@ -261,6 +261,29 @@ impl ParShared {
         }
     }
 
+    /// True when the per-pid effect-log table (sized once, at the first
+    /// parallel round) can hold `nprocs` logs. A reused simulator that
+    /// spawns more processes than its first life had falls back to
+    /// sequential evaluation instead of resizing the lock-free table.
+    pub(crate) fn logs_fit(&self, nprocs: usize) -> bool {
+        match self.logs.get() {
+            Some(logs) => logs.len() >= nprocs,
+            None => true,
+        }
+    }
+
+    /// Zeroes the `kernel.par.*` counters and drops any stale hazard
+    /// reports, for simulator-slot reuse. The effect logs need no
+    /// clearing: every commit drains them.
+    pub(crate) fn reset_counters(&self) {
+        self.rounds.store(0, Ordering::Relaxed);
+        self.workers.store(0, Ordering::Relaxed);
+        self.effects_committed.store(0, Ordering::Relaxed);
+        self.commit_nanos.store(0, Ordering::Relaxed);
+        self.seq_fallbacks.store(0, Ordering::Relaxed);
+        self.hazards.lock().clear();
+    }
+
     /// Records a non-determinate construct detected mid-round.
     pub(crate) fn report_hazard(&self, detail: String) {
         self.hazards.lock().push(detail);

@@ -403,6 +403,16 @@ impl Simulator {
             .with_state(|st| (0..st.procs.len()).map(ProcId).collect())
     }
 
+    /// Number of spawned processes.
+    pub fn process_count(&self) -> usize {
+        self.shared.with_state(|st| st.procs.len())
+    }
+
+    /// Number of registered channels (FIFOs, signals, rendezvous).
+    pub fn channel_count(&self) -> usize {
+        self.shared.with_state(|st| st.chan_stats.len())
+    }
+
     /// Runs until no events remain.
     ///
     /// # Errors
@@ -546,9 +556,14 @@ impl Simulator {
 
     /// A parallel round needs `jobs > 1`, at least two runnable
     /// processes, and no feature that forces the sequential path
-    /// (attribution's wait-span accounting is order-sensitive).
+    /// (attribution's wait-span accounting is order-sensitive). A
+    /// reset-and-reused simulator whose new life spawned more processes
+    /// than its effect-log table holds also falls back.
     fn parallel_round_possible(&self, runnable: usize) -> bool {
-        self.jobs > 1 && runnable >= 2 && !self.shared.attribution_fast()
+        self.jobs > 1
+            && runnable >= 2
+            && !self.shared.attribution_fast()
+            && self.shared.par.logs_fit(self.procs.len())
     }
 
     /// Runs one evaluate phase in parallel: snapshot the runnable set,
@@ -712,6 +727,41 @@ impl Simulator {
             self.errored = true;
         }
         result
+    }
+
+    /// Returns this simulator to its just-constructed state so a pooled
+    /// slot can be reused without paying thread-pool, allocation and
+    /// interner setup again: every process thread is killed and joined,
+    /// the kernel state (time, queues, events, process table, metrics,
+    /// channel registries, trace sink) is cleared in place, the
+    /// `kernel.par.*` counters are zeroed, and the error/poison flag is
+    /// cleared — a [`SimError::NonDeterminate`] in the previous life
+    /// does not poison the next one. The handoff protocol, `jobs`
+    /// degree, attribution flag and the lazily created dispatcher pool
+    /// are kept.
+    ///
+    /// After a reset the simulator behaves exactly like
+    /// `Simulator::with_options` with the same options: spawn processes,
+    /// create channels, run. Verified bit-identical to a fresh build by
+    /// the core pool determinism tests.
+    pub fn reset(&mut self) {
+        // Tear down the previous life's processes (same as Drop).
+        self.shared.with_state(|st| st.clear_update_hooks());
+        for proc in &mut self.procs {
+            proc.baton.kill();
+            if let Some(t) = proc.thread.take() {
+                let _ = t.join();
+            }
+        }
+        self.procs.clear();
+        // Drop the sink through `set_sink` so the lock-free tracing
+        // mirror stays in sync, then clear the state in place.
+        self.shared.set_sink(None);
+        self.shared.with_state(|st| st.reset());
+        self.shared.par.reset_counters();
+        self.errored = false;
+        self.handoff_resume_nanos = 0;
+        self.handoff_resumes = 0;
     }
 
     pub(crate) fn shared(&self) -> &Arc<Shared> {
@@ -1036,6 +1086,59 @@ mod tests {
             .channels
             .iter()
             .all(|c| c.max_depth == 0 && c.blocked == Time::ZERO));
+    }
+
+    fn elaborate_fifo_pair(sim: &mut Simulator) {
+        let f = sim.fifo::<u32>("ch", 2);
+        let (w, r) = (f.clone(), f);
+        sim.spawn("w", move |ctx| {
+            for i in 0..4 {
+                w.write(ctx, i);
+                ctx.wait(Time::ns(3));
+            }
+        });
+        sim.spawn("r", move |ctx| {
+            for _ in 0..4 {
+                let _ = r.read(ctx);
+                ctx.wait(Time::ns(5));
+            }
+        });
+    }
+
+    #[test]
+    fn reset_reuses_a_simulator_bit_identically() {
+        let mut fresh = Simulator::new();
+        fresh.enable_tracing();
+        elaborate_fifo_pair(&mut fresh);
+        let s_fresh = fresh.run().unwrap();
+        let t_fresh = fresh.take_trace();
+
+        // Run an unrelated model first, then reset and rebuild the same
+        // model: summary and full trace must match the fresh run.
+        let mut reused = Simulator::new();
+        reused.enable_tracing();
+        reused.spawn("other", |ctx| {
+            ctx.wait(Time::us(1));
+            ctx.emit_trace("leftover", "state that must not leak");
+        });
+        reused.run().unwrap();
+        reused.reset();
+        reused.enable_tracing();
+        elaborate_fifo_pair(&mut reused);
+        let s_reused = reused.run().unwrap();
+        assert_eq!(s_fresh, s_reused);
+        assert_eq!(t_fresh, reused.take_trace());
+    }
+
+    #[test]
+    fn reset_clears_the_poison_flag_after_a_panic() {
+        let mut sim = Simulator::new();
+        sim.spawn("bad", |_ctx| panic!("deliberate test panic"));
+        assert!(sim.run().is_err());
+        sim.reset();
+        sim.spawn("good", |ctx| ctx.wait(Time::ns(7)));
+        let s = sim.run().unwrap();
+        assert_eq!(s.end_time, Time::ns(7));
     }
 
     #[test]

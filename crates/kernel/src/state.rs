@@ -219,6 +219,39 @@ impl KernelState {
         }
     }
 
+    /// Returns the state to its just-constructed condition so a pooled
+    /// simulator slot can be reused without rebuilding: time, delta
+    /// counter, ready queues, time wheel, events, process table, update
+    /// hooks, metrics and channel registries are all cleared, and the
+    /// interner is rebuilt. Rebuilding the interner is safe for the
+    /// immutable [`KernelLabels`] copy in [`Shared::labels`]: the five
+    /// kernel labels are interned first and in a fixed order, so the
+    /// fresh interner assigns them the same `Sym` ids. The trace sink
+    /// is dropped (the caller re-syncs the lock-free tracing mirror and
+    /// reinstalls a sink if it wants one); the `attribution` flag keeps
+    /// its value, matching its lock-free mirror.
+    pub(crate) fn reset(&mut self) {
+        self.now = Time::ZERO;
+        self.delta = 0;
+        self.runnable.clear();
+        self.next_runnable.clear();
+        self.timed = TimerWheel::new();
+        self.seq = 0;
+        self.events.clear();
+        self.procs.clear();
+        self.current = None;
+        self.update_hooks.clear();
+        self.update_requests.clear();
+        self.sink = None;
+        let mut interner = Interner::new();
+        self.labels = KernelLabels::new(&mut interner);
+        self.interner = interner;
+        self.metrics = KernelMetrics::default();
+        self.chan_stats.clear();
+        self.activations = 0;
+        self.started = false;
+    }
+
     pub(crate) fn request_update(&mut self, hook_id: usize) {
         self.update_requests.insert(hook_id);
     }
@@ -686,6 +719,30 @@ mod tests {
         st.events[ev].waiters.insert(0);
         st.notify_event_immediate(ev);
         assert!(st.runnable.contains(&0));
+    }
+
+    #[test]
+    fn reset_reproduces_fresh_state_and_label_syms() {
+        let mut st = state_with_procs(2);
+        let fresh_labels = st.labels;
+        st.schedule(Time::ns(5), TimedAction::WakeProc(1));
+        let _ = st.new_event("e");
+        st.interner.intern("user-label-that-shifts-sym-ids");
+        st.activations = 7;
+        st.started = true;
+        st.reset();
+        assert_eq!(st.now, Time::ZERO);
+        assert_eq!(st.delta, 0);
+        assert!(st.runnable.is_empty() && st.next_runnable.is_empty());
+        assert_eq!(st.timed.len(), 0);
+        assert!(st.events.is_empty() && st.procs.is_empty());
+        assert_eq!(st.activations, 0);
+        assert!(!st.started);
+        // The fixed intern order reproduces identical label symbols, so
+        // the immutable copy in `Shared::labels` stays valid.
+        assert_eq!(st.labels.fifo_read, fresh_labels.fifo_read);
+        assert_eq!(st.labels.signal_update, fresh_labels.signal_update);
+        assert_eq!(st.labels.rendezvous_write, fresh_labels.rendezvous_write);
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //!
 //! ```text
 //! scperf-serve [--workers N] [--queue N] [--retry-after-ms N]
-//!              [--no-cache] [--flight-recorder N] [--tcp ADDR]
-//!              [--no-stdio]
+//!              [--no-cache] [--flight-recorder N] [--pool-sessions N]
+//!              [--tcp ADDR] [--no-stdio]
 //! ```
+//!
+//! `--pool-sessions 0` disables session pooling (each request builds a
+//! fresh session); without the flag the pool is sized to `workers + 1`.
 //!
 //! With `--tcp` both frontends run concurrently over one shared worker
 //! pool; EOF or a `shutdown` op on either side stops the whole service
@@ -25,7 +28,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: scperf-serve [--workers N] [--queue N] [--retry-after-ms N] \
-         [--no-cache] [--flight-recorder N] [--tcp ADDR] [--no-stdio]"
+         [--no-cache] [--flight-recorder N] [--pool-sessions N] [--tcp ADDR] \
+         [--no-stdio]"
     );
     std::process::exit(2);
 }
@@ -57,6 +61,10 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage())
             }
             "--no-cache" => args.config.use_cache = false,
+            "--pool-sessions" => {
+                args.config.pool_sessions =
+                    Some(value("--pool-sessions").parse().unwrap_or_else(|_| usage()))
+            }
             "--flight-recorder" => {
                 args.config.flight_recorder = value("--flight-recorder")
                     .parse()
@@ -86,10 +94,15 @@ fn main() -> ExitCode {
     let args = parse_args();
     let service = Arc::new(Service::new(args.config.clone()));
     eprintln!(
-        "scperf-serve: {} workers, queue capacity {}, cache {}",
+        "scperf-serve: {} workers, queue capacity {}, cache {}, pool {}",
         args.config.workers,
         args.config.queue_capacity,
-        if args.config.use_cache { "on" } else { "off" }
+        if args.config.use_cache { "on" } else { "off" },
+        match args.config.pool_sessions {
+            Some(0) => "off".to_string(),
+            Some(n) => format!("{n} slots"),
+            None => format!("{} slots", args.config.workers + 1),
+        }
     );
 
     let mut tcp_thread = None;

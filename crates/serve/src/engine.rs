@@ -12,14 +12,14 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use scperf_core::{CostTable, EstHotStats, Platform, Report, Session, SimConfig};
+use scperf_core::{CostTable, EstHotStats, Platform, Report, Session, SessionPool, SimConfig};
 use scperf_dse::point::{platform_cost, resolve_mapping};
 use scperf_dse::SegmentCostCache;
 use scperf_kernel::{SimSummary, StopReason, Time, TraceMode};
 use scperf_obs::MetricsSnapshot;
-use scperf_workloads::vocoder::pipeline::{self, StageTrace, STAGE_NAMES};
+use scperf_workloads::vocoder::pipeline::{self, StageTrace, VocoderHandles, STAGE_NAMES};
 
-use crate::protocol::{ErrorCode, RequestError, Scenario};
+use crate::protocol::{ErrorCode, PlatformParams, RequestError, Scenario};
 
 /// Everything one successful scenario run produced.
 #[derive(Debug)]
@@ -51,14 +51,54 @@ pub struct Outcome {
 /// the software cost table plus one accelerator, all on the requested
 /// clock — and returns the resource ids in
 /// [`Target::ALL`](scperf_dse::point::Target::ALL) order.
-fn build_platform(sc: &Scenario) -> (Platform, [scperf_core::ResourceId; 3]) {
-    let clock = Time::from_ns_f64(sc.params.clock_ns);
+fn build_platform(params: &PlatformParams) -> (Platform, [scperf_core::ResourceId; 3]) {
+    let clock = Time::from_ns_f64(params.clock_ns);
     let table = CostTable::risc_sw();
     let mut platform = Platform::new();
-    let cpu0 = platform.sequential("cpu0", clock, table.clone(), sc.params.rtos_cycles);
-    let cpu1 = platform.sequential("cpu1", clock, table, sc.params.rtos_cycles);
-    let hw = platform.parallel("hw", clock, CostTable::asic_hw(), sc.params.hw_k);
+    let cpu0 = platform.sequential("cpu0", clock, table.clone(), params.rtos_cycles);
+    let cpu1 = platform.sequential("cpu1", clock, table, params.rtos_cycles);
+    let hw = platform.parallel("hw", clock, CostTable::asic_hw(), params.hw_k);
     (platform, [cpu0, cpu1, hw])
+}
+
+/// The scenario-shape key used by the session pool's snapshot store:
+/// two scenarios with the same shape produce bit-identical simulations
+/// from the same warmed-up snapshot. The shape covers everything the
+/// recorded traces depend on — the per-stage mapping, the frame count
+/// and the exact platform parameter bits — and nothing they don't
+/// (deadline and output options vary freely within a shape).
+pub fn shape_key(sc: &Scenario) -> u64 {
+    // FNV-1a over the shape-defining fields.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        h ^= word;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for t in sc.mapping {
+        mix(t as u64);
+    }
+    mix(sc.nframes as u64);
+    mix(sc.params.clock_ns.to_bits());
+    mix(sc.params.rtos_cycles.to_bits());
+    mix(sc.params.hw_k.to_bits());
+    h
+}
+
+/// The session factory for a serve-side [`SessionPool`]: every slot
+/// shares the service's fixed knobs (attribution always on, the
+/// flight-recorder ring when armed) over a default platform. The
+/// per-scenario platform is stamped in at acquisition — by the
+/// snapshot fork on a pool hit, by [`Session::reset_with_platform`] on
+/// a miss — so one homogeneous factory serves every parameter set.
+pub fn pool_factory(flight: usize) -> impl Fn() -> Session + Send + Sync + 'static {
+    move || {
+        let (platform, _) = build_platform(&PlatformParams::default());
+        let mut config = SimConfig::new().platform(platform).attribution(true);
+        if flight > 0 {
+            config = config.tracing(TraceMode::Ring(flight));
+        }
+        config.build()
+    }
 }
 
 /// First simulated-time chunk of a deadline-stepped run; doubled on
@@ -103,7 +143,7 @@ pub fn execute(
         }
     }
 
-    let (platform, ids) = build_platform(sc);
+    let (platform, ids) = build_platform(&sc.params);
     let vm = resolve_mapping(sc.mapping, ids);
     let stage_resources = [vm.lsp, vm.lpc_int, vm.acb, vm.icb, vm.post];
 
@@ -128,33 +168,7 @@ pub fn execute(
     let (sim, model) = session.parts_mut();
     let handles = pipeline::build_hybrid(sim, model, vm, sc.nframes, replays);
 
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        run_with_deadline(&mut session, deadline)
-    }));
-    let summary = match outcome {
-        Ok(Ok(summary)) => summary,
-        Ok(Err(err)) => {
-            if flight > 0 {
-                dump_flight(&mut session, &err.message);
-            }
-            return Err(err);
-        }
-        Err(panic) => {
-            let what = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "opaque panic payload".into());
-            if flight > 0 {
-                dump_flight(&mut session, &format!("worker panicked: {what}"));
-            }
-            return Err(RequestError {
-                code: ErrorCode::Sim,
-                field: None,
-                message: format!("worker panicked mid-run: {what}"),
-            });
-        }
-    };
+    let summary = simulate(&mut session, deadline, flight)?;
 
     if let (Some(cache), Some(recorder)) = (cache, recorder) {
         for &stage in &missing {
@@ -165,6 +179,160 @@ pub fn execute(
         }
     }
 
+    collect_outcome(
+        &mut session,
+        sc,
+        &handles,
+        summary,
+        replayed_stages,
+        started,
+    )
+}
+
+/// [`execute`] over a [`SessionPool`]: acquires a slot keyed by the
+/// scenario's shape instead of building a fresh session. On a snapshot
+/// hit the slot arrives pre-stamped with the shape's platform and every
+/// stage elaborates in replay mode — construction *and* warmup
+/// estimation are both skipped. On a first-of-shape miss the slot is
+/// reset onto the scenario's platform, the run records its traces (the
+/// shared [`SegmentCostCache`] still assists stage-by-stage), and the
+/// warmed-up snapshot is published for the shape before the slot is
+/// released.
+///
+/// # Errors
+///
+/// [`ErrorCode::PoolExhausted`] when every slot is live (callers should
+/// attach a `retry_after_ms` hint), plus everything [`execute`] can
+/// return.
+pub fn execute_pooled(
+    sc: &Scenario,
+    pool: &SessionPool,
+    cache: Option<&SegmentCostCache>,
+    deadline: Option<Instant>,
+    flight: usize,
+) -> Result<Outcome, RequestError> {
+    let started = Instant::now();
+    if let Some(dl) = deadline {
+        if started >= dl {
+            return Err(RequestError {
+                code: ErrorCode::DeadlineExceeded,
+                field: None,
+                message: "deadline expired while queued".into(),
+            });
+        }
+    }
+
+    let shape = shape_key(sc);
+    let mut slot = pool.acquire_for_shape(shape).map_err(|e| RequestError {
+        code: ErrorCode::PoolExhausted,
+        field: None,
+        message: e.to_string(),
+    })?;
+
+    let (platform, ids) = build_platform(&sc.params);
+    let vm = resolve_mapping(sc.mapping, ids);
+    let stage_resources = [vm.lsp, vm.lpc_int, vm.acb, vm.icb, vm.post];
+
+    let snapshot = slot.forked_snapshot().cloned();
+    let mut replays: [StageTrace; 5] = [None, None, None, None, None];
+    let mut fingerprints = [0_u64; 5];
+    let mut missing: Vec<usize> = Vec::new();
+    match &snapshot {
+        Some(snap) => {
+            // Hit: the slot is already stamped with the snapshot's
+            // (identical) platform; every stage replays its trace.
+            for (stage, replay) in replays.iter_mut().enumerate() {
+                *replay = snap.replay(STAGE_NAMES[stage]);
+            }
+            debug_assert!(replays.iter().all(Option::is_some));
+        }
+        None => {
+            slot.reset_with_platform(platform.clone());
+            if let Some(cache) = cache {
+                for (stage, &rid) in stage_resources.iter().enumerate() {
+                    let fp = SegmentCostCache::fingerprint(platform.resource(rid), sc.nframes);
+                    fingerprints[stage] = fp;
+                    replays[stage] = cache.get(stage, fp);
+                }
+            }
+            missing = (0..5).filter(|&s| replays[s].is_none()).collect();
+        }
+    }
+    let replayed_stages = replays.iter().filter(|r| r.is_some()).count();
+
+    // On a miss the run records every stage's trace (stages replayed
+    // from the shared cache re-record identically), so the published
+    // snapshot always covers all five stages.
+    let recorder = snapshot.is_none().then(|| slot.recorder());
+
+    let (sim, model) = slot.parts_mut();
+    let handles = pipeline::build_hybrid(sim, model, vm, sc.nframes, replays);
+    slot.enforce_limits().map_err(|e| RequestError {
+        code: ErrorCode::Sim,
+        field: None,
+        message: e.to_string(),
+    })?;
+
+    let summary = simulate(&mut slot, deadline, flight)?;
+
+    if let Some(recorder) = recorder {
+        if let Some(cache) = cache {
+            for &stage in &missing {
+                let trace = recorder
+                    .replay(STAGE_NAMES[stage])
+                    .expect("trace recorded for live stage");
+                cache.insert(stage, fingerprints[stage], trace);
+            }
+        }
+        pool.publish_snapshot(shape, Session::snapshot(&mut slot));
+    }
+
+    collect_outcome(&mut slot, sc, &handles, summary, replayed_stages, started)
+}
+
+/// Runs the elaborated session under the panic shield, dumping the
+/// flight recorder on a deadline cancel or a caught panic.
+fn simulate(
+    session: &mut Session,
+    deadline: Option<Instant>,
+    flight: usize,
+) -> Result<SimSummary, RequestError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_with_deadline(session, deadline)));
+    match outcome {
+        Ok(Ok(summary)) => Ok(summary),
+        Ok(Err(err)) => {
+            if flight > 0 {
+                dump_flight(session, &err.message);
+            }
+            Err(err)
+        }
+        Err(panic) => {
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            if flight > 0 {
+                dump_flight(session, &format!("worker panicked: {what}"));
+            }
+            Err(RequestError {
+                code: ErrorCode::Sim,
+                field: None,
+                message: format!("worker panicked mid-run: {what}"),
+            })
+        }
+    }
+}
+
+/// Assembles the response payload from a finished run.
+fn collect_outcome(
+    session: &mut Session,
+    sc: &Scenario,
+    handles: &VocoderHandles,
+    summary: SimSummary,
+    replayed_stages: usize,
+    started: Instant,
+) -> Result<Outcome, RequestError> {
     let checksum = handles.output.lock().ok_or_else(|| RequestError {
         code: ErrorCode::Sim,
         field: None,
@@ -211,8 +379,10 @@ fn dump_flight(session: &mut Session, why: &str) {
 }
 
 /// Runs the session to completion; with a deadline, steps it in
-/// doubling simulated-time chunks and checks the host clock between
-/// chunks, abandoning the run the moment the budget is spent.
+/// growing simulated-time chunks and checks the host clock between
+/// chunks, abandoning the run the moment the budget is spent. Chunk
+/// growth is planned by [`next_step`]: exponential while the budget is
+/// comfortable, clamped as the deadline approaches.
 fn run_with_deadline(
     session: &mut Session,
     deadline: Option<Instant>,
@@ -225,13 +395,16 @@ fn run_with_deadline(
     let Some(dl) = deadline else {
         return session.run().map_err(sim_error);
     };
+    let started = Instant::now();
+    let mut step = FIRST_CHUNK;
     let mut limit = FIRST_CHUNK;
     loop {
         let summary = session.run_until(limit).map_err(sim_error)?;
         if summary.reason != StopReason::TimeLimit {
             return Ok(summary);
         }
-        if Instant::now() >= dl {
+        let now = Instant::now();
+        if now >= dl {
             // Abandoning the session here is safe: dropping the
             // simulator kills and joins the parked process threads.
             return Err(RequestError {
@@ -243,14 +416,41 @@ fn run_with_deadline(
                 ),
             });
         }
-        limit = limit + limit;
+        step = next_step(step, summary.end_time, now - started, dl - now);
+        limit = summary.end_time + step;
     }
+}
+
+/// Plans the simulated-time length of the next deadline-stepped chunk.
+///
+/// Doubling alone (the previous behaviour) is wrong near expiry: each
+/// chunk's host cost roughly matches the *sum of all chunks before it*,
+/// so a deadline landing just after a chunk starts was overshot by a
+/// whole chunk — about the entire budget again. The fix clamps the
+/// doubled step to the simulated time the run is expected to cover in
+/// *half* the remaining wall-clock budget, using the sim-per-host rate
+/// observed so far; the host-clock poll after the chunk then lands
+/// well before the deadline, and the later chunks shrink geometrically
+/// towards it. [`FIRST_CHUNK`] stays the floor so progress never
+/// stalls, and the doubling cap keeps the resume count logarithmic
+/// when the budget is generous.
+fn next_step(prev: Time, sim_done: Time, host_spent: Duration, host_left: Duration) -> Time {
+    let doubled = prev + prev;
+    let spent = host_spent.as_secs_f64();
+    if sim_done.is_zero() || spent <= 0.0 {
+        return doubled;
+    }
+    // Simulated picoseconds covered per host second so far.
+    let rate = sim_done.as_ps() as f64 / spent;
+    let budget = Time::from_ps_f64(rate * host_left.as_secs_f64() * 0.5);
+    doubled.min(budget).max(FIRST_CHUNK)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::PlatformParams;
+    use scperf_core::InstanceLimits;
     use scperf_dse::point::Target;
 
     fn scenario(mapping: [Target; 5], nframes: usize) -> Scenario {
@@ -388,6 +588,140 @@ mod tests {
         let armed = execute(&sc, None, None, 256).expect("runs");
         assert_eq!(armed.summary.end_time, plain.summary.end_time);
         assert_eq!(armed.checksum, plain.checksum);
+    }
+
+    #[test]
+    fn chunk_planner_doubles_while_the_budget_is_comfortable() {
+        // No observed rate yet (nothing simulated): pure doubling.
+        let step = next_step(
+            Time::us(4),
+            Time::ps(0),
+            Duration::from_millis(5),
+            Duration::from_millis(5),
+        );
+        assert_eq!(step, Time::us(8));
+        // Generous budget: 1ms simulated per 1ms host, 10s left — the
+        // rate clamp sits far above the doubled step.
+        let step = next_step(
+            Time::us(4),
+            Time::ms(1),
+            Duration::from_millis(1),
+            Duration::from_secs(10),
+        );
+        assert_eq!(step, Time::us(8));
+    }
+
+    #[test]
+    fn chunk_planner_clamps_near_the_deadline() {
+        // 1ms simulated in 100ms host → 10ns simulated per host µs.
+        // With 10ms of budget left, half the budget covers 50µs of
+        // simulated time — far below the doubled 2ms step.
+        let step = next_step(
+            Time::ms(1),
+            Time::ms(1),
+            Duration::from_millis(100),
+            Duration::from_millis(10),
+        );
+        assert_eq!(step, Time::us(50));
+        assert!(step < Time::ms(2), "the clamp must beat doubling");
+    }
+
+    #[test]
+    fn chunk_planner_never_shrinks_below_the_floor() {
+        // Budget practically gone: the rate clamp asks for 5000ps, but
+        // the floor keeps the simulation progressing.
+        let step = next_step(
+            Time::ms(1),
+            Time::ms(1),
+            Duration::from_millis(100),
+            Duration::from_micros(1),
+        );
+        assert_eq!(step, FIRST_CHUNK);
+    }
+
+    #[test]
+    fn a_mid_run_deadline_cancels_promptly() {
+        // Regression for the unclamped doubling: chunks grew without
+        // regard to the remaining budget, so a deadline landing just
+        // after a chunk started was overshot by the whole chunk —
+        // roughly the entire budget again, and unboundedly worse as
+        // chunks grew. With the clamp the host-clock polls bracket the
+        // deadline tightly; the bound here is deliberately loose for
+        // noisy CI hosts but fails the old gross overshoot.
+        let sc = scenario([Target::Cpu0; 5], 512);
+        let budget = Duration::from_millis(10);
+        let started = Instant::now();
+        let err = execute(&sc, None, Some(started + budget), 0).unwrap_err();
+        let overshoot = started.elapsed().saturating_sub(budget);
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert!(
+            overshoot < Duration::from_millis(250),
+            "cancel overshot the deadline by {overshoot:?}"
+        );
+    }
+
+    #[test]
+    fn pooled_runs_match_the_unpooled_engine_bit_for_bit() {
+        let pool = SessionPool::new(InstanceLimits::default(), pool_factory(0));
+        let sc = scenario(
+            [
+                Target::Cpu0,
+                Target::Cpu1,
+                Target::Hw,
+                Target::Cpu0,
+                Target::Cpu1,
+            ],
+            2,
+        );
+        let reference = execute(&sc, None, None, 0).expect("runs");
+        let first = execute_pooled(&sc, &pool, None, None, 0).expect("first-of-shape");
+        assert_eq!(first.summary.end_time, reference.summary.end_time);
+        assert_eq!(first.checksum, reference.checksum);
+        assert_eq!(first.replayed_stages, 0, "a miss runs fully annotated");
+        let second = execute_pooled(&sc, &pool, None, None, 0).expect("snapshot fork");
+        assert_eq!(second.summary.end_time, reference.summary.end_time);
+        assert_eq!(second.checksum, reference.checksum);
+        assert_eq!(second.replayed_stages, 5, "a hit replays every stage");
+        assert_eq!(second.hot.fast_charges, 0, "forked runs charge nothing");
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses, stats.forks), (1, 1, 1));
+        assert_eq!(stats.resets, 2, "both slots were reset on release");
+    }
+
+    #[test]
+    fn each_scenario_shape_gets_its_own_snapshot() {
+        let pool = SessionPool::new(InstanceLimits::default(), pool_factory(0));
+        let a = scenario([Target::Cpu0; 5], 1);
+        let mut b = a.clone();
+        b.params.clock_ns = 20.0;
+        assert_ne!(shape_key(&a), shape_key(&b), "params are shape-defining");
+        let ra = execute_pooled(&a, &pool, None, None, 0).expect("runs");
+        let rb = execute_pooled(&b, &pool, None, None, 0).expect("runs");
+        assert!(rb.summary.end_time > ra.summary.end_time);
+        assert_eq!(rb.checksum, ra.checksum, "data must not change");
+        let ra2 = execute_pooled(&a, &pool, None, None, 0).expect("hit");
+        let rb2 = execute_pooled(&b, &pool, None, None, 0).expect("hit");
+        assert_eq!(ra2.summary.end_time, ra.summary.end_time);
+        assert_eq!(rb2.summary.end_time, rb.summary.end_time);
+        assert_eq!(pool.stats().hits, 2);
+    }
+
+    #[test]
+    fn an_exhausted_pool_is_a_typed_retryable_error() {
+        let pool = SessionPool::new(
+            InstanceLimits {
+                max_sessions: 1,
+                ..InstanceLimits::default()
+            },
+            pool_factory(0),
+        );
+        let held = pool.acquire().expect("the only slot");
+        let sc = scenario([Target::Cpu0; 5], 1);
+        let err = execute_pooled(&sc, &pool, None, None, 0).unwrap_err();
+        assert_eq!(err.code, ErrorCode::PoolExhausted);
+        assert_eq!(pool.stats().exhausted, 1);
+        drop(held);
+        execute_pooled(&sc, &pool, None, None, 0).expect("the slot came back");
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub enum ErrorCode {
     InvalidRequest,
     /// The service queue is saturated; retry after `retry_after_ms`.
     QueueFull,
+    /// Every pooled session slot is live; retry after `retry_after_ms`.
+    PoolExhausted,
     /// The request's deadline expired (in queue or mid-run).
     DeadlineExceeded,
     /// The service is draining and accepts no new work.
@@ -61,6 +63,7 @@ impl ErrorCode {
             ErrorCode::Parse => "parse_error",
             ErrorCode::InvalidRequest => "invalid_request",
             ErrorCode::QueueFull => "queue_full",
+            ErrorCode::PoolExhausted => "pool_exhausted",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Sim => "sim_error",

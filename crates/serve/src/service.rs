@@ -22,12 +22,21 @@
 //! [`SegmentCostCache`]: the first run of a `(stage, resource, nframes)`
 //! combination records per-segment cycle traces, later runs replay them
 //! bit-identically at a fraction of the host cost.
+//!
+//! Sessions themselves come from a [`SessionPool`] (unless disabled via
+//! [`ServiceConfig::pool_sessions`]): each request acquires a reusable
+//! slot keyed by its scenario *shape*, and repeat-shape traffic forks a
+//! warmed-up snapshot instead of rebuilding and re-estimating the
+//! pipeline — see [`engine::execute_pooled`]. When every slot is live
+//! the request is rejected with `pool_exhausted` plus a `retry_after_ms`
+//! hint derived from the observed p90 run duration.
 
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use scperf_core::{InstanceLimits, SessionPool};
 use scperf_dse::{SegmentCostCache, WorkerPool};
 use scperf_obs::{prom, LogHistogram, MetricValue, MetricsSnapshot};
 use scperf_sync::Mutex;
@@ -54,6 +63,13 @@ pub struct ServiceConfig {
     /// stderr if the run is cancelled by its deadline or panics.
     /// Zero (the default) disables tracing entirely.
     pub flight_recorder: usize,
+    /// Session-pool slots. `None` (the default) sizes the pool to
+    /// `workers + 1` — enough that a slot is always free while every
+    /// worker is busy, so normal traffic never sees `pool_exhausted`.
+    /// `Some(0)` disables pooling (every request builds a fresh
+    /// session, the pre-pool behaviour); `Some(n)` caps the pool at
+    /// `n` live sessions and rejects beyond that.
+    pub pool_sessions: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +80,7 @@ impl Default for ServiceConfig {
             retry_after_ms: 50,
             use_cache: true,
             flight_recorder: 0,
+            pool_sessions: None,
         }
     }
 }
@@ -152,40 +169,82 @@ struct Counters {
     est_dfg_arena_reuse: AtomicU64,
 }
 
+/// One coherent reading of every counter, taken by [`Counters::read`].
+#[derive(Debug, Default, Clone, Copy)]
+struct CounterValues {
+    received: u64,
+    accepted: u64,
+    rejected: u64,
+    invalid: u64,
+    completed: u64,
+    failed: u64,
+    deadline_exceeded: u64,
+    batches: u64,
+    panics: u64,
+    flight_dumps: u64,
+    op_sim: u64,
+    op_batch: u64,
+    op_ping: u64,
+    op_stats: u64,
+    op_telemetry: u64,
+    op_shutdown: u64,
+    est_fast_charges: u64,
+    est_site_hits: u64,
+    est_site_misses: u64,
+    est_dfg_arena_reuse: u64,
+}
+
 impl Counters {
-    fn reset(&self) {
-        for c in [
-            &self.received,
-            &self.accepted,
-            &self.rejected,
-            &self.invalid,
-            &self.completed,
-            &self.failed,
-            &self.deadline_exceeded,
-            &self.batches,
-            &self.panics,
-            &self.flight_dumps,
-            &self.op_sim,
-            &self.op_batch,
-            &self.op_ping,
-            &self.op_stats,
-            &self.op_telemetry,
-            &self.op_shutdown,
-            &self.est_fast_charges,
-            &self.est_site_hits,
-            &self.est_site_misses,
-            &self.est_dfg_arena_reuse,
-        ] {
-            c.store(0, Ordering::Relaxed);
+    /// Reads every counter; with `reset`, each counter is atomically
+    /// read-and-zeroed in one `swap`, so the returned snapshot *is*
+    /// the value that was taken out — an increment racing the reset
+    /// lands either in this snapshot or in the zeroed counter, never
+    /// in neither. (The old reset snapshotted and then stored zero per
+    /// counter; anything added between the two was silently lost.)
+    fn read(&self, reset: bool) -> CounterValues {
+        let take = |c: &AtomicU64| {
+            if reset {
+                c.swap(0, Ordering::Relaxed)
+            } else {
+                c.load(Ordering::Relaxed)
+            }
+        };
+        CounterValues {
+            received: take(&self.received),
+            accepted: take(&self.accepted),
+            rejected: take(&self.rejected),
+            invalid: take(&self.invalid),
+            completed: take(&self.completed),
+            failed: take(&self.failed),
+            deadline_exceeded: take(&self.deadline_exceeded),
+            batches: take(&self.batches),
+            panics: take(&self.panics),
+            flight_dumps: take(&self.flight_dumps),
+            op_sim: take(&self.op_sim),
+            op_batch: take(&self.op_batch),
+            op_ping: take(&self.op_ping),
+            op_stats: take(&self.op_stats),
+            op_telemetry: take(&self.op_telemetry),
+            op_shutdown: take(&self.op_shutdown),
+            est_fast_charges: take(&self.est_fast_charges),
+            est_site_hits: take(&self.est_site_hits),
+            est_site_misses: take(&self.est_site_misses),
+            est_dfg_arena_reuse: take(&self.est_dfg_arena_reuse),
         }
     }
 }
 
 struct ServiceShared {
     cache: Option<SegmentCostCache>,
+    /// Reusable sessions with per-shape warmed snapshots; `None` when
+    /// pooling is disabled (`pool_sessions: Some(0)`).
+    pool: Option<SessionPool>,
     draining: AtomicBool,
     counters: Counters,
     flight_recorder: usize,
+    /// Fallback `retry_after_ms` until enough runs complete for
+    /// [`ServiceShared::retry_hint`] to derive one from observation.
+    retry_default: u64,
     started: Mutex<Instant>,
     /// Request latency (admission → response), in nanosecond ticks.
     latency: Mutex<LogHistogram>,
@@ -199,21 +258,28 @@ struct ServiceShared {
 }
 
 impl ServiceShared {
-    /// Read-and-reset support for `{"op":"stats","reset":true}`:
-    /// zeroes the counters, forgets the histograms and folded sim
-    /// metrics, and restarts the uptime clock.
-    fn reset(&self) {
-        self.counters.reset();
-        self.latency.lock().clear();
-        self.queue_wait.lock().clear();
-        self.run_duration.lock().clear();
-        *self.sim_metrics.lock() = MetricsSnapshot::new();
-        *self.started.lock() = Instant::now();
-    }
-
     fn uptime_s(&self) -> f64 {
         self.started.lock().elapsed().as_secs_f64()
     }
+
+    /// The `retry_after_ms` hint for a saturation rejection: the
+    /// observed p90 run duration, rounded up to whole milliseconds —
+    /// by then a slot/queue position has very likely freed — falling
+    /// back to the configured default until any run has completed.
+    fn retry_hint(&self) -> u64 {
+        self.run_duration
+            .lock()
+            .quantile(0.9)
+            .map(|ns| ((ns as f64 / 1e6).ceil() as u64).max(1))
+            .unwrap_or(self.retry_default)
+    }
+}
+
+/// The retry hint to attach to a worker-side failure: pool exhaustion
+/// is the one retryable engine error (a slot frees as soon as any
+/// in-flight run finishes).
+fn retry_hint_for(shared: &ServiceShared, err: &RequestError) -> Option<u64> {
+    (err.code == ErrorCode::PoolExhausted).then(|| shared.retry_hint())
 }
 
 /// The simulation service. See the [module docs](self).
@@ -221,7 +287,6 @@ pub struct Service {
     pool: WorkerPool,
     shared: Arc<ServiceShared>,
     queue_capacity: usize,
-    retry_after_ms: u64,
 }
 
 impl std::fmt::Debug for Service {
@@ -236,13 +301,25 @@ impl std::fmt::Debug for Service {
 impl Service {
     /// Starts a service with `config.workers` worker threads.
     pub fn new(config: ServiceConfig) -> Service {
+        let slots = config.pool_sessions.unwrap_or(config.workers.max(1) + 1);
+        let session_pool = (slots > 0).then(|| {
+            SessionPool::new(
+                InstanceLimits {
+                    max_sessions: slots,
+                    ..InstanceLimits::default()
+                },
+                engine::pool_factory(config.flight_recorder),
+            )
+        });
         Service {
             pool: WorkerPool::new("serve", config.workers),
             shared: Arc::new(ServiceShared {
                 cache: config.use_cache.then(SegmentCostCache::new),
+                pool: session_pool,
                 draining: AtomicBool::new(false),
                 counters: Counters::default(),
                 flight_recorder: config.flight_recorder,
+                retry_default: config.retry_after_ms,
                 started: Mutex::new(Instant::now()),
                 latency: Mutex::new(LogHistogram::new()),
                 queue_wait: Mutex::new(LogHistogram::new()),
@@ -250,7 +327,6 @@ impl Service {
                 sim_metrics: Mutex::new(MetricsSnapshot::new()),
             }),
             queue_capacity: config.queue_capacity.max(1),
-            retry_after_ms: config.retry_after_ms,
         }
     }
 
@@ -288,7 +364,10 @@ impl Service {
                 let submitted = self.pool.submit(move || {
                     let line = match run_scenario(&shared, &scenario, admitted) {
                         Ok(out) => render::ok_sim(&id, &scenario, &out),
-                        Err(err) => render::error(Some(&id), &err, None),
+                        Err(err) => {
+                            let retry = retry_hint_for(&shared, &err);
+                            render::error(Some(&id), &err, retry)
+                        }
                     };
                     responder.send(&line);
                 });
@@ -333,7 +412,10 @@ impl Service {
             Request::Sim { id, scenario } => {
                 match run_scenario(&self.shared, &scenario, admitted) {
                     Ok(out) => render::ok_sim(&id, &scenario, &out),
-                    Err(err) => render::error(Some(&id), &err, None),
+                    Err(err) => {
+                        let retry = retry_hint_for(&self.shared, &err);
+                        render::error(Some(&id), &err, retry)
+                    }
                 }
             }
             Request::Batch { id, scenarios } => {
@@ -415,17 +497,16 @@ impl Service {
                 Some((request, Some(Disposition::Continue)))
             }
             Request::Stats { id, reset } => {
+                // Read-and-reset in one pass: the snapshot below *is*
+                // what the atomic swaps took out, so updates racing the
+                // reset are either in this reply or in the next period.
+                let uptime = self.shared.uptime_s();
                 responder.send(&render::stats(
                     id.as_deref(),
-                    self.shared.uptime_s(),
+                    uptime,
                     *reset,
-                    &self.metrics(),
+                    &self.metrics_snapshot(*reset),
                 ));
-                // Read-and-reset: the reply above carries the final
-                // pre-reset snapshot.
-                if *reset {
-                    self.shared.reset();
-                }
                 Some((request, Some(Disposition::Continue)))
             }
             Request::Telemetry { id } => {
@@ -474,7 +555,9 @@ impl Service {
                         self.queue_capacity
                     ),
                 },
-                Some(self.retry_after_ms),
+                // Derived from the observed p90 run duration once any
+                // run has completed; the configured default before.
+                Some(self.shared.retry_hint()),
             ));
         }
         counters.accepted.fetch_add(njobs as u64, Ordering::Relaxed);
@@ -541,49 +624,49 @@ impl Service {
     }
 
     /// The service's observability snapshot: `serve.*` counters,
-    /// latency percentiles, queue depth, and cache statistics.
+    /// latency percentiles, queue depth, pool and cache statistics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let c = &self.shared.counters;
+        self.metrics_snapshot(false)
+    }
+
+    /// [`Service::metrics`], optionally consuming the state it reads:
+    /// with `reset`, every counter is taken with an atomic swap and
+    /// each histogram is summarized-then-cleared under one lock hold,
+    /// so the returned snapshot accounts for every update exactly once
+    /// even while workers are hammering the counters. The folded sim
+    /// metrics and the uptime clock restart too. (Pool and trace-cache
+    /// statistics are lifetime totals of those components and are not
+    /// reset.)
+    fn metrics_snapshot(&self, reset: bool) -> MetricsSnapshot {
+        let c = self.shared.counters.read(reset);
         let mut m = MetricsSnapshot::new();
-        m.set_counter("serve.requests", c.received.load(Ordering::Relaxed));
-        m.set_counter("serve.accepted", c.accepted.load(Ordering::Relaxed));
-        m.set_counter("serve.rejected", c.rejected.load(Ordering::Relaxed));
-        m.set_counter("serve.invalid", c.invalid.load(Ordering::Relaxed));
-        m.set_counter("serve.completed", c.completed.load(Ordering::Relaxed));
-        m.set_counter("serve.failed", c.failed.load(Ordering::Relaxed));
-        m.set_counter(
-            "serve.deadline_exceeded",
-            c.deadline_exceeded.load(Ordering::Relaxed),
-        );
-        m.set_counter("serve.batches", c.batches.load(Ordering::Relaxed));
-        m.set_counter("serve.panics", c.panics.load(Ordering::Relaxed));
-        m.set_counter("serve.flight_dumps", c.flight_dumps.load(Ordering::Relaxed));
-        m.set_counter("serve.op.sim", c.op_sim.load(Ordering::Relaxed));
-        m.set_counter("serve.op.batch", c.op_batch.load(Ordering::Relaxed));
-        m.set_counter("serve.op.ping", c.op_ping.load(Ordering::Relaxed));
-        m.set_counter("serve.op.stats", c.op_stats.load(Ordering::Relaxed));
-        m.set_counter("serve.op.telemetry", c.op_telemetry.load(Ordering::Relaxed));
-        m.set_counter("serve.op.shutdown", c.op_shutdown.load(Ordering::Relaxed));
+        m.set_counter("serve.requests", c.received);
+        m.set_counter("serve.accepted", c.accepted);
+        m.set_counter("serve.rejected", c.rejected);
+        m.set_counter("serve.invalid", c.invalid);
+        m.set_counter("serve.completed", c.completed);
+        m.set_counter("serve.failed", c.failed);
+        m.set_counter("serve.deadline_exceeded", c.deadline_exceeded);
+        m.set_counter("serve.batches", c.batches);
+        m.set_counter("serve.panics", c.panics);
+        m.set_counter("serve.flight_dumps", c.flight_dumps);
+        m.set_counter("serve.op.sim", c.op_sim);
+        m.set_counter("serve.op.batch", c.op_batch);
+        m.set_counter("serve.op.ping", c.op_ping);
+        m.set_counter("serve.op.stats", c.op_stats);
+        m.set_counter("serve.op.telemetry", c.op_telemetry);
+        m.set_counter("serve.op.shutdown", c.op_shutdown);
         m.set_gauge("serve.uptime_s", self.shared.uptime_s());
         m.set_counter("serve.workers", self.pool.workers() as u64);
         m.set_counter("serve.queue.pending", self.pool.pending() as u64);
         m.set_counter("serve.queue.capacity", self.queue_capacity as u64);
-        m.set_counter(
-            "est.charge.fast",
-            c.est_fast_charges.load(Ordering::Relaxed),
-        );
-        m.set_counter(
-            "est.site_cache.hit",
-            c.est_site_hits.load(Ordering::Relaxed),
-        );
-        m.set_counter(
-            "est.site_cache.miss",
-            c.est_site_misses.load(Ordering::Relaxed),
-        );
-        m.set_counter(
-            "est.dfg.arena_reuse",
-            c.est_dfg_arena_reuse.load(Ordering::Relaxed),
-        );
+        m.set_counter("est.charge.fast", c.est_fast_charges);
+        m.set_counter("est.site_cache.hit", c.est_site_hits);
+        m.set_counter("est.site_cache.miss", c.est_site_misses);
+        m.set_counter("est.dfg.arena_reuse", c.est_dfg_arena_reuse);
+        if let Some(pool) = &self.shared.pool {
+            m.merge(pool.metrics());
+        }
         if let Some(cache) = &self.shared.cache {
             let stats = cache.stats();
             m.set_counter("serve.cache.hits", stats.hits);
@@ -591,14 +674,22 @@ impl Service {
             m.set_counter("serve.cache.entries", stats.entries as u64);
             m.set_gauge("serve.cache.hit_rate", stats.hit_rate());
         }
-        if let Some(summary) = self.shared.latency.lock().summary() {
-            summary.export(&mut m, "serve.latency");
+        for (hist, prefix) in [
+            (&self.shared.latency, "serve.latency"),
+            (&self.shared.queue_wait, "serve.queue_wait"),
+            (&self.shared.run_duration, "serve.run"),
+        ] {
+            let mut hist = hist.lock();
+            if let Some(summary) = hist.summary() {
+                summary.export(&mut m, prefix);
+            }
+            if reset {
+                hist.clear();
+            }
         }
-        if let Some(summary) = self.shared.queue_wait.lock().summary() {
-            summary.export(&mut m, "serve.queue_wait");
-        }
-        if let Some(summary) = self.shared.run_duration.lock().summary() {
-            summary.export(&mut m, "serve.run");
+        if reset {
+            *self.shared.sim_metrics.lock() = MetricsSnapshot::new();
+            *self.shared.started.lock() = Instant::now();
         }
         m
     }
@@ -655,12 +746,21 @@ fn run_scenario(
         .deadline_ms
         .map(|ms| admitted + Duration::from_millis(ms));
     let run_started = Instant::now();
-    let result = engine::execute(
-        scenario,
-        shared.cache.as_ref(),
-        deadline,
-        shared.flight_recorder,
-    );
+    let result = match &shared.pool {
+        Some(pool) => engine::execute_pooled(
+            scenario,
+            pool,
+            shared.cache.as_ref(),
+            deadline,
+            shared.flight_recorder,
+        ),
+        None => engine::execute(
+            scenario,
+            shared.cache.as_ref(),
+            deadline,
+            shared.flight_recorder,
+        ),
+    };
     let c = &shared.counters;
     match &result {
         Ok(out) => {
@@ -680,6 +780,10 @@ fn run_scenario(
             if shared.flight_recorder > 0 {
                 c.flight_dumps.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        Err(err) if err.code == ErrorCode::PoolExhausted => {
+            // Saturation, not failure: the request never ran.
+            c.rejected.fetch_add(1, Ordering::Relaxed);
         }
         Err(err) => {
             c.failed.fetch_add(1, Ordering::Relaxed);
@@ -702,4 +806,67 @@ fn run_scenario(
         .lock()
         .record_us(admitted.elapsed().as_secs_f64() * 1e6);
     result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn read_and_reset_never_loses_a_counter_update() {
+        // Regression for the old snapshot-then-store reset: an
+        // increment landing between a counter's snapshot and its store
+        // to zero was silently dropped. With swap-based read-and-reset
+        // every increment must appear in exactly one period snapshot
+        // (or in the final read), so the periods plus the remainder sum
+        // to exactly what the writers added.
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 50_000;
+        let counters = Arc::new(Counters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut harvested = 0_u64;
+                while !stop.load(Ordering::SeqCst) {
+                    harvested += counters.read(true).received;
+                }
+                harvested
+            })
+        };
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                let counters = Arc::clone(&counters);
+                thread::spawn(move || {
+                    for _ in 0..PER_WRITER {
+                        counters.received.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        let harvested = reader.join().unwrap();
+        let leftover = counters.read(true).received;
+        assert_eq!(
+            harvested + leftover,
+            WRITERS as u64 * PER_WRITER,
+            "every increment must land in exactly one snapshot"
+        );
+    }
+
+    #[test]
+    fn plain_reads_do_not_consume() {
+        let counters = Counters::default();
+        counters.completed.fetch_add(7, Ordering::Relaxed);
+        assert_eq!(counters.read(false).completed, 7);
+        assert_eq!(counters.read(false).completed, 7, "load must not zero");
+        assert_eq!(counters.read(true).completed, 7, "swap takes the value");
+        assert_eq!(counters.read(false).completed, 0);
+    }
 }

@@ -189,7 +189,7 @@ fn batches_are_bitwise_identical_across_worker_counts() {
 }
 
 #[test]
-fn repeated_scenarios_hit_the_cache_without_changing_results() {
+fn repeated_scenarios_hit_the_pool_without_changing_results() {
     let svc = service(2, 8);
     let (responder, lines) = Responder::collector();
     for i in 0..4 {
@@ -203,8 +203,41 @@ fn repeated_scenarios_hit_the_cache_without_changing_results() {
         .collect();
     assert!(times.windows(2).all(|w| w[0] == w[1]), "times: {times:?}");
     let m = svc.metrics();
-    assert!(m.counter("serve.cache.hits").unwrap() > 0, "{m}");
+    // The first-of-shape run publishes its snapshot before the worker
+    // picks up another job, so with 2 workers and 4 identical requests
+    // at least the last two fork the warmed snapshot instead of
+    // touching the trace cache.
+    assert!(m.counter("pool.hits").unwrap() >= 2, "{m}");
+    assert!(m.counter("pool.forks").unwrap() >= 2, "{m}");
+    assert_eq!(m.counter("pool.exhausted"), Some(0), "{m}");
     assert!(m.counter("serve.latency.count").is_some());
+}
+
+#[test]
+fn disabling_the_pool_restores_per_request_sessions() {
+    let mut config = ServiceConfig {
+        workers: 2,
+        queue_capacity: 8,
+        retry_after_ms: 25,
+        ..ServiceConfig::default()
+    };
+    config.pool_sessions = Some(0);
+    let svc = Service::new(config);
+    let (responder, lines) = Responder::collector();
+    for i in 0..3 {
+        svc.handle_line(&sim_line(&format!("r{i}"), MIXED, 2, ""), &responder);
+    }
+    svc.drain();
+    let got = lines.lock().clone();
+    let times: Vec<u64> = got
+        .iter()
+        .map(|l| field(&parse(l).unwrap(), "end_time_ps").as_u64().unwrap())
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] == w[1]), "times: {times:?}");
+    let m = svc.metrics();
+    assert!(m.counter("pool.hits").is_none(), "no pool metrics: {m}");
+    // Per-request sessions still memoize segment traces.
+    assert!(m.counter("serve.cache.hits").unwrap() > 0, "{m}");
 }
 
 #[test]
@@ -460,4 +493,177 @@ fn tcp_shutdown_op_stops_the_server() {
     // run() returns only after the drain completes.
     server_thread.join().expect("server thread");
     assert!(svc.is_draining());
+}
+
+/// A `Read` fed line-by-line from a client thread, so a stdio session
+/// can react to responses before deciding what to send next. EOF when
+/// the sender hangs up.
+struct ChannelReader {
+    rx: std::sync::mpsc::Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl std::io::Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(b) => {
+                    self.buf = b;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn a_queue_full_client_retries_after_the_hint_and_succeeds() {
+    // One worker, capacity one: a slow request monopolizes the
+    // service, the follow-up is rejected with `queue_full` and a
+    // `retry_after_ms` hint, and honouring the hint eventually gets it
+    // through — the full backpressure contract, over the real stdio
+    // frontend.
+    let svc = service(1, 1);
+    let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    let (responder, lines) = Responder::collector();
+
+    let client_lines = Arc::clone(&lines);
+    let client = std::thread::spawn(move || {
+        let send = |s: String| {
+            let _ = tx.send(format!("{s}\n").into_bytes());
+        };
+        send(sim_line("slow", ALL_CPU0, 64, ""));
+        send(sim_line("r1", MIXED, 1, ""));
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut seen = 0;
+        let mut rejections = 0_u32;
+        loop {
+            assert!(Instant::now() < deadline, "r1 never completed");
+            let got = client_lines.lock().clone();
+            for line in &got[seen..] {
+                let v = parse(line).unwrap();
+                if v.get("id").and_then(Json::as_str) != Some("r1") {
+                    continue;
+                }
+                if field(&v, "status").as_str() == Some("ok") {
+                    send(r#"{"op":"shutdown","id":"bye"}"#.into());
+                    return rejections;
+                }
+                assert_eq!(field(&v, "code").as_str(), Some("queue_full"));
+                let hint = field(&v, "retry_after_ms").as_u64().unwrap();
+                assert!(hint >= 1);
+                rejections += 1;
+                std::thread::sleep(Duration::from_millis(hint));
+                send(sim_line("r1", MIXED, 1, ""));
+            }
+            seen = got.len();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+
+    let reader = ChannelReader {
+        rx,
+        buf: Vec::new(),
+        pos: 0,
+    };
+    scperf_serve::stdio::serve_reader(&svc, BufReader::new(reader), &responder);
+    let rejections = client.join().unwrap();
+    assert!(rejections >= 1, "the first r1 must have been rejected");
+    let got = lines.lock().clone();
+    let oks = got
+        .iter()
+        .filter(|l| l.contains(r#""id":"r1""#) && l.contains(r#""status":"ok""#))
+        .count();
+    assert_eq!(oks, 1, "exactly one r1 success: {got:?}");
+}
+
+#[test]
+fn an_exhausted_session_pool_rejects_with_a_retry_hint() {
+    // More workers than pool slots: concurrent requests contend for
+    // the single session, the losers get `pool_exhausted` with a retry
+    // hint, and a retry after the traffic clears succeeds.
+    let mut config = ServiceConfig {
+        workers: 2,
+        queue_capacity: 8,
+        retry_after_ms: 25,
+        ..ServiceConfig::default()
+    };
+    config.pool_sessions = Some(1);
+    let svc = Service::new(config);
+    let (responder, lines) = Responder::collector();
+    for i in 0..4 {
+        svc.handle_line(&sim_line(&format!("r{i}"), ALL_CPU0, 64, ""), &responder);
+    }
+    let got = wait_for_lines(&lines, 4);
+    let exhausted: Vec<&String> = got
+        .iter()
+        .filter(|l| l.contains(r#""code":"pool_exhausted""#))
+        .collect();
+    assert!(
+        !exhausted.is_empty(),
+        "two workers racing one slot must collide: {got:?}"
+    );
+    for line in &exhausted {
+        let v = parse(line).unwrap();
+        assert!(field(&v, "retry_after_ms").as_u64().unwrap() >= 1);
+    }
+    // A rejected slot was never poisoned: a retry runs clean and
+    // matches the successful runs bit for bit.
+    lines.lock().clear();
+    svc.handle_line(&sim_line("again", ALL_CPU0, 64, ""), &responder);
+    let retry = wait_for_lines(&lines, 1);
+    let v = parse(&retry[0]).unwrap();
+    assert_eq!(field(&v, "status").as_str(), Some("ok"), "{retry:?}");
+    let expect = got
+        .iter()
+        .find(|l| l.contains(r#""status":"ok""#))
+        .map(|l| field(&parse(l).unwrap(), "end_time_ps").as_u64().unwrap())
+        .expect("at least one of the four succeeded");
+    assert_eq!(field(&v, "end_time_ps").as_u64(), Some(expect));
+    svc.drain();
+    let m = svc.metrics();
+    assert!(m.counter("pool.exhausted").unwrap() >= 1, "{m}");
+}
+
+#[test]
+fn retry_hints_derive_from_observed_run_durations() {
+    // An implausible configured default proves the hint switches to
+    // the observed p90 once any run has completed.
+    let svc = Service::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 777_777,
+        ..ServiceConfig::default()
+    });
+    let (responder, lines) = Responder::collector();
+    // Before any completion the default is all we have.
+    svc.handle_line(&sim_line("s1", ALL_CPU0, 64, ""), &responder);
+    svc.handle_line(&sim_line("rej1", MIXED, 1, ""), &responder);
+    let got = wait_for_lines(&lines, 1);
+    let early = got
+        .iter()
+        .find(|l| l.contains(r#""code":"queue_full""#))
+        .expect("rej1 bounced");
+    assert_eq!(
+        field(&parse(early).unwrap(), "retry_after_ms").as_u64(),
+        Some(777_777)
+    );
+    svc.drain();
+    // s1 completed; hints now follow its observed duration.
+    // (drain() only stops admission for *requests*; metrics and the
+    // saturation math keep working, so probe via a fresh service call.)
+    let m = svc.metrics();
+    assert!(m.counter("serve.completed").unwrap() >= 1, "{m}");
+    let p90_us = m.gauge("serve.run.p90_us").unwrap();
+    let hinted = ((p90_us / 1e3).ceil() as u64).max(1);
+    assert!(
+        hinted < 777_777,
+        "a real run duration must beat the sentinel: {m}"
+    );
 }

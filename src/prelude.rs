@@ -32,6 +32,11 @@
 // --- The session front door: configuration, lifecycle, record/replay.
 pub use scperf_core::{Recorder, Replay, Session, SimConfig};
 
+// --- Session pooling and snapshot/fork (serving hot path).
+pub use scperf_core::{
+    InstanceLimits, LimitExceeded, PoolExhausted, PoolStats, PooledSession, SessionPool, Snapshot,
+};
+
 // --- Annotated value types and control-flow macros (§3 of the paper).
 pub use scperf_core::{g_call, g_for, g_if, g_loop, g_site, g_while};
 pub use scperf_core::{
