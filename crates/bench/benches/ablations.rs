@@ -159,6 +159,7 @@ fn ablation_dse_cache() {
         use_cache: true,
         limit: Some(27),
         legacy_charging: false,
+        programs_in: None,
     };
     let cached = sweep(&config);
     let uncached = sweep(&SweepConfig {

@@ -29,11 +29,12 @@ use std::process::ExitCode;
 use scperf_serve::json::{parse, Json};
 
 /// Ratio-metric keys: higher is better, scale-invariant across hosts.
-const RATIO_KEYS: [&str; 4] = [
+const RATIO_KEYS: [&str; 5] = [
     "speedup",
     "live_speedup",
     "memoized_speedup",
     "pool_speedup",
+    "prog_speedup",
 ];
 
 fn usage() -> ! {

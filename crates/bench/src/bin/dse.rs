@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run -p scperf-bench --release --bin dse -- \
-//!     [--frames N] [--jobs N] [--no-cache] [--bench]
+//!     [--frames N] [--jobs N] [--no-cache] [--bench] \
+//!     [--programs-in FILE] [--programs-out FILE]
 //! ```
 //!
 //! * `--frames N`   frames per design point (default 2)
@@ -16,6 +17,11 @@
 //! * `--bench`      additionally run the sequential no-cache oracle,
 //!   verify the parallel frontier is bitwise identical, and write
 //!   speedup + cache stats to `BENCH_dse.json`
+//! * `--programs-in FILE`   warm-start segment-site cost programs from a
+//!   blob written by an earlier run (another process, even another
+//!   machine — the encoding is platform-independent)
+//! * `--programs-out FILE`  write the compiled program blob after the
+//!   sweep, for `--programs-in` of a later run
 
 use std::time::Instant;
 
@@ -27,6 +33,8 @@ struct Args {
     jobs: usize,
     cache: bool,
     bench: bool,
+    programs_in: Option<String>,
+    programs_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +43,8 @@ fn parse_args() -> Args {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         cache: true,
         bench: false,
+        programs_in: None,
+        programs_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -49,6 +59,12 @@ fn parse_args() -> Args {
             "--jobs" => args.jobs = num("--jobs"),
             "--no-cache" => args.cache = false,
             "--bench" => args.bench = true,
+            "--programs-in" => {
+                args.programs_in = Some(it.next().expect("--programs-in expects a path"))
+            }
+            "--programs-out" => {
+                args.programs_out = Some(it.next().expect("--programs-out expects a path"))
+            }
             // Positional frame count, kept for the pre-PR-2 interface.
             n if n.parse::<usize>().is_ok() => args.frames = n.parse().unwrap(),
             other => panic!("unknown argument {other}"),
@@ -69,6 +85,14 @@ fn main() {
         if args.cache { "on" } else { "off" }
     );
 
+    let programs_in = args.programs_in.as_ref().map(|path| {
+        let blob = std::fs::read(path).expect("read --programs-in blob");
+        println!(
+            "warm-starting cost programs from {path} ({} bytes)",
+            blob.len()
+        );
+        blob
+    });
     let config = SweepConfig {
         table: cal.table,
         nframes: args.frames,
@@ -77,6 +101,7 @@ fn main() {
         use_cache: args.cache,
         limit: None,
         legacy_charging: false,
+        programs_in,
     };
     let start = Instant::now();
     let result = sweep(&config);
@@ -91,6 +116,28 @@ fn main() {
         elapsed,
         result.points.len() as f64 / elapsed.as_secs_f64()
     );
+    println!(
+        "cost programs: {} hits, {} misses, {} warm hits, {} imported, {} published",
+        result.prog.hits,
+        result.prog.misses,
+        result.prog.warm_hits,
+        result.prog.imported,
+        result.cache.programs
+    );
+    if !config.table.is_integral() {
+        println!(
+            "  (calibrated table has fractional costs, so site memoization — \
+             and with it program recording — stays off: replay is only \
+             bit-exact for integer-valued tables)"
+        );
+    }
+    if let Some(path) = &args.programs_out {
+        std::fs::write(path, &result.programs_out).expect("write --programs-out blob");
+        println!(
+            "compiled programs -> {path} ({} bytes)",
+            result.programs_out.len()
+        );
+    }
 
     if args.bench {
         println!("\nrunning sequential no-cache oracle for comparison...");
@@ -138,6 +185,14 @@ fn main() {
         w.value_u64(result.cache.entries as u64);
         w.key("cache_hit_rate");
         w.value_f64(result.cache.hit_rate());
+        w.key("cache_evictions");
+        w.value_u64(result.cache.evictions);
+        w.key("prog_hits");
+        w.value_u64(result.prog.hits);
+        w.key("prog_misses");
+        w.value_u64(result.prog.misses);
+        w.key("prog_warm_hits");
+        w.value_u64(result.prog.warm_hits);
         w.key("pool_steals");
         w.value_u64(result.pool.steals);
         w.key("frontier");

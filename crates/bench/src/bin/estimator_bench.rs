@@ -28,7 +28,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use scperf_core::{charge_op, CostTable, MemoMode, Op, Platform, SimConfig, G};
+use scperf_core::{charge_op, CostTable, MemoMode, Op, Platform, ProgramSet, SimConfig, G};
 use scperf_kernel::Time;
 use scperf_obs::json::JsonWriter;
 use scperf_workloads::fir;
@@ -188,6 +188,34 @@ fn vocoder_run(config: Config, nframes: usize) -> Run {
     }
 }
 
+/// The memoized vocoder pipeline warm-started from a shared program
+/// set: every site replays from the first frame on. Returns the run and
+/// the number of programs fetched out of the warm set.
+fn vocoder_warm_run(set: Arc<ProgramSet>, nframes: usize) -> (Run, u64) {
+    let (platform, cpu) = sw_platform();
+    let mut session = Config::Memoized
+        .apply(SimConfig::new().platform(platform).program_set(set))
+        .build();
+    let handles = {
+        let (sim, model) = session.parts_mut();
+        pipeline::build(sim, model, VocoderMapping::all_on(cpu), nframes)
+    };
+    let start = Instant::now();
+    let summary = session.run().expect("warm vocoder runs");
+    let hot = session.model().hot_stats();
+    let checksum = handles.output.lock().expect("pipeline finished") as i64;
+    (
+        Run {
+            end_time_ps: summary.end_time.as_ps(),
+            checksum,
+            elapsed: start.elapsed(),
+            site_hits: hot.site_hits,
+            fast_charges: hot.fast_charges,
+        },
+        hot.prog_warm_hits,
+    )
+}
+
 /// Best-of-`reps` wall time per configuration (noise only adds time),
 /// with bit-identity asserted across configurations.
 fn bench(name: &'static str, reps: usize, run: impl Fn(Config) -> Run) -> BenchResult {
@@ -304,6 +332,59 @@ fn main() {
         attr_overhead * 100.0
     );
 
+    // Cross-process program sharing: harvest the memoized vocoder's
+    // compiled programs, round-trip them through the wire encoding, and
+    // warm-start fresh sessions from the decoded set — the serialize →
+    // ship → charge path `scperf-serve` and `scperf-dse` use.
+    let harvested = {
+        let (platform, cpu) = sw_platform();
+        let mut session = Config::Memoized
+            .apply(SimConfig::new().platform(platform))
+            .build();
+        {
+            let (sim, model) = session.parts_mut();
+            pipeline::build(sim, model, VocoderMapping::all_on(cpu), voc_frames);
+        }
+        session.run().expect("harvest vocoder runs");
+        session.programs()
+    };
+    let wire = harvested.to_bytes();
+    let decoded = Arc::new(ProgramSet::from_bytes(&wire).expect("program set round-trips"));
+    assert_eq!(
+        *decoded, harvested,
+        "wire round-trip changed the program set"
+    );
+    let mut warm_best: Option<(Run, u64)> = None;
+    for _ in 0..args.reps {
+        let r = vocoder_warm_run(Arc::clone(&decoded), voc_frames);
+        match &warm_best {
+            Some((b, _)) if b.elapsed <= r.0.elapsed => {}
+            _ => warm_best = Some(r),
+        }
+    }
+    let (warm, warm_hits) = warm_best.expect("reps > 0");
+    let vocoder = &results[2];
+    assert_eq!(
+        vocoder.legacy.end_time_ps, warm.end_time_ps,
+        "vocoder: warm-started programs changed the estimate"
+    );
+    assert_eq!(
+        vocoder.legacy.checksum, warm.checksum,
+        "vocoder: warm-started programs changed the data"
+    );
+    assert!(
+        warm_hits > 0,
+        "warm run fetched nothing from the shared set"
+    );
+    let prog_speedup = vocoder.legacy.elapsed.as_secs_f64() / warm.elapsed.as_secs_f64();
+    println!(
+        "    programs: {} bytes on the wire, warm {:>9.2?} ({:>5.2}x, {} warm fetches)",
+        wire.len(),
+        warm.elapsed,
+        prog_speedup,
+        warm_hits,
+    );
+
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("reps");
@@ -354,6 +435,16 @@ fn main() {
         w.value_u64(r.live.fast_charges);
         w.key("site_hits");
         w.value_u64(r.memo.site_hits);
+        if r.name == "vocoder" {
+            w.key("warm_seconds");
+            w.value_f64(warm.elapsed.as_secs_f64());
+            w.key("prog_speedup");
+            w.value_f64(prog_speedup);
+            w.key("prog_warm_hits");
+            w.value_u64(warm_hits);
+            w.key("program_bytes");
+            w.value_u64(wire.len() as u64);
+        }
         w.key("estimates_identical");
         w.value_bool(true);
         w.end_object();

@@ -9,6 +9,7 @@ use scperf_sync::Mutex;
 
 use crate::cost::OpCounts;
 use crate::hw::{weighted_hw_cycles, Dfg};
+use crate::prog::{CostProgram, ProgramSet};
 use crate::resource::{Platform, ResourceId, ResourceKind};
 use crate::site::MemoMode;
 
@@ -137,6 +138,19 @@ pub(crate) struct EstInner {
     pub(crate) legacy_charging: bool,
     /// Segment-site memoization policy handed to spawned processes.
     pub(crate) memo_mode: MemoMode,
+    /// Warm program set handed to spawned processes: compiled cost
+    /// programs recorded by an earlier run/process/worker, replayed on
+    /// local misses (see [`crate::ProgramSet`]).
+    pub(crate) warm_programs: Option<Arc<ProgramSet>>,
+    /// Programs recorded by this run's processes, merged for harvest
+    /// (`None` until the first named-site recording lands).
+    pub(crate) programs: Option<ProgramSet>,
+    /// Local site misses satisfied from the warm program set
+    /// (`est.prog.warm_hits`).
+    pub(crate) prog_warm_hits: u64,
+    /// Warm program sets rejected for a cost-table fingerprint mismatch
+    /// (`est.prog.rejects`).
+    pub(crate) prog_rejects: u64,
     /// Operations charged through the flat fast path (`est.charge.fast`).
     pub(crate) fast_charges: u64,
     /// Site-memo regions replayed from cache (`est.site_cache.hit`).
@@ -164,12 +178,16 @@ pub(crate) struct EstInner {
 pub struct EstHotStats {
     /// Operations charged through the flat thread-local fast path.
     pub fast_charges: u64,
-    /// Segment-site regions satisfied by replaying a recorded delta.
+    /// Segment-site regions satisfied by replaying a compiled program.
     pub site_hits: u64,
-    /// Segment-site regions that recorded a fresh delta.
+    /// Segment-site regions that recorded a fresh program.
     pub site_misses: u64,
     /// Segments whose DFG node buffer was recycled instead of allocated.
     pub dfg_arena_reuse: u64,
+    /// Local site misses satisfied by compiling a warm-set program.
+    pub prog_warm_hits: u64,
+    /// Warm program sets rejected for a fingerprint mismatch.
+    pub prog_rejects: u64,
 }
 
 /// Shared estimator state (one per [`crate::PerfModel`]).
@@ -194,6 +212,10 @@ impl EstimatorShared {
                 record_segment_costs: false,
                 legacy_charging: false,
                 memo_mode: MemoMode::default(),
+                warm_programs: None,
+                programs: None,
+                prog_warm_hits: 0,
+                prog_rejects: 0,
                 fast_charges: 0,
                 site_hits: 0,
                 site_misses: 0,
@@ -204,6 +226,36 @@ impl EstimatorShared {
                 arbitration_waits: vec![0; n],
             }),
         })
+    }
+
+    /// Folds one process's program-store outcome back into the shared
+    /// estimator at uninstall: freshly recorded (named-site) programs
+    /// merge into the run's [`ProgramSet`] under the recording table's
+    /// fingerprint, and the warm-set counters accumulate. Programs
+    /// recorded under a *different* table than the set already holds are
+    /// skipped — one set, one table.
+    pub(crate) fn harvest_programs(
+        &self,
+        table_fp: u64,
+        fresh: Vec<(u64, u64, CostProgram)>,
+        warm_hits: u64,
+        rejects: u64,
+    ) {
+        let mut inner = self.inner.lock();
+        inner.prog_warm_hits += warm_hits;
+        inner.prog_rejects += rejects;
+        if fresh.is_empty() {
+            return;
+        }
+        let set = inner
+            .programs
+            .get_or_insert_with(|| ProgramSet::new(table_fp));
+        if set.table_fp() != table_fp {
+            return;
+        }
+        for (site, key, prog) in fresh {
+            set.insert(site, key, prog);
+        }
     }
 
     pub(crate) fn register_node(&self, label: impl Into<String>) -> u32 {
@@ -269,6 +321,9 @@ impl EstimatorShared {
         inner.site_hits = 0;
         inner.site_misses = 0;
         inner.dfg_arena_reuse = 0;
+        inner.programs = None;
+        inner.prog_warm_hits = 0;
+        inner.prog_rejects = 0;
         inner.captures.clear();
         inner.contention_total.clear();
         inner.contention_total.resize(n, Time::ZERO);

@@ -80,6 +80,7 @@ pub mod hw;
 mod macros;
 mod model;
 mod pool;
+mod prog;
 pub mod rate;
 mod recorder;
 mod report;
@@ -100,6 +101,7 @@ pub use model::{timed_wait, timed_wait_labeled, PFifo, PRendezvous, PSignal, Per
 pub use pool::{
     InstanceLimits, LimitExceeded, PoolExhausted, PoolStats, PooledSession, SessionPool, Snapshot,
 };
+pub use prog::{table_fingerprint, CostProgram, Instr, ProgDecodeError, ProgramSet};
 pub use recorder::{Recorder, Replay};
 pub use report::{
     ChannelUtilization, ProcessContention, ProcessGraph, ProcessReport, Report, ResourceReport,
@@ -107,5 +109,5 @@ pub use report::{
 };
 pub use resource::{Platform, Resource, ResourceId, ResourceKind};
 pub use session::{Session, SimConfig};
-pub use site::{site_enter, MemoMode, SegmentSite, SiteGuard};
+pub use site::{site_enter, site_enter_loop, site_try_native, MemoMode, SegmentSite, SiteGuard};
 pub use tls::{charge_branch, charge_call, charge_op};

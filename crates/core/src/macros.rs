@@ -92,21 +92,28 @@ macro_rules! g_for {
     };
 }
 
-/// A memoizable annotated counted loop: [`g_for!`] plus a per-iteration
-/// segment-site region, so on sequential resources with integer-valued
-/// cost tables every repeat of the body is satisfied from the site cache
-/// with one recorded-delta apply instead of per-op charging.
+/// A memoizable annotated counted loop: [`g_for!`] wrapped in a single
+/// *whole-loop* segment-site region, so on sequential resources with
+/// integer-valued cost tables every repeat of the loop is satisfied by
+/// one compiled-program apply instead of per-op (or even per-iteration)
+/// charging. The trip count — taken from the range via
+/// [`ExactSizeIterator::len`] — is folded into the site key, so
+/// different trip counts compile into different programs; uniform
+/// bodies additionally collapse into a [`crate::Instr::Loop`]
+/// instruction when the program serializes.
 ///
 /// Charges exactly what [`g_for!`] charges — the loop bookkeeping
 /// ([`crate::Op::Assign`] + [`crate::Op::Add`] + [`crate::Op::Cmp`] +
 /// [`crate::Op::Branch`]) is inside the memoized region, so replayed
-/// iterations are bit-identical to live ones.
+/// loops are bit-identical to live ones.
 ///
-/// Use only when the body's charge stream does not depend on the data
-/// being processed (no data-dependent `g_if!` arms or trip counts). If
-/// the stream depends on a value you can name, fold it into a key with
-/// the keyed form; [`crate::MemoMode::Verify`] re-charges every hit live
-/// and asserts bit-equality, catching misuse.
+/// Use only when the loop's charge stream is determined by the trip
+/// count and the key (no data-dependent `g_if!` arms or early exits
+/// that depend on element values). If the stream depends on a value you
+/// can name, fold it into the key with the keyed form — the key
+/// expression is evaluated **once**, before the first iteration;
+/// [`crate::MemoMode::Verify`] re-charges every hit live and asserts
+/// bit-equality, catching misuse.
 ///
 /// ```
 /// use scperf_core::g_loop;
@@ -122,18 +129,23 @@ macro_rules! g_loop {
     ($i:ident in $range:expr => $body:block) => {
         $crate::g_loop!($i in $range, key = 0u64 => $body)
     };
-    ($i:ident in $range:expr, key = $key:expr => $body:block) => {
-        for $i in $range {
-            static __SCPERF_SITE: $crate::SegmentSite = $crate::SegmentSite::new();
-            let __scperf_guard = $crate::site_enter(&__SCPERF_SITE, $key);
+    ($i:ident in $range:expr, key = $key:expr => $body:block) => {{
+        static __SCPERF_SITE: $crate::SegmentSite =
+            $crate::SegmentSite::named(concat!(file!(), ':', line!(), ':', column!()));
+        let __scperf_iter = ::core::iter::IntoIterator::into_iter($range);
+        let __scperf_trips = ::core::iter::ExactSizeIterator::len(&__scperf_iter) as u64;
+        let mut __scperf_guard =
+            $crate::site_enter_loop(&__SCPERF_SITE, $key, __scperf_trips);
+        for $i in __scperf_iter {
+            __scperf_guard.loop_iter();
             $crate::charge_op($crate::Op::Assign);
             $crate::charge_op($crate::Op::Add);
             $crate::charge_op($crate::Op::Cmp);
             $crate::charge_branch();
             $body
-            drop(__scperf_guard);
         }
-    };
+        drop(__scperf_guard);
+    }};
 }
 
 /// A memoizable straight-line region (block form of [`g_loop!`]): the
@@ -157,7 +169,8 @@ macro_rules! g_loop {
 #[macro_export]
 macro_rules! g_site {
     (($key:expr) $body:block) => {{
-        static __SCPERF_SITE: $crate::SegmentSite = $crate::SegmentSite::new();
+        static __SCPERF_SITE: $crate::SegmentSite =
+            $crate::SegmentSite::named(concat!(file!(), ':', line!(), ':', column!()));
         let __scperf_guard = $crate::site_enter(&__SCPERF_SITE, $key);
         let __scperf_value = $body;
         drop(__scperf_guard);
@@ -166,6 +179,55 @@ macro_rules! g_site {
     ($body:block) => {
         $crate::g_site!((0u64) $body)
     };
+}
+
+/// A memoized region with a **native twin**: once the region's cost
+/// program is compiled, repeat executions charge the program in one
+/// step and run the `native` block — plain, uncharged Rust mirroring
+/// the annotated block's data effects — instead of the annotated body.
+/// This is the host-compiled simulation move the paper's single-source
+/// methodology enables: functionality at native speed, timing from the
+/// pre-compiled cost program.
+///
+/// The two blocks **must be data-equivalent**: same stores, same
+/// wrapping arithmetic, and the native block must not charge or wait.
+/// The annotated block runs on the first execution per key (recording
+/// the program), in [`MemoMode::Off`](crate::MemoMode) and
+/// [`MemoMode::Verify`](crate::MemoMode), on non-sequential resources
+/// and on the legacy path — so the annotated semantics remain the
+/// source of truth, and verify mode still checks programs against live
+/// charging.
+///
+/// ```
+/// use scperf_core::{g_for, g_twin, GArr};
+///
+/// let mut sq = GArr::<i32>::zeroed(8);
+/// g_twin!((sq.len() as u64) {
+///     g_for!(i in 0..sq.len() => {
+///         sq.set_raw(i, (scperf_core::G::raw(i as i32) * scperf_core::G::raw(i as i32)));
+///     });
+/// } native {
+///     for i in 0..sq.len() {
+///         sq.poke(i, (i as i32).wrapping_mul(i as i32));
+///     }
+/// });
+/// assert_eq!(sq.peek(7), 49);
+/// ```
+#[macro_export]
+macro_rules! g_twin {
+    (($key:expr) $annotated:block native $native:block) => {{
+        static __SCPERF_SITE: $crate::SegmentSite =
+            $crate::SegmentSite::named(concat!(file!(), ':', line!(), ':', column!()));
+        let __scperf_key: u64 = $key;
+        if $crate::site_try_native(&__SCPERF_SITE, __scperf_key) {
+            $native
+        } else {
+            let __scperf_guard = $crate::site_enter(&__SCPERF_SITE, __scperf_key);
+            let __scperf_value = $annotated;
+            drop(__scperf_guard);
+            __scperf_value
+        }
+    }};
 }
 
 /// An annotated function call: charges one [`crate::Op::Call`] for the

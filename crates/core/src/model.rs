@@ -16,6 +16,7 @@ use crate::capture::{CaptureList, CapturePoint};
 use crate::cost::OpCounts;
 use crate::estimator::{end_segment, EstHotStats, EstimatorShared, Mode, NODE_WAIT};
 use crate::hw::Dfg;
+use crate::prog::{fingerprint_costs, ProgStore, ProgramSet};
 use crate::recorder::{Recorder, Replay};
 use crate::report::Report;
 use crate::resource::{Platform, ResourceId};
@@ -108,6 +109,26 @@ impl PerfModel {
         self.est.inner.lock().memo_mode = mode;
     }
 
+    /// Hands processes spawned after this call a warm [`ProgramSet`]:
+    /// cost programs recorded by an earlier run (or another worker) are
+    /// compiled and replayed on local site misses instead of
+    /// re-recording. A set whose fingerprint does not match the
+    /// process's cost table is ignored (counted in `est.prog.rejects`)
+    /// and the run records afresh — a stale set can cost speed, never
+    /// correctness.
+    pub fn warm_programs(&self, set: Arc<ProgramSet>) {
+        self.est.inner.lock().warm_programs = Some(set);
+    }
+
+    /// The cost programs recorded by this run's processes at named
+    /// (`g_loop!`/`g_site!`) sites, merged across processes. Empty until
+    /// a run with memoization engaged has finished. Serialize it with
+    /// [`ProgramSet::to_bytes`] and warm-start a later run/process via
+    /// [`PerfModel::warm_programs`].
+    pub fn programs(&self) -> ProgramSet {
+        self.est.inner.lock().programs.clone().unwrap_or_default()
+    }
+
     /// A clone of the model's platform (resources + cost tables).
     pub fn platform(&self) -> crate::resource::Platform {
         self.est.inner.lock().platform.clone()
@@ -121,7 +142,8 @@ impl PerfModel {
     }
 
     /// Snapshot of the hot-path counters: fast-path charges, site-cache
-    /// hits/misses and DFG arena reuses. Cheap (one lock, four loads).
+    /// hits/misses, DFG arena reuses and warm-program accounting. Cheap
+    /// (one lock, six loads).
     pub fn hot_stats(&self) -> EstHotStats {
         let inner = self.est.inner.lock();
         EstHotStats {
@@ -129,6 +151,8 @@ impl PerfModel {
             site_hits: inner.site_hits,
             site_misses: inner.site_misses,
             dfg_arena_reuse: inner.dfg_arena_reuse,
+            prog_warm_hits: inner.prog_warm_hits,
+            prog_rejects: inner.prog_rejects,
         }
     }
 
@@ -258,7 +282,7 @@ impl PerfModel {
         let est = Arc::clone(&self.est);
         let reg_name = name.clone();
         let pid = sim.spawn(name, move |ctx| {
-            let (kind, costs, k, rtos_cycles, legacy, memo, record_dfgs) = {
+            let (kind, costs, k, rtos_cycles, legacy, memo, record_dfgs, warm) = {
                 let inner = est.inner.lock();
                 let r = inner.platform.resource(resource);
                 (
@@ -269,6 +293,7 @@ impl PerfModel {
                     inner.legacy_charging,
                     inner.memo_mode,
                     inner.record_dfgs,
+                    inner.warm_programs.clone(),
                 )
             };
             let record_dfgs =
@@ -296,7 +321,9 @@ impl PerfModel {
                 }),
                 legacy,
                 memo,
-                sites: std::collections::HashMap::new(),
+                progs: ProgStore::with_warm(warm),
+                rec_events: Vec::new(),
+                rec_depth: 0,
                 dfg_spare: Vec::new(),
                 cp_scratch: Vec::new(),
             });
@@ -304,7 +331,17 @@ impl PerfModel {
             // The process-exit statement is a node (§2): flush the final
             // segment and back-annotate it.
             end_segment(ctx, crate::estimator::NODE_EXIT);
-            tls::uninstall();
+            if let Some(mut t) = tls::uninstall() {
+                // Harvest the programs this process recorded (and its
+                // warm-set accounting) into the shared estimator, so the
+                // session can publish one merged set.
+                let fresh = t.progs.take_fresh();
+                let warm_hits = t.progs.warm_hits;
+                let rejects = t.progs.rejects;
+                if !fresh.is_empty() || warm_hits > 0 || rejects > 0 {
+                    est.harvest_programs(fingerprint_costs(&t.costs), fresh, warm_hits, rejects);
+                }
+            }
         });
         self.est.register_process(pid.index(), reg_name, resource);
         pid
@@ -429,6 +466,17 @@ impl PerfModel {
         m.set_counter("est.site_cache.hit", inner.site_hits);
         m.set_counter("est.site_cache.miss", inner.site_misses);
         m.set_counter("est.dfg.arena_reuse", inner.dfg_arena_reuse);
+        // Cost-program namespace: hits/misses mirror the site cache (a
+        // replayed region IS a compiled-program apply), plus the
+        // cross-process warm-set accounting.
+        m.set_counter("est.prog.hits", inner.site_hits);
+        m.set_counter("est.prog.misses", inner.site_misses);
+        m.set_counter("est.prog.warm_hits", inner.prog_warm_hits);
+        m.set_counter("est.prog.rejects", inner.prog_rejects);
+        m.set_counter(
+            "est.prog.compiled",
+            inner.programs.as_ref().map_or(0, |p| p.len()) as u64,
+        );
         for (id, r) in inner.platform.iter() {
             m.set_gauge(
                 format!("resource.{}.busy_ns", r.name),

@@ -37,6 +37,8 @@
 //! request's deadline) and turns the summary, report and metrics into
 //! the response.
 
+use std::sync::Arc;
+
 use scperf_kernel::{
     HandoffKind, ProcCtx, ProcId, SimError, SimOptions, SimSummary, Simulator, Time, TraceMode,
 };
@@ -45,6 +47,7 @@ use scperf_obs::{MetricsSnapshot, TraceSink, TraceTable};
 use crate::capture::{CaptureList, CapturePoint};
 use crate::estimator::Mode;
 use crate::model::{PFifo, PRendezvous, PSignal, PerfModel};
+use crate::prog::ProgramSet;
 use crate::recorder::{Recorder, Replay};
 use crate::report::Report;
 use crate::resource::{Platform, ResourceId};
@@ -70,6 +73,7 @@ pub struct SimConfig {
     run_limit: Option<Time>,
     attribution: bool,
     tracing_mode: TraceMode,
+    programs: Option<Arc<ProgramSet>>,
 }
 
 /// The plain (clonable) configuration knobs a built [`Session`] keeps,
@@ -113,7 +117,21 @@ impl SimConfig {
             run_limit: None,
             attribution: false,
             tracing_mode: TraceMode::Off,
+            programs: None,
         }
+    }
+
+    /// Warm-starts segment-site memoization from a previously harvested
+    /// [`ProgramSet`] (see [`Session::programs`]): named `g_loop!` /
+    /// `g_site!` regions replay their compiled cost programs on *first*
+    /// execution instead of recording live. The set's
+    /// [`table_fingerprint`](crate::table_fingerprint) is validated
+    /// against each process's cost table when the process starts; on
+    /// mismatch the warm set is dropped for that process (counted in
+    /// `est.prog.rejects`) and recording proceeds live.
+    pub fn program_set(mut self, set: Arc<ProgramSet>) -> SimConfig {
+        self.programs = Some(set);
+        self
     }
 
     /// Enables utilization & contention attribution: kernel scheduling
@@ -242,6 +260,9 @@ impl SimConfig {
         }
         model.legacy_charging(self.legacy_charging);
         model.site_memo(self.site_memo);
+        if let Some(set) = self.programs {
+            model.warm_programs(set);
+        }
         let recorder = self.record_costs.then(|| model.recorder());
         let knobs = SessionKnobs {
             mode: self.mode,
@@ -417,6 +438,16 @@ impl Session {
     /// The recorded capture lists (call after [`Session::run`]).
     pub fn captures(&self) -> Vec<CaptureList> {
         self.model.captures()
+    }
+
+    /// The cost programs harvested from this session's processes (call
+    /// after [`Session::run`]): every named `g_loop!` / `g_site!` region
+    /// that compiled, keyed by stable site hash and caller/branch key.
+    /// Serialize with [`ProgramSet::to_bytes`] and feed the bytes into a
+    /// later [`SimConfig::program_set`] to warm-start another process —
+    /// or another machine, the encoding is platform-independent.
+    pub fn programs(&self) -> ProgramSet {
+        self.model.programs()
     }
 
     /// One merged metrics snapshot: kernel counters (deltas, context

@@ -32,14 +32,14 @@
 //! split.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::cost::{CostTable, Op, OpCounts, OP_COUNT};
 use crate::estimator::EstimatorShared;
 use crate::hw::{Dfg, DfgNode, NO_NODE};
+use crate::prog::{fingerprint_costs, ProgStore, RecEvent};
 use crate::resource::{ResourceId, ResourceKind};
-use crate::site::{MemoMode, SiteRecord};
+use crate::site::MemoMode;
 
 /// Fast-slot state: no context installed — charging is a no-op.
 pub(crate) const S_ABSENT: u8 = 0;
@@ -161,9 +161,15 @@ pub(crate) struct ThreadCtx {
     /// requires a sequential resource, live estimation and an
     /// integer-valued cost table (see [`CostTable::is_integral`]).
     pub(crate) memo: MemoMode,
-    /// Memoized straight-line region deltas, keyed by
-    /// `(site id, caller key)`.
-    pub(crate) sites: HashMap<(u32, u64), SiteRecord>,
+    /// Compiled cost programs for memoized regions, keyed by
+    /// `(site id, caller key)`, plus the optional warm set shared across
+    /// processes/sessions.
+    pub(crate) progs: ProgStore,
+    /// Nested-region events logged while an enclosing site records
+    /// (drained by the recording guard's drop).
+    pub(crate) rec_events: Vec<RecEvent>,
+    /// Number of site regions currently recording on this thread.
+    pub(crate) rec_depth: u32,
     /// Recycled DFG node buffer (arena reuse across segments).
     pub(crate) dfg_spare: Vec<DfgNode>,
     /// Scratch finish-time buffer for sealing DFG critical paths.
@@ -191,7 +197,7 @@ pub(crate) struct SegmentTake {
 }
 
 /// Installs the context for this process thread and arms the fast slots.
-pub(crate) fn install(ctx: ThreadCtx) {
+pub(crate) fn install(mut ctx: ThreadCtx) {
     let state = if ctx.replay.is_some() || ctx.kind == ResourceKind::Environment {
         S_PASSIVE
     } else if ctx.legacy {
@@ -217,6 +223,15 @@ pub(crate) fn install(ctx: ThreadCtx) {
     } else {
         MemoMode::Off as u8
     };
+    // A warm program set recorded under a different cost table must not
+    // replay: drop it (counted in `est.prog.rejects`) so every region
+    // records afresh against the installed table.
+    if let Some(warm) = ctx.progs.warm.as_ref() {
+        if memo == MEMO_OFF || warm.table_fp() != fingerprint_costs(&ctx.costs) {
+            ctx.progs.warm = None;
+            ctx.progs.rejects += 1;
+        }
+    }
     FAST.with(|f| {
         debug_assert_eq!(
             f.state.get(),
@@ -580,7 +595,9 @@ pub(crate) mod testutil {
             replay: None,
             legacy,
             memo,
-            sites: HashMap::new(),
+            progs: ProgStore::new(),
+            rec_events: Vec::new(),
+            rec_depth: 0,
             dfg_spare: Vec::new(),
             cp_scratch: Vec::new(),
         });

@@ -51,11 +51,11 @@ pub mod point;
 pub mod pool;
 pub mod sweep;
 
-pub use cache::{CacheStats, SegmentCostCache};
+pub use cache::{CacheStats, SegmentCostCache, DEFAULT_CACHE_CAPACITY};
 pub use pareto::{pareto, pareto_naive};
 pub use point::{
     all_mappings, build_platform, platform_cost, resolve_mapping, DesignPoint, Target, CLOCK, HW_K,
     RTOS_CYCLES,
 };
 pub use pool::{run_indexed, PoolStats, WorkerPool};
-pub use sweep::{evaluate, format_summary, sweep, SweepConfig, SweepResult};
+pub use sweep::{evaluate, format_summary, sweep, ProgStats, SweepConfig, SweepResult};

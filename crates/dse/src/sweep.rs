@@ -1,7 +1,9 @@
 //! The sweep orchestrator: evaluate every mapping, in parallel, with
 //! memoized segment costs, and extract the Pareto frontier.
 
-use scperf_core::{CostTable, SimConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use scperf_core::{table_fingerprint, CostTable, SimConfig};
 use scperf_obs::MetricsSnapshot;
 use scperf_workloads::vocoder::pipeline::{self, StageTrace, STAGE_NAMES};
 
@@ -40,6 +42,12 @@ pub struct SweepConfig {
     /// thread-local fast path. Estimates are bit-identical either way;
     /// this exists as an A/B switch for benchmarks and regression tests.
     pub legacy_charging: bool,
+    /// A serialized program blob ([`SweepResult::programs_out`] from an
+    /// earlier sweep, possibly another process) to warm-start the
+    /// segment-site cost programs from. Ignored when `use_cache` is
+    /// off; a malformed blob is skipped (the sweep then records live,
+    /// which is always bit-identical).
+    pub programs_in: Option<Vec<u8>>,
 }
 
 impl Default for SweepConfig {
@@ -52,6 +60,53 @@ impl Default for SweepConfig {
             use_cache: true,
             limit: None,
             legacy_charging: false,
+            programs_in: None,
+        }
+    }
+}
+
+/// Aggregated segment-site cost-program accounting of one sweep (summed
+/// over every evaluated point's estimator; all zeros when the cache is
+/// off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgStats {
+    /// Site regions satisfied by replaying a compiled program.
+    pub hits: u64,
+    /// Site regions that recorded a fresh program.
+    pub misses: u64,
+    /// Local misses satisfied by compiling a shared warm-set program.
+    pub warm_hits: u64,
+    /// Warm sets rejected for a cost-table fingerprint mismatch.
+    pub rejects: u64,
+    /// Programs imported from [`SweepConfig::programs_in`].
+    pub imported: u64,
+}
+
+/// Thread-safe accumulator behind [`ProgStats`].
+#[derive(Debug, Default)]
+struct ProgCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    warm_hits: AtomicU64,
+    rejects: AtomicU64,
+}
+
+impl ProgCounters {
+    fn absorb(&self, h: &scperf_core::EstHotStats) {
+        self.hits.fetch_add(h.site_hits, Ordering::Relaxed);
+        self.misses.fetch_add(h.site_misses, Ordering::Relaxed);
+        self.warm_hits
+            .fetch_add(h.prog_warm_hits, Ordering::Relaxed);
+        self.rejects.fetch_add(h.prog_rejects, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, imported: u64) -> ProgStats {
+        ProgStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            imported,
         }
     }
 }
@@ -66,6 +121,12 @@ pub struct SweepResult {
     pub frontier: Vec<DesignPoint>,
     /// Segment-cost cache accounting (all zeros when the cache is off).
     pub cache: CacheStats,
+    /// Segment-site cost-program accounting.
+    pub prog: ProgStats,
+    /// The compiled program sets harvested across the sweep, serialized
+    /// for [`SweepConfig::programs_in`] of a later sweep — empty when
+    /// the cache is off. Stable across processes and machines.
+    pub programs_out: Vec<u8>,
     /// Worker/steal counters from the pool.
     pub pool: PoolStats,
 }
@@ -83,6 +144,12 @@ impl SweepResult {
         m.set_counter("dse.cache.misses", self.cache.misses);
         m.set_counter("dse.cache.entries", self.cache.entries as u64);
         m.set_gauge("dse.cache.hit_rate", self.cache.hit_rate());
+        m.set_counter("est.cache.evictions", self.cache.evictions);
+        m.set_counter("est.prog.hits", self.prog.hits);
+        m.set_counter("est.prog.misses", self.prog.misses);
+        m.set_counter("est.prog.warm_hits", self.prog.warm_hits);
+        m.set_counter("est.prog.rejects", self.prog.rejects);
+        m.set_counter("est.prog.published", self.cache.programs as u64);
         m
     }
 }
@@ -100,7 +167,7 @@ pub fn evaluate(
     nframes: usize,
     cache: Option<&SegmentCostCache>,
 ) -> DesignPoint {
-    evaluate_with(table, mapping, nframes, cache, false, 1)
+    evaluate_with(table, mapping, nframes, cache, false, 1, None)
 }
 
 fn evaluate_with(
@@ -110,6 +177,7 @@ fn evaluate_with(
     cache: Option<&SegmentCostCache>,
     legacy_charging: bool,
     kernel_jobs: usize,
+    prog: Option<&ProgCounters>,
 ) -> DesignPoint {
     let (platform, ids) = build_platform(table);
     let vm = resolve_mapping(mapping, ids);
@@ -126,11 +194,19 @@ fn evaluate_with(
     }
     let missing: Vec<usize> = (0..5).filter(|&s| replays[s].is_none()).collect();
 
-    let mut session = SimConfig::new()
+    let mut config = SimConfig::new()
         .platform(platform)
         .legacy_charging(legacy_charging)
-        .jobs(kernel_jobs)
-        .build();
+        .jobs(kernel_jobs);
+    // Warm-start the segment-site cost programs from the shared set for
+    // the SW cost table (memoization only engages on sequential
+    // resources, and cpu0/cpu1 share `table`).
+    if let Some(cache) = cache {
+        if let Some(set) = cache.programs(table_fingerprint(table)) {
+            config = config.program_set(set);
+        }
+    }
+    let mut session = config.build();
     let recorder = (cache.is_some() && !missing.is_empty()).then(|| session.recorder());
     let (sim, model) = session.parts_mut();
     let handles = pipeline::build_hybrid(sim, model, vm, nframes, replays);
@@ -143,6 +219,12 @@ fn evaluate_with(
                 .expect("trace recorded for live stage");
             cache.insert(stage, fingerprints[stage], trace);
         }
+    }
+    if let Some(cache) = cache {
+        cache.publish_programs(&session.programs());
+    }
+    if let Some(prog) = prog {
+        prog.absorb(&session.model().hot_stats());
     }
 
     let checksum = handles.output.lock().expect("sink finished");
@@ -168,6 +250,11 @@ pub fn sweep(config: &SweepConfig) -> SweepResult {
         mappings.truncate(limit);
     }
     let cache = config.use_cache.then(SegmentCostCache::new);
+    let imported = match (&cache, &config.programs_in) {
+        (Some(cache), Some(blob)) => cache.import_programs(blob).unwrap_or(0) as u64,
+        _ => 0,
+    };
+    let prog_counters = ProgCounters::default();
     let (points, pool) = run_indexed(config.jobs, mappings.len(), |i| {
         let _span = scperf_obs::profile::span("dse.evaluate");
         evaluate_with(
@@ -177,6 +264,7 @@ pub fn sweep(config: &SweepConfig) -> SweepResult {
             cache.as_ref(),
             config.legacy_charging,
             config.kernel_jobs,
+            Some(&prog_counters),
         )
     });
 
@@ -194,13 +282,18 @@ pub fn sweep(config: &SweepConfig) -> SweepResult {
     }
 
     let frontier = pareto(&points);
+    let empty = CacheStats {
+        hits: 0,
+        misses: 0,
+        entries: 0,
+        evictions: 0,
+        programs: 0,
+    };
     SweepResult {
         frontier,
-        cache: cache.map(|c| c.stats()).unwrap_or(CacheStats {
-            hits: 0,
-            misses: 0,
-            entries: 0,
-        }),
+        cache: cache.as_ref().map(|c| c.stats()).unwrap_or(empty),
+        prog: prog_counters.snapshot(imported),
+        programs_out: cache.map(|c| c.export_programs()).unwrap_or_default(),
         pool,
         points,
     }
@@ -352,6 +445,44 @@ mod tests {
             );
             assert_eq!(got.frontier, reference.frontier);
         }
+    }
+
+    /// The PR 10 acceptance scenario: a sweep warm-started from a
+    /// previous sweep's serialized program blob — the cross-process
+    /// persistence path — produces a bit-identical Pareto frontier
+    /// while replaying compiled programs instead of re-recording.
+    #[test]
+    fn warm_started_sweep_matches_cold_bit_for_bit() {
+        let base = SweepConfig {
+            nframes: 1,
+            jobs: 2,
+            use_cache: true,
+            limit: Some(10),
+            ..SweepConfig::default()
+        };
+        let cold = sweep(&base);
+        assert!(cold.prog.hits > 0, "memoized sites must replay");
+        assert!(cold.prog.misses > 0, "cold sweep records programs");
+        assert!(!cold.programs_out.is_empty(), "programs serialize");
+        assert!(cold.cache.programs > 0);
+
+        let warm = sweep(&SweepConfig {
+            programs_in: Some(cold.programs_out.clone()),
+            ..base
+        });
+        assert_eq!(warm.points, cold.points, "warm sweep changed a point");
+        assert_eq!(warm.frontier, cold.frontier, "frontier not bit-identical");
+        assert!(warm.prog.imported > 0, "blob imports");
+        assert!(warm.prog.warm_hits > 0, "warm programs must be used");
+        assert!(warm.prog.hits > 0);
+        assert!(
+            warm.prog.misses < cold.prog.misses,
+            "warm start must reduce recording"
+        );
+        assert_eq!(
+            warm.metrics().counter("est.prog.hits"),
+            Some(warm.prog.hits)
+        );
     }
 
     #[test]

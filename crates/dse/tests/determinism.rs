@@ -27,6 +27,7 @@ proptest! {
             use_cache: false,
             limit: Some(limit.min(14)),
             legacy_charging: false,
+            programs_in: None,
         };
         let oracle = sweep(&base);
         for (jobs, use_cache) in [(2, true), (8, true), (2, false)] {
@@ -55,6 +56,7 @@ proptest! {
             use_cache: false,
             limit: Some(limit.min(10)),
             legacy_charging: false,
+            programs_in: None,
         };
         let oracle = sweep(&base);
         for (jobs, kernel_jobs) in [(1, 2), (1, 8), (2, 8)] {
@@ -117,6 +119,7 @@ fn full_sweep_matches_sequential_oracle() {
         use_cache: false,
         limit: None,
         legacy_charging: false,
+        programs_in: None,
     };
     let oracle = sweep(&base);
     assert_eq!(oracle.points.len(), 243);

@@ -12,7 +12,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use scperf_core::{CostTable, EstHotStats, Platform, Report, Session, SessionPool, SimConfig};
+use scperf_core::{
+    table_fingerprint, CostTable, EstHotStats, Platform, Report, Session, SessionPool, SimConfig,
+};
 use scperf_dse::point::{platform_cost, resolve_mapping};
 use scperf_dse::SegmentCostCache;
 use scperf_kernel::{SimSummary, StopReason, Time, TraceMode};
@@ -163,6 +165,13 @@ pub fn execute(
     if flight > 0 {
         config = config.tracing(TraceMode::Ring(flight));
     }
+    // Warm-start the stages that still charge live from the shared
+    // compiled-program set (recorded by any earlier run against the
+    // same software cost table — the fingerprint gate makes a stale
+    // set a no-op, never a wrong answer).
+    if let Some(set) = cache.and_then(|c| c.programs(table_fingerprint(&CostTable::risc_sw()))) {
+        config = config.program_set(set);
+    }
     let mut session = config.build();
     let recorder = (cache.is_some() && !missing.is_empty()).then(|| session.recorder());
     let (sim, model) = session.parts_mut();
@@ -170,13 +179,16 @@ pub fn execute(
 
     let summary = simulate(&mut session, deadline, flight)?;
 
-    if let (Some(cache), Some(recorder)) = (cache, recorder) {
-        for &stage in &missing {
-            let trace = recorder
-                .replay(STAGE_NAMES[stage])
-                .expect("trace recorded for live stage");
-            cache.insert(stage, fingerprints[stage], trace);
+    if let Some(cache) = cache {
+        if let Some(recorder) = recorder {
+            for &stage in &missing {
+                let trace = recorder
+                    .replay(STAGE_NAMES[stage])
+                    .expect("trace recorded for live stage");
+                cache.insert(stage, fingerprints[stage], trace);
+            }
         }
+        cache.publish_programs(&session.programs());
     }
 
     collect_outcome(
@@ -249,6 +261,12 @@ pub fn execute_pooled(
         None => {
             slot.reset_with_platform(platform.clone());
             if let Some(cache) = cache {
+                // First-of-shape runs charge live wherever no stage
+                // trace exists yet — warm those from the cross-worker
+                // compiled-program set before elaboration.
+                if let Some(set) = cache.programs(table_fingerprint(&CostTable::risc_sw())) {
+                    slot.model().warm_programs(set);
+                }
                 for (stage, &rid) in stage_resources.iter().enumerate() {
                     let fp = SegmentCostCache::fingerprint(platform.resource(rid), sc.nframes);
                     fingerprints[stage] = fp;
@@ -283,6 +301,7 @@ pub fn execute_pooled(
                     .expect("trace recorded for live stage");
                 cache.insert(stage, fingerprints[stage], trace);
             }
+            cache.publish_programs(&slot.programs());
         }
         pool.publish_snapshot(shape, Session::snapshot(&mut slot));
     }
@@ -496,6 +515,32 @@ mod tests {
         assert_eq!(replayed.summary.end_time, live.summary.end_time);
         assert_eq!(replayed.checksum, live.checksum);
         assert_eq!(replayed.hot.fast_charges, 0, "trace replay charges nothing");
+    }
+
+    #[test]
+    fn cost_programs_cross_scenario_shapes_through_the_cache() {
+        // A different frame count misses every stage-trace fingerprint,
+        // but the compiled cost programs published by the first run
+        // warm-start the second — fewer recording misses, bit-identical
+        // estimate.
+        let cache = SegmentCostCache::new();
+        let cold = execute(&scenario([Target::Cpu0; 5], 1), Some(&cache), None, 0).expect("runs");
+        assert!(cold.hot.site_misses > 0, "first run records programs");
+        assert_eq!(cold.hot.prog_warm_hits, 0, "nothing published yet");
+
+        let sc2 = scenario([Target::Cpu0; 5], 2);
+        let warm = execute(&sc2, Some(&cache), None, 0).expect("runs");
+        assert_eq!(warm.replayed_stages, 0, "new shape: no trace replays");
+        assert!(
+            warm.hot.prog_warm_hits > 0,
+            "published programs must satisfy local misses: {:?}",
+            warm.hot
+        );
+        assert!(warm.sim_metrics.counter("est.prog.warm_hits").unwrap() > 0);
+
+        let reference = execute(&sc2, None, None, 0).expect("runs");
+        assert_eq!(warm.summary.end_time, reference.summary.end_time);
+        assert_eq!(warm.checksum, reference.checksum);
     }
 
     #[test]

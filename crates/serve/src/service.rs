@@ -167,6 +167,8 @@ struct Counters {
     est_site_hits: AtomicU64,
     est_site_misses: AtomicU64,
     est_dfg_arena_reuse: AtomicU64,
+    est_prog_warm_hits: AtomicU64,
+    est_prog_rejects: AtomicU64,
 }
 
 /// One coherent reading of every counter, taken by [`Counters::read`].
@@ -192,6 +194,8 @@ struct CounterValues {
     est_site_hits: u64,
     est_site_misses: u64,
     est_dfg_arena_reuse: u64,
+    est_prog_warm_hits: u64,
+    est_prog_rejects: u64,
 }
 
 impl Counters {
@@ -230,6 +234,8 @@ impl Counters {
             est_site_hits: take(&self.est_site_hits),
             est_site_misses: take(&self.est_site_misses),
             est_dfg_arena_reuse: take(&self.est_dfg_arena_reuse),
+            est_prog_warm_hits: take(&self.est_prog_warm_hits),
+            est_prog_rejects: take(&self.est_prog_rejects),
         }
     }
 }
@@ -664,6 +670,15 @@ impl Service {
         m.set_counter("est.site_cache.hit", c.est_site_hits);
         m.set_counter("est.site_cache.miss", c.est_site_misses);
         m.set_counter("est.dfg.arena_reuse", c.est_dfg_arena_reuse);
+        // Cost-program accounting, summed across completed runs. Hits
+        // and misses mirror the site cache (a replayed region *is* a
+        // compiled-program apply — see `scperf_core` model metrics);
+        // warm hits count misses satisfied by the cross-worker program
+        // set, rejects count fingerprint-mismatched warm sets.
+        m.set_counter("est.prog.hits", c.est_site_hits);
+        m.set_counter("est.prog.misses", c.est_site_misses);
+        m.set_counter("est.prog.warm_hits", c.est_prog_warm_hits);
+        m.set_counter("est.prog.rejects", c.est_prog_rejects);
         if let Some(pool) = &self.shared.pool {
             m.merge(pool.metrics());
         }
@@ -672,7 +687,9 @@ impl Service {
             m.set_counter("serve.cache.hits", stats.hits);
             m.set_counter("serve.cache.misses", stats.misses);
             m.set_counter("serve.cache.entries", stats.entries as u64);
+            m.set_counter("serve.cache.evictions", stats.evictions);
             m.set_gauge("serve.cache.hit_rate", stats.hit_rate());
+            m.set_counter("est.prog.published", stats.programs as u64);
         }
         for (hist, prefix) in [
             (&self.shared.latency, "serve.latency"),
@@ -773,6 +790,10 @@ fn run_scenario(
                 .fetch_add(out.hot.site_misses, Ordering::Relaxed);
             c.est_dfg_arena_reuse
                 .fetch_add(out.hot.dfg_arena_reuse, Ordering::Relaxed);
+            c.est_prog_warm_hits
+                .fetch_add(out.hot.prog_warm_hits, Ordering::Relaxed);
+            c.est_prog_rejects
+                .fetch_add(out.hot.prog_rejects, Ordering::Relaxed);
             shared.sim_metrics.lock().merge(out.sim_metrics.clone());
         }
         Err(err) if err.code == ErrorCode::DeadlineExceeded => {

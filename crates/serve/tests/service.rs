@@ -303,6 +303,46 @@ fn tcp_frontend_serves_concurrent_connections() {
     server_thread.join().expect("server thread");
 }
 
+#[test]
+fn stats_report_cost_program_sharing_across_scenario_shapes() {
+    // Two different frame counts are two scenario shapes: neither can
+    // reuse the other's stage traces or pooled snapshot, but the cost
+    // programs published by the first run warm-start the second. The
+    // stats reply must carry the whole `est.prog.*` namespace.
+    let svc = service(1, 8);
+    let (responder, lines) = Responder::collector();
+    svc.handle_line(&sim_line("cold", ALL_CPU0, 1, ""), &responder);
+    wait_for_lines(&lines, 1);
+    svc.handle_line(&sim_line("warm", ALL_CPU0, 2, ""), &responder);
+    wait_for_lines(&lines, 2);
+    svc.handle_line(r#"{"op":"stats","id":"st"}"#, &responder);
+    let got = wait_for_lines(&lines, 3);
+    let reply = got
+        .iter()
+        .find(|l| l.contains("\"stats\""))
+        .expect("stats reply");
+    let v = parse(reply).unwrap();
+    let m = field(&v, "metrics");
+    assert!(field(m, "est.prog.hits").as_u64().unwrap() > 0);
+    assert!(field(m, "est.prog.misses").as_u64().unwrap() > 0);
+    assert!(
+        field(m, "est.prog.published").as_u64().unwrap() > 0,
+        "the cold run must publish its programs to the shared cache"
+    );
+    assert!(
+        field(m, "est.prog.warm_hits").as_u64().unwrap() > 0,
+        "the second shape must warm-start from published programs: {m:?}"
+    );
+    assert_eq!(field(m, "est.prog.rejects").as_u64(), Some(0));
+    // Both runs answered identically-checksummed output.
+    let cold = got.iter().find(|l| l.contains("\"cold\"")).unwrap();
+    let warm = got.iter().find(|l| l.contains("\"warm\"")).unwrap();
+    let (cv, wv) = (parse(cold).unwrap(), parse(warm).unwrap());
+    assert_eq!(field(&cv, "status").as_str(), Some("ok"));
+    assert_eq!(field(&wv, "status").as_str(), Some("ok"));
+    svc.drain();
+}
+
 /// Minimal structural validation of Prometheus text exposition: every
 /// line is either a `# TYPE <name> <kind>` comment or a
 /// `<name>[{labels}] <float>` sample.

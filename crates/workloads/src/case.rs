@@ -1,6 +1,11 @@
 //! The uniform three-form benchmark interface used by the Table 1/3
 //! harnesses.
 
+use std::sync::{Arc, Mutex};
+
+use scperf_core::{CostTable, EstHotStats, MemoMode, Platform, ProgramSet, Report, SimConfig};
+use scperf_kernel::Time;
+
 /// One sequential benchmark in the three matched forms the experiments
 /// need:
 ///
@@ -47,6 +52,42 @@ impl BenchCase {
             .unwrap_or_else(|e| panic!("{}: ISS run failed: {e}", self.name));
         (m.read_word(compiled.global("result")), stats)
     }
+}
+
+/// Runs `body` as the single analyzed process of one session on a
+/// sequential RISC-SW resource under the given site-memoization mode,
+/// optionally warm-started from a previously harvested [`ProgramSet`].
+/// Returns the body's checksum, the report, the hot-path counters and
+/// the program set harvested from this run.
+///
+/// This is the harness the memoized Table 1 forms are compared under:
+/// [`MemoMode::Off`], [`MemoMode::Replay`] and [`MemoMode::Verify`]
+/// must produce bit-identical reports and checksums.
+pub fn run_memoized(
+    memo: MemoMode,
+    warm: Option<Arc<ProgramSet>>,
+    body: fn() -> i32,
+) -> (i32, Report, EstHotStats, ProgramSet) {
+    let mut platform = Platform::new();
+    let cpu = platform.sequential("cpu0", Time::ns(10), CostTable::risc_sw(), 25.0);
+    let mut config = SimConfig::new().platform(platform).site_memo(memo);
+    if let Some(set) = warm {
+        config = config.program_set(set);
+    }
+    let mut session = config.build();
+    let out = Arc::new(Mutex::new(0_i32));
+    let slot = Arc::clone(&out);
+    session.spawn("bench", cpu, move |_ctx| {
+        *slot.lock().unwrap() = body();
+    });
+    session.run().expect("bench session runs");
+    let checksum = *out.lock().unwrap();
+    (
+        checksum,
+        session.report(),
+        session.model().hot_stats(),
+        session.programs(),
+    )
 }
 
 /// The reference-ISS configuration shared by every experiment: the

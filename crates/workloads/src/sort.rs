@@ -5,7 +5,7 @@
 //! `Σ (i+1)·a[i]` over the sorted array (wrapping), which is sensitive to
 //! ordering mistakes.
 
-use scperf_core::{g_call, g_for, g_i32, g_if, g_while, GArr, G};
+use scperf_core::{g_call, g_for, g_i32, g_if, g_loop, g_site, g_while, GArr, G};
 
 use crate::data::{minic_initializer, signed_values};
 
@@ -155,6 +155,105 @@ pub fn bubble_annotated_run() -> i32 {
     s.get()
 }
 
+// ----------------------------------------------------------- memoized --
+
+/// [`qsort_annotated`] with segment-site memoization — the adversarial
+/// case for cost-program keying: the recursion's extent and the
+/// partition's swap pattern both depend on element *values*, so no key
+/// derived from `(lo, hi)` is sound. Instead every data-dependent
+/// branch is its own region keyed by the branch outcome (computed
+/// uncharged via [`GArr::peek`]), and the straight-line stretches
+/// between them are unkeyed regions; the charge stream within each
+/// region is then fully determined by its key.
+fn qsort_memo(a: &mut GArr<i32>, lo: G<i32>, hi: G<i32>) {
+    let stop = lo.get() >= hi.get();
+    g_site!((stop as u64) {
+        g_if!((lo >= hi) {});
+    });
+    if stop {
+        return;
+    }
+    let mut pivot = G::raw(0_i32);
+    let mut i = G::raw(0_i32);
+    let mut j = G::raw(0_i32);
+    g_site!({
+        pivot.assign(a.at_raw(hi.get() as usize)); // pivot = p[hi];
+        i.assign(lo - 1); // i = lo - 1;
+        j.assign(lo); // j = lo;
+    });
+    g_while!((j < hi) {
+        let take = a.peek(j.get() as usize) < pivot.get();
+        g_site!((take as u64) {
+            g_if!((a.at_raw(j.get() as usize) < pivot) {
+                i.assign(i + 1); // i = i + 1;
+                let mut t = G::raw(0_i32);
+                t.assign(a.at_raw(i.get() as usize)); // t = p[i];
+                a.set_raw(i.get() as usize, a.at_raw(j.get() as usize)); // p[i] = p[j];
+                a.set_raw(j.get() as usize, t); // p[j] = t;
+            });
+            j.assign(j + 1); // j = j + 1;
+        });
+    });
+    g_site!({
+        let mut t = G::raw(0_i32);
+        t.assign(a.at((i + 1).cast_usize())); // t = p[i + 1];
+        a.set((i + 1).cast_usize(), a.at_raw(hi.get() as usize)); // p[i + 1] = p[hi];
+        a.set_raw(hi.get() as usize, t); // p[hi] = t;
+    });
+    g_call!(qsort_memo(a, lo, i)); // qsort(p, lo, i);
+    let hi2 = i + 2;
+    g_call!(qsort_memo(a, hi2, hi)); // qsort(p, i + 2, hi);
+}
+
+/// Memoized quicksort (charges exactly what [`qsort_annotated_run`]
+/// charges when memoization is off).
+pub fn qsort_memo_run() -> i32 {
+    let mut a = GArr::from_vec(qsort_input());
+    g_call!(qsort_memo(&mut a, g_i32(0), g_i32(QSORT_N as i32 - 1)));
+    let mut s = g_i32(0); // s = 0;
+    g_loop!(i in 0..QSORT_N => {
+        // s = s + (i + 1) * a[i];
+        let w = G::raw(i as i32) + G::raw(1);
+        s.assign(s + w * a.at_raw(i));
+    });
+    s.get()
+}
+
+/// Memoized bubble sort: the inner-pass comparison is a region keyed by
+/// the swap outcome (the only data-dependent branch), the checksum loop
+/// is a whole-loop region.
+pub fn bubble_memo_run() -> i32 {
+    let mut a = GArr::from_vec(bubble_input());
+    let n = BUBBLE_N;
+    let mut m = G::raw(0_i32);
+    g_for!(i in 0..n => {
+        m.assign(G::raw(n as i32) - G::raw(1) - G::raw(i as i32)); // m = N - 1 - i;
+        g_for!(j in 0..(n - 1 - i) => {
+            let _ = &m;
+            let take = a.peek(j) > a.peek(j + 1);
+            g_site!((take as u64) {
+                // if (a[j] > a[j + 1]) { ... }
+                let jp = G::raw(j) + G::raw(1);
+                g_if!((a.at_raw(j) > a.at(jp)) {
+                    let mut t = G::raw(0_i32);
+                    t.assign(a.at_raw(j)); // t = a[j];
+                    let jp2 = G::raw(j) + G::raw(1);
+                    a.set_raw(j, a.at(jp2)); // a[j] = a[j + 1];
+                    let jp3 = G::raw(j) + G::raw(1);
+                    a.set(jp3, t); // a[j + 1] = t;
+                });
+            });
+        });
+    });
+    let mut s = g_i32(0); // s = 0;
+    g_loop!(i in 0..n => {
+        // s = s + (i + 1) * a[i];
+        let w = G::raw(i as i32) + G::raw(1);
+        s.assign(s + w * a.at_raw(i));
+    });
+    s.get()
+}
+
 // ---------------------------------------------------------------- minic --
 
 /// Quicksort `minic` source.
@@ -238,7 +337,12 @@ pub fn bubble_case() -> crate::case::BenchCase {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::Arc;
+
+    use scperf_core::{MemoMode, ProgramSet};
+
     use super::*;
+    use crate::case::run_memoized;
 
     #[test]
     fn quicksort_forms_agree_and_sort() {
@@ -260,5 +364,72 @@ mod tests {
         assert_eq!(bubble_annotated_run(), expect);
         let (iss, _) = bubble_case().run_iss();
         assert_eq!(iss, expect);
+    }
+
+    /// The adversarial data-dependent case: outcome-keyed sites keep
+    /// quicksort's value-dependent recursion bit-identical across live,
+    /// replay, verify and warm-started runs.
+    #[test]
+    fn memoized_quicksort_is_bit_identical_and_round_trips() {
+        let mut reference = qsort_input();
+        reference.sort_unstable();
+        let expect = weighted_checksum(&reference);
+
+        let (live_v, live_r, live_h, _) = run_memoized(MemoMode::Off, None, qsort_memo_run);
+        assert_eq!(live_v, expect);
+        assert_eq!(live_h.site_hits, 0);
+
+        // Off-mode memo form charges exactly what the annotated form
+        // charges.
+        let (ann_v, ann_r, _, _) = run_memoized(MemoMode::Off, None, qsort_annotated_run);
+        assert_eq!(ann_v, expect);
+        assert_eq!(ann_r, live_r);
+
+        let (memo_v, memo_r, memo_h, set) = run_memoized(MemoMode::Replay, None, qsort_memo_run);
+        assert_eq!(memo_v, expect);
+        assert_eq!(memo_r, live_r, "replay diverged from live");
+        assert!(memo_h.site_hits > memo_h.site_misses * 10, "mostly hits");
+        assert!(!set.is_empty());
+
+        let (ver_v, ver_r, _, _) = run_memoized(MemoMode::Verify, None, qsort_memo_run);
+        assert_eq!(ver_v, expect);
+        assert_eq!(ver_r, live_r, "verify diverged from live");
+
+        // Serialized warm start: every key was seen in the cold run, so
+        // nothing records.
+        let warm = Arc::new(ProgramSet::from_bytes(&set.to_bytes()).expect("decodes"));
+        let (w_v, w_r, w_h, _) = run_memoized(MemoMode::Replay, Some(warm), qsort_memo_run);
+        assert_eq!(w_v, expect);
+        assert_eq!(w_r, live_r, "warm replay diverged from live");
+        assert_eq!(w_h.site_misses, 0);
+        assert!(w_h.prog_warm_hits > 0);
+    }
+
+    #[test]
+    fn memoized_bubble_is_bit_identical_and_round_trips() {
+        let mut reference = bubble_input();
+        reference.sort_unstable();
+        let expect = weighted_checksum(&reference);
+
+        let (live_v, live_r, _, _) = run_memoized(MemoMode::Off, None, bubble_memo_run);
+        assert_eq!(live_v, expect);
+
+        let (memo_v, memo_r, memo_h, set) = run_memoized(MemoMode::Replay, None, bubble_memo_run);
+        assert_eq!(memo_v, expect);
+        assert_eq!(memo_r, live_r, "replay diverged from live");
+        // Comparison site (2 keys) + checksum loop (1 key): 3 misses.
+        assert_eq!(memo_h.site_misses, 3);
+        assert!(memo_h.site_hits > 0);
+
+        let (ver_v, ver_r, _, _) = run_memoized(MemoMode::Verify, None, bubble_memo_run);
+        assert_eq!(ver_v, expect);
+        assert_eq!(ver_r, live_r, "verify diverged from live");
+
+        let warm = Arc::new(ProgramSet::from_bytes(&set.to_bytes()).expect("decodes"));
+        let (w_v, w_r, w_h, _) = run_memoized(MemoMode::Replay, Some(warm), bubble_memo_run);
+        assert_eq!(w_v, expect);
+        assert_eq!(w_r, live_r, "warm replay diverged from live");
+        assert_eq!(w_h.site_misses, 0);
+        assert!(w_h.prog_warm_hits > 0);
     }
 }
